@@ -1,0 +1,219 @@
+package flashroute
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (DESIGN.md §3). Each benchmark executes the corresponding
+// experiment from internal/experiments on a reduced universe and reports
+// the headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every artifact's shape. Full-scale runs (and the recorded
+// paper-vs-measured numbers) go through cmd/frexperiments; see
+// EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"github.com/flashroute/flashroute/internal/experiments"
+)
+
+// benchBlocks is the universe size for benchmark runs: large enough for
+// stable ratios, small enough that the full suite completes in minutes.
+const benchBlocks = 8192
+
+func benchScenario(i int) *experiments.Scenario {
+	return experiments.NewScenario(benchBlocks, int64(42+i))
+}
+
+func BenchmarkFig3HopDistanceAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure3HopDistanceAccuracy(benchScenario(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Exact, "%exact")
+		b.ReportMetric(100*r.WithinOne, "%within1")
+	}
+}
+
+func BenchmarkFig4PredictionAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure4PredictionAccuracy(benchScenario(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Exact, "%exact")
+		b.ReportMetric(100*r.WithinOne, "%within1")
+	}
+}
+
+func BenchmarkTable1RedundancyElimination(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table1RedundancyElimination(benchScenario(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var on16, off16 float64
+		for _, r := range t.Rows {
+			switch r.Name {
+			case "split-16/redundancy-removal-on":
+				on16 = float64(r.Probes)
+			case "split-16/redundancy-removal-off":
+				off16 = float64(r.Probes)
+			}
+		}
+		b.ReportMetric(off16/on16, "probe-savings-x")
+	}
+}
+
+func BenchmarkFig6GapLimit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure6GapLimit(benchScenario(i), []uint8{0, 2, 5, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(t.Rows[2].Interfaces-t.Rows[0].Interfaces), "ifaces-gap0to5")
+		b.ReportMetric(float64(t.Rows[3].Interfaces-t.Rows[2].Interfaces), "ifaces-gap5to8")
+	}
+}
+
+func BenchmarkTable2Preprobing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table2Preprobing(benchScenario(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := map[string]experiments.Row{}
+		for _, r := range t.Rows {
+			rows[r.Name] = r
+		}
+		b.ReportMetric(float64(rows["32/no preprobing"].Probes)/float64(rows["32/random preprobing"].Probes),
+			"fold-savings-x")
+	}
+}
+
+func BenchmarkTable3ToolComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table3ToolComparison(benchScenario(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := map[string]experiments.Row{}
+		for _, r := range t.Rows {
+			rows[r.Name] = r
+		}
+		fr16, y32 := rows["FlashRoute-16"], rows["Yarrp-32"]
+		b.ReportMetric(100*float64(fr16.Probes)/float64(y32.Probes), "%probes-vs-yarrp32")
+		b.ReportMetric(float64(y32.ScanTime)/float64(fr16.ScanTime), "speedup-x")
+	}
+}
+
+func BenchmarkFig7ProbedTTLDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure7ProbedTTLDistribution(benchScenario(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var frMid, scMid float64
+		for ttl := 7; ttl <= 14; ttl++ {
+			frMid += float64(r.FlashRoute.Counts[ttl])
+			scMid += float64(r.Scamper.Counts[ttl])
+		}
+		b.ReportMetric(scMid/frMid, "scamper-midttl-redundancy-x")
+	}
+}
+
+func BenchmarkTable4Overprobing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table4Overprobing(benchScenario(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := map[string]experiments.OverprobeRow{}
+		for _, row := range r.Rows {
+			rows[row.Name] = row
+		}
+		b.ReportMetric(float64(rows["Yarrp-32"].DroppedProbes), "yarrp32-dropped")
+		b.ReportMetric(float64(rows["FlashRoute-16"].DroppedProbes), "fr16-dropped")
+	}
+}
+
+func BenchmarkTable5MaxRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table5MaxRate(experiments.NewScenario(4096, int64(42+i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Name == "FlashRoute-16" {
+				b.ReportMetric(row.MeasuredKpps, "fr16-kpps")
+			}
+			if row.Name == "Yarrp-32" {
+				b.ReportMetric(row.MeasuredKpps, "yarrp32-kpps")
+			}
+		}
+	}
+}
+
+func BenchmarkFig8HitlistJaccard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure8HitlistBias(benchScenario(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.RandomInterfaces-r.HitlistInterfaces), "iface-deficit")
+		b.ReportMetric(r.JaccardByDistance[1], "jaccard-dist1")
+	}
+}
+
+func BenchmarkD2DiscoveryOptimized(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Discovery5_2(benchScenario(i), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.DiscoveryInterfaces-r.YarrpUDPInterfaces), "extra-ifaces")
+	}
+}
+
+func BenchmarkD3AddressModification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Rewrite5_3(benchScenario(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.MismatchFraction(), "%mismatched")
+	}
+}
+
+// BenchmarkAblationProximitySpan sweeps the §5.4 span exploration.
+func BenchmarkAblationProximitySpan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.SpanSweep5_4(benchScenario(i), []int{1, 5, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Rows[1].WithinOne, "%within1-span5")
+		b.ReportMetric(float64(r.Rows[1].Predicted), "predicted-span5")
+	}
+}
+
+// BenchmarkAblationDCBLocking measures the engine's sender throughput at
+// the core of the paper's state-vs-parallelism argument (§3.4): per-probe
+// cost including the per-DCB mutex and the linked-list traversal.
+func BenchmarkAblationDCBLocking(b *testing.B) {
+	sim := NewSimulation(SimConfig{Blocks: 16384, Seed: 1})
+	cfg := DefaultConfig()
+	cfg.Unthrottled = false
+	cfg.PPS = 1 << 30 // effectively unthrottled but exercising the pacer
+	b.ResetTimer()
+	var probes uint64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Scan(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		probes += res.Probes()
+	}
+	b.ReportMetric(float64(probes)/float64(b.N), "probes/scan")
+}

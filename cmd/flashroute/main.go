@@ -1,0 +1,171 @@
+// Command flashroute runs FlashRoute scans against the bundled Internet
+// simulation, mirroring the original tool's command line.
+//
+// The repository is stdlib-only, so the transport is the packet-level
+// simulator rather than a raw socket; every scanning code path above the
+// socket (probe construction, encoding, control state, rounds, preprobing,
+// discovery-optimized mode, result collection) is the real engine.
+//
+// Examples:
+//
+//	flashroute -blocks 65536 -seed 1
+//	flashroute -blocks 65536 -split 32 -preprobe hitlist -extra-scans 3
+//	flashroute -cidrs 10.0.0.0/12,172.16.0.0/14 -output routes.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/flashroute/flashroute"
+)
+
+func main() {
+	var (
+		blocks     = flag.Int("blocks", 65536, "number of /24 blocks in the simulated universe")
+		cidrs      = flag.String("cidrs", "", "comma-separated CIDRs (up to /24) instead of -blocks")
+		seed       = flag.Int64("seed", 1, "simulation and permutation seed")
+		split      = flag.Int("split", 16, "default split TTL (paper: 16 or 32)")
+		gap        = flag.Int("gap", 5, "forward-probing gap limit")
+		pps        = flag.Int("pps", 100000, "probing rate in packets per second (0 = unthrottled)")
+		preprobe   = flag.String("preprobe", "random", "preprobing mode: off, random, hitlist")
+		span       = flag.Int("span", 5, "proximity span for distance prediction")
+		noRedund   = flag.Bool("no-redundancy", false, "disable backward-probing redundancy elimination")
+		exhaustive = flag.Bool("exhaustive", false, "probe every TTL 1..32 (Yarrp-32-UDP simulation mode)")
+		extraScans = flag.Int("extra-scans", 0, "discovery-optimized mode: number of port-varied extra scans")
+		output     = flag.String("output", "", "write discovered routes as CSV to this file")
+		binOutput  = flag.String("binary-output", "", "write discovered routes in the compact binary format (summarize with frreport)")
+		excludeF   = flag.String("exclude", "", "exclusion-list file (one CIDR or address per line); reserved space is always excluded")
+		targetsF   = flag.String("targets", "", "exterior target file (one address per line; unlisted blocks use random representatives)")
+		hitlistOut = flag.String("gen-hitlist", "", "generate the simulated census hitlist to this file and exit")
+		realTime   = flag.Bool("real-time", false, "run on the wall clock instead of virtual time")
+	)
+	flag.Parse()
+
+	simCfg := flashroute.SimConfig{Blocks: *blocks, Seed: *seed, RealTime: *realTime}
+	if *cidrs != "" {
+		simCfg.CIDRs = strings.Split(*cidrs, ",")
+		simCfg.Blocks = 0
+	}
+	sim := flashroute.NewSimulation(simCfg)
+	fmt.Printf("simulated universe: %d /24 blocks, seed %d\n", sim.Blocks(), *seed)
+
+	if *hitlistOut != "" {
+		f, err := os.Create(*hitlistOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sim.WriteHitlist(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("hitlist written to %s\n", *hitlistOut)
+		return
+	}
+
+	cfg := flashroute.DefaultConfig()
+	cfg.SplitTTL = uint8(*split)
+	if *gap == 0 {
+		cfg.GapLimitZero = true
+	} else {
+		cfg.GapLimit = uint8(*gap)
+	}
+	if *pps == 0 {
+		cfg.Unthrottled = true
+	} else {
+		cfg.PPS = *pps
+	}
+	switch *preprobe {
+	case "off":
+		cfg.Preprobe = flashroute.PreprobeOff
+	case "random":
+		cfg.Preprobe = flashroute.PreprobeRandom
+	case "hitlist":
+		cfg.Preprobe = flashroute.PreprobeHitlist
+		cfg.PreprobeTargets = sim.HitlistTargets()
+	default:
+		fatal(fmt.Errorf("unknown -preprobe %q", *preprobe))
+	}
+	cfg.ProximitySpan = *span
+	cfg.NoRedundancyElimination = *noRedund
+	cfg.Exhaustive = *exhaustive
+	cfg.ExtraScans = *extraScans
+	cfg.CollectRoutes = *output != "" || *binOutput != ""
+
+	if *targetsF != "" {
+		f, err := os.Open(*targetsF)
+		if err != nil {
+			fatal(err)
+		}
+		targets, _, err := sim.ReadTargets(f, sim.RandomTargets())
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Targets = targets
+	}
+
+	excl := flashroute.ReservedExclusions()
+	if *excludeF != "" {
+		f, err := os.Open(*excludeF)
+		if err != nil {
+			fatal(err)
+		}
+		user, err := flashroute.ReadExclusions(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		excl.Merge(user)
+	}
+	cfg.Skip = sim.SkipFor(excl)
+
+	res, err := sim.Scan(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("scan time:            %v\n", res.ScanTime())
+	fmt.Printf("probes sent:          %d (preprobing: %d)\n", res.Probes(), res.PreprobeProbes())
+	fmt.Printf("interfaces found:     %d\n", res.InterfaceCount())
+	fmt.Printf("rounds:               %d\n", res.Rounds())
+	fmt.Printf("distances measured:   %d, predicted: %d\n", res.DistancesMeasured(), res.DistancesPredicted())
+	fmt.Printf("mismatched responses: %d (in-flight destination modification)\n", res.MismatchedResponses())
+
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("routes written to %s\n", *output)
+	}
+	if *binOutput != "" {
+		f, err := os.Create(*binOutput)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := res.WriteBinary(f)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d binary records written to %s\n", n, *binOutput)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flashroute:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command flashroute6 runs FlashRoute6 — the IPv6 extension of §5.4 —
+// over a simulated sparse IPv6 Internet, optionally comparing against the
+// Yarrp6 baseline.
+//
+//	flashroute6 -prefixes 2048 -per-prefix 16
+//	flashroute6 -prefixes 2048 -compare-yarrp6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/flashroute/flashroute"
+	"github.com/flashroute/flashroute/internal/experiments"
+)
+
+func main() {
+	var (
+		prefixes  = flag.Int("prefixes", 2048, "allocated /48 prefixes in the simulated IPv6 Internet")
+		perPrefix = flag.Int("per-prefix", 16, "candidate targets per prefix")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		split     = flag.Int("split", 16, "default split hop limit")
+		gap       = flag.Int("gap", 5, "forward-probing gap limit")
+		pps       = flag.Int("pps", 0, "probing rate (default: scaled to list size)")
+		compare   = flag.Bool("compare-yarrp6", false, "also run the Yarrp6 baseline and compare")
+	)
+	flag.Parse()
+
+	if *compare {
+		r, err := experiments.IPv6Comparison(*prefixes, *perPrefix, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := r.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	sim := flashroute.NewSimulation6(flashroute.Sim6Config{
+		Prefixes: *prefixes, TargetsPerPrefix: *perPrefix, Seed: *seed,
+	})
+	targets := sim.Targets()
+	rate := *pps
+	if rate == 0 {
+		rate = len(targets) / 8
+		if rate < 200 {
+			rate = 200
+		}
+	}
+	fmt.Printf("IPv6 candidate list: %d targets across %d /48s (rate %d pps)\n",
+		len(targets), *prefixes, rate)
+
+	res, err := sim.Scan(flashroute.Config6{
+		SplitTTL: uint8(*split),
+		GapLimit: uint8(*gap),
+		PPS:      rate,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scan time:            %v\n", res.ScanTime())
+	fmt.Printf("probes sent:          %d (%.2f per target)\n",
+		res.Probes(), float64(res.Probes())/float64(len(targets)))
+	fmt.Printf("interfaces found:     %d\n", res.InterfaceCount())
+	fmt.Printf("targets reached:      %d\n", res.ReachedCount())
+	fmt.Printf("distances measured:   %d, same-prefix predicted: %d\n",
+		res.DistancesMeasured(), res.DistancesPredicted())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flashroute6:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,187 @@
+// Command frexperiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the index) on a scaled universe, and
+// writes the results in the EXPERIMENTS.md format.
+//
+//	frexperiments -exp all -blocks 262144 -out results.txt
+//	frexperiments -exp T3,F8 -blocks 65536
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/experiments"
+)
+
+type runner func(*experiments.Scenario, io.Writer) error
+
+var all = []struct {
+	id   string
+	desc string
+	run  runner
+}{
+	{"F3", "Figure 3: one-probe hop-distance measurement accuracy", func(s *experiments.Scenario, w io.Writer) error {
+		r, err := experiments.Figure3HopDistanceAccuracy(s)
+		if err != nil {
+			return err
+		}
+		return r.WriteText(w)
+	}},
+	{"F4", "Figure 4: proximity-span prediction accuracy", func(s *experiments.Scenario, w io.Writer) error {
+		r, err := experiments.Figure4PredictionAccuracy(s)
+		if err != nil {
+			return err
+		}
+		return r.WriteText(w)
+	}},
+	{"T1", "Table 1: redundancy elimination", func(s *experiments.Scenario, w io.Writer) error {
+		r, err := experiments.Table1RedundancyElimination(s)
+		if err != nil {
+			return err
+		}
+		return r.WriteText(w)
+	}},
+	{"F6", "Figure 6: gap limit sweep", func(s *experiments.Scenario, w io.Writer) error {
+		r, err := experiments.Figure6GapLimit(s, nil)
+		if err != nil {
+			return err
+		}
+		return r.WriteText(w)
+	}},
+	{"T2", "Table 2: preprobing modes", func(s *experiments.Scenario, w io.Writer) error {
+		r, err := experiments.Table2Preprobing(s)
+		if err != nil {
+			return err
+		}
+		return r.WriteText(w)
+	}},
+	{"T3", "Table 3: tool comparison", func(s *experiments.Scenario, w io.Writer) error {
+		r, err := experiments.Table3ToolComparison(s)
+		if err != nil {
+			return err
+		}
+		return r.WriteText(w)
+	}},
+	{"F7", "Figure 7: targets probed per TTL", func(s *experiments.Scenario, w io.Writer) error {
+		r, err := experiments.Figure7ProbedTTLDistribution(s)
+		if err != nil {
+			return err
+		}
+		return r.WriteText(w)
+	}},
+	{"T4", "Table 4: interface overprobing", func(s *experiments.Scenario, w io.Writer) error {
+		r, err := experiments.Table4Overprobing(s)
+		if err != nil {
+			return err
+		}
+		return r.WriteText(w)
+	}},
+	{"T5", "Table 5: non-throttled scan speed (real clock)", func(s *experiments.Scenario, w io.Writer) error {
+		r, err := experiments.Table5MaxRate(s)
+		if err != nil {
+			return err
+		}
+		return r.WriteText(w)
+	}},
+	{"F8", "Figure 8 / §5.1 D1: census hitlist bias", func(s *experiments.Scenario, w io.Writer) error {
+		r, err := experiments.Figure8HitlistBias(s)
+		if err != nil {
+			return err
+		}
+		return r.WriteText(w)
+	}},
+	{"D2", "§5.2: discovery-optimized mode", func(s *experiments.Scenario, w io.Writer) error {
+		r, err := experiments.Discovery5_2(s, 3)
+		if err != nil {
+			return err
+		}
+		return r.WriteText(w)
+	}},
+	{"D3", "§5.3: in-flight destination modification", func(s *experiments.Scenario, w io.Writer) error {
+		r, err := experiments.Rewrite5_3(s)
+		if err != nil {
+			return err
+		}
+		return r.WriteText(w)
+	}},
+	{"S1", "§5.4: proximity-span exploration", func(s *experiments.Scenario, w io.Writer) error {
+		r, err := experiments.SpanSweep5_4(s, nil)
+		if err != nil {
+			return err
+		}
+		return r.WriteText(w)
+	}},
+	{"X1", "§5.4: FlashRoute6 vs Yarrp6 (IPv6 extension)", func(s *experiments.Scenario, w io.Writer) error {
+		// IPv6 candidate lists scale differently from the /24 lattice;
+		// derive a comparable target count from the scenario size.
+		prefixes := s.Blocks / 16
+		if prefixes < 256 {
+			prefixes = 256
+		}
+		if prefixes > 8192 {
+			prefixes = 8192
+		}
+		r, err := experiments.IPv6Comparison(prefixes, 16, s.Seed)
+		if err != nil {
+			return err
+		}
+		return r.WriteText(w)
+	}},
+}
+
+func main() {
+	var (
+		expList = flag.String("exp", "all", "comma-separated experiment ids (F3,F4,T1,F6,T2,T3,F7,T4,T5,F8,D2,D3,S1) or 'all'; D1 is part of F8")
+		blocks  = flag.Int("blocks", 262144, "universe size in /24 blocks")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+		out     = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	want := map[string]bool{}
+	if *expList != "all" {
+		for _, id := range strings.Split(*expList, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			if id == "D1" {
+				id = "F8"
+			}
+			want[id] = true
+		}
+	}
+
+	fmt.Fprintf(w, "flashroute-go experiment run: blocks=%d seed=%d scaled-pps=%d (paper: %d blocks at %d pps)\n\n",
+		*blocks, *seed, experiments.NewScenario(*blocks, *seed).ScaledPPS(experiments.PaperPPS),
+		experiments.PaperBlocks, experiments.PaperPPS)
+
+	sc := experiments.NewScenario(*blocks, *seed)
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Fprintf(w, "== %s: %s ==\n", e.id, e.desc)
+		start := time.Now()
+		if err := e.run(sc, w); err != nil {
+			fatal(fmt.Errorf("%s: %w", e.id, err))
+		}
+		fmt.Fprintf(w, "(completed in %v wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "frexperiments:", err)
+	os.Exit(1)
+}

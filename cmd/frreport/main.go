@@ -1,0 +1,53 @@
+// Command frreport summarizes a flashroute-go binary result file (written
+// with cmd/flashroute -binary-output): unique interfaces, reached
+// destinations, route length distribution, per-TTL response counts.
+//
+//	frreport scan.frv4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/flashroute/flashroute/internal/output"
+)
+
+func main() {
+	perTTL := flag.Bool("per-ttl", false, "also print per-TTL response counts")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: frreport [-per-ttl] <result-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := output.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := output.Summarize(r)
+	if err != nil {
+		fatal(err)
+	}
+	if err := s.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if *perTTL {
+		fmt.Println("responses per TTL:")
+		for ttl := 1; ttl < len(s.PerTTL); ttl++ {
+			if s.PerTTL[ttl] == 0 {
+				continue
+			}
+			fmt.Printf("  %2d: %d\n", ttl, s.PerTTL[ttl])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "frreport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+// Command frtopo inspects the synthetic Internet the scanners run
+// against: aggregate statistics, the census hitlist, and ground-truth
+// traceroutes of individual addresses.
+//
+//	frtopo -blocks 65536 -seed 1
+//	frtopo -blocks 65536 -trace 4.0.123.7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/flashroute/flashroute/internal/hitlist"
+	"github.com/flashroute/flashroute/internal/netsim"
+	"github.com/flashroute/flashroute/internal/probe"
+)
+
+func main() {
+	var (
+		blocks   = flag.Int("blocks", 65536, "universe size in /24 blocks")
+		seed     = flag.Int64("seed", 1, "topology seed")
+		traceStr = flag.String("trace", "", "print the ground-truth route to this address and exit")
+	)
+	flag.Parse()
+
+	u := netsim.NewSyntheticUniverse(*blocks)
+	topo := netsim.NewTopology(u, netsim.DefaultParams(*seed))
+
+	if *traceStr != "" {
+		dst, err := probe.ParseAddr(*traceStr)
+		if err != nil {
+			fatal(err)
+		}
+		traceOne(topo, dst)
+		return
+	}
+
+	fmt.Printf("universe: %d /24 blocks (%s .. %s)\n", u.NumBlocks(),
+		probe.FormatAddr(u.BlockAddr(0)), probe.FormatAddr(u.BlockAddr(u.NumBlocks()-1)|255))
+	fmt.Printf("stub runs: %d\n", topo.NumStubs())
+
+	var distHist [40]int
+	var routed, occupied, responsiveRandom int
+	sample := u.NumBlocks()
+	for b := 0; b < sample; b++ {
+		if gw := topo.GatewayOfBlock(b); gw != 0 {
+			routed++
+		}
+		if topo.BlockOccupied(b) {
+			occupied++
+		}
+		dst := u.BlockAddr(b) | uint32(1+(uint64(b)*2654435761)%254)
+		if d := topo.DistanceNow(dst, 0); d > 0 && int(d) < len(distHist) {
+			distHist[d]++
+		}
+		if topo.Resolve(dst, 32, 0, 0, probe.ProtoUDP).Kind == netsim.HopDestUDP {
+			responsiveRandom++
+		}
+	}
+	fmt.Printf("routed blocks: %d (%.1f%%), occupied: %d (%.1f%%)\n",
+		routed, 100*float64(routed)/float64(sample),
+		occupied, 100*float64(occupied)/float64(sample))
+	fmt.Printf("random representatives answering preprobes: %d (%.1f%%)\n",
+		responsiveRandom, 100*float64(responsiveRandom)/float64(sample))
+
+	hl := hitlist.Generate(topo)
+	fmt.Printf("census hitlist: %d blocks, %d ping-responsive entries (%.1f%%)\n",
+		hl.Len(), hl.Responsive(), 100*float64(hl.Responsive())/float64(hl.Len()))
+
+	fmt.Println("hop-distance distribution of routed destinations:")
+	for d := 1; d < len(distHist); d++ {
+		if distHist[d] == 0 {
+			continue
+		}
+		fmt.Printf("  %2d: %d\n", d, distHist[d])
+	}
+}
+
+func traceOne(topo *netsim.Topology, dst uint32) {
+	fmt.Printf("ground-truth route to %s (flow 0):\n", probe.FormatAddr(dst))
+	for ttl := uint8(1); ttl <= 32; ttl++ {
+		h := topo.Resolve(dst, ttl, 0, 0, probe.ProtoUDP)
+		switch h.Kind {
+		case netsim.HopRouter:
+			fmt.Printf("  %2d  %s\n", ttl, probe.FormatAddr(h.Addr))
+		case netsim.HopSilentRouter:
+			fmt.Printf("  %2d  * (silent router %s)\n", ttl, probe.FormatAddr(h.Addr))
+		case netsim.HopNone:
+			fmt.Printf("  %2d  *\n", ttl)
+		default:
+			fmt.Printf("  %2d  %s  [destination reached, distance %d]\n",
+				ttl, probe.FormatAddr(h.Addr), h.Depth)
+			return
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "frtopo:", err)
+	os.Exit(1)
+}

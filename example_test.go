@@ -1,0 +1,68 @@
+package flashroute_test
+
+import (
+	"fmt"
+
+	"github.com/flashroute/flashroute"
+)
+
+// Example runs the paper's recommended FlashRoute-16 configuration over a
+// small reproducible Internet and prints scan economics.
+func Example() {
+	sim := flashroute.NewSimulation(flashroute.SimConfig{Blocks: 1024, Seed: 7})
+	cfg := flashroute.DefaultConfig()
+	cfg.PPS = 1000
+	res, err := sim.Scan(cfg)
+	if err != nil {
+		fmt.Println("scan failed:", err)
+		return
+	}
+	fmt.Println("completed:", res.Probes() > 0 && res.InterfaceCount() > 0)
+	fmt.Println("probes per block under 16:", float64(res.Probes())/1024 < 16)
+	// Output:
+	// completed: true
+	// probes per block under 16: true
+}
+
+// ExampleSimulation_RunYarrp compares FlashRoute against the Yarrp-32
+// baseline on identical Internets: FlashRoute completes with a fraction
+// of the probes.
+func ExampleSimulation_RunYarrp() {
+	frSim := flashroute.NewSimulation(flashroute.SimConfig{Blocks: 1024, Seed: 3})
+	fr, err := frSim.Scan(flashroute.Config{PPS: 1000})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ySim := flashroute.NewSimulation(flashroute.SimConfig{Blocks: 1024, Seed: 3})
+	y, err := ySim.RunYarrp(flashroute.YarrpConfig{PPS: 1000})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("yarrp probes are exactly blocks x 32:", y.Probes() == 1024*32)
+	fmt.Println("flashroute uses less than half:", fr.Probes()*2 < y.Probes())
+	// Output:
+	// yarrp probes are exactly blocks x 32: true
+	// flashroute uses less than half: true
+}
+
+// ExampleConfig_discoveryOptimized shows §5.2's discovery-optimized mode
+// with the §5.4 refinements enabled.
+func ExampleConfig_discoveryOptimized() {
+	sim := flashroute.NewSimulation(flashroute.SimConfig{Blocks: 2048, Seed: 11})
+	cfg := flashroute.DefaultConfig()
+	cfg.PPS = 2000
+	cfg.SplitTTL = 32
+	cfg.ExtraScans = 3
+	cfg.AdaptiveExtraScans = true
+	cfg.VaryExtraScanTargets = true
+	res, err := sim.Scan(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("extra scans ran:", res.Probes() > 0)
+	// Output:
+	// extra scans ran: true
+}

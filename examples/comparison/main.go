@@ -1,0 +1,88 @@
+// Comparison: the paper's Table 3 in miniature — FlashRoute, Yarrp and
+// Scamper scanning identical copies of the same Internet.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/flashroute/flashroute"
+)
+
+const (
+	blocks = 32768
+	seed   = 7
+	pps    = 500 // the paper's 100 Kpps, scaled to this universe
+)
+
+func main() {
+	fmt.Printf("%-24s %12s %12s %14s\n", "tool", "interfaces", "probes", "scan time")
+
+	// FlashRoute-16: split TTL 16, gap 5, hitlist preprobing.
+	{
+		sim := flashroute.NewSimulation(flashroute.SimConfig{Blocks: blocks, Seed: seed})
+		cfg := flashroute.DefaultConfig()
+		cfg.PPS = pps
+		cfg.Preprobe = flashroute.PreprobeHitlist
+		cfg.PreprobeTargets = sim.HitlistTargets()
+		res, err := sim.Scan(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row("FlashRoute-16", res.InterfaceCount(), res.Probes(), res.ScanTime())
+	}
+
+	// FlashRoute-32.
+	{
+		sim := flashroute.NewSimulation(flashroute.SimConfig{Blocks: blocks, Seed: seed})
+		cfg := flashroute.DefaultConfig()
+		cfg.PPS = pps
+		cfg.SplitTTL = 32
+		cfg.Preprobe = flashroute.PreprobeHitlist
+		cfg.PreprobeTargets = sim.HitlistTargets()
+		res, err := sim.Scan(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row("FlashRoute-32", res.InterfaceCount(), res.Probes(), res.ScanTime())
+	}
+
+	// Yarrp-32 (Paris-TCP-ACK, exhaustive TTL 1..32).
+	{
+		sim := flashroute.NewSimulation(flashroute.SimConfig{Blocks: blocks, Seed: seed})
+		res, err := sim.RunYarrp(flashroute.YarrpConfig{PPS: pps})
+		if err != nil {
+			log.Fatal(err)
+		}
+		row("Yarrp-32", res.InterfaceCount(), res.Probes(), res.ScanTime())
+	}
+
+	// Yarrp-16 with fill mode (the configuration the paper shows loses
+	// half the interfaces to its inherent gap limit of one).
+	{
+		sim := flashroute.NewSimulation(flashroute.SimConfig{Blocks: blocks, Seed: seed})
+		res, err := sim.RunYarrp(flashroute.YarrpConfig{
+			PPS: pps, MaxTTL: 16, FillMode: true, FillMax: 32,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		row("Yarrp-16 (fill mode)", res.InterfaceCount(), res.Probes(), res.ScanTime())
+	}
+
+	// Scamper-16 at its (scaled) 10 Kpps maximum.
+	{
+		sim := flashroute.NewSimulation(flashroute.SimConfig{Blocks: blocks, Seed: seed})
+		res, err := sim.RunScamper(flashroute.ScamperConfig{PPS: pps / 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		row("Scamper-16", res.InterfaceCount(), res.Probes(), res.ScanTime())
+	}
+}
+
+func row(name string, ifaces int, probes uint64, t interface{ String() string }) {
+	fmt.Printf("%-24s %12d %12d %14s\n", name, ifaces, probes, t.String())
+}

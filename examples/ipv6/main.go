@@ -1,0 +1,49 @@
+// IPv6: FlashRoute6, the paper's §5.4 extension — tracerouting a sparse
+// IPv6 candidate list with redesigned (hash-indexed) control state, while
+// keeping FlashRoute's preprobing, split points, stop set and gap limit.
+//
+//	go run ./examples/ipv6
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/flashroute/flashroute"
+)
+
+func main() {
+	sim := flashroute.NewSimulation6(flashroute.Sim6Config{
+		Prefixes:         2048,
+		TargetsPerPrefix: 16,
+		Seed:             66,
+	})
+	targets := sim.Targets()
+	fmt.Printf("IPv6 candidate list: %d targets across 2048 allocated /48s\n", len(targets))
+
+	cfg := flashroute.Config6{PPS: 2000, CollectRoutes: true}
+	res, err := sim.Scan(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("  scan time:          %v\n", res.ScanTime())
+	fmt.Printf("  probes:             %d (%.2f per target)\n",
+		res.Probes(), float64(res.Probes())/float64(len(targets)))
+	fmt.Printf("  interfaces found:   %d\n", res.InterfaceCount())
+	fmt.Printf("  targets reached:    %d\n", res.ReachedCount())
+	fmt.Printf("  distances measured: %d, same-prefix predicted: %d\n",
+		res.DistancesMeasured(), res.DistancesPredicted())
+
+	for _, dst := range targets {
+		r := res.Route(dst)
+		if r == nil || !r.Reached || len(r.Hops) < 5 {
+			continue
+		}
+		fmt.Printf("\nroute to %s (%d hops):\n", dst, r.Length)
+		for _, h := range r.Hops {
+			fmt.Printf("  %2d  %-28s rtt=%v\n", h.TTL, h.Addr, h.RTT)
+		}
+		break
+	}
+}

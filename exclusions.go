@@ -1,0 +1,43 @@
+package flashroute
+
+import (
+	"io"
+
+	"github.com/flashroute/flashroute/internal/exclude"
+)
+
+// ExclusionList is a set of address ranges a scan must never probe — the
+// operational opt-out mechanism of the paper's ethics appendix, plus the
+// private/multicast/reserved space FlashRoute removes at initialization
+// (§3.4).
+type ExclusionList struct {
+	inner *exclude.List
+}
+
+// ReservedExclusions returns the always-excluded space: private,
+// loopback, link-local, CGN, multicast, test networks and class E.
+func ReservedExclusions() *ExclusionList {
+	return &ExclusionList{inner: exclude.Reserved()}
+}
+
+// ReadExclusions parses an exclusion file: one CIDR or bare address per
+// line, '#' comments allowed.
+func ReadExclusions(r io.Reader) (*ExclusionList, error) {
+	l, err := exclude.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &ExclusionList{inner: l}, nil
+}
+
+// Contains reports whether addr is excluded.
+func (e *ExclusionList) Contains(addr uint32) bool { return e.inner.Contains(addr) }
+
+// Merge adds other's ranges into e.
+func (e *ExclusionList) Merge(other *ExclusionList) { e.inner.Merge(other.inner) }
+
+// SkipFor adapts an exclusion list to Config.Skip for this simulation's
+// universe (whole /24 blocks are excluded, as in the paper §3.4).
+func (s *Simulation) SkipFor(e *ExclusionList) func(block int) bool {
+	return e.inner.SkipFunc(s.BlockAddr)
+}

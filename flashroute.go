@@ -1,0 +1,329 @@
+// Package flashroute is a Go implementation of FlashRoute (Huang,
+// Rabinovich, Al-Dalky — "FlashRoute: Efficient Traceroute on a Massive
+// Scale", IMC 2020): a traceroute engine for Internet-wide topology
+// discovery that combines Yarrp-style decoupled, highly parallel probing
+// with Doubletree-style redundancy elimination, preprobing-based split
+// points, and a compact per-destination control state.
+//
+// The package exposes:
+//
+//   - Scanner: the FlashRoute engine itself, runnable over any PacketConn
+//     (a raw socket in production, or the bundled Internet simulation);
+//   - Simulation: a seeded synthetic IPv4 Internet with virtual time,
+//     reproducing the structural properties the paper's evaluation
+//     depends on (see DESIGN.md);
+//   - RunYarrp / RunScamper: the baseline scanners the paper compares
+//     against;
+//   - Hitlist helpers modeling the ISI census hitlist and its bias.
+//
+// Quick start (see examples/quickstart):
+//
+//	sim := flashroute.NewSimulation(flashroute.SimConfig{Blocks: 65536, Seed: 1})
+//	cfg := flashroute.DefaultConfig()
+//	res, err := sim.Scan(cfg)
+//	fmt.Println(res.InterfaceCount(), res.Probes, res.ScanTime)
+package flashroute
+
+import (
+	"time"
+
+	"github.com/flashroute/flashroute/internal/core"
+	"github.com/flashroute/flashroute/internal/output"
+	"github.com/flashroute/flashroute/internal/probe"
+	"github.com/flashroute/flashroute/internal/simclock"
+	"github.com/flashroute/flashroute/internal/trace"
+)
+
+// PacketConn is the raw network access the scanners need: write whole
+// IPv4 probe packets and read whole response packets. The bundled
+// Simulation provides one; production deployments back it with a raw
+// socket (outside this repository's scope, which is stdlib-only).
+type PacketConn interface {
+	WritePacket(pkt []byte) error
+	ReadPacket(buf []byte) (int, error)
+	Close() error
+}
+
+// Clock abstracts time for the engines; use RealClock for live scanning.
+// Simulations supply their own deterministic virtual clock.
+type Clock = simclock.Waiter
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return simclock.NewReal() }
+
+// PreprobeMode selects the preprobing strategy (paper §3.3, §4.1.3).
+type PreprobeMode int
+
+const (
+	// PreprobeOff disables the preprobing phase.
+	PreprobeOff PreprobeMode = iota
+	// PreprobeRandom preprobes the scan's own random representatives.
+	PreprobeRandom
+	// PreprobeHitlist preprobes hitlist addresses while the main scan
+	// probes random representatives (avoids the hitlist bias, §5.1).
+	PreprobeHitlist
+)
+
+// Config parameterizes a FlashRoute scan. Zero values of the TTL/gap
+// fields mean "paper default"; use DefaultConfig for the recommended
+// FlashRoute-16 configuration.
+type Config struct {
+	// Blocks is the number of /24 blocks scanned (the size of the DCB
+	// array, paper §3.4).
+	Blocks int
+	// Targets returns the representative address for each block. When
+	// nil, a Simulation-backed scan uses its random representatives.
+	Targets func(block int) uint32
+	// BlockOf maps an address to its block index. When nil, a
+	// Simulation-backed scan uses its universe.
+	BlockOf func(addr uint32) (int, bool)
+	// Source is the vantage point's address.
+	Source uint32
+
+	// SplitTTL is where backward and forward probing commence for routes
+	// without measured distances (default 16).
+	SplitTTL uint8
+	// GapLimit stops forward probing after that many consecutive silent
+	// hops (default 5). Set GapLimitZero for a 0 gap limit.
+	GapLimit uint8
+	// GapLimitZero forces a gap limit of zero (no forward probing); a
+	// plain zero GapLimit means "default 5".
+	GapLimitZero bool
+	// PPS is the probing rate (default 100,000); <=0 means unthrottled.
+	PPS int
+	// Unthrottled disables pacing (Table 5 style); a plain zero PPS means
+	// "default 100 Kpps".
+	Unthrottled bool
+
+	// Preprobe selects the preprobing mode (default PreprobeRandom);
+	// PreprobeTargets supplies hitlist addresses for PreprobeHitlist.
+	Preprobe        PreprobeMode
+	PreprobeTargets func(block int) uint32
+	// ProximitySpan is the distance-prediction span (default 5).
+	ProximitySpan int
+
+	// NoRedundancyElimination disables backward-probing termination at
+	// convergence points (paper Table 1 "off").
+	NoRedundancyElimination bool
+	// Exhaustive probes every TTL 1..32 for every destination with no
+	// early termination (the paper's Yarrp-32-UDP simulation mode).
+	Exhaustive bool
+	// ExtraScans enables discovery-optimized mode with that many
+	// port-varied extra scans (paper §5.2).
+	ExtraScans int
+	// AdaptiveExtraScans bounds extra-scan start TTLs by observed route
+	// lengths (paper §5.4; ~40% extra-scan probe savings).
+	AdaptiveExtraScans bool
+	// VaryExtraScanTargets makes each extra scan probe a different
+	// address within each block (paper §5.4's mitigation for
+	// one-address-per-/24), exposing address-dependent internal paths.
+	// Simulation-backed scans derive the alternates automatically; custom
+	// setups set ExtraScanTargets instead.
+	VaryExtraScanTargets bool
+	// ExtraScanTargets supplies the per-(block, scan) alternate
+	// destination explicitly.
+	ExtraScanTargets func(block, scan int) uint32
+	// Skip excludes blocks (exclusion lists, reserved space).
+	Skip func(block int) bool
+	// CollectRoutes retains full per-destination hop lists in the Result.
+	CollectRoutes bool
+	// Observer, when set, sees every probe issued.
+	Observer func(dst uint32, ttl uint8, at time.Duration)
+	// Seed keys the probing permutation.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's recommended FlashRoute-16
+// configuration (split 16, gap 5, span 5, random preprobing, 100 Kpps).
+func DefaultConfig() Config {
+	return Config{
+		SplitTTL:      16,
+		GapLimit:      5,
+		PPS:           100_000,
+		Preprobe:      PreprobeRandom,
+		ProximitySpan: 5,
+	}
+}
+
+// toCore translates the public config to the engine's.
+func (c Config) toCore() core.Config {
+	cc := core.DefaultConfig()
+	cc.Blocks = c.Blocks
+	cc.Targets = core.TargetFunc(c.Targets)
+	cc.BlockOf = core.BlockFunc(c.BlockOf)
+	cc.Source = c.Source
+	if c.SplitTTL != 0 {
+		cc.SplitTTL = c.SplitTTL
+	}
+	if c.GapLimit != 0 {
+		cc.GapLimit = c.GapLimit
+	}
+	if c.GapLimitZero {
+		cc.GapLimit = 0
+	}
+	if c.PPS != 0 {
+		cc.PPS = c.PPS
+	}
+	if c.Unthrottled {
+		cc.PPS = 0
+	}
+	cc.Preprobe = core.PreprobeMode(c.Preprobe)
+	cc.PreprobeTargets = core.TargetFunc(c.PreprobeTargets)
+	cc.ProximitySpan = c.ProximitySpan
+	cc.NoRedundancyElimination = c.NoRedundancyElimination
+	cc.Exhaustive = c.Exhaustive
+	cc.ExtraScans = c.ExtraScans
+	cc.AdaptiveExtraScans = c.AdaptiveExtraScans
+	cc.ExtraScanTargets = c.ExtraScanTargets
+	cc.Skip = c.Skip
+	cc.CollectRoutes = c.CollectRoutes
+	cc.Observer = core.ProbeObserver(c.Observer)
+	cc.Seed = c.Seed
+	return cc
+}
+
+// Hop is one discovered interface on a route.
+type Hop struct {
+	TTL  uint8
+	Addr uint32
+	RTT  time.Duration
+}
+
+// Route is the discovered path to one destination.
+type Route struct {
+	Dst     uint32
+	Hops    []Hop
+	Reached bool
+	Length  uint8
+}
+
+// Result is what a scan produced.
+type Result struct {
+	inner *core.Result
+}
+
+// Probes returns the total probe count (preprobing and extra scans
+// included).
+func (r *Result) Probes() uint64 { return r.inner.ProbesSent }
+
+// PreprobeProbes returns the probes spent in the preprobing phase.
+func (r *Result) PreprobeProbes() uint64 { return r.inner.PreprobeProbes }
+
+// ScanTime returns the scan's total duration on its clock.
+func (r *Result) ScanTime() time.Duration { return r.inner.ScanTime }
+
+// Rounds returns the number of main probing rounds.
+func (r *Result) Rounds() int { return r.inner.Rounds }
+
+// InterfaceCount returns the number of unique responding interfaces.
+func (r *Result) InterfaceCount() int { return r.inner.Store.Interfaces().Len() }
+
+// HasInterface reports whether the given address was discovered.
+func (r *Result) HasInterface(addr uint32) bool { return r.inner.Store.Interfaces().Has(addr) }
+
+// ForEachInterface visits every discovered interface address.
+func (r *Result) ForEachInterface(fn func(addr uint32)) {
+	for a := range r.inner.Store.Interfaces() {
+		fn(a)
+	}
+}
+
+// Route returns the discovered route to dst (nil if nothing about dst was
+// observed). Hop lists are only populated when Config.CollectRoutes was
+// set.
+func (r *Result) Route(dst uint32) *Route {
+	rt := r.inner.Store.Route(dst)
+	if rt == nil {
+		return nil
+	}
+	out := &Route{Dst: rt.Dst, Reached: rt.Reached, Length: rt.Length}
+	for _, h := range rt.Hops {
+		out.Hops = append(out.Hops, Hop{TTL: h.TTL, Addr: h.Addr, RTT: h.RTT})
+	}
+	return out
+}
+
+// NumRoutes returns the number of destinations with at least one
+// response.
+func (r *Result) NumRoutes() int { return r.inner.Store.NumRoutes() }
+
+// ForEachRoute visits every route with responses.
+func (r *Result) ForEachRoute(fn func(*Route)) {
+	r.inner.Store.ForEachRoute(func(rt *trace.Route) {
+		out := &Route{Dst: rt.Dst, Reached: rt.Reached, Length: rt.Length}
+		for _, h := range rt.Hops {
+			out.Hops = append(out.Hops, Hop{TTL: h.TTL, Addr: h.Addr, RTT: h.RTT})
+		}
+		fn(out)
+	})
+}
+
+// MeasuredDistance returns the preprobe-measured hop distance of a block
+// (0 when unmeasured) and whether it came from a direct measurement or a
+// proximity-span prediction.
+func (r *Result) MeasuredDistance(block int) (distance uint8, predicted bool) {
+	if r.inner.Measured != nil && r.inner.Measured[block] != 0 {
+		return r.inner.Measured[block], false
+	}
+	if r.inner.Predicted != nil && r.inner.Predicted[block] != 0 {
+		return r.inner.Predicted[block], true
+	}
+	return 0, false
+}
+
+// DistancesMeasured and DistancesPredicted count preprobing outcomes.
+func (r *Result) DistancesMeasured() int  { return r.inner.DistancesMeasured }
+func (r *Result) DistancesPredicted() int { return r.inner.DistancesPredicted }
+
+// MismatchedResponses counts responses discarded because their quoted
+// destination failed the source-port checksum test (in-flight destination
+// modification, paper §5.3).
+func (r *Result) MismatchedResponses() uint64 { return r.inner.MismatchedResponses }
+
+// WriteCSV writes collected routes as CSV (destination,ttl,hop,rtt_us,
+// reached).
+func (r *Result) WriteCSV(w interface{ Write([]byte) (int, error) }) error {
+	return r.inner.Store.WriteCSV(w)
+}
+
+// WriteBinary writes collected routes in the compact binary record format
+// (read back with cmd/frreport or internal/output.Reader) and returns the
+// number of records.
+func (r *Result) WriteBinary(w interface{ Write([]byte) (int, error) }) (uint64, error) {
+	return output.WriteStore(w, r.inner.Store)
+}
+
+// WriteJSONL writes collected routes as one JSON object per line.
+func (r *Result) WriteJSONL(w interface{ Write([]byte) (int, error) }) error {
+	return r.inner.Store.WriteJSONL(w)
+}
+
+// Scanner runs FlashRoute scans over an arbitrary PacketConn and Clock —
+// the integration point for custom (non-simulated) transports.
+type Scanner struct {
+	inner *core.Scanner
+}
+
+// NewScanner validates the configuration and binds it to a transport.
+func NewScanner(cfg Config, conn PacketConn, clock Clock) (*Scanner, error) {
+	sc, err := core.NewScanner(cfg.toCore(), conn, clock)
+	if err != nil {
+		return nil, err
+	}
+	return &Scanner{inner: sc}, nil
+}
+
+// Run executes the scan and returns its result.
+func (s *Scanner) Run() (*Result, error) {
+	res, err := s.inner.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{inner: res}, nil
+}
+
+// FormatAddr renders an address in dotted-quad form.
+func FormatAddr(addr uint32) string { return probe.FormatAddr(addr) }
+
+// ParseAddr parses a dotted-quad address.
+func ParseAddr(s string) (uint32, error) { return probe.ParseAddr(s) }

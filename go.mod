@@ -1,0 +1,3 @@
+module github.com/flashroute/flashroute
+
+go 1.23

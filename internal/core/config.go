@@ -1,0 +1,181 @@
+// Package core implements FlashRoute itself: the round-based, stateful but
+// highly parallel traceroute engine of the paper.
+//
+// The design mirrors the paper section by section:
+//
+//   - §3.1 probe encoding — all probing context rides in the packet
+//     (implemented in internal/probe and consumed here);
+//   - §3.2 probing strategy — rounds over a shuffled destination sequence,
+//     up to two probes per destination per round (one backward, one
+//     forward), decoupled sender and receiver threads, rounds lasting at
+//     least one second;
+//   - §3.3 preprobing — one-probe hop-distance measurement at TTL 32 plus
+//     proximity-span prediction, used to place each route's split point;
+//   - §3.4 control state — a flat array of destination control blocks
+//     (DCBs) indexed by block, with a circular doubly linked list overlay
+//     in random-permutation order and a per-DCB mutex;
+//   - §5.2 discovery-optimized mode — extra backward-only scans with
+//     shifted source ports sharing the main scan's stop set.
+package core
+
+import (
+	"time"
+
+	"github.com/flashroute/flashroute/internal/probe"
+)
+
+// PacketConn is the raw network access FlashRoute needs: write whole IPv4
+// probe packets, read whole response packets. internal/netsim provides the
+// simulated implementation; a production deployment would back it with a
+// raw socket.
+type PacketConn interface {
+	WritePacket(pkt []byte) error
+	ReadPacket(buf []byte) (int, error)
+	Close() error
+}
+
+// TargetFunc supplies the representative address probed for a block.
+type TargetFunc func(block int) uint32
+
+// BlockFunc maps an address back to its block index (ok=false if the
+// address is outside the scanned universe).
+type BlockFunc func(addr uint32) (int, bool)
+
+// PreprobeMode selects how the preprobing phase picks its targets.
+type PreprobeMode int
+
+const (
+	// PreprobeOff disables the preprobing phase (§4.1.3 "no preprobing").
+	PreprobeOff PreprobeMode = iota
+	// PreprobeRandom preprobes the same random representatives as the main
+	// scan. With SplitTTL == MaxTTL this folds into the first probing
+	// round at zero extra probe cost (§3.3.5).
+	PreprobeRandom
+	// PreprobeHitlist preprobes separately supplied, more responsive
+	// addresses (the hitlist), while the main scan still probes the
+	// random representatives to avoid the hitlist's topology bias
+	// (§4.1.3, §5.1).
+	PreprobeHitlist
+)
+
+// ProbeObserver is called for every probe issued (destination, TTL, time
+// since scan start). Used by the evaluation harness for Figure 7 and the
+// Table 4 overprobing analysis.
+type ProbeObserver func(dst uint32, ttl uint8, at time.Duration)
+
+// Config parameterizes a scan. Use DefaultConfig as the starting point.
+type Config struct {
+	// Blocks is the number of /24 blocks in the universe (DCB array size).
+	Blocks int
+	// Targets supplies the per-block representative probed in the main
+	// scan.
+	Targets TargetFunc
+	// BlockOf maps quoted destination addresses back to block indexes.
+	BlockOf BlockFunc
+	// Source is the vantage point address stamped into probes.
+	Source uint32
+
+	// SplitTTL is the default split point where backward and forward
+	// probing commence for destinations without a measured or predicted
+	// distance (§3.2; the paper evaluates 16 and 32).
+	SplitTTL uint8
+	// GapLimit stops forward probing after this many consecutive silent
+	// hops (§3.2; default 5, Figure 6 sweeps it).
+	GapLimit uint8
+	// MaxTTL bounds probing (32, also the preprobe TTL).
+	MaxTTL uint8
+
+	// PPS is the probing rate in packets per second; <= 0 disables
+	// throttling (only meaningful on a real clock — on a virtual clock an
+	// unthrottled sender never yields and time cannot advance).
+	PPS int
+
+	// Preprobe selects the preprobing mode; PreprobeTargets supplies
+	// hitlist addresses when PreprobeHitlist is used (ignored otherwise).
+	Preprobe        PreprobeMode
+	PreprobeTargets TargetFunc
+	// ProximitySpan is how many neighboring blocks a measured distance
+	// predicts on each side (§3.3.3; default 5).
+	ProximitySpan int
+
+	// NoRedundancyElimination disables the Doubletree stop set so
+	// backward probing always walks to TTL 1 (Table 1 "off" rows).
+	NoRedundancyElimination bool
+
+	// Exhaustive makes the scan probe every TTL from MaxTTL down to 1 for
+	// every destination with no early termination, no forward probing and
+	// no preprobing — the configuration the paper uses to simulate
+	// Yarrp-32 with UDP probes (§4.2.1).
+	Exhaustive bool
+
+	// ExtraScans runs the discovery-optimized mode (§5.2): after the main
+	// scan, this many additional backward-only scans are run with source
+	// port offsets +1, +2, ... and random per-destination starting TTLs,
+	// sharing the main scan's stop set.
+	ExtraScans int
+	// AdaptiveExtraScans implements the §5.4 refinement: instead of
+	// picking each extra scan's starting TTL uniformly from 1..MaxTTL,
+	// pick it from 1..(observed route length + 5), saving the backward
+	// probes that would explore past the route's end on alternate paths
+	// of similar length.
+	AdaptiveExtraScans bool
+	// ExtraScanTargets, when non-nil, implements §5.4's other mitigation
+	// for the one-address-per-/24 limitation: each discovery-optimized
+	// extra scan probes a different destination address within the block
+	// (scan = 1..ExtraScans), exposing address-dependent internal paths.
+	ExtraScanTargets func(block, scan int) uint32
+
+	// Skip excludes blocks from the scan (the exclusion list and
+	// reserved/private space of §3.4); nil scans everything.
+	Skip func(block int) bool
+
+	// CollectRoutes keeps full per-destination hop lists in the result
+	// (needed by route-level analyses; costs memory on huge universes).
+	CollectRoutes bool
+
+	// Observer, if non-nil, sees every probe issuance.
+	Observer ProbeObserver
+
+	// Seed drives the destination permutation and the random choices of
+	// discovery-optimized mode.
+	Seed int64
+
+	// DrainWait is how long to keep receiving after the last probe of a
+	// phase (covers in-flight RTTs). Default 2s.
+	DrainWait time.Duration
+
+	// MinRoundTime is the minimum duration of a probing round (§3.2: "the
+	// sending thread ensures that each round lasts at least one second").
+	// Default 1s; the maximum-rate measurement (Table 5) sets it to a
+	// negligible value because at measurement scale rounds are far longer
+	// than a second anyway.
+	MinRoundTime time.Duration
+
+	// LockMode selects per-DCB mutual exclusion: LockMutex (the paper's
+	// portable choice, default) or LockSpin (the §3.4-suggested atomic
+	// test-and-set spinlock, halving the per-destination lock footprint).
+	LockMode LockMode
+}
+
+// DefaultConfig returns the paper's recommended configuration
+// (FlashRoute-16: split TTL 16, gap limit 5, redundancy elimination on,
+// preprobing on, proximity span 5, 100 Kpps).
+func DefaultConfig() Config {
+	return Config{
+		SplitTTL:      16,
+		GapLimit:      5,
+		MaxTTL:        probe.MaxTTL,
+		PPS:           100_000,
+		Preprobe:      PreprobeRandom,
+		ProximitySpan: 5,
+		DrainWait:     2 * time.Second,
+		MinRoundTime:  time.Second,
+	}
+}
+
+// foldsPreprobe reports whether preprobing can replace the first round of
+// the main scan (§3.3.5): the preprobe targets are the main targets and
+// both phases start at MaxTTL.
+func (c *Config) foldsPreprobe() bool {
+	return c.Preprobe == PreprobeRandom && c.SplitTTL == c.MaxTTL
+}

@@ -1,0 +1,93 @@
+package core
+
+// dcb is the destination control block of paper §3.4 (Listing 1): the
+// per-destination probing state plus the doubly-linked-list overlay.
+//
+// The sending thread reads nextBackward/nextForward/forwardHorizon each
+// round and advances them as it issues probes; the receiving thread
+// updates forwardHorizon on responses and zeroes nextBackward when the
+// backward scan completes (TTL-1 hop or convergence with the stop set).
+// Each DCB is guarded by its own lock (a parallel array managed by
+// dcbLocks — per-DCB mutexes as in the paper, or the §3.4-suggested
+// test-and-set spinlocks), exactly as the paper argues: contention only
+// occurs when a response for a destination arrives while the sender
+// happens to be handling the same destination.
+type dcb struct {
+	dest uint32
+
+	// Probing progress (paper Listing 1).
+	nextBackward   uint8 // TTL of the next backward probe; 0 = backward done
+	nextForward    uint8 // TTL of the next forward probe
+	forwardHorizon uint8 // forward stops once nextForward > forwardHorizon
+	flags          uint8
+	// routeLen tracks the farthest response (or the destination's
+	// distance once reached) — the input to the §5.4 adaptive heuristic
+	// for discovery-optimized extra scans.
+	routeLen uint8
+
+	// Doubly linked list overlay (indexes into the DCB array).
+	next, prev uint32
+}
+
+// dcb flag bits.
+const (
+	dcbForwardDone = 1 << iota // destination answered (unreachable received)
+	dcbRemoved                 // unlinked from the probing list
+	dcbSplitHigh               // low bits of the split TTL continue in splitLow
+)
+
+// list is the circular doubly linked list threaded through the DCB array
+// in random-permutation order (paper Figure 5). Only the sending thread
+// traverses and modifies links, so no locking is needed on next/prev.
+type list struct {
+	dcbs []dcb
+	head uint32 // any live element; noHead when empty
+	size int
+}
+
+const noHead = ^uint32(0)
+
+// buildList threads the DCBs at the given permuted order into a circular
+// list. order lists DCB indexes; already-removed DCBs are skipped.
+func buildList(dcbs []dcb, order []uint32) *list {
+	l := &list{dcbs: dcbs, head: noHead}
+	var prev uint32 = noHead
+	var first uint32 = noHead
+	for _, idx := range order {
+		if dcbs[idx].flags&dcbRemoved != 0 {
+			continue
+		}
+		if first == noHead {
+			first = idx
+		} else {
+			dcbs[prev].next = idx
+			dcbs[idx].prev = prev
+		}
+		prev = idx
+		l.size++
+	}
+	if first == noHead {
+		return l
+	}
+	dcbs[prev].next = first
+	dcbs[first].prev = prev
+	l.head = first
+	return l
+}
+
+// remove unlinks idx from the list. Caller guarantees idx is linked.
+func (l *list) remove(idx uint32) {
+	d := &l.dcbs[idx]
+	d.flags |= dcbRemoved
+	l.size--
+	if l.size == 0 {
+		l.head = noHead
+		return
+	}
+	n, p := d.next, d.prev
+	l.dcbs[p].next = n
+	l.dcbs[n].prev = p
+	if l.head == idx {
+		l.head = n
+	}
+}

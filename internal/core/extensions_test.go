@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestLockModesEquivalent: both per-DCB locking strategies (§3.4) must
+// produce equivalent scans.
+func TestLockModesEquivalent(t *testing.T) {
+	const blocks = 1024
+	run := func(mode LockMode) *Result {
+		e := newEnv(t, blocks, 31)
+		e.cfg.LockMode = mode
+		return e.run(t)
+	}
+	m := run(LockMutex)
+	sp := run(LockSpin)
+	// Scans are concurrency-timing-dependent, so allow small drift but
+	// demand near-identical outcomes.
+	if diffPct(m.ProbesSent, sp.ProbesSent) > 2 {
+		t.Fatalf("lock modes diverge in probes: mutex=%d spin=%d", m.ProbesSent, sp.ProbesSent)
+	}
+	im, is := m.Store.Interfaces().Len(), sp.Store.Interfaces().Len()
+	if diffPct(uint64(im), uint64(is)) > 2 {
+		t.Fatalf("lock modes diverge in interfaces: mutex=%d spin=%d", im, is)
+	}
+}
+
+func diffPct(a, b uint64) float64 {
+	hi, lo := a, b
+	if lo > hi {
+		hi, lo = lo, hi
+	}
+	if lo == 0 {
+		return 100
+	}
+	return 100 * float64(hi-lo) / float64(lo)
+}
+
+func TestBadLockModeRejected(t *testing.T) {
+	e := newEnv(t, 16, 1)
+	e.cfg.LockMode = LockMode(99)
+	if _, err := NewScanner(e.cfg, e.net.NewConn(), e.clock); err == nil {
+		t.Fatal("bad lock mode accepted")
+	}
+}
+
+// TestFootprintAccounting verifies the §3.4/§5.4 memory math: the control
+// state for the full 2^24 /24 universe must land in the hundreds of
+// megabytes (the paper reports ~900 MB for its C++ layout), and one
+// target per /28 must stay under the paper's ~15 GB bound.
+func TestFootprintAccounting(t *testing.T) {
+	var d dcb
+	if unsafe.Sizeof(d) > 24 {
+		t.Fatalf("dcb grew to %d bytes; keep it compact", unsafe.Sizeof(d))
+	}
+
+	full24 := EstimateFootprint(1<<24, LockMutex)
+	if full24.Total() < 300<<20 || full24.Total() > 1<<30 {
+		t.Fatalf("full /24 footprint %d bytes outside [300MB, 1GB]", full24.Total())
+	}
+	spin24 := EstimateFootprint(1<<24, LockSpin)
+	if spin24.Total() >= full24.Total() {
+		t.Fatal("spinlocks should shrink the footprint (§3.4)")
+	}
+	if full24.LockBytes != 8<<24 || spin24.LockBytes != 4<<24 {
+		t.Fatalf("lock accounting wrong: %d / %d", full24.LockBytes, spin24.LockBytes)
+	}
+
+	full28 := EstimateFootprint(1<<28, LockMutex)
+	if full28.Total() > 15<<30 {
+		t.Fatalf("/28 footprint %d bytes exceeds the paper's ~15 GB bound", full28.Total())
+	}
+}
+
+// TestScannerFootprintMatchesEstimate: the scanner reports its own
+// configured footprint.
+func TestScannerFootprintMatchesEstimate(t *testing.T) {
+	e := newEnv(t, 4096, 1)
+	sc, err := NewScanner(e.cfg, e.net.NewConn(), e.clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sc.Footprint(), EstimateFootprint(4096, LockMutex); got != want {
+		t.Fatalf("footprint %+v want %+v", got, want)
+	}
+}
+
+// TestAdaptiveExtraScansSaveProbes reproduces the §5.4 heuristic's goal:
+// bounding extra-scan start TTLs by observed route lengths must reduce
+// extra-scan probes without reducing discovery below the uniform variant
+// materially.
+func TestAdaptiveExtraScansSaveProbes(t *testing.T) {
+	const blocks = 4096
+	run := func(adaptive bool) *Result {
+		e := newEnv(t, blocks, 17)
+		e.cfg.SplitTTL = 32
+		e.cfg.ExtraScans = 3
+		e.cfg.AdaptiveExtraScans = adaptive
+		return e.run(t)
+	}
+	uniform := run(false)
+	adaptive := run(true)
+	if adaptive.ProbesSent >= uniform.ProbesSent {
+		t.Fatalf("adaptive starts should save probes: adaptive=%d uniform=%d",
+			adaptive.ProbesSent, uniform.ProbesSent)
+	}
+	iu, ia := uniform.Store.Interfaces().Len(), adaptive.Store.Interfaces().Len()
+	if float64(ia) < 0.97*float64(iu) {
+		t.Fatalf("adaptive starts lost too much discovery: %d vs %d", ia, iu)
+	}
+	t.Logf("uniform: %d probes/%d ifaces; adaptive: %d probes/%d ifaces (%.1f%% probes saved)",
+		uniform.ProbesSent, iu, adaptive.ProbesSent, ia,
+		100*(1-float64(adaptive.ProbesSent)/float64(uniform.ProbesSent)))
+}
+
+func BenchmarkAblationLockModes(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		m    LockMode
+	}{{"mutex", LockMutex}, {"spin", LockSpin}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := newEnv(b, 2048, int64(i))
+				e.cfg.LockMode = mode.m
+				e.cfg.PPS = 1 << 30
+				e.cfg.MinRoundTime = 1
+				res := e.run(b)
+				b.ReportMetric(float64(res.ProbesSent), "probes")
+			}
+		})
+	}
+}

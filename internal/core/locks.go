@@ -1,0 +1,61 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// LockMode selects how per-DCB mutual exclusion between the sending and
+// receiving threads is implemented.
+//
+// The paper (§3.4) ships general mutexes for portability and notes that
+// the footprint could be reduced "most significantly by replacing general
+// per-DCB mutexes with primitive atomic operations (such as a spinlock
+// over the test-and-set instruction)". Both options are implemented here
+// so the trade-off is measurable (BenchmarkAblationLockModes): contention
+// is rare by design — it requires the receiver to handle a response for
+// the exact destination the sender is touching — which is the regime
+// where a spinlock's single CAS beats a mutex's fast path in space and
+// roughly matches it in time.
+type LockMode int
+
+const (
+	// LockMutex uses one sync.Mutex per DCB (the paper's choice).
+	LockMutex LockMode = iota
+	// LockSpin uses one 4-byte test-and-set spinlock per DCB.
+	LockSpin
+)
+
+// dcbLocks provides per-DCB mutual exclusion by index.
+type dcbLocks interface {
+	lock(i uint32)
+	unlock(i uint32)
+	// bytesPerDCB reports the per-destination memory cost, for the
+	// footprint accounting of §3.4.
+	bytesPerDCB() int
+}
+
+type mutexLocks struct{ mus []sync.Mutex }
+
+func newMutexLocks(n int) *mutexLocks { return &mutexLocks{mus: make([]sync.Mutex, n)} }
+
+func (m *mutexLocks) lock(i uint32)    { m.mus[i].Lock() }
+func (m *mutexLocks) unlock(i uint32)  { m.mus[i].Unlock() }
+func (m *mutexLocks) bytesPerDCB() int { return 8 } // sizeof(sync.Mutex)
+
+type spinLocks struct{ words []atomic.Uint32 }
+
+func newSpinLocks(n int) *spinLocks { return &spinLocks{words: make([]atomic.Uint32, n)} }
+
+func (s *spinLocks) lock(i uint32) {
+	w := &s.words[i]
+	for !w.CompareAndSwap(0, 1) {
+		// Contention here means the other thread is inside a handful of
+		// field updates; yield rather than burn the core.
+		runtime.Gosched()
+	}
+}
+
+func (s *spinLocks) unlock(i uint32)  { s.words[i].Store(0) }
+func (s *spinLocks) bytesPerDCB() int { return 4 }

@@ -1,0 +1,47 @@
+package core
+
+import "unsafe"
+
+// Footprint describes the control-state memory cost of a scan
+// configuration — the accounting behind the paper's §3.4 claim that the
+// full-/24 structure occupies around 900 MB, and behind its §5.4
+// projections for finer granularities (< 15 GB at one target per /28,
+// ~230 GB at /32).
+type Footprint struct {
+	Blocks int
+	// DCBBytes is the destination control block array (Listing 1 fields
+	// plus the linked-list overlay).
+	DCBBytes uint64
+	// LockBytes is the per-DCB lock array (8 B mutexes, or 4 B spinlocks
+	// with LockSpin — the §3.4 footprint reduction).
+	LockBytes uint64
+	// SideBytes covers the split-TTL, measured/predicted-distance and
+	// permutation-order arrays.
+	SideBytes uint64
+}
+
+// Total returns the summed footprint in bytes.
+func (f Footprint) Total() uint64 { return f.DCBBytes + f.LockBytes + f.SideBytes }
+
+// EstimateFootprint computes the control-state footprint for a universe
+// of the given size under the given lock mode, without allocating it.
+func EstimateFootprint(blocks int, mode LockMode) Footprint {
+	var d dcb
+	lockBytes := uint64(8)
+	if mode == LockSpin {
+		lockBytes = 4
+	}
+	return Footprint{
+		Blocks:    blocks,
+		DCBBytes:  uint64(blocks) * uint64(unsafe.Sizeof(d)),
+		LockBytes: uint64(blocks) * lockBytes,
+		// splits + measured + predicted (1 B each) + order (4 B).
+		SideBytes: uint64(blocks) * (3 + 4),
+	}
+}
+
+// Footprint reports the scanner's own control-state accounting.
+func (s *Scanner) Footprint() Footprint {
+	f := EstimateFootprint(s.cfg.Blocks, s.cfg.LockMode)
+	return f
+}

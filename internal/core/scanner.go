@@ -1,0 +1,555 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/permute"
+	"github.com/flashroute/flashroute/internal/probe"
+	"github.com/flashroute/flashroute/internal/simclock"
+	"github.com/flashroute/flashroute/internal/trace"
+)
+
+// Result is what a scan produced.
+type Result struct {
+	// Store holds discovered interfaces and (optionally) full routes.
+	Store *trace.Store
+	// ProbesSent is the total probe count, including preprobing and any
+	// discovery-optimized extra scans (the paper's "Probes" columns).
+	ProbesSent uint64
+	// PreprobeProbes is the subset sent during the preprobing phase.
+	PreprobeProbes uint64
+	// ScanTime is the total wall (or virtual) time of the scan, including
+	// preprobing and drains (the paper's "Scan time" columns).
+	ScanTime time.Duration
+	// Rounds is the number of main-scan rounds executed.
+	Rounds int
+	// DistancesMeasured / DistancesPredicted count blocks whose split
+	// point came from a direct measurement / a proximity-span prediction.
+	DistancesMeasured  int
+	DistancesPredicted int
+	// Measured[block] is the preprobe-measured hop distance (0 = none);
+	// Predicted[block] the prediction used when measurement was absent.
+	Measured  []uint8
+	Predicted []uint8
+	// MismatchedResponses counts responses dropped because the quoted
+	// source port did not match the checksum of the quoted destination —
+	// in-flight destination modification (§5.3).
+	MismatchedResponses uint64
+	// UnparsedResponses counts packets the receiver could not interpret.
+	UnparsedResponses uint64
+}
+
+// Scanner runs FlashRoute scans over a PacketConn.
+type Scanner struct {
+	cfg   Config
+	conn  PacketConn
+	clock simclock.Waiter
+
+	start time.Time
+
+	dcbs   []dcb
+	locks  dcbLocks
+	splits []uint8
+	order  []uint32
+
+	// stop set: interfaces already discovered; backward probing
+	// terminates upon encountering one (§3.2). Owned by the receiver
+	// thread except for the membership count read after the scan.
+	stopSet map[uint32]struct{}
+
+	distMu   sync.Mutex
+	measured []uint8
+	phase    atomic.Int32 // 0 = preprobing, 1 = main
+
+	scanOffset atomic.Uint32 // source-port offset of the current scan pass
+
+	store *trace.Store
+
+	probesSent   uint64 // sender-thread only
+	roundCount   int
+	mismatched   atomic.Uint64
+	unparsed     atomic.Uint64
+	paceCount    int
+	paceBatch    int
+	paceInterval time.Duration
+	pktBuf       [probe.IPv4HeaderLen + probe.UDPHeaderLen + 64]byte
+}
+
+// NewScanner validates the configuration and prepares a scanner.
+func NewScanner(cfg Config, conn PacketConn, clock simclock.Waiter) (*Scanner, error) {
+	if cfg.Blocks <= 0 {
+		return nil, errors.New("core: Config.Blocks must be positive")
+	}
+	if cfg.Targets == nil || cfg.BlockOf == nil {
+		return nil, errors.New("core: Config.Targets and Config.BlockOf are required")
+	}
+	if cfg.MaxTTL == 0 || cfg.MaxTTL > probe.MaxTTL {
+		return nil, fmt.Errorf("core: MaxTTL must be in 1..%d", probe.MaxTTL)
+	}
+	if cfg.SplitTTL == 0 || cfg.SplitTTL > cfg.MaxTTL {
+		return nil, errors.New("core: SplitTTL must be in 1..MaxTTL")
+	}
+	if cfg.Preprobe == PreprobeHitlist && cfg.PreprobeTargets == nil {
+		return nil, errors.New("core: PreprobeHitlist requires PreprobeTargets")
+	}
+	if cfg.DrainWait <= 0 {
+		cfg.DrainWait = 2 * time.Second
+	}
+	if cfg.MinRoundTime <= 0 {
+		cfg.MinRoundTime = time.Second
+	}
+	if cfg.Exhaustive {
+		// The Yarrp-simulation mode probes every hop unconditionally; a
+		// stop set would contradict it (§4.2.1).
+		cfg.NoRedundancyElimination = true
+		cfg.Preprobe = PreprobeOff
+	}
+	s := &Scanner{
+		cfg:     cfg,
+		conn:    conn,
+		clock:   clock,
+		dcbs:    make([]dcb, cfg.Blocks),
+		splits:  make([]uint8, cfg.Blocks),
+		stopSet: make(map[uint32]struct{}),
+		store:   trace.NewStore(cfg.CollectRoutes),
+	}
+	switch cfg.LockMode {
+	case LockMutex:
+		s.locks = newMutexLocks(cfg.Blocks)
+	case LockSpin:
+		s.locks = newSpinLocks(cfg.Blocks)
+	default:
+		return nil, fmt.Errorf("core: unknown LockMode %d", cfg.LockMode)
+	}
+	if cfg.PPS > 0 {
+		s.paceBatch = cfg.PPS / 200 // ~5 ms pacing quantum
+		if s.paceBatch < 1 {
+			s.paceBatch = 1
+		}
+		s.paceInterval = time.Duration(int64(time.Second) * int64(s.paceBatch) / int64(cfg.PPS))
+	}
+	return s, nil
+}
+
+// Run executes the scan: optional preprobing, the main probing rounds, and
+// any discovery-optimized extra scans. Run must be called from a goroutine
+// that is NOT registered as a clock actor; it registers the sender and
+// receiver itself.
+func (s *Scanner) Run() (*Result, error) {
+	s.start = s.clock.Now()
+
+	// The random permutation threading the DCBs (paper §3.2, §3.4).
+	perm := permute.NewFeistel(uint64(s.cfg.Blocks), uint64(s.cfg.Seed)^0x5f3759df)
+	s.order = make([]uint32, 0, s.cfg.Blocks)
+	for i := uint64(0); i < uint64(s.cfg.Blocks); i++ {
+		b := uint32(perm.Map(i))
+		if s.cfg.Skip != nil && s.cfg.Skip(int(b)) {
+			s.dcbs[b].flags |= dcbRemoved
+			continue
+		}
+		s.order = append(s.order, b)
+	}
+
+	// Register the sender (this goroutine) before the receiver can start:
+	// a receiver that parks while it is the only registered actor would
+	// look like a deadlock to the virtual clock.
+	s.clock.AddActor()
+
+	// Receiver thread (decoupled from sending, §3.2).
+	s.clock.AddActor()
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		defer s.clock.DoneActor()
+		s.receiveLoop()
+	}()
+
+	usePre := s.cfg.Preprobe != PreprobeOff && !s.cfg.Exhaustive
+	if usePre {
+		s.measured = make([]uint8, s.cfg.Blocks)
+		s.runPreprobe()
+	}
+	s.distMu.Lock()
+	s.phase.Store(1)
+	s.distMu.Unlock()
+
+	res := &Result{Store: s.store}
+	if usePre {
+		res.PreprobeProbes = s.probesSent
+		res.Measured = s.measured
+		res.Predicted = make([]uint8, s.cfg.Blocks)
+		s.predictDistances(res)
+	}
+
+	s.initDCBs(res)
+	l := buildList(s.dcbs, s.order)
+	s.runRounds(l, 0)
+	s.clock.Sleep(s.cfg.DrainWait)
+
+	for extra := 1; extra <= s.cfg.ExtraScans; extra++ {
+		s.scanOffset.Store(uint32(extra))
+		s.resetForExtraScan(extra)
+		l = buildList(s.dcbs, s.order)
+		s.runRounds(l, uint16(extra))
+		s.clock.Sleep(s.cfg.DrainWait)
+	}
+
+	res.ScanTime = s.clock.Now().Sub(s.start)
+	// Close the conn first so the receiver (possibly parked waiting for
+	// packets) wakes to its EOF before the sender leaves the clock.
+	s.conn.Close()
+	s.clock.DoneActor()
+	<-recvDone
+
+	res.ProbesSent = s.probesSent
+	res.Rounds = s.roundCount
+	res.MismatchedResponses = s.mismatched.Load()
+	res.UnparsedResponses = s.unparsed.Load()
+	return res, nil
+}
+
+// runPreprobe sends one TTL-MaxTTL probe to every block's preprobe target
+// (§3.3.1) and waits for responses to drain.
+func (s *Scanner) runPreprobe() {
+	targets := s.cfg.Targets
+	if s.cfg.Preprobe == PreprobeHitlist {
+		targets = s.cfg.PreprobeTargets
+	}
+	for _, b := range s.order {
+		dst := targets(int(b))
+		if dst == 0 {
+			continue // no preprobe candidate for this block
+		}
+		s.sendProbe(dst, s.cfg.MaxTTL, true, 0)
+	}
+	s.clock.Sleep(s.cfg.DrainWait)
+}
+
+// predictDistances fills Predicted for unmeasured blocks from the nearest
+// measured block within ProximitySpan on either side (§3.3.3).
+func (s *Scanner) predictDistances(res *Result) {
+	span := s.cfg.ProximitySpan
+	n := s.cfg.Blocks
+	for b := 0; b < n; b++ {
+		if s.measured[b] != 0 {
+			res.DistancesMeasured++
+			continue
+		}
+		for d := 1; d <= span; d++ {
+			if b-d >= 0 && s.measured[b-d] != 0 {
+				res.Predicted[b] = s.measured[b-d]
+				break
+			}
+			if b+d < n && s.measured[b+d] != 0 {
+				res.Predicted[b] = s.measured[b+d]
+				break
+			}
+		}
+		if res.Predicted[b] != 0 {
+			res.DistancesPredicted++
+		}
+	}
+}
+
+// initDCBs sets every destination's split point and probing bounds
+// (§3.3.5, §3.4).
+func (s *Scanner) initDCBs(res *Result) {
+	fold := s.cfg.foldsPreprobe() && s.cfg.Preprobe != PreprobeOff && !s.cfg.Exhaustive
+	for _, b := range s.order {
+		d := &s.dcbs[b]
+		d.dest = s.cfg.Targets(int(b))
+
+		split := s.cfg.SplitTTL
+		measured := false
+		if s.measured != nil {
+			if m := s.measured[b]; m != 0 {
+				split, measured = m, true
+			} else if p := res.Predicted[b]; p != 0 {
+				split = p
+			}
+		}
+		if s.cfg.Exhaustive {
+			split = s.cfg.MaxTTL
+		}
+		if split < 1 {
+			split = 1
+		}
+		if split > s.cfg.MaxTTL {
+			split = s.cfg.MaxTTL
+		}
+		s.splits[b] = split
+
+		d.nextBackward = split
+		if fold && !measured && split == s.cfg.MaxTTL {
+			// The preprobe at MaxTTL already served as the first round
+			// (§3.3.5); main probing starts one hop lower.
+			d.nextBackward = s.cfg.MaxTTL - 1
+		}
+		d.nextForward = split + 1
+		d.forwardHorizon = split + s.cfg.GapLimit
+		if d.forwardHorizon > s.cfg.MaxTTL {
+			d.forwardHorizon = s.cfg.MaxTTL
+		}
+		if s.cfg.Exhaustive {
+			d.flags |= dcbForwardDone
+		}
+		if fold && measured {
+			// The destination already answered the preprobe: the forward
+			// direction's goal (reaching the target) is met.
+			d.flags |= dcbForwardDone
+		}
+	}
+}
+
+// resetForExtraScan re-arms every DCB for a discovery-optimized extra scan
+// (§5.2): backward-only probing from a random starting TTL, sharing the
+// accumulated stop set.
+func (s *Scanner) resetForExtraScan(i int) {
+	h := uint64(s.cfg.Seed)*0x9e3779b97f4a7c15 + uint64(i)*0xd6e8feb86659fd93
+	for _, b := range s.order {
+		d := &s.dcbs[b]
+		z := h + uint64(b)*0xa0761d6478bd642f
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z ^= z >> 31
+		s.locks.lock(b)
+		if s.cfg.ExtraScanTargets != nil {
+			// §5.4: vary the destination address within the block across
+			// extra scans to expose address-dependent internal paths.
+			if alt := s.cfg.ExtraScanTargets(int(b), i); alt != 0 {
+				d.dest = alt
+			}
+		}
+		limit := uint64(s.cfg.MaxTTL)
+		if s.cfg.AdaptiveExtraScans && d.routeLen > 0 {
+			// §5.4: alternate routes rarely differ drastically in length;
+			// bound the random start by the observed length plus slack.
+			limit = uint64(d.routeLen) + 5
+			if limit > uint64(s.cfg.MaxTTL) {
+				limit = uint64(s.cfg.MaxTTL)
+			}
+		}
+		start := uint8(z%limit) + 1
+		d.nextBackward = start
+		d.nextForward = start + 1
+		d.forwardHorizon = 0 // no forward probing in extra scans
+		d.flags = dcbForwardDone
+		s.splits[b] = start
+		s.locks.unlock(b)
+	}
+}
+
+// runRounds executes probing rounds until every destination completes
+// (§3.2): per round, up to one backward and one forward probe per
+// destination, issued back-to-back; rounds last at least one second so
+// responses can adjust the strategy between a destination's consecutive
+// steps.
+func (s *Scanner) runRounds(l *list, srcPortOffset uint16) {
+	for l.size > 0 {
+		roundStart := s.clock.Now()
+		cur := l.head
+		n := l.size
+		for i := 0; i < n && l.size > 0; i++ {
+			d := &l.dcbs[cur]
+			next := d.next
+
+			var bw, fw uint8
+			s.locks.lock(cur)
+			if d.nextBackward > 0 {
+				bw = d.nextBackward
+				d.nextBackward--
+			}
+			if d.flags&dcbForwardDone == 0 && d.nextForward <= d.forwardHorizon {
+				fw = d.nextForward
+				d.nextForward++
+			}
+			dst := d.dest
+			s.locks.unlock(cur)
+
+			if bw > 0 {
+				s.sendProbe(dst, bw, false, srcPortOffset)
+			}
+			if fw > 0 {
+				s.sendProbe(dst, fw, false, srcPortOffset)
+			}
+			if bw == 0 && fw == 0 {
+				// No work this round: re-check completion under the lock
+				// (a response may have just extended the horizon).
+				s.locks.lock(cur)
+				done := d.nextBackward == 0 &&
+					(d.flags&dcbForwardDone != 0 || d.nextForward > d.forwardHorizon)
+				s.locks.unlock(cur)
+				if done {
+					l.remove(cur)
+				}
+			}
+			cur = next
+		}
+		s.roundCount++
+		if rem := s.cfg.MinRoundTime - s.clock.Now().Sub(roundStart); rem > 0 {
+			s.clock.Sleep(rem)
+		}
+	}
+}
+
+// sendProbe builds, stamps, paces and writes one probe.
+func (s *Scanner) sendProbe(dst uint32, ttl uint8, preprobe bool, srcPortOffset uint16) {
+	elapsed := s.clock.Now().Sub(s.start)
+	n := probe.BuildFlashProbe(s.pktBuf[:], s.cfg.Source, dst, ttl, preprobe,
+		elapsed, srcPortOffset, probe.TracerouteDstPort)
+	_ = s.conn.WritePacket(s.pktBuf[:n])
+	s.probesSent++
+	if s.cfg.Observer != nil {
+		s.cfg.Observer(dst, ttl, elapsed)
+	}
+	s.pace()
+}
+
+// pace throttles the sender to Config.PPS in batches of ~5 ms.
+func (s *Scanner) pace() {
+	if s.paceBatch == 0 {
+		return
+	}
+	s.paceCount++
+	if s.paceCount >= s.paceBatch {
+		s.paceCount = 0
+		s.clock.Sleep(s.paceInterval)
+	}
+}
+
+// receiveLoop is the receiving thread (§3.2): it decodes every response
+// from the quoted probe header alone and updates the corresponding DCB.
+func (s *Scanner) receiveLoop() {
+	var buf [4096]byte
+	for {
+		n, err := s.conn.ReadPacket(buf[:])
+		if err != nil {
+			if err != io.EOF {
+				s.unparsed.Add(1)
+			}
+			return
+		}
+		s.handleResponse(buf[:n])
+	}
+}
+
+func (s *Scanner) handleResponse(pkt []byte) {
+	resp, err := probe.ParseResponse(pkt)
+	if err != nil {
+		// FlashRoute sends only UDP probes; TCP RSTs or other traffic are
+		// not ours.
+		s.unparsed.Add(1)
+		return
+	}
+	fi, err := probe.ParseFlashQuote(&resp.ICMP)
+	if err != nil {
+		s.unparsed.Add(1)
+		return
+	}
+	if !fi.ChecksumMatches(uint16(s.scanOffset.Load())) {
+		// The destination was modified in flight (§5.3): discard.
+		s.mismatched.Add(1)
+		return
+	}
+	block, ok := s.cfg.BlockOf(fi.Dst)
+	if !ok {
+		s.unparsed.Add(1)
+		return
+	}
+	now := s.clock.Now().Sub(s.start)
+	rtt := fi.RTT(now)
+
+	if fi.Preprobe {
+		s.handlePreprobeResponse(block, fi, &resp)
+		return
+	}
+
+	d := &s.dcbs[block]
+	switch {
+	case resp.ICMP.IsTTLExceeded():
+		s.store.AddHop(fi.Dst, fi.InitTTL, resp.Hop, rtt)
+		_, seen := s.stopSet[resp.Hop]
+		s.stopSet[resp.Hop] = struct{}{}
+		s.locks.lock(uint32(block))
+		if fi.InitTTL > d.routeLen && d.flags&dcbForwardDone == 0 {
+			d.routeLen = fi.InitTTL
+		}
+		if fi.InitTTL <= s.splits[block] {
+			// Backward side: terminate on the vantage point's first hop or
+			// on route convergence with the stop set (§3.2, §3.4).
+			if fi.InitTTL == 1 || (seen && !s.cfg.NoRedundancyElimination) {
+				d.nextBackward = 0
+			}
+		} else if d.flags&dcbForwardDone == 0 {
+			// Forward side: the farthest responding hop pushes the horizon
+			// out by GapLimit (§3.4).
+			h := fi.InitTTL + s.cfg.GapLimit
+			if h > s.cfg.MaxTTL {
+				h = s.cfg.MaxTTL
+			}
+			if h > d.forwardHorizon {
+				d.forwardHorizon = h
+			}
+		}
+		s.locks.unlock(uint32(block))
+
+	case resp.ICMP.IsUnreachable():
+		dist := distanceFrom(fi)
+		s.store.SetReached(fi.Dst, dist, resp.Hop, rtt)
+		s.stopSet[resp.Hop] = struct{}{}
+		s.locks.lock(uint32(block))
+		d.flags |= dcbForwardDone
+		d.routeLen = dist
+		s.locks.unlock(uint32(block))
+
+	default:
+		s.unparsed.Add(1)
+	}
+}
+
+// handlePreprobeResponse implements §3.3.1: a destination-unreachable
+// response to the TTL-MaxTTL preprobe yields the exact hop distance from a
+// single probe. TTL-exceeded preprobe responses are folded into the
+// discovered topology (§3.3.5).
+func (s *Scanner) handlePreprobeResponse(block int, fi probe.FlashInfo, resp *probe.Response) {
+	now := s.clock.Now().Sub(s.start)
+	rtt := fi.RTT(now)
+	if resp.ICMP.IsUnreachable() {
+		dist := distanceFrom(fi)
+		s.store.SetReached(fi.Dst, dist, resp.Hop, rtt)
+		s.stopSet[resp.Hop] = struct{}{}
+		if dist >= 1 && dist <= s.cfg.MaxTTL {
+			s.distMu.Lock()
+			if s.phase.Load() == 0 && s.measured != nil {
+				s.measured[block] = dist
+			}
+			s.distMu.Unlock()
+		}
+		return
+	}
+	if resp.ICMP.IsTTLExceeded() {
+		s.store.AddHop(fi.Dst, fi.InitTTL, resp.Hop, rtt)
+		s.stopSet[resp.Hop] = struct{}{}
+	}
+}
+
+// distanceFrom recovers the destination's hop distance from a
+// destination-unreachable response: initial TTL minus residual plus one.
+func distanceFrom(fi probe.FlashInfo) uint8 {
+	d := int(fi.InitTTL) - int(fi.ResidualTTL) + 1
+	if d < 1 {
+		return 1
+	}
+	if d > int(probe.MaxTTL) {
+		return probe.MaxTTL
+	}
+	return uint8(d)
+}
+
+// StopSetSize reports the number of interfaces in the stop set (after the
+// scan; used by tests and the discovery-mode analysis).
+func (s *Scanner) StopSetSize() int { return len(s.stopSet) }

@@ -1,0 +1,562 @@
+// Package core6 implements FlashRoute6 — the IPv6 extension of FlashRoute
+// the paper plans in §5.4.
+//
+// The probing strategy is FlashRoute's (§3.2-3.3): preprobing for
+// hop-distance split points, round-based backward and forward probing
+// over a shuffled target sequence, Doubletree stop-set termination, a
+// forward gap limit, and decoupled sender/receiver threads.
+//
+// The control state is redesigned exactly as §5.4 anticipates: IPv6
+// targets are sparse candidate lists, not a dense prefix lattice, so the
+// destination control blocks live in an array indexed by *list position*
+// with the random permutation woven through it, while the receiving
+// thread locates DCBs through a hash index keyed by address. (The IPv4
+// engine's response lookup is a O(1) array access by /24 prefix; here it
+// is one map lookup — the price of 2^128 sparsity.)
+//
+// Proximity-span prediction does not carry over: adjacent /24 blocks
+// share supernet routes, but numerically adjacent IPv6 candidates share
+// nothing. Instead, measured distances of targets within the same /48
+// predict their list-mates' distances (same-prefix prediction).
+package core6
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/permute"
+	"github.com/flashroute/flashroute/internal/probe6"
+	"github.com/flashroute/flashroute/internal/simclock"
+)
+
+// PacketConn is the raw IPv6 network access.
+type PacketConn interface {
+	WritePacket(pkt []byte) error
+	ReadPacket(buf []byte) (int, error)
+	Close() error
+}
+
+// Config parameterizes a FlashRoute6 scan.
+type Config struct {
+	// Targets is the candidate list to trace (Yarrp6-style).
+	Targets []probe6.Addr
+	// Source is the vantage point address.
+	Source probe6.Addr
+
+	// SplitTTL, GapLimit, MaxTTL as in IPv4 (§3.2); defaults 16/5/32.
+	SplitTTL uint8
+	GapLimit uint8
+	MaxTTL   uint8
+
+	// PPS throttles probing; <= 0 disables (real-clock only).
+	PPS int
+
+	// Preprobe enables the one-probe distance measurement phase; with
+	// SamePrefixPrediction, measured distances predict unmeasured targets
+	// within the same /48.
+	Preprobe             bool
+	SamePrefixPrediction bool
+
+	// NoRedundancyElimination disables stop-set termination.
+	NoRedundancyElimination bool
+
+	// CollectRoutes keeps per-target hop lists.
+	CollectRoutes bool
+
+	Seed         int64
+	DrainWait    time.Duration
+	MinRoundTime time.Duration
+}
+
+// DefaultConfig returns FlashRoute6 defaults.
+func DefaultConfig() Config {
+	return Config{
+		SplitTTL:             16,
+		GapLimit:             5,
+		MaxTTL:               probe6.MaxHopLimit,
+		PPS:                  100_000,
+		Preprobe:             true,
+		SamePrefixPrediction: true,
+		DrainWait:            2 * time.Second,
+		MinRoundTime:         time.Second,
+	}
+}
+
+// Hop is a discovered interface on a route.
+type Hop struct {
+	TTL  uint8
+	Addr probe6.Addr
+	RTT  time.Duration
+}
+
+// Route is the discovered path to one target.
+type Route struct {
+	Dst     probe6.Addr
+	Hops    []Hop
+	Reached bool
+	Length  uint8
+}
+
+// Result is what a scan produced.
+type Result struct {
+	ProbesSent     uint64
+	PreprobeProbes uint64
+	ScanTime       time.Duration
+	Rounds         int
+
+	DistancesMeasured  int
+	DistancesPredicted int
+
+	MismatchedResponses uint64
+	UnparsedResponses   uint64
+
+	interfaces map[probe6.Addr]struct{}
+	routes     map[probe6.Addr]*Route
+}
+
+// InterfaceCount returns the number of unique router interfaces found.
+func (r *Result) InterfaceCount() int { return len(r.interfaces) }
+
+// HasInterface reports whether addr was discovered.
+func (r *Result) HasInterface(a probe6.Addr) bool {
+	_, ok := r.interfaces[a]
+	return ok
+}
+
+// Route returns the route traced to a target (nil if no responses), with
+// hops sorted by TTL.
+func (r *Result) Route(a probe6.Addr) *Route {
+	rt := r.routes[a]
+	if rt == nil {
+		return nil
+	}
+	sort.Slice(rt.Hops, func(i, j int) bool { return rt.Hops[i].TTL < rt.Hops[j].TTL })
+	return rt
+}
+
+// ReachedCount returns how many targets answered.
+func (r *Result) ReachedCount() int {
+	n := 0
+	for _, rt := range r.routes {
+		if rt.Reached {
+			n++
+		}
+	}
+	return n
+}
+
+// dcb6 is the FlashRoute6 destination control block: Listing 1 fields,
+// indexed by target-list position.
+type dcb6 struct {
+	nextBackward   uint8
+	nextForward    uint8
+	forwardHorizon uint8
+	flags          uint8
+	next, prev     uint32
+}
+
+const (
+	dcbForwardDone = 1 << iota
+	dcbRemoved
+)
+
+const noHead = ^uint32(0)
+
+// Scanner runs FlashRoute6 scans.
+type Scanner struct {
+	cfg   Config
+	conn  PacketConn
+	clock simclock.Waiter
+	start time.Time
+
+	dcbs   []dcb6
+	locks  []sync.Mutex
+	splits []uint8
+	order  []uint32
+
+	// index is the sparse response-to-DCB lookup (§5.4's redesign).
+	index map[probe6.Addr]uint32
+
+	stopSet map[probe6.Addr]struct{}
+
+	distMu   sync.Mutex
+	measured []uint8
+	phase    atomic.Int32
+
+	res *Result
+
+	probesSent   uint64
+	rounds       int
+	mismatched   atomic.Uint64
+	unparsed     atomic.Uint64
+	paceCount    int
+	paceBatch    int
+	paceInterval time.Duration
+	pktBuf       [probe6.HeaderLen + probe6.UDPHeaderLen + 64]byte
+}
+
+// NewScanner validates the configuration.
+func NewScanner(cfg Config, conn PacketConn, clock simclock.Waiter) (*Scanner, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, errors.New("core6: Config.Targets must be non-empty")
+	}
+	if cfg.MaxTTL == 0 || cfg.MaxTTL > probe6.MaxHopLimit {
+		return nil, fmt.Errorf("core6: MaxTTL must be in 1..%d", probe6.MaxHopLimit)
+	}
+	if cfg.SplitTTL == 0 || cfg.SplitTTL > cfg.MaxTTL {
+		return nil, errors.New("core6: SplitTTL must be in 1..MaxTTL")
+	}
+	if cfg.DrainWait <= 0 {
+		cfg.DrainWait = 2 * time.Second
+	}
+	if cfg.MinRoundTime <= 0 {
+		cfg.MinRoundTime = time.Second
+	}
+	n := len(cfg.Targets)
+	s := &Scanner{
+		cfg:     cfg,
+		conn:    conn,
+		clock:   clock,
+		dcbs:    make([]dcb6, n),
+		locks:   make([]sync.Mutex, n),
+		splits:  make([]uint8, n),
+		index:   make(map[probe6.Addr]uint32, n),
+		stopSet: make(map[probe6.Addr]struct{}),
+		res: &Result{
+			interfaces: make(map[probe6.Addr]struct{}),
+			routes:     make(map[probe6.Addr]*Route),
+		},
+	}
+	for i, a := range cfg.Targets {
+		s.index[a] = uint32(i)
+	}
+	if cfg.PPS > 0 {
+		s.paceBatch = cfg.PPS / 200
+		if s.paceBatch < 1 {
+			s.paceBatch = 1
+		}
+		s.paceInterval = time.Duration(int64(time.Second) * int64(s.paceBatch) / int64(cfg.PPS))
+	}
+	return s, nil
+}
+
+// Run executes the scan (same actor contract as the IPv4 engine).
+func (s *Scanner) Run() (*Result, error) {
+	s.start = s.clock.Now()
+	n := len(s.cfg.Targets)
+
+	perm := permute.NewFeistel(uint64(n), uint64(s.cfg.Seed)^0x6b7a5c3d)
+	s.order = make([]uint32, 0, n)
+	for i := uint64(0); i < uint64(n); i++ {
+		s.order = append(s.order, uint32(perm.Map(i)))
+	}
+
+	s.clock.AddActor() // sender first (see the IPv4 engine)
+	s.clock.AddActor()
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		defer s.clock.DoneActor()
+		s.receiveLoop()
+	}()
+
+	if s.cfg.Preprobe {
+		s.measured = make([]uint8, n)
+		for _, i := range s.order {
+			s.sendProbe(s.cfg.Targets[i], s.cfg.MaxTTL, true)
+		}
+		s.clock.Sleep(s.cfg.DrainWait)
+	}
+	s.distMu.Lock()
+	s.phase.Store(1)
+	s.distMu.Unlock()
+	if s.cfg.Preprobe {
+		s.res.PreprobeProbes = s.probesSent
+	}
+
+	s.initDCBs()
+	s.runRounds()
+	s.clock.Sleep(s.cfg.DrainWait)
+
+	s.res.ScanTime = s.clock.Now().Sub(s.start)
+	s.conn.Close()
+	s.clock.DoneActor()
+	<-recvDone
+
+	s.res.ProbesSent = s.probesSent
+	s.res.Rounds = s.rounds
+	s.res.MismatchedResponses = s.mismatched.Load()
+	s.res.UnparsedResponses = s.unparsed.Load()
+	return s.res, nil
+}
+
+// initDCBs assigns split points from measurements, same-prefix
+// predictions, or the default.
+func (s *Scanner) initDCBs() {
+	var prefixDist map[[6]byte]uint8
+	if s.cfg.Preprobe && s.cfg.SamePrefixPrediction {
+		prefixDist = make(map[[6]byte]uint8)
+		for i, a := range s.cfg.Targets {
+			if m := s.measured[i]; m != 0 {
+				var key [6]byte
+				copy(key[:], a[:6])
+				prefixDist[key] = m
+			}
+		}
+	}
+	for i := range s.dcbs {
+		split := s.cfg.SplitTTL
+		if s.measured != nil && s.measured[i] != 0 {
+			split = s.measured[i]
+			s.res.DistancesMeasured++
+		} else if prefixDist != nil {
+			var key [6]byte
+			copy(key[:], s.cfg.Targets[i][:6])
+			if p, ok := prefixDist[key]; ok {
+				split = p
+				s.res.DistancesPredicted++
+			}
+		}
+		if split > s.cfg.MaxTTL {
+			split = s.cfg.MaxTTL
+		}
+		d := &s.dcbs[i]
+		d.nextBackward = split
+		d.nextForward = split + 1
+		d.forwardHorizon = split + s.cfg.GapLimit
+		if d.forwardHorizon > s.cfg.MaxTTL {
+			d.forwardHorizon = s.cfg.MaxTTL
+		}
+		s.splits[i] = split
+	}
+}
+
+// runRounds mirrors the IPv4 engine's round loop over the permuted
+// circular list.
+func (s *Scanner) runRounds() {
+	// Thread the circular list.
+	var prev uint32 = noHead
+	var head uint32 = noHead
+	size := 0
+	for _, idx := range s.order {
+		if head == noHead {
+			head = idx
+		} else {
+			s.dcbs[prev].next = idx
+			s.dcbs[idx].prev = prev
+		}
+		prev = idx
+		size++
+	}
+	if size > 0 {
+		s.dcbs[prev].next = head
+		s.dcbs[head].prev = prev
+	}
+
+	for size > 0 {
+		roundStart := s.clock.Now()
+		cur := head
+		count := size
+		for i := 0; i < count && size > 0; i++ {
+			d := &s.dcbs[cur]
+			next := d.next
+
+			var bw, fw uint8
+			s.locks[cur].Lock()
+			if d.nextBackward > 0 {
+				bw = d.nextBackward
+				d.nextBackward--
+			}
+			if d.flags&dcbForwardDone == 0 && d.nextForward <= d.forwardHorizon {
+				fw = d.nextForward
+				d.nextForward++
+			}
+			s.locks[cur].Unlock()
+
+			dst := s.cfg.Targets[cur]
+			if bw > 0 {
+				s.sendProbe(dst, bw, false)
+			}
+			if fw > 0 {
+				s.sendProbe(dst, fw, false)
+			}
+			if bw == 0 && fw == 0 {
+				s.locks[cur].Lock()
+				done := d.nextBackward == 0 &&
+					(d.flags&dcbForwardDone != 0 || d.nextForward > d.forwardHorizon)
+				s.locks[cur].Unlock()
+				if done {
+					d.flags |= dcbRemoved
+					size--
+					if size == 0 {
+						break
+					}
+					nn, pp := d.next, d.prev
+					s.dcbs[pp].next = nn
+					s.dcbs[nn].prev = pp
+					if head == cur {
+						head = nn
+					}
+				}
+			}
+			cur = next
+		}
+		s.rounds++
+		if rem := s.cfg.MinRoundTime - s.clock.Now().Sub(roundStart); rem > 0 {
+			s.clock.Sleep(rem)
+		}
+	}
+}
+
+func (s *Scanner) sendProbe(dst probe6.Addr, hopLimit uint8, preprobe bool) {
+	elapsed := s.clock.Now().Sub(s.start)
+	n := probe6.BuildProbe(s.pktBuf[:], s.cfg.Source, dst, hopLimit, preprobe,
+		elapsed, 0, probe6.TracerouteDstPort)
+	_ = s.conn.WritePacket(s.pktBuf[:n])
+	s.probesSent++
+	if s.paceBatch > 0 {
+		s.paceCount++
+		if s.paceCount >= s.paceBatch {
+			s.paceCount = 0
+			s.clock.Sleep(s.paceInterval)
+		}
+	}
+}
+
+func (s *Scanner) receiveLoop() {
+	var buf [4096]byte
+	for {
+		n, err := s.conn.ReadPacket(buf[:])
+		if err != nil {
+			if err != io.EOF {
+				s.unparsed.Add(1)
+			}
+			return
+		}
+		s.handleResponse(buf[:n])
+	}
+}
+
+func (s *Scanner) handleResponse(pkt []byte) {
+	resp, err := probe6.ParseResponse(pkt)
+	if err != nil {
+		s.unparsed.Add(1)
+		return
+	}
+	fi, err := probe6.ParseQuote(&resp.ICMP)
+	if err != nil {
+		s.unparsed.Add(1)
+		return
+	}
+	if !fi.ChecksumMatches(0) {
+		s.mismatched.Add(1)
+		return
+	}
+	idx, ok := s.index[fi.Dst] // the sparse lookup of §5.4
+	if !ok {
+		s.unparsed.Add(1)
+		return
+	}
+	now := s.clock.Now().Sub(s.start)
+	rtt := fi.RTT(now)
+
+	if fi.Preprobe {
+		if resp.ICMP.IsUnreachable() {
+			dist := distance6(fi)
+			s.recordReached(fi.Dst, dist, rtt)
+			s.stopSet[resp.Hop] = struct{}{}
+			if dist >= 1 && dist <= s.cfg.MaxTTL {
+				s.distMu.Lock()
+				if s.phase.Load() == 0 && s.measured != nil {
+					s.measured[idx] = dist
+				}
+				s.distMu.Unlock()
+			}
+		} else if resp.ICMP.IsHopLimitExceeded() {
+			s.recordHop(fi.Dst, fi.InitHopLimit, resp.Hop, rtt)
+			s.stopSet[resp.Hop] = struct{}{}
+		}
+		return
+	}
+
+	d := &s.dcbs[idx]
+	switch {
+	case resp.ICMP.IsHopLimitExceeded():
+		s.recordHop(fi.Dst, fi.InitHopLimit, resp.Hop, rtt)
+		_, seen := s.stopSet[resp.Hop]
+		s.stopSet[resp.Hop] = struct{}{}
+		s.locks[idx].Lock()
+		if fi.InitHopLimit <= s.splits[idx] {
+			if fi.InitHopLimit == 1 || (seen && !s.cfg.NoRedundancyElimination) {
+				d.nextBackward = 0
+			}
+		} else if d.flags&dcbForwardDone == 0 {
+			h := fi.InitHopLimit + s.cfg.GapLimit
+			if h > s.cfg.MaxTTL {
+				h = s.cfg.MaxTTL
+			}
+			if h > d.forwardHorizon {
+				d.forwardHorizon = h
+			}
+		}
+		s.locks[idx].Unlock()
+
+	case resp.ICMP.IsUnreachable():
+		s.recordReached(fi.Dst, distance6(fi), rtt)
+		s.stopSet[resp.Hop] = struct{}{}
+		s.locks[idx].Lock()
+		d.flags |= dcbForwardDone
+		s.locks[idx].Unlock()
+
+	default:
+		s.unparsed.Add(1)
+	}
+}
+
+func (s *Scanner) route(dst probe6.Addr) *Route {
+	r := s.res.routes[dst]
+	if r == nil {
+		r = &Route{Dst: dst}
+		s.res.routes[dst] = r
+	}
+	return r
+}
+
+func (s *Scanner) recordHop(dst probe6.Addr, ttl uint8, hop probe6.Addr, rtt time.Duration) {
+	s.res.interfaces[hop] = struct{}{}
+	r := s.route(dst)
+	if ttl > r.Length && !r.Reached {
+		r.Length = ttl
+	}
+	if s.cfg.CollectRoutes {
+		r.Hops = append(r.Hops, Hop{TTL: ttl, Addr: hop, RTT: rtt})
+	}
+}
+
+func (s *Scanner) recordReached(dst probe6.Addr, dist uint8, rtt time.Duration) {
+	r := s.route(dst)
+	wasReached := r.Reached
+	r.Reached = true
+	if dist > 0 {
+		r.Length = dist
+	}
+	if s.cfg.CollectRoutes && dist > 0 && !wasReached {
+		r.Hops = append(r.Hops, Hop{TTL: dist, Addr: dst, RTT: rtt})
+	}
+}
+
+func distance6(fi probe6.Info) uint8 {
+	d := int(fi.InitHopLimit) - int(fi.ResidualHopLimit) + 1
+	if d < 1 {
+		return 1
+	}
+	if d > probe6.MaxHopLimit {
+		return probe6.MaxHopLimit
+	}
+	return uint8(d)
+}

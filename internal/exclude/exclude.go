@@ -1,0 +1,152 @@
+// Package exclude implements exclusion lists: address ranges a scan must
+// never probe. The paper's ethics appendix describes maintaining such a
+// list from opt-out requests; FlashRoute additionally removes private,
+// multicast and reserved space from its probing list at initialization
+// (§3.4).
+package exclude
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// List is a set of excluded address ranges with O(log n) membership.
+type List struct {
+	// sorted, merged, inclusive ranges
+	lo, hi []uint32
+}
+
+// Reserved returns the list every scan excludes by default: private,
+// loopback, link-local, multicast and class-E reserved space.
+func Reserved() *List {
+	l := &List{}
+	for _, c := range []string{
+		"0.0.0.0/8",       // "this" network
+		"10.0.0.0/8",      // RFC 1918
+		"127.0.0.0/8",     // loopback
+		"169.254.0.0/16",  // link-local
+		"172.16.0.0/12",   // RFC 1918
+		"192.168.0.0/16",  // RFC 1918
+		"224.0.0.0/4",     // multicast
+		"240.0.0.0/4",     // reserved / class E
+		"100.64.0.0/10",   // CGN
+		"192.0.2.0/24",    // TEST-NET-1
+		"198.51.100.0/24", // TEST-NET-2
+		"203.0.113.0/24",  // TEST-NET-3
+	} {
+		if err := l.AddCIDR(c); err != nil {
+			panic(err) // static table
+		}
+	}
+	l.normalize()
+	return l
+}
+
+// New returns an empty list.
+func New() *List { return &List{} }
+
+// AddCIDR adds a CIDR range (prefix length 0..32).
+func (l *List) AddCIDR(cidr string) error {
+	var a, b, c, d, plen int
+	if _, err := fmt.Sscanf(strings.TrimSpace(cidr), "%d.%d.%d.%d/%d", &a, &b, &c, &d, &plen); err != nil {
+		return fmt.Errorf("exclude: bad CIDR %q: %w", cidr, err)
+	}
+	for _, v := range []int{a, b, c, d} {
+		if v < 0 || v > 255 {
+			return fmt.Errorf("exclude: bad CIDR %q", cidr)
+		}
+	}
+	if plen < 0 || plen > 32 {
+		return fmt.Errorf("exclude: bad prefix length in %q", cidr)
+	}
+	addr := uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+	mask := uint32(0xffffffff)
+	if plen < 32 {
+		mask <<= 32 - plen
+	}
+	if plen == 0 {
+		mask = 0
+	}
+	base := addr & mask
+	l.lo = append(l.lo, base)
+	l.hi = append(l.hi, base|^mask)
+	return nil
+}
+
+// Read parses an exclusion file: one CIDR (or bare address) per line,
+// '#' comments allowed — the format operators maintain from opt-out
+// requests.
+func Read(r io.Reader) (*List, error) {
+	l := New()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		if !strings.Contains(s, "/") {
+			s += "/32"
+		}
+		if err := l.AddCIDR(s); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	l.normalize()
+	return l, nil
+}
+
+// Merge adds every range of other into l.
+func (l *List) Merge(other *List) {
+	l.lo = append(l.lo, other.lo...)
+	l.hi = append(l.hi, other.hi...)
+	l.normalize()
+}
+
+// normalize sorts and merges overlapping ranges.
+func (l *List) normalize() {
+	if len(l.lo) == 0 {
+		return
+	}
+	idx := make([]int, len(l.lo))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return l.lo[idx[i]] < l.lo[idx[j]] })
+	lo := make([]uint32, 0, len(l.lo))
+	hi := make([]uint32, 0, len(l.hi))
+	for _, i := range idx {
+		if n := len(lo); n > 0 && l.lo[i] <= hi[n-1]+1 && hi[n-1] != ^uint32(0) {
+			if l.hi[i] > hi[n-1] {
+				hi[n-1] = l.hi[i]
+			}
+			continue
+		}
+		lo = append(lo, l.lo[i])
+		hi = append(hi, l.hi[i])
+	}
+	l.lo, l.hi = lo, hi
+}
+
+// Contains reports whether addr is excluded.
+func (l *List) Contains(addr uint32) bool {
+	i := sort.Search(len(l.lo), func(i int) bool { return l.lo[i] > addr })
+	return i > 0 && addr <= l.hi[i-1]
+}
+
+// Len returns the number of merged ranges.
+func (l *List) Len() int { return len(l.lo) }
+
+// SkipFunc adapts the list to the scanners' per-block Skip interface: a
+// block is skipped when its base address is excluded (FlashRoute excludes
+// whole /24 blocks, §3.4).
+func (l *List) SkipFunc(blockAddr func(int) uint32) func(int) bool {
+	return func(block int) bool { return l.Contains(blockAddr(block)) }
+}

@@ -1,0 +1,116 @@
+package exclude
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReservedCoversKnownSpace(t *testing.T) {
+	l := Reserved()
+	cases := map[uint32]bool{
+		0x0A000001: true,  // 10.0.0.1
+		0x7F000001: true,  // 127.0.0.1
+		0xC0A80101: true,  // 192.168.1.1
+		0xAC100001: true,  // 172.16.0.1
+		0xAC200001: false, // 172.32.0.1 (just outside /12)
+		0xE0000001: true,  // 224.0.0.1 multicast
+		0xF0000001: true,  // 240.0.0.1 class E
+		0x08080808: false, // 8.8.8.8
+		0x04000001: false, // 4.0.0.1
+	}
+	for addr, want := range cases {
+		if got := l.Contains(addr); got != want {
+			t.Fatalf("Contains(%#x)=%v want %v", addr, got, want)
+		}
+	}
+}
+
+func TestReadMergeAndComments(t *testing.T) {
+	in := `
+# opt-out requests
+4.0.0.0/24
+4.0.1.0/24
+9.9.9.9
+bad-lines-are-rejected-below
+`
+	_, err := Read(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("junk line accepted")
+	}
+	l, err := Read(strings.NewReader("# c\n4.0.0.0/24\n4.0.1.0/24\n9.9.9.9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adjacent /24s merge into one range.
+	if l.Len() != 2 {
+		t.Fatalf("ranges=%d want 2", l.Len())
+	}
+	if !l.Contains(0x04000042) || !l.Contains(0x040001FF) {
+		t.Fatal("merged range misses members")
+	}
+	if l.Contains(0x04000200) {
+		t.Fatal("range too wide")
+	}
+	if !l.Contains(0x09090909) || l.Contains(0x09090908) {
+		t.Fatal("/32 entry wrong")
+	}
+}
+
+func TestContainsMatchesLinearScan(t *testing.T) {
+	l := New()
+	for _, c := range []string{"4.0.0.0/22", "4.0.16.0/24", "200.1.0.0/16"} {
+		if err := l.AddCIDR(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.normalize()
+	inRange := func(a uint32) bool {
+		return (a >= 0x04000000 && a <= 0x040003FF) ||
+			(a >= 0x04001000 && a <= 0x040010FF) ||
+			(a >= 0xC8010000 && a <= 0xC801FFFF)
+	}
+	prop := func(a uint32) bool { return l.Contains(a) == inRange(a) }
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Boundary probes.
+	for _, a := range []uint32{0x03FFFFFF, 0x04000000, 0x040003FF, 0x04000400} {
+		if l.Contains(a) != inRange(a) {
+			t.Fatalf("boundary %#x", a)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New()
+	a.AddCIDR("4.0.0.0/24")
+	a.normalize()
+	b := New()
+	b.AddCIDR("5.0.0.0/24")
+	b.normalize()
+	a.Merge(b)
+	if !a.Contains(0x04000001) || !a.Contains(0x05000001) {
+		t.Fatal("merge lost ranges")
+	}
+}
+
+func TestSkipFunc(t *testing.T) {
+	l := New()
+	l.AddCIDR("4.0.5.0/24")
+	l.normalize()
+	blockAddr := func(b int) uint32 { return 0x04000000 + uint32(b)<<8 }
+	skip := l.SkipFunc(blockAddr)
+	if !skip(5) || skip(4) || skip(6) {
+		t.Fatal("skip func wrong")
+	}
+}
+
+func TestBadCIDRs(t *testing.T) {
+	l := New()
+	for _, c := range []string{"junk", "1.2.3.4/40", "300.1.1.1/8"} {
+		if err := l.AddCIDR(c); err == nil {
+			t.Fatalf("accepted %q", c)
+		}
+	}
+}

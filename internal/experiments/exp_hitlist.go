@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/flashroute/flashroute/internal/core"
+	"github.com/flashroute/flashroute/internal/metrics"
+	"github.com/flashroute/flashroute/internal/trace"
+)
+
+// HitlistBiasResult carries Figure 8 and the §5.1 statistics.
+type HitlistBiasResult struct {
+	// Interface totals of the two exhaustive scans.
+	RandomInterfaces  int
+	HitlistInterfaces int
+
+	// JaccardByDistance[d] is the similarity of the interface sets at hop
+	// distance d from the destinations (Figure 8).
+	JaccardByDistance []float64
+
+	// Route-length comparison over blocks where both scans measured a
+	// route (§5.1).
+	RandomLonger  int
+	HitlistLonger int
+	// ...and restricted to blocks where both targets responded.
+	BothResponsive              int
+	RandomLongerBothResponsive  int
+	HitlistLongerBothResponsive int
+
+	// On-route appearances: hitlist addresses found as intermediate hops
+	// on routes to random targets of the same block, and vice versa.
+	HitlistOnRandomRoutes int
+	RandomOnHitlistRoutes int
+
+	// Responsive target counts (the preprobe-responsiveness asymmetry).
+	ResponsiveHitlist int
+	ResponsiveRandom  int
+
+	// Loops on routes to unresponsive random targets in blocks whose
+	// hitlist target responded (§5.1: 1.7% in the paper).
+	LoopEligible int
+	LoopRoutes   int
+}
+
+// WriteText renders the result.
+func (r *HitlistBiasResult) WriteText(w io.Writer) error {
+	_, err := fmt.Fprintf(w, `Figure 8 / §5.1: census hitlist bias
+interfaces: random scan=%d hitlist scan=%d (deficit %d)
+responsive targets: hitlist=%d random=%d
+route lengths (all blocks with both routes): random longer=%d hitlist longer=%d
+route lengths (both targets responsive, n=%d): random longer=%d hitlist longer=%d
+on-route appearances: hitlist-on-random=%d random-on-hitlist=%d
+loops on unresponsive-random routes: %d of %d eligible (%.2f%%)
+jaccard by hop distance from destination:
+`,
+		r.RandomInterfaces, r.HitlistInterfaces, r.RandomInterfaces-r.HitlistInterfaces,
+		r.ResponsiveHitlist, r.ResponsiveRandom,
+		r.RandomLonger, r.HitlistLonger,
+		r.BothResponsive, r.RandomLongerBothResponsive, r.HitlistLongerBothResponsive,
+		r.HitlistOnRandomRoutes, r.RandomOnHitlistRoutes,
+		r.LoopRoutes, r.LoopEligible, 100*pct(r.LoopRoutes, r.LoopEligible))
+	if err != nil {
+		return err
+	}
+	for d, j := range r.JaccardByDistance {
+		if _, err := fmt.Fprintf(w, "%d\t%.3f\n", d, j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Figure8HitlistBias reproduces §5.1 / Figure 8: two exhaustive scans of
+// the same Internet — one probing the census hitlist's representative per
+// block, one probing random representatives — compared by interface
+// yield, per-distance Jaccard similarity, route lengths, on-route target
+// appearances, and loops.
+func Figure8HitlistBias(s *Scenario) (*HitlistBiasResult, error) {
+	hl := s.Hitlist()
+	randomTargets := s.RandomTargets()
+
+	runExhaustive := func(targets func(int) uint32) (*core.Result, error) {
+		cfg := s.FlashConfig()
+		cfg.Exhaustive = true
+		cfg.CollectRoutes = true
+		cfg.Targets = targets
+		return s.RunFlash(cfg)
+	}
+	resRandom, err := runExhaustive(randomTargets)
+	if err != nil {
+		return nil, err
+	}
+	resHitlist, err := runExhaustive(hl.TargetFunc())
+	if err != nil {
+		return nil, err
+	}
+
+	out := &HitlistBiasResult{
+		RandomInterfaces:  resRandom.Store.Interfaces().Len(),
+		HitlistInterfaces: resHitlist.Store.Interfaces().Len(),
+		JaccardByDistance: metrics.JaccardByDistance(resRandom.Store, resHitlist.Store, 10),
+	}
+
+	for b := 0; b < s.Blocks; b++ {
+		rnd, hit := randomTargets(b), hl.Addr(b)
+		rr := resRandom.Store.Route(rnd)
+		rh := resHitlist.Store.Route(hit)
+
+		rLen, hLen := routeLen(rr), routeLen(rh)
+		if rLen > 0 && hLen > 0 {
+			if rLen > hLen {
+				out.RandomLonger++
+			} else if hLen > rLen {
+				out.HitlistLonger++
+			}
+		}
+
+		rReached := rr != nil && rr.Reached
+		hReached := rh != nil && rh.Reached
+		if rReached {
+			out.ResponsiveRandom++
+		}
+		if hReached {
+			out.ResponsiveHitlist++
+		}
+		if rReached && hReached {
+			out.BothResponsive++
+			if rr.Length > rh.Length {
+				out.RandomLongerBothResponsive++
+			} else if rh.Length > rr.Length {
+				out.HitlistLongerBothResponsive++
+			}
+		}
+
+		// On-route intermediate appearances (strictly before the end).
+		if rr != nil && hit != rnd && onRouteIntermediate(rr, hit) {
+			out.HitlistOnRandomRoutes++
+		}
+		if rh != nil && rnd != hit && onRouteIntermediate(rh, rnd) {
+			out.RandomOnHitlistRoutes++
+		}
+
+		// Loop census over unresponsive-random / responsive-hitlist blocks.
+		if hReached && !rReached && rr != nil {
+			out.LoopEligible++
+			if rr.HasLoop() {
+				out.LoopRoutes++
+			}
+		}
+	}
+	return out, nil
+}
+
+func routeLen(r *trace.Route) int {
+	if r == nil {
+		return 0
+	}
+	return int(r.Length)
+}
+
+// onRouteIntermediate reports whether addr appears as an intermediate hop
+// of the route (not as its final destination response).
+func onRouteIntermediate(r *trace.Route, addr uint32) bool {
+	for _, h := range r.Hops {
+		if h.Addr == addr && !(r.Reached && h.TTL == r.Length) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/flashroute/flashroute/internal/metrics"
+)
+
+// SpanRow is one line of the proximity-span exploration.
+type SpanRow struct {
+	Span      int
+	Measured  int
+	Predicted int
+	Row       Row
+	// WithinOne is the prediction accuracy at this span (fraction of
+	// cross-validated predictions within one hop of the triggering TTL).
+	WithinOne float64
+}
+
+// SpanResult carries the §5.4 proximity-span exploration the paper
+// planned: how prediction coverage, prediction accuracy and overall scan
+// economics respond to the span.
+type SpanResult struct {
+	Rows []SpanRow
+}
+
+// WriteText renders the sweep.
+func (r *SpanResult) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "§5.4 proximity-span exploration (FlashRoute-16)\n%-6s %10s %10s %12s %12s %12s %10s\n",
+		"span", "measured", "predicted", "interfaces", "probes", "scan time", "within1"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%-6d %10d %10d %12d %12d %12s %9.1f%%\n",
+			row.Span, row.Measured, row.Predicted,
+			row.Row.Interfaces, row.Row.Probes, metrics.FormatDuration(row.Row.ScanTime),
+			100*row.WithinOne); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SpanSweep5_4 runs FlashRoute-16 with a range of proximity spans,
+// measuring prediction coverage and leave-one-out accuracy per span —
+// the "additional experiments to find a substantiated recommended value"
+// of §5.4.
+func SpanSweep5_4(s *Scenario, spans []int) (*SpanResult, error) {
+	if len(spans) == 0 {
+		spans = []int{0, 1, 2, 5, 10, 16}
+	}
+	out := &SpanResult{}
+	for _, span := range spans {
+		cfg := s.FlashConfig()
+		cfg.ProximitySpan = span
+		res, err := s.RunFlash(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := SpanRow{
+			Span:      span,
+			Measured:  res.DistancesMeasured,
+			Predicted: res.DistancesPredicted,
+			Row:       rowFromFlash(fmt.Sprintf("span-%d", span), res),
+		}
+		// Leave-one-out accuracy among measured blocks at this span,
+		// against the simulator's ground truth (cheaper than a second
+		// exhaustive scan per span, same statistic as Figure 4).
+		targets := s.RandomTargets()
+		within, total := 0, 0
+		for b := 0; b < s.Blocks; b++ {
+			if res.Measured[b] == 0 {
+				continue
+			}
+			var pred uint8
+			for d := 1; d <= span; d++ {
+				if b-d >= 0 && res.Measured[b-d] != 0 {
+					pred = res.Measured[b-d]
+					break
+				}
+				if b+d < s.Blocks && res.Measured[b+d] != 0 {
+					pred = res.Measured[b+d]
+					break
+				}
+			}
+			if pred == 0 {
+				continue
+			}
+			truth := s.Topo.DistanceNow(targets(b), 0)
+			if truth == 0 {
+				continue
+			}
+			total++
+			diff := int(pred) - int(truth)
+			if diff >= -1 && diff <= 1 {
+				within++
+			}
+		}
+		if total > 0 {
+			row.WithinOne = float64(within) / float64(total)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index). Each experiment
+// is a function from a Scenario — a seeded synthetic Internet plus scale
+// policy — to a typed result that renders itself for EXPERIMENTS.md.
+//
+// Scale policy: the paper scans the ~11.1M routable /24 blocks at
+// 100 Kpps. Experiments here run on a scaled universe with the probing
+// rate scaled by the same factor, which preserves every per-interface
+// probe rate (the quantity that drives ICMP rate limiting) and every
+// probes-per-block figure, and therefore the paper's ratios and scan-time
+// proportions, on universes that fit in seconds of virtual time.
+package experiments
+
+import (
+	"time"
+
+	"github.com/flashroute/flashroute/internal/core"
+	"github.com/flashroute/flashroute/internal/hitlist"
+	"github.com/flashroute/flashroute/internal/netsim"
+	"github.com/flashroute/flashroute/internal/simclock"
+)
+
+// PaperBlocks is the number of routable /24 blocks the paper's full scans
+// cover (Yarrp-32's 355.7M probes / 32 TTLs).
+const PaperBlocks = 11_115_687
+
+// PaperPPS is the probing rate negotiated in the paper.
+const PaperPPS = 100_000
+
+// Scenario is the shared substrate of one experiment run.
+type Scenario struct {
+	Blocks int
+	Seed   int64
+	Topo   *netsim.Topology
+
+	hl *hitlist.Hitlist
+}
+
+// NewScenario builds the synthetic Internet for the given size and seed.
+func NewScenario(blocks int, seed int64) *Scenario {
+	u := netsim.NewSyntheticUniverse(blocks)
+	topo := netsim.NewTopology(u, netsim.DefaultParams(seed))
+	return &Scenario{Blocks: blocks, Seed: seed, Topo: topo}
+}
+
+// ScaledPPS translates a paper probing rate to this universe's size so
+// per-interface probe rates match the paper's.
+func (s *Scenario) ScaledPPS(paperRate int) int {
+	pps := int(int64(paperRate) * int64(s.Blocks) / PaperBlocks)
+	if pps < 50 {
+		pps = 50
+	}
+	return pps
+}
+
+// Hitlist lazily generates the scenario's census hitlist.
+func (s *Scenario) Hitlist() *hitlist.Hitlist {
+	if s.hl == nil {
+		s.hl = hitlist.Generate(s.Topo)
+	}
+	return s.hl
+}
+
+// RandomTargets returns the per-block random representative function used
+// by the main scans (one deterministic pseudo-random host octet per
+// block).
+func (s *Scenario) RandomTargets() func(int) uint32 {
+	u := s.Topo.U
+	seed := uint64(s.Seed)
+	return func(block int) uint32 {
+		z := seed*0x9e3779b97f4a7c15 + uint64(block)*0xd6e8feb86659fd93 + 0x1234
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z ^= z >> 31
+		return u.BlockAddr(block) | uint32(1+z%254)
+	}
+}
+
+// BlockOf returns the address-to-block mapping function.
+func (s *Scenario) BlockOf() func(uint32) (int, bool) {
+	u := s.Topo.U
+	return func(addr uint32) (int, bool) { return u.BlockIndex(addr) }
+}
+
+// NewNet creates a fresh network on a fresh virtual clock (one isolated
+// scan world).
+func (s *Scenario) NewNet() (*netsim.Net, *simclock.Virtual) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	return netsim.New(s.Topo, clock), clock
+}
+
+// newFastNet builds a network over this topology on the given (real)
+// clock with near-zero RTTs, so maximum-rate measurements are CPU-bound —
+// matching the paper's testbed methodology — instead of drain-bound.
+func (s *Scenario) newFastNet(clock simclock.Waiter) *netsim.Net {
+	fast := *s.Topo // shallow copy shares the immutable structure
+	fast.P.BaseRTT = 100 * time.Microsecond
+	fast.P.PerHopRTT = 0
+	fast.P.JitterRTT = 200 * time.Microsecond
+	return netsim.New(&fast, clock)
+}
+
+// FlashConfig assembles a core.Config for this scenario with the paper's
+// defaults and the scaled probing rate.
+func (s *Scenario) FlashConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Blocks = s.Blocks
+	cfg.Seed = s.Seed
+	cfg.Source = s.Topo.Vantage()
+	cfg.Targets = s.RandomTargets()
+	cfg.BlockOf = s.BlockOf()
+	cfg.PPS = s.ScaledPPS(PaperPPS)
+	return cfg
+}
+
+// RunFlash runs a FlashRoute scan with the given config on a fresh net.
+func (s *Scenario) RunFlash(cfg core.Config) (*core.Result, error) {
+	n, clock := s.NewNet()
+	sc, err := core.NewScanner(cfg, n.NewConn(), clock)
+	if err != nil {
+		return nil, err
+	}
+	return sc.Run()
+}

@@ -1,0 +1,228 @@
+// Package hitlist builds and loads per-/24 "most responsive address"
+// lists, modeling the ISI Census Hitlist [18] the paper uses for
+// preprobing and studies for bias (§4.1.3, §5.1).
+//
+// The generator mirrors how the census works: it selects, per block, the
+// address most responsive to ICMP echo over time. Because stub-network
+// gateway appliances answer pings far more reliably than end hosts, the
+// selection lands on routers at the block periphery whenever one is
+// present — exactly the bias the paper uncovers (hitlist targets sit at
+// shorter hop distances and shield stub interiors from discovery).
+package hitlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/netsim"
+	"github.com/flashroute/flashroute/internal/probe"
+	"github.com/flashroute/flashroute/internal/simclock"
+)
+
+// Hitlist maps each block of a universe to its most-responsive address.
+type Hitlist struct {
+	addrs      []uint32
+	responsive int
+}
+
+// Generate builds the hitlist for the topology's universe by "pinging"
+// candidate addresses: router interfaces located in the block first (they
+// answer most reliably), then host octets in ascending order. Blocks with
+// no responsive address get a fallback entry at host octet 1 (the census
+// keeps low-score entries too).
+func Generate(topo *netsim.Topology) *Hitlist {
+	u := topo.U
+	n := u.NumBlocks()
+	h := &Hitlist{addrs: make([]uint32, n)}
+	for b := 0; b < n; b++ {
+		base := u.BlockAddr(b)
+		var pick uint32
+		// Router interfaces in this block answer pings persistently; the
+		// census's long-running experiment would always settle on them.
+		if gw := topo.GatewayOfBlock(b); gw != 0 && gw>>8 == base>>8 && topo.PingResponsive(gw) {
+			pick = gw
+		}
+		if pick == 0 {
+			for oct := uint32(1); oct <= 254; oct++ {
+				cand := base | oct
+				if topo.PingResponsive(cand) {
+					pick = cand
+					break
+				}
+			}
+		}
+		if pick != 0 {
+			h.responsive++
+		} else {
+			pick = base | 1
+		}
+		h.addrs[b] = pick
+	}
+	return h
+}
+
+// Addr returns the hitlist address for a block (never zero; unresponsive
+// blocks carry their fallback entry).
+func (h *Hitlist) Addr(block int) uint32 {
+	return h.addrs[block]
+}
+
+// TargetFunc adapts the hitlist for the scanners' target interface.
+func (h *Hitlist) TargetFunc() func(block int) uint32 {
+	return func(block int) uint32 { return h.addrs[block] }
+}
+
+// Len returns the number of blocks covered.
+func (h *Hitlist) Len() int { return len(h.addrs) }
+
+// Responsive returns how many blocks had a genuinely responsive address
+// when the list was generated (zero for lists read from files).
+func (h *Hitlist) Responsive() int { return h.responsive }
+
+// WriteTo stores the hitlist as one dotted-quad address per line, in
+// block order — the format FlashRoute's exterior-file option consumes.
+func (h *Hitlist) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	for _, a := range h.addrs {
+		n, err := fmt.Fprintln(bw, probe.FormatAddr(a))
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// PingConn is the packet transport GenerateViaPings scans through.
+type PingConn interface {
+	WritePacket(pkt []byte) error
+	ReadPacket(buf []byte) (int, error)
+	Close() error
+}
+
+// GenerateViaPings builds the hitlist the way the census actually does —
+// by sending ICMP echo requests through the network and keeping, per
+// block, the first (lowest-candidate) address that replied. It probes a
+// bounded candidate set per block: the conventional gateway octets first,
+// then a deterministic sample (the census converges on popular octets the
+// same way over its long run). Blocks with no replies get the octet-1
+// fallback entry, like Generate.
+//
+// clock must be the Waiter driving the conn's network.
+func GenerateViaPings(u *netsim.Universe, conn PingConn, clock simclock.Waiter, seed int64) (*Hitlist, error) {
+	n := u.NumBlocks()
+	h := &Hitlist{addrs: make([]uint32, n)}
+
+	candidates := func(block int) []uint32 {
+		base := u.BlockAddr(block)
+		out := []uint32{base | 1, base | 2, base | 3}
+		z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(block)*0xd6e8feb86659fd93
+		for k := 0; k < 13; k++ {
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z ^= z >> 31
+			out = append(out, base|uint32(4+z%251))
+		}
+		return out
+	}
+
+	// Census id: mark our pings so unrelated traffic never confuses us.
+	const pingID = 0xCE45
+
+	best := make([]int8, n) // index into candidates; -1 = none yet
+	for i := range best {
+		best[i] = -1
+	}
+
+	clock.AddActor()
+	clock.AddActor()
+	recvDone := make(chan struct{})
+	var recvErr error
+	go func() {
+		defer close(recvDone)
+		defer clock.DoneActor()
+		var buf [4096]byte
+		for {
+			ln, err := conn.ReadPacket(buf[:])
+			if err != nil {
+				if err != io.EOF {
+					recvErr = err
+				}
+				return
+			}
+			from, id, seq, ok := probe.ParseEchoReply(buf[:ln])
+			if !ok || id != pingID {
+				continue
+			}
+			b, inU := u.BlockIndex(from)
+			if !inU {
+				continue
+			}
+			cand := int8(seq & 0xff)
+			if best[b] == -1 || cand < best[b] {
+				best[b] = cand
+			}
+		}
+	}()
+
+	var pkt [probe.IPv4HeaderLen + probe.EchoLen]byte
+	count := 0
+	for b := 0; b < n; b++ {
+		for ci, cand := range candidates(b) {
+			ln := probe.BuildEchoRequest(pkt[:], 0x0A000001, cand, pingID, uint16(ci))
+			if err := conn.WritePacket(pkt[:ln]); err != nil {
+				conn.Close()
+				clock.DoneActor()
+				<-recvDone
+				return nil, err
+			}
+			count++
+			if count%500 == 0 {
+				clock.Sleep(time.Millisecond) // ~500 Kpps census pacing
+			}
+		}
+	}
+	clock.Sleep(2 * time.Second)
+	conn.Close()
+	clock.DoneActor()
+	<-recvDone
+	if recvErr != nil {
+		return nil, recvErr
+	}
+
+	for b := 0; b < n; b++ {
+		if best[b] >= 0 {
+			h.addrs[b] = candidates(b)[best[b]]
+			h.responsive++
+		} else {
+			h.addrs[b] = u.BlockAddr(b) | 1
+		}
+	}
+	return h, nil
+}
+
+// Read loads a hitlist for the given universe from one-address-per-line
+// text: each address is assigned to its containing block; later entries
+// for the same block win. Unlisted blocks keep a zero (no entry).
+func Read(r io.Reader, u *netsim.Universe) (*Hitlist, error) {
+	h := &Hitlist{addrs: make([]uint32, u.NumBlocks())}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := sc.Text()
+		if s == "" || s[0] == '#' {
+			continue
+		}
+		a, err := probe.ParseAddr(s)
+		if err != nil {
+			return nil, fmt.Errorf("hitlist: line %d: %w", line, err)
+		}
+		if b, ok := u.BlockIndex(a); ok {
+			h.addrs[b] = a
+		}
+	}
+	return h, sc.Err()
+}

@@ -1,0 +1,196 @@
+package hitlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/netsim"
+	"github.com/flashroute/flashroute/internal/simclock"
+)
+
+func topo(t testing.TB, blocks int, seed int64) *netsim.Topology {
+	t.Helper()
+	u := netsim.NewSyntheticUniverse(blocks)
+	return netsim.NewTopology(u, netsim.DefaultParams(seed))
+}
+
+func TestGenerateBasics(t *testing.T) {
+	tp := topo(t, 4096, 1)
+	h := Generate(tp)
+	if h.Len() != 4096 {
+		t.Fatalf("len=%d", h.Len())
+	}
+	for b := 0; b < 4096; b++ {
+		a := h.Addr(b)
+		if a == 0 {
+			t.Fatalf("block %d has no entry", b)
+		}
+		if got, ok := tp.U.BlockIndex(a); !ok || got != b {
+			t.Fatalf("entry %#x not inside block %d", a, b)
+		}
+	}
+	if h.Responsive() == 0 {
+		t.Fatal("no responsive entries at all")
+	}
+	frac := float64(h.Responsive()) / 4096
+	// Paper §4.1.3/§5.1: hitlist targets respond ~2-3x as often as random
+	// ones (~10% vs ~4%).
+	if frac < 0.05 || frac > 0.35 {
+		t.Errorf("responsive fraction %.3f outside [0.05,0.35]", frac)
+	}
+}
+
+// TestGatewayPreference: when a block hosts its stub's gateway, the
+// census must settle on it — the §5.1 bias mechanism.
+func TestGatewayPreference(t *testing.T) {
+	tp := topo(t, 8192, 2)
+	h := Generate(tp)
+	checked, picked := 0, 0
+	for b := 0; b < 8192; b++ {
+		gw := tp.GatewayOfBlock(b)
+		if gw == 0 {
+			continue
+		}
+		if int(gw>>8) != int(tp.U.BlockAddr(b)>>8) {
+			continue // gateway lives in another block of the stub
+		}
+		checked++
+		if h.Addr(b) == gw {
+			picked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no gateway blocks found")
+	}
+	if picked < checked*9/10 {
+		t.Fatalf("gateway picked for %d/%d gateway blocks", picked, checked)
+	}
+}
+
+// TestHitlistShorterDistances verifies the headline of §5.1 on generated
+// lists: responsive hitlist targets are closer than responsive random
+// targets in the same blocks.
+func TestHitlistShorterDistances(t *testing.T) {
+	tp := topo(t, 8192, 3)
+	h := Generate(tp)
+	shorter, longer := 0, 0
+	for b := 0; b < 8192; b++ {
+		hl := h.Addr(b)
+		dh := tp.DistanceNow(hl, 0)
+		if dh == 0 {
+			continue
+		}
+		// A "random" representative: any live host at a different octet.
+		base := tp.U.BlockAddr(b)
+		var rnd uint32
+		for oct := uint32(200); oct > 100; oct-- {
+			cand := base | oct
+			if cand != hl && tp.HostExists(cand) {
+				rnd = cand
+				break
+			}
+		}
+		if rnd == 0 {
+			continue
+		}
+		dr := tp.DistanceNow(rnd, 0)
+		if dr == 0 {
+			continue
+		}
+		if dh < dr {
+			shorter++
+		} else if dh > dr {
+			longer++
+		}
+	}
+	if shorter <= longer {
+		t.Fatalf("hitlist not biased shorter: shorter=%d longer=%d", shorter, longer)
+	}
+	t.Logf("hitlist shorter in %d blocks, longer in %d", shorter, longer)
+}
+
+// TestGenerateViaPings: the packet-level census must agree with the
+// oracle-based generator wherever its candidate set includes the oracle's
+// pick, and every responsive entry must be genuinely ping-responsive.
+func TestGenerateViaPings(t *testing.T) {
+	tp := topo(t, 2048, 9)
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	n := netsim.New(tp, clock)
+	h, err := GenerateViaPings(tp.U, n.NewConn(), clock, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Responsive() == 0 {
+		t.Fatal("ping census found nothing")
+	}
+	oracle := Generate(tp)
+	agree, gwChecked := 0, 0
+	for b := 0; b < 2048; b++ {
+		// Every responsive entry must actually answer pings.
+		a := h.Addr(b)
+		if a != tp.U.BlockAddr(b)|1 && !tp.PingResponsive(a) {
+			t.Fatalf("block %d: census picked unresponsive %#x", b, a)
+		}
+		// Gateway blocks: both generators must settle on the gateway
+		// (octet 1, always pinged first).
+		if gw := tp.GatewayOfBlock(b); gw != 0 && gw>>8 == tp.U.BlockAddr(b)>>8 {
+			gwChecked++
+			if h.Addr(b) == gw && oracle.Addr(b) == gw {
+				agree++
+			}
+		}
+	}
+	if gwChecked == 0 {
+		t.Fatal("no gateway blocks")
+	}
+	if agree < gwChecked*9/10 {
+		t.Fatalf("census and oracle disagree on gateways: %d/%d", agree, gwChecked)
+	}
+	t.Logf("ping census: %d responsive entries (oracle %d); %d/%d gateway blocks agree",
+		h.Responsive(), oracle.Responsive(), agree, gwChecked)
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tp := topo(t, 512, 4)
+	h := Generate(tp)
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, tp.U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 512; b++ {
+		if got.Addr(b) != h.Addr(b) {
+			t.Fatalf("block %d: %#x != %#x", b, got.Addr(b), h.Addr(b))
+		}
+	}
+}
+
+func TestReadIgnoresCommentsAndForeign(t *testing.T) {
+	u := netsim.NewSyntheticUniverse(4)
+	in := "# comment\n\n4.0.1.42\n9.9.9.9\n4.0.3.7\n"
+	h, err := Read(strings.NewReader(in), u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Addr(1) != 0x04000100|42 {
+		t.Fatalf("block1=%#x", h.Addr(1))
+	}
+	if h.Addr(3) != 0x04000300|7 {
+		t.Fatalf("block3=%#x", h.Addr(3))
+	}
+	if h.Addr(0) != 0 || h.Addr(2) != 0 {
+		t.Fatal("unlisted blocks should be zero")
+	}
+}
+
+func TestReadRejectsJunk(t *testing.T) {
+	u := netsim.NewSyntheticUniverse(4)
+	if _, err := Read(strings.NewReader("not-an-ip\n"), u); err == nil {
+		t.Fatal("junk line should error")
+	}
+}

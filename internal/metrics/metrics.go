@@ -1,0 +1,274 @@
+// Package metrics provides the statistical machinery of the paper's
+// evaluation: probe/interface counters, PDFs and CDFs over small integer
+// supports (Figures 3, 4), per-TTL probing profiles (Figure 7), Jaccard
+// similarity of interface sets (Figure 8), and the ICMP-rate-limit
+// overprobing analysis (Table 4).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/trace"
+)
+
+// IntHist is a histogram over a small signed-integer support, used for the
+// hop-distance difference distributions of Figures 3 and 4.
+type IntHist struct {
+	min, max int
+	counts   []uint64
+	total    uint64
+	// overflow counts samples outside [min,max]; they are included in the
+	// total so fractions remain honest.
+	overflow uint64
+}
+
+// NewIntHist returns a histogram covering [min, max] inclusive.
+func NewIntHist(min, max int) *IntHist {
+	if max < min {
+		panic("metrics: NewIntHist max < min")
+	}
+	return &IntHist{min: min, max: max, counts: make([]uint64, max-min+1)}
+}
+
+// Add records one sample.
+func (h *IntHist) Add(v int) {
+	h.total++
+	if v < h.min || v > h.max {
+		h.overflow++
+		return
+	}
+	h.counts[v-h.min]++
+}
+
+// Total returns the number of samples recorded.
+func (h *IntHist) Total() uint64 { return h.total }
+
+// PDF returns the fraction of samples equal to v.
+func (h *IntHist) PDF(v int) float64 {
+	if h.total == 0 || v < h.min || v > h.max {
+		return 0
+	}
+	return float64(h.counts[v-h.min]) / float64(h.total)
+}
+
+// CDF returns the fraction of samples <= v.
+func (h *IntHist) CDF(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if v < h.min {
+		return 0
+	}
+	if v > h.max {
+		v = h.max
+	}
+	var c uint64
+	for i := h.min; i <= v; i++ {
+		c += h.counts[i-h.min]
+	}
+	return float64(c) / float64(h.total)
+}
+
+// FractionWithin returns the fraction of samples v with |v| <= r — the
+// "within one hop" style statistics of §3.3.2 and §3.3.4.
+func (h *IntHist) FractionWithin(r int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var c uint64
+	for v := -r; v <= r; v++ {
+		if v >= h.min && v <= h.max {
+			c += h.counts[v-h.min]
+		}
+	}
+	return float64(c) / float64(h.total)
+}
+
+// WriteTSV emits "value pdf cdf" rows for plotting.
+func (h *IntHist) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "value\tpdf\tcdf"); err != nil {
+		return err
+	}
+	for v := h.min; v <= h.max; v++ {
+		if _, err := fmt.Fprintf(w, "%d\t%.6f\t%.6f\n", v, h.PDF(v), h.CDF(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TTLProfile counts, per TTL, how many targets had a probe issued at that
+// TTL — the quantity plotted in Figure 7.
+type TTLProfile struct {
+	Counts [33]uint64 // index = TTL, 1..32 used
+}
+
+// Add records that some target was probed at the given TTL.
+func (p *TTLProfile) Add(ttl uint8) {
+	if int(ttl) < len(p.Counts) {
+		p.Counts[ttl]++
+	}
+}
+
+// WriteTSV emits "ttl targets" rows.
+func (p *TTLProfile) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "ttl\ttargets"); err != nil {
+		return err
+	}
+	for ttl := 1; ttl < len(p.Counts); ttl++ {
+		if _, err := fmt.Fprintf(w, "%d\t%d\n", ttl, p.Counts[ttl]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Jaccard returns the Jaccard index |a∩b| / |a∪b| of two interface sets.
+// Identical sets yield 1, disjoint sets 0; two empty sets yield 1.
+func Jaccard(a, b trace.InterfaceSet) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for addr := range small {
+		if large.Has(addr) {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// HopMapper resolves which interface a probe (dst, ttl) would hit, per a
+// reference topology (the paper uses the Scamper-discovered topology for
+// its Table 4 analysis). ok is false if the reference topology has no
+// responding hop there.
+type HopMapper func(dst uint32, ttl uint8) (hop uint32, ok bool)
+
+// Overprobe implements the paper's router-overprobing analysis (§4.2.2):
+// it replays a tool's probe stream against a reference topology and counts
+// interfaces that receive more probes than the ICMP rate limit in any
+// one-second window of the scan, plus the number of probes in excess
+// (which the rate-limited router would not answer).
+type Overprobe struct {
+	limit  int
+	mapper HopMapper
+	state  map[uint32]*ovState
+}
+
+type ovState struct {
+	second     int64
+	inSecond   int
+	dropped    uint64
+	overprobed bool
+}
+
+// NewOverprobe returns an analyzer assuming `limit` ICMP responses per
+// second per interface (the paper uses 500 pps, the upper bound of [19]).
+func NewOverprobe(limit int, mapper HopMapper) *Overprobe {
+	return &Overprobe{limit: limit, mapper: mapper, state: make(map[uint32]*ovState)}
+}
+
+// Observe feeds one probe issuance (destination, TTL, time since scan
+// start). It must be called in nondecreasing time order per interface;
+// the engines' probe observers satisfy this naturally.
+func (o *Overprobe) Observe(dst uint32, ttl uint8, at time.Duration) {
+	hop, ok := o.mapper(dst, ttl)
+	if !ok {
+		return
+	}
+	s := o.state[hop]
+	if s == nil {
+		s = &ovState{second: -1}
+		o.state[hop] = s
+	}
+	sec := int64(at / time.Second)
+	if sec != s.second {
+		s.second = sec
+		s.inSecond = 0
+	}
+	s.inSecond++
+	if s.inSecond > o.limit {
+		s.dropped++
+		s.overprobed = true
+	}
+}
+
+// Result returns the number of overprobed interfaces and the total number
+// of dropped (unanswered) probes.
+func (o *Overprobe) Result() (overprobedInterfaces int, droppedProbes uint64) {
+	for _, s := range o.state {
+		if s.overprobed {
+			overprobedInterfaces++
+		}
+		droppedProbes += s.dropped
+	}
+	return
+}
+
+// JaccardByDistance computes, for each hop distance d from the
+// destination, the Jaccard index between the interfaces that scans A and B
+// observed at that distance — Figure 8. Distance 0 is the destination
+// itself; distance d is the hop d positions before the end of the route.
+// Only destinations in the same /24 block are compared, so A and B must
+// cover the same universe.
+func JaccardByDistance(a, b *trace.Store, maxDist int) []float64 {
+	setsA := interfacesByDistance(a, maxDist)
+	setsB := interfacesByDistance(b, maxDist)
+	out := make([]float64, maxDist+1)
+	for d := 0; d <= maxDist; d++ {
+		out[d] = Jaccard(setsA[d], setsB[d])
+	}
+	return out
+}
+
+func interfacesByDistance(st *trace.Store, maxDist int) []trace.InterfaceSet {
+	sets := make([]trace.InterfaceSet, maxDist+1)
+	for d := range sets {
+		sets[d] = make(trace.InterfaceSet)
+	}
+	st.ForEachRoute(func(r *trace.Route) {
+		if r.Length == 0 {
+			return
+		}
+		for _, h := range r.Hops {
+			d := int(r.Length) - int(h.TTL)
+			if d >= 0 && d <= maxDist {
+				sets[d].Add(h.Addr)
+			}
+		}
+	})
+	return sets
+}
+
+// FormatDuration renders a scan duration the way the paper's tables do:
+// M:SS.cc or H:MM:SS.cc.
+func FormatDuration(d time.Duration) string {
+	cs := d.Milliseconds() / 10
+	h := cs / 360000
+	m := cs % 360000 / 6000
+	s := cs % 6000 / 100
+	f := cs % 100
+	if h > 0 {
+		return fmt.Sprintf("%d:%02d:%02d.%02d", h, m, s, f)
+	}
+	return fmt.Sprintf("%d:%02d.%02d", m, s, f)
+}
+
+// SortedKeys returns the keys of a uint32-keyed map in ascending order
+// (deterministic reporting helper).
+func SortedKeys[V any](m map[uint32]V) []uint32 {
+	out := make([]uint32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/trace"
+)
+
+func TestIntHistPDFCDF(t *testing.T) {
+	h := NewIntHist(-5, 5)
+	for _, v := range []int{0, 0, 0, 1, -1, 2, 7} { // 7 overflows
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total=%d", h.Total())
+	}
+	if got := h.PDF(0); math.Abs(got-3.0/7) > 1e-9 {
+		t.Fatalf("PDF(0)=%v", got)
+	}
+	if got := h.CDF(0); math.Abs(got-4.0/7) > 1e-9 { // -1 and three 0s
+		t.Fatalf("CDF(0)=%v", got)
+	}
+	if got := h.CDF(5); math.Abs(got-6.0/7) > 1e-9 { // overflow excluded
+		t.Fatalf("CDF(5)=%v", got)
+	}
+	if got := h.FractionWithin(1); math.Abs(got-5.0/7) > 1e-9 {
+		t.Fatalf("FractionWithin(1)=%v", got)
+	}
+	if h.CDF(-6) != 0 || h.PDF(9) != 0 {
+		t.Fatal("out-of-range queries")
+	}
+}
+
+func TestIntHistCDFMonotoneProperty(t *testing.T) {
+	h := NewIntHist(-32, 32)
+	prop := func(vals []int8) bool {
+		for _, v := range vals {
+			h.Add(int(v) % 33)
+		}
+		prev := 0.0
+		for v := -32; v <= 32; v++ {
+			c := h.CDF(v)
+			if c < prev-1e-12 {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntHistWriteTSV(t *testing.T) {
+	h := NewIntHist(0, 2)
+	h.Add(1)
+	var sb strings.Builder
+	if err := h.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 || lines[0] != "value\tpdf\tcdf" {
+		t.Fatalf("tsv %q", sb.String())
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := trace.InterfaceSet{1: {}, 2: {}, 3: {}}
+	b := trace.InterfaceSet{2: {}, 3: {}, 4: {}}
+	if got := Jaccard(a, b); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("jaccard=%v want 0.5", got)
+	}
+	if Jaccard(a, a) != 1 {
+		t.Fatal("identical sets")
+	}
+	if Jaccard(a, trace.InterfaceSet{}) != 0 {
+		t.Fatal("disjoint with empty")
+	}
+	if Jaccard(trace.InterfaceSet{}, trace.InterfaceSet{}) != 1 {
+		t.Fatal("two empty sets")
+	}
+}
+
+func TestJaccardSymmetryProperty(t *testing.T) {
+	prop := func(xs, ys []uint8) bool {
+		a, b := make(trace.InterfaceSet), make(trace.InterfaceSet)
+		for _, x := range xs {
+			a[uint32(x)] = struct{}{}
+		}
+		for _, y := range ys {
+			b[uint32(y)] = struct{}{}
+		}
+		j1, j2 := Jaccard(a, b), Jaccard(b, a)
+		return j1 == j2 && j1 >= 0 && j1 <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTTLProfile(t *testing.T) {
+	var p TTLProfile
+	p.Add(1)
+	p.Add(16)
+	p.Add(16)
+	p.Add(40) // out of range, ignored
+	if p.Counts[16] != 2 || p.Counts[1] != 1 {
+		t.Fatalf("counts %v", p.Counts)
+	}
+	var sb strings.Builder
+	if err := p.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "16\t2") {
+		t.Fatalf("tsv %q", sb.String())
+	}
+}
+
+func TestOverprobe(t *testing.T) {
+	// Every probe to any destination at TTL 5 maps to interface 0xAA.
+	mapper := func(dst uint32, ttl uint8) (uint32, bool) {
+		if ttl == 5 {
+			return 0xAA, true
+		}
+		return 0, false
+	}
+	o := NewOverprobe(10, mapper)
+	// 15 probes at TTL 5 within the same second: 5 dropped.
+	for i := 0; i < 15; i++ {
+		o.Observe(uint32(i), 5, 100*time.Millisecond)
+	}
+	// Probes at unmapped TTLs never count.
+	for i := 0; i < 100; i++ {
+		o.Observe(uint32(i), 9, 100*time.Millisecond)
+	}
+	over, dropped := o.Result()
+	if over != 1 || dropped != 5 {
+		t.Fatalf("over=%d dropped=%d want 1,5", over, dropped)
+	}
+	// Next second: budget refreshes; 10 more probes are all fine.
+	for i := 0; i < 10; i++ {
+		o.Observe(uint32(i), 5, 1100*time.Millisecond)
+	}
+	over, dropped = o.Result()
+	if over != 1 || dropped != 5 {
+		t.Fatalf("after refresh: over=%d dropped=%d", over, dropped)
+	}
+}
+
+func TestJaccardByDistance(t *testing.T) {
+	// Scan A and B agree far from destinations, disagree at distance 0-1.
+	a, b := trace.NewStore(true), trace.NewStore(true)
+	for i := uint32(0); i < 50; i++ {
+		dst := 0x04000000 + i<<8 + 9
+		// Shared infra at TTLs 1,2 (distance 3,2 from dest at length 4).
+		a.AddHop(dst, 1, 0xF0000001, 0)
+		b.AddHop(dst, 1, 0xF0000001, 0)
+		a.AddHop(dst, 2, 0xF0000002, 0)
+		b.AddHop(dst, 2, 0xF0000002, 0)
+		// Distinct last hops and destinations.
+		a.AddHop(dst, 3, 0x0A000000+i, 0)
+		b.AddHop(dst, 3, 0x0B000000+i, 0)
+		a.SetReached(dst, 4, dst, 0)
+		b.SetReached(dst, 4, dst^1, 0)
+	}
+	j := JaccardByDistance(a, b, 3)
+	if j[0] != 0 || j[1] != 0 {
+		t.Fatalf("near-destination similarity should be 0: %v", j)
+	}
+	if j[2] != 1 || j[3] != 1 {
+		t.Fatalf("far similarity should be 1: %v", j)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		17*time.Minute + 16*time.Second + 560*time.Millisecond: "17:16.56",
+		time.Hour + 15*time.Second + 210*time.Millisecond:      "1:00:15.21",
+		3*time.Hour + 43*time.Minute + 27*time.Second:          "3:43:27.00",
+		time.Second: "0:01.00",
+	}
+	for d, want := range cases {
+		if got := FormatDuration(d); got != want {
+			t.Fatalf("FormatDuration(%v)=%q want %q", d, got, want)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[uint32]int{5: 1, 1: 2, 9: 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != 1 || got[1] != 5 || got[2] != 9 {
+		t.Fatalf("sorted %v", got)
+	}
+}

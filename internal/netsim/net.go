@@ -1,0 +1,415 @@
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/probe"
+	"github.com/flashroute/flashroute/internal/simclock"
+)
+
+// ErrClosed is returned by writes on a closed Conn.
+var ErrClosed = errors.New("netsim: connection closed")
+
+// Stats counts what the network saw. All fields are updated atomically and
+// may be read during a scan.
+type Stats struct {
+	ProbesSent     atomic.Uint64 // packets written
+	Responses      atomic.Uint64 // responses delivered to the inbox
+	RateLimited    atomic.Uint64 // ICMP responses suppressed by rate limits
+	SilentHops     atomic.Uint64 // probes expiring at persistently silent routers
+	NoRoute        atomic.Uint64 // probes falling off route ends
+	DestSilent     atomic.Uint64 // probes reaching hosts that don't answer this type
+	MalformedSends atomic.Uint64 // unparseable probe packets
+}
+
+// Net binds a Topology to a clock and delivers packets with modeled RTTs,
+// per-interface ICMP rate limiting, and all middlebox behaviours.
+type Net struct {
+	topo  *Topology
+	clock simclock.Waiter
+	epoch time.Time
+
+	Stats Stats
+
+	mu      sync.Mutex
+	buckets map[uint32]*bucket
+}
+
+type bucket struct {
+	second int64
+	count  int
+}
+
+// New creates a network over the topology, driven by the given clock. The
+// clock's current time becomes the network epoch (time zero for route
+// dynamics and rate-limit windows).
+func New(topo *Topology, clock simclock.Waiter) *Net {
+	return &Net{
+		topo:    topo,
+		clock:   clock,
+		epoch:   clock.Now(),
+		buckets: make(map[uint32]*bucket),
+	}
+}
+
+// Topo returns the underlying topology.
+func (n *Net) Topo() *Topology { return n.topo }
+
+// Clock returns the clock driving this network.
+func (n *Net) Clock() simclock.Waiter { return n.clock }
+
+// Elapsed returns time since the network epoch.
+func (n *Net) Elapsed() time.Duration { return n.clock.Now().Sub(n.epoch) }
+
+// allowICMP consumes one unit of the interface's ICMP budget for the
+// current one-second window and reports whether the response may be sent
+// (fixed-window limit of ICMPRateLimitPPS per interface, per [19]).
+func (n *Net) allowICMP(addr uint32, now time.Duration) bool {
+	limit := n.topo.P.ICMPRateLimitPPS
+	if limit <= 0 {
+		return true
+	}
+	sec := int64(now / time.Second)
+	n.mu.Lock()
+	b := n.buckets[addr]
+	if b == nil {
+		b = &bucket{second: -1}
+		n.buckets[addr] = b
+	}
+	if b.second != sec {
+		b.second = sec
+		b.count = 0
+	}
+	b.count++
+	ok := b.count <= limit
+	n.mu.Unlock()
+	return ok
+}
+
+// rtt models the round-trip time to a responder at the given depth, with
+// per-(probe,instant) jitter.
+func (n *Net) rtt(dst uint32, depth uint8, now time.Duration) time.Duration {
+	p := &n.topo.P
+	j := time.Duration(0)
+	if p.JitterRTT > 0 {
+		h := n.topo.hash64(uint64(dst), uint64(depth), uint64(now))
+		j = time.Duration(h % uint64(p.JitterRTT))
+	}
+	return p.BaseRTT + time.Duration(depth)*p.PerHopRTT + j
+}
+
+// response kinds on the wire.
+const (
+	respICMPTimeExceeded = iota
+	respICMPPortUnreach
+	respTCPRST
+	respEchoReply
+)
+
+// pendingResp is a scheduled response, materialized into bytes at read
+// time (identical bytes, no per-probe allocation while in flight).
+type pendingResp struct {
+	deliverAt time.Duration // since epoch
+	seq       uint64        // tiebreaker for deterministic ordering
+	kind      uint8
+	hop       uint32
+	quote     probe.IPv4
+	transport [8]byte
+}
+
+type respHeap []pendingResp
+
+func (h respHeap) Len() int { return len(h) }
+func (h respHeap) Less(i, j int) bool {
+	if h[i].deliverAt != h[j].deliverAt {
+		return h[i].deliverAt < h[j].deliverAt
+	}
+	return h[i].seq < h[j].seq
+}
+func (h respHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *respHeap) Push(x any)        { *h = append(*h, x.(pendingResp)) }
+func (h *respHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (h respHeap) peek() *pendingResp { return &h[0] }
+
+// Conn is a raw-socket-like connection from the vantage point into the
+// simulated network. One goroutine may write while another reads — the
+// decoupled sender/receiver design of the paper (§3.2).
+type Conn struct {
+	net    *Net
+	src    uint32
+	parker *simclock.Parker
+
+	mu     sync.Mutex
+	inbox  respHeap
+	seq    uint64
+	closed bool
+}
+
+// NewConn opens a connection sourced at the vantage point.
+func (n *Net) NewConn() *Conn {
+	return &Conn{
+		net:    n,
+		src:    n.topo.Vantage(),
+		parker: n.clock.NewParker(),
+	}
+}
+
+// WritePacket injects one serialized IPv4 probe packet into the network.
+// The write itself never blocks; the response (if any) is scheduled for
+// delivery after the modeled RTT.
+func (c *Conn) WritePacket(pkt []byte) error {
+	n := c.net
+	n.Stats.ProbesSent.Add(1)
+
+	var hdr probe.IPv4
+	if err := hdr.Unmarshal(pkt); err != nil || len(pkt) < probe.IPv4HeaderLen+8 {
+		n.Stats.MalformedSends.Add(1)
+		if err == nil {
+			err = probe.ErrTruncated
+		}
+		return err
+	}
+	if int(hdr.TotalLength) > probe.MTU {
+		n.Stats.MalformedSends.Add(1)
+		return probe.ErrMessageTooLong
+	}
+	if hdr.TTL == 0 {
+		return nil // dies immediately, no response from ourselves
+	}
+
+	var transport [8]byte
+	copy(transport[:], pkt[probe.IPv4HeaderLen:probe.IPv4HeaderLen+8])
+	srcPort := uint16(transport[0])<<8 | uint16(transport[1])
+	dstPort := uint16(transport[2])<<8 | uint16(transport[3])
+
+	now := n.Elapsed()
+
+	// ICMP echo requests (the census hitlist's probe type, §5.1): answered
+	// by ping-responsive entities, subject to the same ICMP rate limits.
+	if hdr.Protocol == probe.ProtoICMP {
+		if transport[0] != probe.ICMPTypeEchoRequest {
+			n.Stats.MalformedSends.Add(1)
+			return nil
+		}
+		if !n.topo.PingResponsive(hdr.Dst) {
+			n.Stats.DestSilent.Add(1)
+			return nil
+		}
+		if !n.allowICMP(hdr.Dst, now) {
+			n.Stats.RateLimited.Add(1)
+			return nil
+		}
+		depth := n.topo.DistanceNow(hdr.Dst, now)
+		if depth == 0 {
+			depth = 16 // infra or unrouted responders: nominal RTT depth
+		}
+		resp := pendingResp{
+			deliverAt: now + n.rtt(hdr.Dst, depth, now),
+			kind:      respEchoReply,
+			hop:       hdr.Dst,
+			transport: transport,
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return ErrClosed
+		}
+		resp.seq = c.seq
+		c.seq++
+		heap.Push(&c.inbox, resp)
+		c.mu.Unlock()
+		n.Stats.Responses.Add(1)
+		c.net.clock.Unpark(c.parker)
+		return nil
+	}
+	flow := flowHash(hdr.Src, hdr.Dst, srcPort, dstPort, hdr.Protocol)
+	hop := n.topo.Resolve(hdr.Dst, hdr.TTL, flow, now, hdr.Protocol)
+
+	var kind uint8
+	switch hop.Kind {
+	case HopNone:
+		n.Stats.NoRoute.Add(1)
+		return nil
+	case HopSilentRouter:
+		n.Stats.SilentHops.Add(1)
+		return nil
+	case HopDestSilent:
+		n.Stats.DestSilent.Add(1)
+		return nil
+	case HopRouter:
+		kind = respICMPTimeExceeded
+	case HopDestUDP:
+		kind = respICMPPortUnreach
+	case HopDestTCP:
+		kind = respTCPRST
+	}
+
+	// ICMP rate limiting at the responder (TCP RSTs are not ICMP and are
+	// not throttled by it).
+	if kind != respTCPRST && !n.allowICMP(hop.Addr, now) {
+		n.Stats.RateLimited.Add(1)
+		return nil
+	}
+
+	// The quoted header is the probe's header as the responder saw it:
+	// TTL decayed to the residual, destination possibly rewritten.
+	quote := hdr
+	quote.TTL = hop.Residual
+	quote.Dst = hop.QuotedDst
+
+	resp := pendingResp{
+		deliverAt: now + n.rtt(hdr.Dst, hop.Depth, now),
+		kind:      kind,
+		hop:       hop.Addr,
+		quote:     quote,
+		transport: transport,
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	resp.seq = c.seq
+	c.seq++
+	heap.Push(&c.inbox, resp)
+	c.mu.Unlock()
+	n.Stats.Responses.Add(1)
+	c.net.clock.Unpark(c.parker)
+	return nil
+}
+
+// ReadPacket blocks until a response is deliverable, materializes it into
+// buf, and returns its length. It returns io.EOF once the connection is
+// closed and drained.
+func (c *Conn) ReadPacket(buf []byte) (int, error) {
+	for {
+		c.mu.Lock()
+		now := c.net.Elapsed()
+		if len(c.inbox) > 0 && c.inbox.peek().deliverAt <= now {
+			resp := heap.Pop(&c.inbox).(pendingResp)
+			c.mu.Unlock()
+			return c.materialize(buf, &resp), nil
+		}
+		if c.closed && len(c.inbox) == 0 {
+			c.mu.Unlock()
+			return 0, io.EOF
+		}
+		var deadline time.Time
+		if len(c.inbox) > 0 {
+			deadline = c.net.epoch.Add(c.inbox.peek().deliverAt)
+		}
+		c.mu.Unlock()
+		c.net.clock.Park(c.parker, deadline)
+	}
+}
+
+// materialize renders a pending response into wire bytes in buf.
+func (c *Conn) materialize(buf []byte, r *pendingResp) int {
+	switch r.kind {
+	case respEchoReply:
+		total := probe.IPv4HeaderLen + probe.EchoLen
+		outer := probe.IPv4{
+			TotalLength: uint16(total),
+			TTL:         64,
+			Protocol:    probe.ProtoICMP,
+			Src:         r.hop,
+			Dst:         c.src,
+		}
+		outer.Marshal(buf)
+		b := buf[probe.IPv4HeaderLen:]
+		b[0], b[1] = probe.ICMPTypeEchoReply, 0
+		b[2], b[3] = 0, 0
+		copy(b[4:8], r.transport[4:8]) // echoed id/seq
+		cs := probe.Checksum(b[:probe.EchoLen])
+		b[2], b[3] = byte(cs>>8), byte(cs)
+		return total
+
+	case respTCPRST:
+		total := probe.IPv4HeaderLen + probe.TCPHeaderLen
+		outer := probe.IPv4{
+			TotalLength: uint16(total),
+			TTL:         64,
+			Protocol:    probe.ProtoTCP,
+			Src:         r.hop,
+			Dst:         c.src,
+		}
+		outer.Marshal(buf)
+		var pt probe.TCP
+		_ = pt.Unmarshal(r.transport[:])
+		rst := probe.TCP{
+			SrcPort: pt.DstPort,
+			DstPort: pt.SrcPort,
+			Seq:     pt.Seq, // echo for scanner-side matching
+			Ack:     pt.Seq + 1,
+			Flags:   probe.FlagRST | probe.FlagACK,
+		}
+		rst.Marshal(buf[probe.IPv4HeaderLen:])
+		return total
+
+	default:
+		icmpType := uint8(probe.ICMPTypeTimeExceeded)
+		icmpCode := uint8(probe.ICMPCodeTTLExceeded)
+		if r.kind == respICMPPortUnreach {
+			icmpType = probe.ICMPTypeDestUnreachable
+			icmpCode = probe.ICMPCodePortUnreachable
+		}
+		total := probe.IPv4HeaderLen + probe.ICMPErrorLen
+		outer := probe.IPv4{
+			TotalLength: uint16(total),
+			TTL:         64,
+			Protocol:    probe.ProtoICMP,
+			Src:         r.hop,
+			Dst:         c.src,
+		}
+		outer.Marshal(buf)
+		q := r.quote
+		probe.MarshalICMPError(buf[probe.IPv4HeaderLen:], icmpType, icmpCode, &q, r.transport[:])
+		return total
+	}
+}
+
+// MaxResponseLen is the largest packet ReadPacket can produce.
+const MaxResponseLen = probe.IPv4HeaderLen + probe.ICMPErrorLen
+
+// Close closes the connection; pending deliverable responses may still be
+// read, after which ReadPacket returns io.EOF.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.net.clock.Unpark(c.parker)
+	return nil
+}
+
+// Pending returns the number of scheduled, not yet read responses.
+func (c *Conn) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.inbox)
+}
+
+// flowHash derives the load-balancer flow identifier from the 5-tuple
+// (FNV-1a over the tuple bytes), as a per-flow balancer would.
+func flowHash(src, dst uint32, sport, dport uint16, proto uint8) uint32 {
+	h := uint32(2166136261)
+	mix := func(b byte) {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	for i := 0; i < 4; i++ {
+		mix(byte(src >> (8 * i)))
+		mix(byte(dst >> (8 * i)))
+	}
+	mix(byte(sport >> 8))
+	mix(byte(sport))
+	mix(byte(dport >> 8))
+	mix(byte(dport))
+	mix(proto)
+	return h
+}

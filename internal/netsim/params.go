@@ -1,0 +1,155 @@
+package netsim
+
+import "time"
+
+// Params are the knobs of the synthetic topology and network behaviour.
+// Defaults are calibrated so that scaled-down universes reproduce the
+// statistical structure the paper measures on the live Internet: route
+// length distribution centered in the mid-teens, ~4% of random per-block
+// representatives responding to preprobes, hitlist representatives ~2.5x
+// more responsive and one hop or more closer, and roughly one unique
+// responding interface per handful of blocks.
+type Params struct {
+	// Seed drives every deterministic choice in the topology. Two
+	// topologies with equal Params are identical.
+	Seed int64
+
+	// Infrastructure shape. Regions and ProvidersPerRegion autoscale with
+	// the universe size when left zero, keeping the infrastructure a
+	// realistic minority of all interfaces at any scale.
+	CoreHops           int // hops shared by every route, nearest the VP
+	Regions            int
+	RegionHopsMin      int
+	RegionHopsMax      int
+	ProvidersPerRegion int
+	ProviderHopsMin    int
+	ProviderHopsMax    int
+	// DiamondProb is the fraction of provider paths containing a per-flow
+	// load-balancer diamond (Figure 2); RegionDiamondProb likewise for
+	// region paths. DiamondWidthMax bounds the number of parallel
+	// branches.
+	DiamondProb       float64
+	RegionDiamondProb float64
+	DiamondWidthMax   int
+
+	// Stub structure. Stubs cover 2^k contiguous blocks, k uniform in
+	// [0, StubSizeLogMax] — the supernets that make proximity-span
+	// prediction work (§3.3.3).
+	StubSizeLogMax int
+	// RoutedFraction is the fraction of blocks belonging to a routed stub;
+	// the rest have routes that die inside the provider (unresponsive
+	// tails, §3.2.1).
+	RoutedFraction float64
+	// InteriorMax is the maximum number of interior routers per stub,
+	// behind the gateway.
+	InteriorMax int
+	// ApplianceProb is the fraction of routed blocks fronted by their own
+	// edge appliance (router/firewall/NAT box at the block periphery, at
+	// host octet 1) — the devices the census hitlist preferentially
+	// settles on, shielding everything behind them (§5.1).
+	ApplianceProb float64
+	// BalancedHopProb is the fraction of occupied blocks whose last hop
+	// toward the hosts is a per-flow balanced router pair; only one of
+	// the two is visible to a destination's default flow, so the other is
+	// discoverable only by varying source ports — the interfaces
+	// discovery-optimized mode exists for (§5.2).
+	BalancedHopProb float64
+	// EdgeUnreachProb is the probability a stub edge device (gateway or
+	// appliance), probed as the destination, answers UDP-to-high-port
+	// with port unreachable (firewalls mostly drop it; this calibrates
+	// the paper's 10% hitlist preprobe success, §4.1.3).
+	EdgeUnreachProb float64
+	// LoopStubProb is the fraction of routed stubs that forward packets
+	// for nonexistent addresses back toward the ISP, creating forwarding
+	// loops (§5.1).
+	LoopStubProb float64
+
+	// Responsiveness.
+	SilentRouterProb   float64 // infrastructure routers that never answer
+	SilentInteriorProb float64 // stub interior routers that never answer
+	// TCPQuietRouterProb is the extra fraction of routers that answer UDP
+	// probes but not TCP ones — why UDP scans discover more interfaces
+	// ([16], §4.2.1).
+	TCPQuietRouterProb float64
+	// OccupiedBlockProb is the fraction of blocks containing live hosts;
+	// OccupiedDensityMin/Max bound the fraction of live host octets
+	// within an occupied block.
+	OccupiedBlockProb  float64
+	OccupiedDensityMin float64
+	OccupiedDensityMax float64
+	// HostPingProb is the probability a live host answers ICMP echo (used
+	// for hitlist construction); HostTCPRSTProb the probability it
+	// answers an unsolicited TCP ACK with RST, relative to answering UDP
+	// (UDP probes elicit more responses, §4.2.1 / [16]).
+	HostPingProb   float64
+	HostTCPRSTProb float64
+	// RouterUnreachProb is the probability a router interface, when it is
+	// itself the probe destination, answers port-unreachable.
+	RouterUnreachProb float64
+
+	// Path dynamics and middleboxes.
+	// DynamicBlockProb blocks flap between two routes differing by one
+	// hop, switching every DynamicEpoch (route dynamicity, §3.3.2).
+	DynamicBlockProb float64
+	DynamicEpoch     time.Duration
+	// MiddleboxTTLResetProb is the fraction of stubs whose entrance
+	// resets the TTL of transiting probes to MiddleboxResetValue
+	// (§3.3.2); AddrRewriteStubProb the fraction whose entrance rewrites
+	// destination addresses (§5.3).
+	MiddleboxTTLResetProb float64
+	MiddleboxResetValue   uint8
+	AddrRewriteStubProb   float64
+
+	// Network behaviour.
+	// ICMPRateLimitPPS is the per-interface ICMP response budget per
+	// second ([19]: most routers limit to 500/s or less).
+	ICMPRateLimitPPS int
+	BaseRTT          time.Duration
+	PerHopRTT        time.Duration
+	JitterRTT        time.Duration
+}
+
+// DefaultParams returns the calibrated defaults for the given seed.
+func DefaultParams(seed int64) Params {
+	return Params{
+		Seed:              seed,
+		CoreHops:          3,
+		Regions:           0, // autoscale
+		RegionHopsMin:     2,
+		RegionHopsMax:     6,
+		ProviderHopsMin:   4,
+		ProviderHopsMax:   11,
+		DiamondProb:       0.40,
+		RegionDiamondProb: 0.25,
+		DiamondWidthMax:   3,
+
+		StubSizeLogMax:  6,
+		RoutedFraction:  0.72,
+		InteriorMax:     3,
+		ApplianceProb:   0.015,
+		BalancedHopProb: 0.10,
+		LoopStubProb:    0.012,
+
+		SilentRouterProb:   0.18,
+		SilentInteriorProb: 0.30,
+		TCPQuietRouterProb: 0.035,
+		EdgeUnreachProb:    0.22,
+		OccupiedBlockProb:  0.11,
+		OccupiedDensityMin: 0.10,
+		OccupiedDensityMax: 0.60,
+		HostPingProb:       0.90,
+		HostTCPRSTProb:     0.90,
+		RouterUnreachProb:  0.95,
+
+		DynamicBlockProb:      0.14,
+		DynamicEpoch:          37 * time.Second,
+		MiddleboxTTLResetProb: 0.033,
+		MiddleboxResetValue:   32,
+		AddrRewriteStubProb:   0.002,
+
+		ICMPRateLimitPPS: 500,
+		BaseRTT:          10 * time.Millisecond,
+		PerHopRTT:        2 * time.Millisecond,
+		JitterRTT:        30 * time.Millisecond,
+	}
+}

@@ -1,0 +1,147 @@
+// Package netsim is the Internet substrate of this reproduction: a seeded,
+// deterministic simulation of the IPv4 routing topology as seen from a
+// single vantage point, together with a packet-level network that delivers
+// real serialized probe packets to it and returns real serialized ICMP
+// responses on a virtual (or real) clock.
+//
+// The paper evaluates FlashRoute against the live Internet; this package
+// substitutes a synthetic Internet with the structural properties every
+// probing decision depends on (see DESIGN.md §1):
+//
+//   - routes from the vantage point form a tree that converges close to
+//     the source (Doubletree's observation, paper §3.2.1, Figure 1);
+//   - stub networks advertise supernets, so adjacent /24 blocks share hop
+//     distance (the basis of proximity-span prediction, §3.3.3);
+//   - per-flow load balancers create diamonds whose alternative branches
+//     are only visible to distinct flow identifiers (Figure 2, §5.2);
+//   - routers may be persistently silent; nonexistent hosts produce
+//     unresponsive route tails; a small fraction of stubs loop packets
+//     for nonexistent addresses back toward the ISP (§5.1);
+//   - middleboxes occasionally reset TTLs (§3.3.2) or rewrite destination
+//     addresses (§5.3) in flight;
+//   - every responding interface enforces an ICMP rate limit (§4.2.2).
+package netsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Universe is the set of /24 blocks a scan covers, with a dense index.
+// FlashRoute's control structure is an array indexed by /24 prefix (paper
+// §3.4, Figure 5); Universe provides the mapping between that dense index
+// and real addresses, for universes given as CIDR ranges or synthesized.
+type Universe struct {
+	ranges []blockRange
+	cum    []int // cumulative block counts, len == len(ranges)
+	total  int
+}
+
+type blockRange struct {
+	firstPrefix uint32 // address>>8 of the first /24 block
+	count       int
+}
+
+// SyntheticBase is the first address of synthetic universes: 4.0.0.0.
+const SyntheticBase = uint32(0x04000000)
+
+// NewSyntheticUniverse returns a universe of n contiguous /24 blocks
+// starting at SyntheticBase. n may be up to 2^22 (a quarter of the IPv4
+// /24 space) without colliding with the simulator's infrastructure
+// address ranges.
+func NewSyntheticUniverse(n int) *Universe {
+	if n <= 0 || n > 1<<22 {
+		panic(fmt.Sprintf("netsim: synthetic universe size %d out of range (1..2^22)", n))
+	}
+	return &Universe{
+		ranges: []blockRange{{firstPrefix: SyntheticBase >> 8, count: n}},
+		cum:    []int{n},
+		total:  n,
+	}
+}
+
+// ParseUniverse builds a universe from CIDR strings like "10.0.0.0/8".
+// Prefix lengths longer than /24 are rejected; blocks are deduplicated
+// and ordered by address.
+func ParseUniverse(cidrs []string) (*Universe, error) {
+	type span struct{ first, last uint32 } // prefix space, inclusive
+	var spans []span
+	for _, c := range cidrs {
+		var a, b, cc, d, plen int
+		if _, err := fmt.Sscanf(c, "%d.%d.%d.%d/%d", &a, &b, &cc, &d, &plen); err != nil {
+			return nil, fmt.Errorf("netsim: bad CIDR %q: %w", c, err)
+		}
+		if plen < 0 || plen > 24 {
+			return nil, fmt.Errorf("netsim: CIDR %q: prefix length must be 0..24", c)
+		}
+		for _, v := range []int{a, b, cc, d} {
+			if v < 0 || v > 255 {
+				return nil, fmt.Errorf("netsim: bad CIDR %q", c)
+			}
+		}
+		addr := uint32(a)<<24 | uint32(b)<<16 | uint32(cc)<<8 | uint32(d)
+		mask := uint32(0xffffffff) << (32 - plen)
+		if plen == 0 {
+			mask = 0
+		}
+		base := addr & mask
+		nBlocks := 1 << (24 - plen)
+		spans = append(spans, span{first: base >> 8, last: base>>8 + uint32(nBlocks) - 1})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].first < spans[j].first })
+	// Merge overlaps.
+	var merged []span
+	for _, s := range spans {
+		if len(merged) > 0 && s.first <= merged[len(merged)-1].last+1 {
+			if s.last > merged[len(merged)-1].last {
+				merged[len(merged)-1].last = s.last
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	u := &Universe{}
+	for _, s := range merged {
+		n := int(s.last - s.first + 1)
+		u.ranges = append(u.ranges, blockRange{firstPrefix: s.first, count: n})
+		u.total += n
+		u.cum = append(u.cum, u.total)
+	}
+	if u.total == 0 {
+		return nil, fmt.Errorf("netsim: empty universe")
+	}
+	return u, nil
+}
+
+// NumBlocks returns the number of /24 blocks in the universe.
+func (u *Universe) NumBlocks() int { return u.total }
+
+// BlockAddr returns the base address (host octet zero) of block i.
+func (u *Universe) BlockAddr(i int) uint32 {
+	if i < 0 || i >= u.total {
+		panic(fmt.Sprintf("netsim: block index %d out of range [0,%d)", i, u.total))
+	}
+	lo := 0
+	for r := 0; r < len(u.ranges); r++ {
+		if i < u.cum[r] {
+			return (u.ranges[r].firstPrefix + uint32(i-lo)) << 8
+		}
+		lo = u.cum[r]
+	}
+	panic("unreachable")
+}
+
+// BlockIndex returns the dense index of the block containing addr, and
+// whether the address is inside the universe.
+func (u *Universe) BlockIndex(addr uint32) (int, bool) {
+	prefix := addr >> 8
+	lo := 0
+	for r := 0; r < len(u.ranges); r++ {
+		br := u.ranges[r]
+		if prefix >= br.firstPrefix && prefix < br.firstPrefix+uint32(br.count) {
+			return lo + int(prefix-br.firstPrefix), true
+		}
+		lo = u.cum[r]
+	}
+	return 0, false
+}

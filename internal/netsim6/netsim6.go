@@ -1,0 +1,527 @@
+// Package netsim6 is the IPv6 substrate for FlashRoute6 (the paper's §5.4
+// extension): a seeded synthetic IPv6 Internet and a packet-level
+// connection delivering real IPv6/ICMPv6 bytes on a pluggable clock.
+//
+// The defining difference from IPv4 is sparsity: allocated IPv6 space is
+// a scattering of prefixes in an astronomically larger space, so there is
+// no notion of "every /24"; scans run over candidate target lists, and
+// the scanner's control state must be indexed by hash rather than by
+// address prefix (the redesign the paper anticipates).
+package netsim6
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/probe6"
+	"github.com/flashroute/flashroute/internal/simclock"
+)
+
+// Params shape the synthetic IPv6 Internet.
+type Params struct {
+	Seed int64
+	// Prefixes is the number of allocated /48 prefixes; TargetsPerPrefix
+	// the number of candidate addresses per prefix in the target list
+	// (like Yarrp6's candidate lists).
+	Prefixes         int
+	TargetsPerPrefix int
+
+	CoreHops        int
+	Regions         int
+	RegionHopsMin   int
+	RegionHopsMax   int
+	Providers       int
+	ProviderHopsMin int
+	ProviderHopsMax int
+
+	SilentRouterProb float64
+	// HostRespProb is the probability a candidate target exists and
+	// answers port-unreachable (candidate lists are pre-filtered, so this
+	// is much higher than IPv4's random-representative rate).
+	HostRespProb float64
+
+	ICMPRateLimitPPS int
+	BaseRTT          time.Duration
+	PerHopRTT        time.Duration
+	JitterRTT        time.Duration
+}
+
+// DefaultParams returns calibrated defaults for the given seed.
+func DefaultParams(seed int64) Params {
+	return Params{
+		Seed:             seed,
+		Prefixes:         1024,
+		TargetsPerPrefix: 16,
+		CoreHops:         3,
+		Regions:          6,
+		RegionHopsMin:    2,
+		RegionHopsMax:    5,
+		Providers:        64,
+		ProviderHopsMin:  4,
+		ProviderHopsMax:  10,
+		SilentRouterProb: 0.15,
+		HostRespProb:     0.55,
+		ICMPRateLimitPPS: 500,
+		BaseRTT:          12 * time.Millisecond,
+		PerHopRTT:        2 * time.Millisecond,
+		JitterRTT:        30 * time.Millisecond,
+	}
+}
+
+// HopKind classifies a probe's fate.
+type HopKind uint8
+
+const (
+	HopNone HopKind = iota
+	HopRouter
+	HopSilentRouter
+	HopDest
+	HopDestSilent
+)
+
+// Hop is the outcome of resolving a probe.
+type Hop struct {
+	Kind     HopKind
+	Addr     probe6.Addr
+	Depth    uint8
+	Residual uint8
+}
+
+type prefix6 struct {
+	provider int32
+	gateway  probe6.Addr
+}
+
+// Topology is the synthetic IPv6 Internet.
+type Topology struct {
+	P Params
+
+	vantage probe6.Addr
+	core    []probe6.Addr
+
+	regionPaths   [][]probe6.Addr
+	providerPaths [][]probe6.Addr
+	providerReg   []int32
+
+	prefixes []prefix6
+	// prefIdx maps the /48 (first 6 bytes) to the prefix index — the
+	// sparse lookup that replaces IPv4's dense array.
+	prefIdx map[[6]byte]int32
+
+	targets []probe6.Addr
+
+	hashSeed uint64
+}
+
+// NewTopology generates the IPv6 Internet and its candidate target list.
+func NewTopology(p Params) *Topology {
+	rng := rand.New(rand.NewSource(p.Seed))
+	t := &Topology{
+		P:        p,
+		prefIdx:  make(map[[6]byte]int32, p.Prefixes),
+		hashSeed: uint64(p.Seed)*0x9e3779b97f4a7c15 + 0x6a09e667f3bcc908,
+	}
+	t.vantage = infraAddr(0, 1)
+	t.core = make([]probe6.Addr, p.CoreHops)
+	for i := range t.core {
+		t.core[i] = infraAddr(1, uint32(i+1))
+	}
+	span := func(min, max int) int {
+		if max <= min {
+			return min
+		}
+		return min + rng.Intn(max-min+1)
+	}
+	t.regionPaths = make([][]probe6.Addr, p.Regions)
+	for r := range t.regionPaths {
+		path := make([]probe6.Addr, span(p.RegionHopsMin, p.RegionHopsMax))
+		for j := range path {
+			path[j] = infraAddr(2, uint32(r)<<8|uint32(j+1))
+		}
+		t.regionPaths[r] = path
+	}
+	t.providerPaths = make([][]probe6.Addr, p.Providers)
+	t.providerReg = make([]int32, p.Providers)
+	for pr := range t.providerPaths {
+		path := make([]probe6.Addr, span(p.ProviderHopsMin, p.ProviderHopsMax))
+		for j := range path {
+			path[j] = infraAddr(3, uint32(pr)<<8|uint32(j+1))
+		}
+		t.providerPaths[pr] = path
+		t.providerReg[pr] = int32(rng.Intn(p.Regions))
+	}
+	t.prefixes = make([]prefix6, p.Prefixes)
+	for i := range t.prefixes {
+		pref := &t.prefixes[i]
+		pref.provider = int32(rng.Intn(p.Providers))
+		base := t.prefixBase(i)
+		gw := base
+		gw[15] = 1
+		pref.gateway = gw
+		var key [6]byte
+		copy(key[:], base[:6])
+		t.prefIdx[key] = int32(i)
+	}
+	// Candidate target list: TargetsPerPrefix pseudo-random interface IDs
+	// per allocated prefix, deduplicated against the gateway.
+	t.targets = make([]probe6.Addr, 0, p.Prefixes*p.TargetsPerPrefix)
+	for i := range t.prefixes {
+		base := t.prefixBase(i)
+		for j := 0; j < p.TargetsPerPrefix; j++ {
+			a := base
+			binary.BigEndian.PutUint64(a[8:], t.hash(uint64(i), uint64(j), 0x7a))
+			if a == t.prefixes[i].gateway {
+				a[15] ^= 0x80
+			}
+			t.targets = append(t.targets, a)
+		}
+	}
+	return t
+}
+
+// prefixBase returns the /48 base address of prefix i (2001:db8:xxxx::).
+func (t *Topology) prefixBase(i int) probe6.Addr {
+	var a probe6.Addr
+	a[0], a[1], a[2], a[3] = 0x20, 0x01, 0x0d, 0xb8
+	binary.BigEndian.PutUint16(a[4:], uint16(i))
+	return a
+}
+
+// infraAddr mints router interface addresses outside the target space.
+func infraAddr(tier uint8, n uint32) probe6.Addr {
+	var a probe6.Addr
+	a[0], a[1] = 0x2a, tier
+	binary.BigEndian.PutUint32(a[12:], n)
+	return a
+}
+
+func (t *Topology) hash(a, b, c uint64) uint64 {
+	z := t.hashSeed + a*0x9e3779b97f4a7c15 + b*0xd6e8feb86659fd93 + c*0xa0761d6478bd642f
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (t *Topology) chance(h uint64, p float64) bool {
+	return float64(h>>11)/float64(1<<53) < p
+}
+
+func addrWord(a probe6.Addr) uint64 {
+	return binary.BigEndian.Uint64(a[8:]) ^ uint64(binary.BigEndian.Uint32(a[0:]))
+}
+
+func (t *Topology) silent(a probe6.Addr) bool {
+	if a == t.core[0] {
+		return false
+	}
+	return t.chance(t.hash(addrWord(a), 0x51, 0), t.P.SilentRouterProb)
+}
+
+// Vantage returns the scanning source address.
+func (t *Topology) Vantage() probe6.Addr { return t.vantage }
+
+// Targets returns the candidate target list.
+func (t *Topology) Targets() []probe6.Addr { return t.targets }
+
+// HostResponds reports whether a candidate target answers probes.
+func (t *Topology) HostResponds(a probe6.Addr) bool {
+	if i, ok := t.prefixOf(a); ok && t.prefixes[i].gateway == a {
+		return true
+	}
+	return t.chance(t.hash(addrWord(a), 0xb0, 0), t.P.HostRespProb)
+}
+
+func (t *Topology) prefixOf(a probe6.Addr) (int32, bool) {
+	var key [6]byte
+	copy(key[:], a[:6])
+	i, ok := t.prefIdx[key]
+	return i, ok
+}
+
+// DistanceNow returns the hop distance of a target, 0 if unrouted.
+func (t *Topology) DistanceNow(a probe6.Addr) uint8 {
+	i, ok := t.prefixOf(a)
+	if !ok {
+		return 0
+	}
+	pref := &t.prefixes[i]
+	pr := int(pref.provider)
+	d := len(t.core) + len(t.regionPaths[t.providerReg[pr]]) + len(t.providerPaths[pr]) + 1
+	if a != pref.gateway {
+		d++
+	}
+	return uint8(d)
+}
+
+// Resolve determines what a probe encounters.
+func (t *Topology) Resolve(dst probe6.Addr, hopLimit uint8) Hop {
+	i, ok := t.prefixOf(dst)
+	if !ok {
+		return Hop{Kind: HopNone}
+	}
+	pref := &t.prefixes[i]
+	pr := int(pref.provider)
+	region := t.regionPaths[t.providerReg[pr]]
+	provider := t.providerPaths[pr]
+
+	d := int(hopLimit)
+	if d <= len(t.core) {
+		return t.routerHop(t.core[d-1], hopLimit)
+	}
+	d -= len(t.core)
+	if d <= len(region) {
+		return t.routerHop(region[d-1], hopLimit)
+	}
+	d -= len(region)
+	if d <= len(provider) {
+		return t.routerHop(provider[d-1], hopLimit)
+	}
+	d -= len(provider)
+
+	gwDepth := int(hopLimit) - d + 1
+	if dst == pref.gateway {
+		return Hop{Kind: HopDest, Addr: dst, Depth: uint8(gwDepth),
+			Residual: hopLimit - uint8(gwDepth) + 1}
+	}
+	if d == 1 {
+		return t.routerHop(pref.gateway, hopLimit)
+	}
+	if !t.HostResponds(dst) {
+		return Hop{Kind: HopNone}
+	}
+	depth := uint8(gwDepth + 1)
+	return Hop{Kind: HopDest, Addr: dst, Depth: depth, Residual: hopLimit - depth + 1}
+}
+
+func (t *Topology) routerHop(a probe6.Addr, hopLimit uint8) Hop {
+	kind := HopRouter
+	if t.silent(a) {
+		kind = HopSilentRouter
+	}
+	return Hop{Kind: kind, Addr: a, Depth: hopLimit, Residual: 1}
+}
+
+// ---- packet-level network ----
+
+// ErrClosed is returned by writes on a closed Conn.
+var ErrClosed = errors.New("netsim6: connection closed")
+
+// Stats counts network-side events.
+type Stats struct {
+	ProbesSent  atomic.Uint64
+	Responses   atomic.Uint64
+	RateLimited atomic.Uint64
+	Silent      atomic.Uint64
+	NoRoute     atomic.Uint64
+}
+
+// Net binds the topology to a clock.
+type Net struct {
+	topo  *Topology
+	clock simclock.Waiter
+	epoch time.Time
+
+	Stats Stats
+
+	mu      sync.Mutex
+	buckets map[probe6.Addr]*bucket
+}
+
+type bucket struct {
+	second int64
+	count  int
+}
+
+// New creates an IPv6 network on the clock.
+func New(topo *Topology, clock simclock.Waiter) *Net {
+	return &Net{topo: topo, clock: clock, epoch: clock.Now(),
+		buckets: make(map[probe6.Addr]*bucket)}
+}
+
+// Topo returns the topology.
+func (n *Net) Topo() *Topology { return n.topo }
+
+// Elapsed returns time since the network epoch.
+func (n *Net) Elapsed() time.Duration { return n.clock.Now().Sub(n.epoch) }
+
+func (n *Net) allowICMP(a probe6.Addr, now time.Duration) bool {
+	limit := n.topo.P.ICMPRateLimitPPS
+	if limit <= 0 {
+		return true
+	}
+	sec := int64(now / time.Second)
+	n.mu.Lock()
+	b := n.buckets[a]
+	if b == nil {
+		b = &bucket{second: -1}
+		n.buckets[a] = b
+	}
+	if b.second != sec {
+		b.second, b.count = sec, 0
+	}
+	b.count++
+	ok := b.count <= limit
+	n.mu.Unlock()
+	return ok
+}
+
+func (n *Net) rtt(depth uint8, h uint64) time.Duration {
+	p := &n.topo.P
+	j := time.Duration(0)
+	if p.JitterRTT > 0 {
+		j = time.Duration(h % uint64(p.JitterRTT))
+	}
+	return p.BaseRTT + time.Duration(depth)*p.PerHopRTT + j
+}
+
+type pending struct {
+	deliverAt time.Duration
+	seq       uint64
+	unreach   bool
+	hop       probe6.Addr
+	quote     probe6.Header
+	transport [8]byte
+}
+
+type pendHeap []pending
+
+func (h pendHeap) Len() int { return len(h) }
+func (h pendHeap) Less(i, j int) bool {
+	if h[i].deliverAt != h[j].deliverAt {
+		return h[i].deliverAt < h[j].deliverAt
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pendHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pendHeap) Push(x any)   { *h = append(*h, x.(pending)) }
+func (h *pendHeap) Pop() any     { o := *h; n := len(o); v := o[n-1]; *h = o[:n-1]; return v }
+
+// Conn is the raw IPv6 connection.
+type Conn struct {
+	net    *Net
+	parker *simclock.Parker
+
+	mu     sync.Mutex
+	inbox  pendHeap
+	seq    uint64
+	closed bool
+}
+
+// NewConn opens a connection from the vantage point.
+func (n *Net) NewConn() *Conn {
+	return &Conn{net: n, parker: n.clock.NewParker()}
+}
+
+// MaxResponseLen is the largest response ReadPacket produces.
+const MaxResponseLen = probe6.HeaderLen + probe6.ICMPErrorLen
+
+// WritePacket injects a serialized IPv6 probe.
+func (c *Conn) WritePacket(pkt []byte) error {
+	n := c.net
+	n.Stats.ProbesSent.Add(1)
+	var hdr probe6.Header
+	if err := hdr.Unmarshal(pkt); err != nil || len(pkt) < probe6.HeaderLen+8 {
+		if err == nil {
+			err = probe6.ErrTruncated
+		}
+		return err
+	}
+	if hdr.HopLimit == 0 {
+		return nil
+	}
+	now := n.Elapsed()
+	hop := n.topo.Resolve(hdr.Dst, hdr.HopLimit)
+	switch hop.Kind {
+	case HopNone:
+		n.Stats.NoRoute.Add(1)
+		return nil
+	case HopSilentRouter, HopDestSilent:
+		n.Stats.Silent.Add(1)
+		return nil
+	}
+	if !n.allowICMP(hop.Addr, now) {
+		n.Stats.RateLimited.Add(1)
+		return nil
+	}
+	var transport [8]byte
+	copy(transport[:], pkt[probe6.HeaderLen:probe6.HeaderLen+8])
+	quote := hdr
+	quote.HopLimit = hop.Residual
+
+	p := pending{
+		deliverAt: now + n.rtt(hop.Depth, n.topo.hash(addrWord(hdr.Dst), uint64(hdr.HopLimit), uint64(now))),
+		unreach:   hop.Kind == HopDest,
+		hop:       hop.Addr,
+		quote:     quote,
+		transport: transport,
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	p.seq = c.seq
+	c.seq++
+	heap.Push(&c.inbox, p)
+	c.mu.Unlock()
+	n.Stats.Responses.Add(1)
+	n.clock.Unpark(c.parker)
+	return nil
+}
+
+// ReadPacket blocks for the next deliverable response.
+func (c *Conn) ReadPacket(buf []byte) (int, error) {
+	for {
+		c.mu.Lock()
+		now := c.net.Elapsed()
+		if len(c.inbox) > 0 && c.inbox[0].deliverAt <= now {
+			p := heap.Pop(&c.inbox).(pending)
+			c.mu.Unlock()
+			return c.materialize(buf, &p), nil
+		}
+		if c.closed && len(c.inbox) == 0 {
+			c.mu.Unlock()
+			return 0, io.EOF
+		}
+		var deadline time.Time
+		if len(c.inbox) > 0 {
+			deadline = c.net.epoch.Add(c.inbox[0].deliverAt)
+		}
+		c.mu.Unlock()
+		c.net.clock.Park(c.parker, deadline)
+	}
+}
+
+func (c *Conn) materialize(buf []byte, p *pending) int {
+	total := probe6.HeaderLen + probe6.ICMPErrorLen
+	outer := probe6.Header{
+		PayloadLength: probe6.ICMPErrorLen,
+		NextHeader:    probe6.ProtoICMPv6,
+		HopLimit:      64,
+		Src:           p.hop,
+		Dst:           c.net.topo.vantage,
+	}
+	outer.Marshal(buf)
+	icmpType, code := uint8(probe6.ICMP6TypeTimeExceeded), uint8(probe6.ICMP6CodeHopLimit)
+	if p.unreach {
+		icmpType, code = probe6.ICMP6TypeDestUnreachable, probe6.ICMP6CodePortUnreachable
+	}
+	q := p.quote
+	probe6.MarshalICMPError(buf[probe6.HeaderLen:], icmpType, code, &q, p.transport[:])
+	return total
+}
+
+// Close closes the connection; buffered responses drain, then EOF.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.net.clock.Unpark(c.parker)
+	return nil
+}

@@ -1,0 +1,242 @@
+// Package output implements FlashRoute's result serialization: a compact
+// binary record stream for full-scale scans (where CSV would be tens of
+// gigabytes), a reader, and the summary statistics the paper reports over
+// such files.
+//
+// The original tool writes fixed-size binary records and optionally
+// delegates logging to an external sniffer for maximum probing rate
+// (§4.2.3); this package is the equivalent output path, with a
+// self-describing header so files are portable across runs.
+package output
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/trace"
+)
+
+// Magic identifies flashroute-go binary result files.
+const Magic = 0x46525634 // "FRV4"
+
+// Version is the current file format version.
+const Version = 1
+
+// Record flags.
+const (
+	// FlagReached marks the record in which the destination itself
+	// answered (hop == the responding destination).
+	FlagReached = 1 << iota
+	// FlagPreprobe marks responses from the preprobing phase.
+	FlagPreprobe
+)
+
+// Record is one response observation: destination, TTL, responding hop,
+// RTT and flags. 16 bytes on the wire.
+type Record struct {
+	Dest  uint32
+	Hop   uint32
+	RTTus uint32 // round-trip time in microseconds
+	TTL   uint8
+	Flags uint8
+	_     [2]byte // reserved
+}
+
+const recordSize = 16
+
+// Writer streams records to an io.Writer with buffering.
+type Writer struct {
+	bw    *bufio.Writer
+	count uint64
+	buf   [recordSize]byte
+}
+
+// NewWriter writes the file header and returns a record writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:], Magic)
+	binary.BigEndian.PutUint32(hdr[4:], Version)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	binary.BigEndian.PutUint32(w.buf[0:], r.Dest)
+	binary.BigEndian.PutUint32(w.buf[4:], r.Hop)
+	binary.BigEndian.PutUint32(w.buf[8:], r.RTTus)
+	w.buf[12] = r.TTL
+	w.buf[13] = r.Flags
+	w.buf[14], w.buf[15] = 0, 0
+	if _, err := w.bw.Write(w.buf[:]); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains the buffer; call it before closing the underlying file.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// WriteStore dumps a trace.Store (routes must have been collected).
+func WriteStore(w io.Writer, st *trace.Store) (uint64, error) {
+	ww, err := NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	var werr error
+	st.ForEachRoute(func(r *trace.Route) {
+		if werr != nil {
+			return
+		}
+		for _, h := range r.Hops {
+			rec := Record{
+				Dest:  r.Dst,
+				Hop:   h.Addr,
+				RTTus: uint32(h.RTT.Microseconds()),
+				TTL:   h.TTL,
+			}
+			if r.Reached && h.TTL == r.Length && h.Addr != 0 {
+				rec.Flags |= FlagReached
+			}
+			if err := ww.Write(rec); err != nil {
+				werr = err
+				return
+			}
+		}
+	})
+	if werr != nil {
+		return ww.Count(), werr
+	}
+	return ww.Count(), ww.Flush()
+}
+
+// Reader streams records from a file.
+type Reader struct {
+	br  *bufio.Reader
+	buf [recordSize]byte
+}
+
+// ErrBadHeader reports a file that is not a flashroute-go result stream.
+var ErrBadHeader = errors.New("output: bad file header")
+
+// NewReader validates the header and returns a record reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, ErrBadHeader
+	}
+	if binary.BigEndian.Uint32(hdr[0:]) != Magic {
+		return nil, ErrBadHeader
+	}
+	if v := binary.BigEndian.Uint32(hdr[4:]); v != Version {
+		return nil, fmt.Errorf("output: unsupported version %d", v)
+	}
+	return &Reader{br: br}, nil
+}
+
+// Read returns the next record, or io.EOF at the end of the stream.
+func (r *Reader) Read() (Record, error) {
+	if _, err := io.ReadFull(r.br, r.buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Record{}, fmt.Errorf("output: truncated record: %w", err)
+		}
+		return Record{}, err
+	}
+	return Record{
+		Dest:  binary.BigEndian.Uint32(r.buf[0:]),
+		Hop:   binary.BigEndian.Uint32(r.buf[4:]),
+		RTTus: binary.BigEndian.Uint32(r.buf[8:]),
+		TTL:   r.buf[12],
+		Flags: r.buf[13],
+	}, nil
+}
+
+// Summary aggregates a record stream into the quantities the paper's
+// tables report.
+type Summary struct {
+	Records       uint64
+	Destinations  int
+	Interfaces    int // unique hops from non-reached records (router interfaces)
+	Reached       int
+	LengthHist    [33]uint64 // route length distribution (reached only)
+	PerTTL        [33]uint64 // responses per TTL
+	RTTMeanMicros float64
+}
+
+// Summarize consumes a Reader.
+func Summarize(r *Reader) (*Summary, error) {
+	s := &Summary{}
+	dests := make(map[uint32]struct{})
+	ifaces := make(map[uint32]struct{})
+	reached := make(map[uint32]struct{})
+	var rttSum float64
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.Records++
+		dests[rec.Dest] = struct{}{}
+		if rec.Flags&FlagReached != 0 {
+			reached[rec.Dest] = struct{}{}
+			if int(rec.TTL) < len(s.LengthHist) {
+				s.LengthHist[rec.TTL]++
+			}
+		} else {
+			ifaces[rec.Hop] = struct{}{}
+		}
+		if int(rec.TTL) < len(s.PerTTL) {
+			s.PerTTL[rec.TTL]++
+		}
+		rttSum += float64(rec.RTTus)
+	}
+	s.Destinations = len(dests)
+	s.Interfaces = len(ifaces)
+	s.Reached = len(reached)
+	if s.Records > 0 {
+		s.RTTMeanMicros = rttSum / float64(s.Records)
+	}
+	return s, nil
+}
+
+// WriteText renders the summary.
+func (s *Summary) WriteText(w io.Writer) error {
+	_, err := fmt.Fprintf(w, `records:               %d
+destinations observed: %d
+router interfaces:     %d
+destinations reached:  %d
+mean rtt:              %s
+`,
+		s.Records, s.Destinations, s.Interfaces, s.Reached,
+		time.Duration(s.RTTMeanMicros)*time.Microsecond)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "route length distribution (reached destinations):"); err != nil {
+		return err
+	}
+	for ttl := 1; ttl < len(s.LengthHist); ttl++ {
+		if s.LengthHist[ttl] == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  %2d: %d\n", ttl, s.LengthHist[ttl]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

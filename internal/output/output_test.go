@@ -1,0 +1,145 @@
+package output
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/trace"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Dest: 0x04000001, Hop: 0xF0000001, RTTus: 42000, TTL: 7},
+		{Dest: 0x04000001, Hop: 0x04000001, RTTus: 55000, TTL: 15, Flags: FlagReached},
+		{Dest: 0x04000102, Hop: 0xF0000002, RTTus: 1, TTL: 1, Flags: FlagPreprobe},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count=%d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("record %d: %+v != %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestRecordRoundTripProperty(t *testing.T) {
+	prop := func(dest, hop, rtt uint32, ttl, flags uint8) bool {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		in := Record{Dest: dest, Hop: hop, RTTus: rtt, TTL: ttl, Flags: flags}
+		if w.Write(in) != nil || w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		out, err := r.Read()
+		return err == nil && out == in
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderRejectsJunk(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("not a result file")); err != ErrBadHeader {
+		t.Fatalf("want ErrBadHeader, got %v", err)
+	}
+	if _, err := NewReader(strings.NewReader("xy")); err != ErrBadHeader {
+		t.Fatalf("short header: %v", err)
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Record{Dest: 1})
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-5] // chop mid-record
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil || err == io.EOF {
+		t.Fatalf("want truncation error, got %v", err)
+	}
+}
+
+func TestWriteStoreAndSummarize(t *testing.T) {
+	st := trace.NewStore(true)
+	// Two destinations: one reached at TTL 3, one unreached.
+	st.AddHop(100, 1, 0xA, time.Millisecond)
+	st.AddHop(100, 2, 0xB, 2*time.Millisecond)
+	st.SetReached(100, 3, 100, 3*time.Millisecond)
+	st.AddHop(200, 1, 0xA, time.Millisecond)
+	st.AddHop(200, 2, 0xC, 2*time.Millisecond)
+
+	var buf bytes.Buffer
+	n, err := WriteStore(&buf, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("records=%d want 5", n)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Records != 5 || s.Destinations != 2 || s.Reached != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+	// Router interfaces: A, B, C (the reached record's hop is excluded).
+	if s.Interfaces != 3 {
+		t.Fatalf("interfaces=%d want 3", s.Interfaces)
+	}
+	if s.LengthHist[3] != 1 {
+		t.Fatalf("length hist %v", s.LengthHist)
+	}
+	var sb strings.Builder
+	if err := s.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "router interfaces:     3") {
+		t.Fatalf("text:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,164 @@
+// Package permute implements keyed pseudorandom permutations over an
+// arbitrary-size index space.
+//
+// FlashRoute, like ZMap and Yarrp before it, must visit a very large set of
+// probing targets in an order that looks random (so that topologically close
+// routers are not probed back-to-back, which would trip ICMP rate limits)
+// while using O(1) state. This package provides that primitive: a keyed
+// Feistel network over the smallest even-bit-width binary domain covering
+// the requested size, with cycle-walking to restrict the bijection to
+// [0, size).
+//
+// Two users exist in this repository:
+//
+//   - FlashRoute computes a random permutation once, at initialization, to
+//     thread its destination control blocks into a circular doubly linked
+//     list (paper §3.4).
+//   - Yarrp has no per-destination state at all and instead evaluates the
+//     permutation on the fly for every (block, TTL) pair it probes
+//     (paper §2).
+package permute
+
+import "fmt"
+
+// maxRounds is the number of Feistel rounds applied. Four rounds of a
+// non-cryptographic round function are ample for statistical scattering of
+// probe targets; this is a traffic-shaping device, not a cipher.
+const maxRounds = 4
+
+// Permutation is a bijection on [0, Size()).
+type Permutation interface {
+	// Size returns the cardinality of the permuted domain.
+	Size() uint64
+	// Map returns the image of i. It panics if i >= Size().
+	Map(i uint64) uint64
+	// Inverse returns the preimage of j. It panics if j >= Size().
+	Inverse(j uint64) uint64
+}
+
+// Feistel is a keyed Feistel-network permutation over [0, size) using
+// cycle-walking. The zero value is not usable; use NewFeistel.
+type Feistel struct {
+	size     uint64
+	halfBits uint
+	halfMask uint64
+	keys     [maxRounds]uint64
+}
+
+var _ Permutation = (*Feistel)(nil)
+
+// NewFeistel returns a permutation of [0, size) keyed by seed. Two
+// permutations built with the same size and seed are identical; different
+// seeds give unrelated orders. size must be at least 1.
+func NewFeistel(size uint64, seed uint64) *Feistel {
+	if size == 0 {
+		panic("permute: NewFeistel size must be >= 1")
+	}
+	// Find the smallest even bit-width 2h such that 2^(2h) >= size.
+	var bits uint = 2
+	for bits < 64 && (uint64(1)<<bits) < size {
+		bits += 2
+	}
+	f := &Feistel{
+		size:     size,
+		halfBits: bits / 2,
+		halfMask: (uint64(1) << (bits / 2)) - 1,
+	}
+	// Derive round keys from the seed with a splitmix64 sequence.
+	s := seed
+	for i := range f.keys {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		f.keys[i] = z ^ (z >> 31)
+	}
+	return f
+}
+
+// Size returns the cardinality of the permuted domain.
+func (f *Feistel) Size() uint64 { return f.size }
+
+// round is the Feistel round function: a cheap integer hash of the half
+// block mixed with the round key, truncated to the half width.
+func (f *Feistel) round(half, key uint64) uint64 {
+	x := half ^ key
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 29
+	return x & f.halfMask
+}
+
+// encryptOnce applies one full pass of the Feistel network over the binary
+// domain (which may be larger than size).
+func (f *Feistel) encryptOnce(v uint64) uint64 {
+	l := v >> f.halfBits
+	r := v & f.halfMask
+	for _, k := range f.keys {
+		l, r = r, l^f.round(r, k)
+	}
+	return l<<f.halfBits | r
+}
+
+// decryptOnce inverts encryptOnce.
+func (f *Feistel) decryptOnce(v uint64) uint64 {
+	l := v >> f.halfBits
+	r := v & f.halfMask
+	for i := len(f.keys) - 1; i >= 0; i-- {
+		l, r = r^f.round(l, f.keys[i]), l
+	}
+	return l<<f.halfBits | r
+}
+
+// Map returns the image of i under the permutation, cycle-walking out of
+// the binary domain until the result lands inside [0, size).
+func (f *Feistel) Map(i uint64) uint64 {
+	if i >= f.size {
+		panic(fmt.Sprintf("permute: Map(%d) out of range [0,%d)", i, f.size))
+	}
+	v := f.encryptOnce(i)
+	for v >= f.size {
+		v = f.encryptOnce(v)
+	}
+	return v
+}
+
+// Inverse returns the preimage of j under the permutation.
+func (f *Feistel) Inverse(j uint64) uint64 {
+	if j >= f.size {
+		panic(fmt.Sprintf("permute: Inverse(%d) out of range [0,%d)", j, f.size))
+	}
+	v := f.decryptOnce(j)
+	for v >= f.size {
+		v = f.decryptOnce(v)
+	}
+	return v
+}
+
+// Iterator walks a Permutation in sequence: it yields Map(0), Map(1), ...
+// with O(1) state, exactly the access pattern of a stateless scanner.
+type Iterator struct {
+	p    Permutation
+	next uint64
+}
+
+// NewIterator returns an iterator positioned at the start of p's order.
+func NewIterator(p Permutation) *Iterator { return &Iterator{p: p} }
+
+// Next returns the next permuted index. ok is false once the full domain
+// has been exhausted.
+func (it *Iterator) Next() (v uint64, ok bool) {
+	if it.next >= it.p.Size() {
+		return 0, false
+	}
+	v = it.p.Map(it.next)
+	it.next++
+	return v, true
+}
+
+// Remaining returns how many values Next will still yield.
+func (it *Iterator) Remaining() uint64 { return it.p.Size() - it.next }
+
+// Reset rewinds the iterator to the beginning.
+func (it *Iterator) Reset() { it.next = 0 }

@@ -1,0 +1,176 @@
+package permute
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFeistelBijectionSmall(t *testing.T) {
+	for _, size := range []uint64{1, 2, 3, 5, 16, 17, 100, 255, 256, 257, 1000, 4096} {
+		f := NewFeistel(size, 42)
+		seen := make(map[uint64]bool, size)
+		for i := uint64(0); i < size; i++ {
+			v := f.Map(i)
+			if v >= size {
+				t.Fatalf("size=%d Map(%d)=%d out of range", size, i, v)
+			}
+			if seen[v] {
+				t.Fatalf("size=%d Map(%d)=%d already produced", size, i, v)
+			}
+			seen[v] = true
+		}
+		if uint64(len(seen)) != size {
+			t.Fatalf("size=%d covered only %d values", size, len(seen))
+		}
+	}
+}
+
+func TestFeistelInverse(t *testing.T) {
+	for _, size := range []uint64{1, 7, 64, 1023, 100000} {
+		f := NewFeistel(size, 7)
+		for i := uint64(0); i < size; i += 1 + size/997 {
+			if got := f.Inverse(f.Map(i)); got != i {
+				t.Fatalf("size=%d Inverse(Map(%d))=%d", size, i, got)
+			}
+			if got := f.Map(f.Inverse(i)); got != i {
+				t.Fatalf("size=%d Map(Inverse(%d))=%d", size, i, got)
+			}
+		}
+	}
+}
+
+func TestFeistelInverseProperty(t *testing.T) {
+	const size = 1 << 20
+	f := NewFeistel(size, 99)
+	prop := func(i uint64) bool {
+		i %= size
+		return f.Inverse(f.Map(i)) == i
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeistelDeterministicBySeed(t *testing.T) {
+	a := NewFeistel(10000, 1)
+	b := NewFeistel(10000, 1)
+	c := NewFeistel(10000, 2)
+	same, diff := 0, 0
+	for i := uint64(0); i < 10000; i++ {
+		if a.Map(i) != b.Map(i) {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+		if a.Map(i) == c.Map(i) {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff < 9000 {
+		t.Fatalf("different seeds should mostly disagree; same=%d diff=%d", same, diff)
+	}
+}
+
+// TestFeistelScatter checks the traffic-shaping property FlashRoute relies
+// on: consecutive iterator outputs should not be numerically adjacent.
+func TestFeistelScatter(t *testing.T) {
+	const size = 1 << 16
+	f := NewFeistel(size, 3)
+	adjacent := 0
+	prev := f.Map(0)
+	for i := uint64(1); i < size; i++ {
+		v := f.Map(i)
+		d := int64(v) - int64(prev)
+		if d < 0 {
+			d = -d
+		}
+		if d <= 8 {
+			adjacent++
+		}
+		prev = v
+	}
+	// For a random permutation, P(|gap| <= 8) ~ 16/65536; allow 10x slack.
+	if adjacent > size*16*10/65536 {
+		t.Fatalf("too many near-adjacent outputs: %d", adjacent)
+	}
+}
+
+func TestFeistelMapPanicsOutOfRange(t *testing.T) {
+	f := NewFeistel(10, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.Map(10)
+}
+
+func TestIterator(t *testing.T) {
+	const size = 5000
+	f := NewFeistel(size, 11)
+	it := NewIterator(f)
+	seen := make(map[uint64]bool)
+	n := uint64(0)
+	for {
+		v, ok := it.Next()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+		n++
+	}
+	if n != size {
+		t.Fatalf("iterated %d values, want %d", n, size)
+	}
+	if it.Remaining() != 0 {
+		t.Fatalf("remaining=%d", it.Remaining())
+	}
+	it.Reset()
+	if v, ok := it.Next(); !ok || v != f.Map(0) {
+		t.Fatalf("reset did not rewind: %d %v", v, ok)
+	}
+}
+
+func TestIteratorRemaining(t *testing.T) {
+	f := NewFeistel(10, 0)
+	it := NewIterator(f)
+	for want := uint64(10); want > 0; want-- {
+		if it.Remaining() != want {
+			t.Fatalf("remaining=%d want %d", it.Remaining(), want)
+		}
+		it.Next()
+	}
+}
+
+func BenchmarkFeistelMap(b *testing.B) {
+	f := NewFeistel(1<<24, 42)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += f.Map(uint64(i) & (1<<24 - 1))
+	}
+	_ = sink
+}
+
+func TestFeistelLargeDomainSpotBijection(t *testing.T) {
+	// For a large domain, spot-check injectivity over random samples.
+	const size = 1 << 28
+	f := NewFeistel(size, 5)
+	rng := rand.New(rand.NewSource(1))
+	seen := make(map[uint64]uint64)
+	for k := 0; k < 200000; k++ {
+		i := uint64(rng.Int63()) % size
+		v := f.Map(i)
+		if v >= size {
+			t.Fatalf("Map(%d)=%d out of range", i, v)
+		}
+		if j, ok := seen[v]; ok && j != i {
+			t.Fatalf("collision: Map(%d)==Map(%d)==%d", i, j, v)
+		}
+		seen[v] = i
+	}
+}

@@ -1,0 +1,275 @@
+package probe
+
+import (
+	"errors"
+	"time"
+)
+
+// DisclosurePayload is embedded in probe payload bytes, following the
+// paper's ethics appendix: probes disclose identity, contact information
+// and research intent to anyone capturing them.
+const DisclosurePayload = "flashroute-go topology measurement research; opt-out: see whois of source"
+
+// ErrMessageTooLong mirrors the "Network API error: Message too long"
+// failure the paper reports for Yarrp's UDP mode (§4.2.1 footnote 2): the
+// encoding of elapsed time into the packet length field eventually exceeds
+// the interface MTU.
+var ErrMessageTooLong = errors.New("probe: message too long")
+
+// MTU is the simulated interface MTU (Ethernet). The Yarrp-UDP length
+// encoding fails once a probe would exceed it.
+const MTU = 1500
+
+// FlashRoute IPID layout (paper §3.1): 5 bits initial TTL, 1 bit
+// preprobing flag, 10 bits of timestamp. The remaining 6 timestamp bits
+// ride in the UDP length field (as payload length), for a 16-bit
+// millisecond timestamp wrapping at 65.536 s.
+const (
+	flashTTLShift   = 11
+	flashPreBit     = 1 << 10
+	flashTSHighMask = 0x03ff
+	flashTSLowBits  = 6
+	flashTSLowMask  = (1 << flashTSLowBits) - 1
+	// MaxTTL is the largest initial TTL representable in the 5-bit IPID
+	// field (values 1..32 are stored as 0..31).
+	MaxTTL = 32
+)
+
+// FlashInfo is the probing context recovered from an ICMP response to a
+// FlashRoute probe — everything needed to interpret the measurement
+// without any per-probe state at the scanner.
+type FlashInfo struct {
+	Dst         uint32 // quoted destination (the probed target)
+	InitTTL     uint8  // initial TTL of the probe (1..32)
+	ResidualTTL uint8  // TTL remaining when the responder saw the probe
+	Preprobe    bool   // probe was sent during the preprobing phase
+	TSMillis    uint16 // send timestamp, milliseconds mod 65536
+	SrcPort     uint16
+	DstPort     uint16
+}
+
+// RTT derives the round-trip time from the echoed send timestamp and the
+// receive time, handling the 65.536 s wraparound.
+func (fi FlashInfo) RTT(receivedAt time.Duration) time.Duration {
+	recvMS := uint16(receivedAt.Milliseconds())
+	delta := recvMS - fi.TSMillis // wraps naturally in uint16
+	return time.Duration(delta) * time.Millisecond
+}
+
+// ChecksumMatches reports whether the quoted source port equals the
+// checksum of the quoted destination address plus the given scan offset.
+// A mismatch means a middlebox rewrote the destination in flight and the
+// response must be discarded (paper §5.3). The offset is zero for the main
+// scan and i for the i-th extra scan of discovery-optimized mode (§5.2).
+func (fi FlashInfo) ChecksumMatches(scanOffset uint16) bool {
+	return fi.SrcPort == AddrChecksum(fi.Dst)+scanOffset
+}
+
+// BuildFlashProbe serializes a complete FlashRoute UDP probe packet
+// (IPv4 + UDP + disclosure payload) into buf and returns its length.
+//
+//   - ttl is the initial TTL (1..MaxTTL);
+//   - preprobe marks preprobing-phase probes (paper §3.3);
+//   - elapsed is time since scan start, encoded at millisecond granularity;
+//   - srcPortOffset shifts the Paris flow identifier for discovery-
+//     optimized extra scans (paper §5.2);
+//   - dstPort is typically TracerouteDstPort.
+func BuildFlashProbe(buf []byte, src, dst uint32, ttl uint8, preprobe bool, elapsed time.Duration, srcPortOffset uint16, dstPort uint16) int {
+	if ttl < 1 || ttl > MaxTTL {
+		panic("probe: BuildFlashProbe TTL out of range")
+	}
+	ts := uint16(elapsed.Milliseconds())
+	id := uint16(ttl-1) << flashTTLShift
+	if preprobe {
+		id |= flashPreBit
+	}
+	id |= (ts >> flashTSLowBits) & flashTSHighMask
+	payloadLen := int(ts & flashTSLowMask)
+	udpLen := uint16(UDPHeaderLen + payloadLen)
+	total := IPv4HeaderLen + int(udpLen)
+	if len(buf) < total {
+		panic("probe: BuildFlashProbe buffer too small")
+	}
+	ip := IPv4{
+		TotalLength: uint16(total),
+		ID:          id,
+		TTL:         ttl,
+		Protocol:    ProtoUDP,
+		Src:         src,
+		Dst:         dst,
+	}
+	ip.Marshal(buf)
+	udp := UDP{
+		SrcPort: AddrChecksum(dst) + srcPortOffset,
+		DstPort: dstPort,
+		Length:  udpLen,
+	}
+	udp.Marshal(buf[IPv4HeaderLen:])
+	for i := 0; i < payloadLen; i++ {
+		buf[IPv4HeaderLen+UDPHeaderLen+i] = DisclosurePayload[i%len(DisclosurePayload)]
+	}
+	return total
+}
+
+// ParseFlashQuote recovers the FlashRoute probing context from a parsed
+// ICMP error message.
+func ParseFlashQuote(m *ICMPError) (FlashInfo, error) {
+	if m.Quote.Protocol != ProtoUDP {
+		return FlashInfo{}, errors.New("probe: quoted packet is not UDP")
+	}
+	var udp UDP
+	if err := udp.Unmarshal(m.QuotedTransport[:]); err != nil {
+		return FlashInfo{}, err
+	}
+	id := m.Quote.ID
+	ts := (id&flashTSHighMask)<<flashTSLowBits | (udp.Length-UDPHeaderLen)&flashTSLowMask
+	return FlashInfo{
+		Dst:         m.Quote.Dst,
+		InitTTL:     uint8(id>>flashTTLShift) + 1,
+		ResidualTTL: m.Quote.TTL,
+		Preprobe:    id&flashPreBit != 0,
+		TSMillis:    ts,
+		SrcPort:     udp.SrcPort,
+		DstPort:     udp.DstPort,
+	}, nil
+}
+
+// YarrpInfo is the probing context recovered from a response to a Yarrp
+// probe. Yarrp encodes the elapsed scan time in the TCP sequence number
+// (TCP-ACK mode) or in the UDP checksum + length fields (UDP mode).
+type YarrpInfo struct {
+	Dst           uint32
+	InitTTL       uint8
+	ResidualTTL   uint8
+	ElapsedMillis uint32
+	SrcPort       uint16
+	DstPort       uint16
+}
+
+// yarrpTTLShift stores the initial TTL in the top bits of the IPID, as
+// Yarrp does, so responses can be attributed to a hop distance.
+const yarrpTTLShift = 11
+
+// BuildYarrpTCPProbe serializes a Yarrp-style Paris-TCP-ACK probe. The
+// elapsed time since scan start is carried in the sequence number field.
+func BuildYarrpTCPProbe(buf []byte, src, dst uint32, ttl uint8, elapsed time.Duration) int {
+	if ttl < 1 || ttl > MaxTTL {
+		panic("probe: BuildYarrpTCPProbe TTL out of range")
+	}
+	total := IPv4HeaderLen + TCPHeaderLen
+	if len(buf) < total {
+		panic("probe: BuildYarrpTCPProbe buffer too small")
+	}
+	ip := IPv4{
+		TotalLength: uint16(total),
+		ID:          uint16(ttl-1) << yarrpTTLShift,
+		TTL:         ttl,
+		Protocol:    ProtoTCP,
+		Src:         src,
+		Dst:         dst,
+	}
+	ip.Marshal(buf)
+	tcp := TCP{
+		SrcPort: AddrChecksum(dst), // Paris: constant flow id per target
+		DstPort: 80,
+		Seq:     uint32(elapsed.Milliseconds()),
+		Flags:   FlagACK,
+		Window:  1024,
+	}
+	tcp.Marshal(buf[IPv4HeaderLen:])
+	return total
+}
+
+// BuildYarrpUDPProbe serializes a Yarrp-style UDP probe, reproducing the
+// encoding flaw the paper reports: the elapsed time is split across the
+// UDP checksum field (low 16 bits of milliseconds) and the packet length
+// field. The length grows with elapsed time and eventually exceeds the
+// MTU, at which point this function returns ErrMessageTooLong — exactly
+// the "Message too long" failure of §4.2.1.
+func BuildYarrpUDPProbe(buf []byte, src, dst uint32, ttl uint8, elapsed time.Duration) (int, error) {
+	if ttl < 1 || ttl > MaxTTL {
+		panic("probe: BuildYarrpUDPProbe TTL out of range")
+	}
+	ms := elapsed.Milliseconds()
+	payloadLen := int(ms >> 10) // high-order elapsed bits become length
+	udpLen := UDPHeaderLen + payloadLen
+	total := IPv4HeaderLen + udpLen
+	if total > MTU {
+		return 0, ErrMessageTooLong
+	}
+	if len(buf) < total {
+		panic("probe: BuildYarrpUDPProbe buffer too small")
+	}
+	ip := IPv4{
+		TotalLength: uint16(total),
+		ID:          uint16(ttl-1) << yarrpTTLShift,
+		TTL:         ttl,
+		Protocol:    ProtoUDP,
+		Src:         src,
+		Dst:         dst,
+	}
+	ip.Marshal(buf)
+	udp := UDP{
+		SrcPort:  AddrChecksum(dst),
+		DstPort:  TracerouteDstPort,
+		Length:   uint16(udpLen),
+		Checksum: uint16(ms), // low 16 bits of elapsed milliseconds
+	}
+	udp.Marshal(buf[IPv4HeaderLen:])
+	for i := 0; i < payloadLen; i++ {
+		buf[IPv4HeaderLen+UDPHeaderLen+i] = DisclosurePayload[i%len(DisclosurePayload)]
+	}
+	return total, nil
+}
+
+// ParseYarrpQuote recovers the Yarrp probing context from a parsed ICMP
+// error message, for either probe mode.
+func ParseYarrpQuote(m *ICMPError) (YarrpInfo, error) {
+	yi := YarrpInfo{
+		Dst:         m.Quote.Dst,
+		InitTTL:     uint8(m.Quote.ID>>yarrpTTLShift) + 1,
+		ResidualTTL: m.Quote.TTL,
+	}
+	switch m.Quote.Protocol {
+	case ProtoTCP:
+		var tcp TCP
+		if err := tcp.Unmarshal(m.QuotedTransport[:]); err != nil {
+			return YarrpInfo{}, err
+		}
+		yi.ElapsedMillis = tcp.Seq
+		yi.SrcPort, yi.DstPort = tcp.SrcPort, tcp.DstPort
+	case ProtoUDP:
+		var udp UDP
+		if err := udp.Unmarshal(m.QuotedTransport[:]); err != nil {
+			return YarrpInfo{}, err
+		}
+		yi.ElapsedMillis = uint32(udp.Length-UDPHeaderLen)<<10 | uint32(udp.Checksum)&0x3ff
+		yi.SrcPort, yi.DstPort = udp.SrcPort, udp.DstPort
+	default:
+		return YarrpInfo{}, errors.New("probe: quoted packet is neither TCP nor UDP")
+	}
+	return yi, nil
+}
+
+// Response is a fully parsed ICMP response packet.
+type Response struct {
+	Hop  uint32 // IP of the responding interface (outer source address)
+	ICMP ICMPError
+}
+
+// ParseResponse parses a complete IPv4 packet carrying an ICMP error.
+func ParseResponse(pkt []byte) (Response, error) {
+	var outer IPv4
+	if err := outer.Unmarshal(pkt); err != nil {
+		return Response{}, err
+	}
+	if outer.Protocol != ProtoICMP {
+		return Response{}, errors.New("probe: response is not ICMP")
+	}
+	var r Response
+	r.Hop = outer.Src
+	if err := r.ICMP.UnmarshalICMPError(pkt[IPv4HeaderLen:]); err != nil {
+		return Response{}, err
+	}
+	return r, nil
+}

@@ -1,0 +1,134 @@
+package probe
+
+import (
+	"encoding/binary"
+)
+
+// ICMP message types and codes used by traceroute-style scanning.
+const (
+	ICMPTypeDestUnreachable = 3
+	ICMPTypeEchoRequest     = 8
+	ICMPTypeEchoReply       = 0
+	ICMPTypeTimeExceeded    = 11
+
+	ICMPCodeTTLExceeded     = 0
+	ICMPCodeHostUnreachable = 1
+	ICMPCodeProtoUnreach    = 2
+	ICMPCodePortUnreachable = 3
+)
+
+// ICMPErrorLen is the length of an ICMP error message carrying the
+// standard quote: 8 bytes of ICMP header + 20 bytes quoted IPv4 header +
+// 8 bytes of the original transport header.
+const ICMPErrorLen = 8 + IPv4HeaderLen + 8
+
+// ICMPError is a parsed ICMP error message (time exceeded or destination
+// unreachable) including the quoted original headers — everything a
+// stateless scanner needs to reconstruct which probe elicited it.
+type ICMPError struct {
+	Type uint8
+	Code uint8
+
+	// Quote is the original IPv4 header as seen by the responder; its TTL
+	// is the residual TTL, which is what makes one-probe hop-distance
+	// measurement possible (paper §3.3.1).
+	Quote IPv4
+
+	// QuotedTransport holds the first 8 bytes of the original transport
+	// header (UDP header, or TCP ports+sequence).
+	QuotedTransport [8]byte
+}
+
+// MarshalICMPError builds a complete ICMP error message into b and returns
+// the number of bytes written. quoteHdr is the original probe's IPv4
+// header (with the residual TTL already set by the caller) and
+// quotedTransport the first 8 bytes of the original transport header.
+func MarshalICMPError(b []byte, icmpType, code uint8, quoteHdr *IPv4, quotedTransport []byte) int {
+	if len(b) < ICMPErrorLen {
+		panic("probe: MarshalICMPError buffer too small")
+	}
+	b[0] = icmpType
+	b[1] = code
+	b[2], b[3] = 0, 0                    // checksum, filled below
+	binary.BigEndian.PutUint32(b[4:], 0) // unused
+	quoteHdr.Marshal(b[8 : 8+IPv4HeaderLen])
+	n := copy(b[8+IPv4HeaderLen:ICMPErrorLen], quotedTransport)
+	for i := 8 + IPv4HeaderLen + n; i < ICMPErrorLen; i++ {
+		b[i] = 0
+	}
+	cs := Checksum(b[:ICMPErrorLen])
+	binary.BigEndian.PutUint16(b[2:], cs)
+	return ICMPErrorLen
+}
+
+// UnmarshalICMPError parses an ICMP error message from b.
+func (m *ICMPError) UnmarshalICMPError(b []byte) error {
+	if len(b) < ICMPErrorLen {
+		return ErrTruncated
+	}
+	m.Type = b[0]
+	m.Code = b[1]
+	if err := m.Quote.Unmarshal(b[8 : 8+IPv4HeaderLen]); err != nil {
+		return err
+	}
+	copy(m.QuotedTransport[:], b[8+IPv4HeaderLen:8+IPv4HeaderLen+8])
+	return nil
+}
+
+// IsTTLExceeded reports whether the message is a hop's TTL-expired report.
+func (m *ICMPError) IsTTLExceeded() bool {
+	return m.Type == ICMPTypeTimeExceeded && m.Code == ICMPCodeTTLExceeded
+}
+
+// IsUnreachable reports whether the message is any destination-unreachable
+// variant, i.e. evidence that the probe reached the end target
+// (paper §3.2: "host/port/protocol unreachable").
+func (m *ICMPError) IsUnreachable() bool {
+	return m.Type == ICMPTypeDestUnreachable
+}
+
+// EchoLen is the length of an ICMP echo request/reply as built here
+// (8-byte ICMP header, no payload).
+const EchoLen = 8
+
+// BuildEchoRequest serializes a complete ICMP echo request packet
+// (IPv4 + ICMP) into buf — the probe type the census hitlist experiment
+// uses (paper §5.1) — and returns its length.
+func BuildEchoRequest(buf []byte, src, dst uint32, id, seq uint16) int {
+	total := IPv4HeaderLen + EchoLen
+	if len(buf) < total {
+		panic("probe: BuildEchoRequest buffer too small")
+	}
+	ip := IPv4{
+		TotalLength: uint16(total),
+		ID:          id,
+		TTL:         64,
+		Protocol:    ProtoICMP,
+		Src:         src,
+		Dst:         dst,
+	}
+	ip.Marshal(buf)
+	b := buf[IPv4HeaderLen:]
+	b[0], b[1] = ICMPTypeEchoRequest, 0
+	b[2], b[3] = 0, 0
+	binary.BigEndian.PutUint16(b[4:], id)
+	binary.BigEndian.PutUint16(b[6:], seq)
+	cs := Checksum(b[:EchoLen])
+	binary.BigEndian.PutUint16(b[2:], cs)
+	return total
+}
+
+// ParseEchoReply parses a complete ICMP echo reply packet and returns the
+// responder and the echoed id/seq. It returns ok=false for any other
+// packet.
+func ParseEchoReply(pkt []byte) (from uint32, id, seq uint16, ok bool) {
+	var outer IPv4
+	if outer.Unmarshal(pkt) != nil || outer.Protocol != ProtoICMP {
+		return 0, 0, 0, false
+	}
+	b := pkt[IPv4HeaderLen:]
+	if len(b) < EchoLen || b[0] != ICMPTypeEchoReply {
+		return 0, 0, 0, false
+	}
+	return outer.Src, binary.BigEndian.Uint16(b[4:]), binary.BigEndian.Uint16(b[6:]), true
+}

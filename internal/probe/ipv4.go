@@ -1,0 +1,166 @@
+// Package probe implements the wire formats and probe encodings used by
+// FlashRoute and the baseline scanners it is evaluated against.
+//
+// Everything a massive-scale stateless or semi-stateless tracerouter knows
+// about an in-flight probe must be carried by the probe packet itself and
+// echoed back inside the ICMP response's quoted header (paper §3.1). This
+// package provides:
+//
+//   - IPv4 / UDP / TCP / ICMP header serialization and parsing (RFC 791,
+//     768, 793, 792) with the standard Internet checksum;
+//   - the FlashRoute probe encoding: 5 bits of the IPID carry the initial
+//     TTL, 1 bit flags the preprobing phase, and the remaining 10 IPID
+//     bits plus 6 bits of the UDP length field carry a 16-bit millisecond
+//     timestamp (wrap ~65.5 s);
+//   - the source-port-is-checksum-of-destination discipline used to detect
+//     in-flight destination modification (paper §5.3) and to keep a fixed
+//     Paris flow identifier per destination (paper §3);
+//   - Yarrp's probe encodings (TCP sequence-number timestamp; and the UDP
+//     checksum+length encoding whose length-field overflow the paper
+//     reports in §4.2.1 footnote 2), reproduced faithfully for the
+//     baseline comparisons.
+package probe
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Protocol numbers used by the scanners.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// IPv4HeaderLen is the length of a minimal (option-less) IPv4 header.
+const IPv4HeaderLen = 20
+
+// Errors returned by the parsers.
+var (
+	ErrTruncated  = errors.New("probe: truncated packet")
+	ErrNotIPv4    = errors.New("probe: not an IPv4 packet")
+	ErrBadVersion = errors.New("probe: bad IP version")
+)
+
+// IPv4 is a minimal IPv4 header. Addresses are big-endian uint32 values,
+// which is the representation every hot path in this repository uses.
+type IPv4 struct {
+	TOS         uint8
+	TotalLength uint16
+	ID          uint16
+	FlagsFrag   uint16
+	TTL         uint8
+	Protocol    uint8
+	Checksum    uint16
+	Src         uint32
+	Dst         uint32
+}
+
+// Marshal writes the header into b, which must be at least IPv4HeaderLen
+// bytes, computing the header checksum. It returns the bytes written.
+func (h *IPv4) Marshal(b []byte) int {
+	if len(b) < IPv4HeaderLen {
+		panic("probe: IPv4.Marshal buffer too small")
+	}
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:], h.TotalLength)
+	binary.BigEndian.PutUint16(b[4:], h.ID)
+	binary.BigEndian.PutUint16(b[6:], h.FlagsFrag)
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	b[10], b[11] = 0, 0
+	binary.BigEndian.PutUint32(b[12:], h.Src)
+	binary.BigEndian.PutUint32(b[16:], h.Dst)
+	cs := Checksum(b[:IPv4HeaderLen])
+	binary.BigEndian.PutUint16(b[10:], cs)
+	h.Checksum = cs
+	return IPv4HeaderLen
+}
+
+// Unmarshal parses an IPv4 header from b. It does not verify the checksum;
+// use VerifyChecksum for that.
+func (h *IPv4) Unmarshal(b []byte) error {
+	if len(b) < IPv4HeaderLen {
+		return ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return ErrBadVersion
+	}
+	if b[0]&0x0f != 5 {
+		return fmt.Errorf("probe: IPv4 options unsupported (IHL=%d)", b[0]&0x0f)
+	}
+	h.TOS = b[1]
+	h.TotalLength = binary.BigEndian.Uint16(b[2:])
+	h.ID = binary.BigEndian.Uint16(b[4:])
+	h.FlagsFrag = binary.BigEndian.Uint16(b[6:])
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	h.Checksum = binary.BigEndian.Uint16(b[10:])
+	h.Src = binary.BigEndian.Uint32(b[12:])
+	h.Dst = binary.BigEndian.Uint32(b[16:])
+	return nil
+}
+
+// VerifyChecksum reports whether the header checksum of the raw IPv4
+// header bytes in b is valid.
+func VerifyChecksum(b []byte) bool {
+	if len(b) < IPv4HeaderLen {
+		return false
+	}
+	return Checksum(b[:IPv4HeaderLen]) == 0
+}
+
+// Checksum computes the RFC 1071 Internet checksum of b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// AddrChecksum computes the 16-bit Internet checksum of a single IPv4
+// address. FlashRoute uses this value as the probe source port so a
+// response whose quoted destination no longer matches its quoted source
+// port reveals in-flight destination modification (paper §3.1, §5.3).
+func AddrChecksum(addr uint32) uint16 {
+	sum := (addr >> 16) + (addr & 0xffff)
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	cs := ^uint16(sum)
+	if cs == 0 {
+		// Port 0 is reserved; fold to a fixed non-zero value.
+		cs = 0xffff
+	}
+	return cs
+}
+
+// FormatAddr renders a uint32 IPv4 address in dotted-quad form.
+func FormatAddr(a uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// ParseAddr parses a dotted-quad IPv4 address into a uint32.
+func ParseAddr(s string) (uint32, error) {
+	var a, b, c, d int
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return 0, fmt.Errorf("probe: bad IPv4 address %q: %w", s, err)
+	}
+	for _, v := range []int{a, b, c, d} {
+		if v < 0 || v > 255 {
+			return 0, fmt.Errorf("probe: bad IPv4 address %q", s)
+		}
+	}
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d), nil
+}

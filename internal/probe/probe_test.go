@@ -1,0 +1,429 @@
+package probe
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestIPv4RoundTrip(t *testing.T) {
+	h := IPv4{
+		TOS:         0,
+		TotalLength: 28,
+		ID:          0xBEEF,
+		TTL:         17,
+		Protocol:    ProtoUDP,
+		Src:         0x0A000001,
+		Dst:         0xC0A80101,
+	}
+	var b [IPv4HeaderLen]byte
+	h.Marshal(b[:])
+	if !VerifyChecksum(b[:]) {
+		t.Fatal("marshaled header checksum invalid")
+	}
+	var g IPv4
+	if err := g.Unmarshal(b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if g.ID != h.ID || g.TTL != h.TTL || g.Src != h.Src || g.Dst != h.Dst ||
+		g.Protocol != h.Protocol || g.TotalLength != h.TotalLength {
+		t.Fatalf("round trip mismatch: %+v vs %+v", g, h)
+	}
+}
+
+func TestIPv4RoundTripProperty(t *testing.T) {
+	prop := func(id uint16, ttl uint8, src, dst uint32, tl uint16) bool {
+		h := IPv4{TotalLength: tl, ID: id, TTL: ttl, Protocol: ProtoTCP, Src: src, Dst: dst}
+		var b [IPv4HeaderLen]byte
+		h.Marshal(b[:])
+		var g IPv4
+		if err := g.Unmarshal(b[:]); err != nil {
+			return false
+		}
+		return g == h && VerifyChecksum(b[:])
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPv4UnmarshalErrors(t *testing.T) {
+	var g IPv4
+	if err := g.Unmarshal(make([]byte, 10)); err != ErrTruncated {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+	b := make([]byte, IPv4HeaderLen)
+	b[0] = 0x65 // version 6
+	if err := g.Unmarshal(b); err != ErrBadVersion {
+		t.Fatalf("want ErrBadVersion, got %v", err)
+	}
+	b[0] = 0x46 // IHL 6: options
+	if err := g.Unmarshal(b); err == nil {
+		t.Fatal("want options error")
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example data.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != ^uint16(0xddf2) {
+		t.Fatalf("checksum=%#x want %#x", got, ^uint16(0xddf2))
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	if Checksum([]byte{0xff}) != ^uint16(0xff00) {
+		t.Fatal("odd-length checksum wrong")
+	}
+}
+
+func TestAddrChecksumNonZero(t *testing.T) {
+	prop := func(a uint32) bool { return AddrChecksum(a) != 0 }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrFormatParseRoundTrip(t *testing.T) {
+	for _, a := range []uint32{0, 0x01020304, 0xC0A80101, 0xFFFFFFFF} {
+		got, err := ParseAddr(FormatAddr(a))
+		if err != nil || got != a {
+			t.Fatalf("round trip of %#x: got %#x err %v", a, got, err)
+		}
+	}
+	if _, err := ParseAddr("1.2.3.999"); err == nil {
+		t.Fatal("expected error for octet > 255")
+	}
+	if _, err := ParseAddr("junk"); err == nil {
+		t.Fatal("expected error for junk")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	u := UDP{SrcPort: 4321, DstPort: TracerouteDstPort, Length: 42, Checksum: 7}
+	var b [UDPHeaderLen]byte
+	u.Marshal(b[:])
+	var g UDP
+	if err := g.Unmarshal(b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if g != u {
+		t.Fatalf("got %+v want %+v", g, u)
+	}
+}
+
+func TestTCPRoundTripAndShortQuote(t *testing.T) {
+	tc := TCP{SrcPort: 1, DstPort: 80, Seq: 0xDEADBEEF, Ack: 5, Flags: FlagACK, Window: 1024}
+	var b [TCPHeaderLen]byte
+	tc.Marshal(b[:])
+	var g TCP
+	if err := g.Unmarshal(b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if g != tc {
+		t.Fatalf("got %+v want %+v", g, tc)
+	}
+	// An ICMP quote only guarantees 8 bytes.
+	var short TCP
+	if err := short.Unmarshal(b[:8]); err != nil {
+		t.Fatal(err)
+	}
+	if short.SrcPort != tc.SrcPort || short.Seq != tc.Seq {
+		t.Fatal("short quote lost ports or seq")
+	}
+}
+
+func TestFlashProbeRoundTrip(t *testing.T) {
+	var buf [128]byte
+	src, dst := uint32(0x0A000001), uint32(0x10203040)
+	elapsed := 33*time.Second + 123*time.Millisecond
+	n := BuildFlashProbe(buf[:], src, dst, 27, true, elapsed, 0, TracerouteDstPort)
+
+	// Simulate a responder: it sees the probe with a decremented TTL and
+	// quotes the header back.
+	var quoted IPv4
+	if err := quoted.Unmarshal(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	quoted.TTL = 5 // residual at responder
+	var resp [ICMPErrorLen]byte
+	MarshalICMPError(resp[:], ICMPTypeDestUnreachable, ICMPCodePortUnreachable,
+		&quoted, buf[IPv4HeaderLen:IPv4HeaderLen+8])
+
+	var m ICMPError
+	if err := m.UnmarshalICMPError(resp[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsUnreachable() || m.IsTTLExceeded() {
+		t.Fatal("type predicates wrong")
+	}
+	fi, err := ParseFlashQuote(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Dst != dst {
+		t.Fatalf("dst=%#x", fi.Dst)
+	}
+	if fi.InitTTL != 27 {
+		t.Fatalf("initTTL=%d", fi.InitTTL)
+	}
+	if !fi.Preprobe {
+		t.Fatal("preprobe flag lost")
+	}
+	if fi.ResidualTTL != 5 {
+		t.Fatalf("residual=%d", fi.ResidualTTL)
+	}
+	wantTS := uint16(elapsed.Milliseconds())
+	if fi.TSMillis != wantTS {
+		t.Fatalf("ts=%d want %d", fi.TSMillis, wantTS)
+	}
+	if !fi.ChecksumMatches(0) {
+		t.Fatal("source port checksum should match")
+	}
+}
+
+func TestFlashProbeTimestampProperty(t *testing.T) {
+	var buf [128]byte
+	prop := func(ms uint16, ttl uint8, dst uint32, pre bool) bool {
+		ttl = ttl%MaxTTL + 1
+		elapsed := time.Duration(ms) * time.Millisecond
+		n := BuildFlashProbe(buf[:], 1, dst, ttl, pre, elapsed, 0, TracerouteDstPort)
+		var quoted IPv4
+		if quoted.Unmarshal(buf[:n]) != nil {
+			return false
+		}
+		var resp [ICMPErrorLen]byte
+		MarshalICMPError(resp[:], ICMPTypeTimeExceeded, ICMPCodeTTLExceeded,
+			&quoted, buf[IPv4HeaderLen:IPv4HeaderLen+8])
+		var m ICMPError
+		if m.UnmarshalICMPError(resp[:]) != nil {
+			return false
+		}
+		fi, err := ParseFlashQuote(&m)
+		return err == nil && fi.TSMillis == ms && fi.InitTTL == ttl &&
+			fi.Preprobe == pre && fi.Dst == dst
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlashRTTWraparound(t *testing.T) {
+	fi := FlashInfo{TSMillis: 65000}
+	// Sent at 65.000 s, received at 65.700 s -> timestamp wrapped.
+	rtt := fi.RTT(65*time.Second + 700*time.Millisecond)
+	if rtt != 700*time.Millisecond {
+		t.Fatalf("rtt=%v want 700ms", rtt)
+	}
+	// Also across the wrap boundary.
+	fi = FlashInfo{TSMillis: 65500}
+	rtt = fi.RTT(66*time.Second + 100*time.Millisecond) // recv ms = 66100 % 65536 = 564
+	if rtt != 600*time.Millisecond {
+		t.Fatalf("rtt=%v want 600ms", rtt)
+	}
+}
+
+func TestFlashChecksumMismatchDetectsRewrite(t *testing.T) {
+	var buf [128]byte
+	dst := uint32(0x08080808)
+	n := BuildFlashProbe(buf[:], 1, dst, 10, false, 0, 0, TracerouteDstPort)
+	var quoted IPv4
+	if err := quoted.Unmarshal(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	quoted.Dst = 0x08080809 // middlebox rewrote the destination
+	var resp [ICMPErrorLen]byte
+	MarshalICMPError(resp[:], ICMPTypeDestUnreachable, ICMPCodePortUnreachable,
+		&quoted, buf[IPv4HeaderLen:IPv4HeaderLen+8])
+	var m ICMPError
+	if err := m.UnmarshalICMPError(resp[:]); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := ParseFlashQuote(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.ChecksumMatches(0) {
+		t.Fatal("rewritten destination must not pass the checksum test")
+	}
+}
+
+func TestFlashDiscoveryScanOffset(t *testing.T) {
+	var buf [128]byte
+	dst := uint32(0x01010101)
+	n := BuildFlashProbe(buf[:], 1, dst, 10, false, 0, 3, TracerouteDstPort)
+	var quoted IPv4
+	if err := quoted.Unmarshal(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	var resp [ICMPErrorLen]byte
+	MarshalICMPError(resp[:], ICMPTypeTimeExceeded, 0, &quoted, buf[IPv4HeaderLen:IPv4HeaderLen+8])
+	var m ICMPError
+	if err := m.UnmarshalICMPError(resp[:]); err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := ParseFlashQuote(&m)
+	if fi.ChecksumMatches(0) {
+		t.Fatal("offset-3 probe should not match offset 0")
+	}
+	if !fi.ChecksumMatches(3) {
+		t.Fatal("offset-3 probe should match offset 3")
+	}
+}
+
+func TestYarrpTCPRoundTrip(t *testing.T) {
+	var buf [64]byte
+	dst := uint32(0x22334455)
+	n := BuildYarrpTCPProbe(buf[:], 1, dst, 31, 1234*time.Millisecond)
+	var quoted IPv4
+	if err := quoted.Unmarshal(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	quoted.TTL = 1
+	var resp [ICMPErrorLen]byte
+	MarshalICMPError(resp[:], ICMPTypeTimeExceeded, 0, &quoted, buf[IPv4HeaderLen:IPv4HeaderLen+8])
+	var m ICMPError
+	if err := m.UnmarshalICMPError(resp[:]); err != nil {
+		t.Fatal(err)
+	}
+	yi, err := ParseYarrpQuote(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yi.InitTTL != 31 || yi.Dst != dst || yi.ElapsedMillis != 1234 {
+		t.Fatalf("yarrp info %+v", yi)
+	}
+}
+
+func TestYarrpUDPRoundTripAndOverflow(t *testing.T) {
+	var buf [MTU]byte
+	dst := uint32(0x22334455)
+	elapsed := 90 * time.Second
+	n, err := BuildYarrpUDPProbe(buf[:], 1, dst, 7, elapsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var quoted IPv4
+	if err := quoted.Unmarshal(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	var resp [ICMPErrorLen]byte
+	MarshalICMPError(resp[:], ICMPTypeTimeExceeded, 0, &quoted, buf[IPv4HeaderLen:IPv4HeaderLen+8])
+	var m ICMPError
+	if err := m.UnmarshalICMPError(resp[:]); err != nil {
+		t.Fatal(err)
+	}
+	yi, err := ParseYarrpQuote(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := uint32(elapsed.Milliseconds())
+	// The UDP encoding only preserves elapsed time at ~1 s granularity in
+	// the length field plus 10 low bits in the checksum.
+	if yi.ElapsedMillis>>10 != ms>>10 {
+		t.Fatalf("elapsed high bits: got %d want %d", yi.ElapsedMillis>>10, ms>>10)
+	}
+	if yi.ElapsedMillis&0x3ff != ms&0x3ff {
+		t.Fatalf("elapsed low bits: got %d want %d", yi.ElapsedMillis&0x3ff, ms&0x3ff)
+	}
+
+	// The paper's footnote 2: long scans overflow the length field.
+	if _, err := BuildYarrpUDPProbe(buf[:], 1, dst, 7, 45*time.Minute); err != ErrMessageTooLong {
+		t.Fatalf("want ErrMessageTooLong, got %v", err)
+	}
+}
+
+func TestParseResponseFull(t *testing.T) {
+	// Build probe, then a full response packet (outer IPv4 + ICMP).
+	var probeBuf [128]byte
+	dst := uint32(0x10000001)
+	n := BuildFlashProbe(probeBuf[:], 0x0A000001, dst, 16, false, time.Second, 0, TracerouteDstPort)
+	var quoted IPv4
+	if err := quoted.Unmarshal(probeBuf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	quoted.TTL = 1
+
+	hop := uint32(0x0B0B0B0B)
+	var pkt [IPv4HeaderLen + ICMPErrorLen]byte
+	outer := IPv4{
+		TotalLength: uint16(len(pkt)),
+		TTL:         64,
+		Protocol:    ProtoICMP,
+		Src:         hop,
+		Dst:         0x0A000001,
+	}
+	outer.Marshal(pkt[:])
+	MarshalICMPError(pkt[IPv4HeaderLen:], ICMPTypeTimeExceeded, 0, &quoted,
+		probeBuf[IPv4HeaderLen:IPv4HeaderLen+8])
+
+	r, err := ParseResponse(pkt[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hop != hop {
+		t.Fatalf("hop=%#x", r.Hop)
+	}
+	if !r.ICMP.IsTTLExceeded() {
+		t.Fatal("expected TTL exceeded")
+	}
+	fi, err := ParseFlashQuote(&r.ICMP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Dst != dst || fi.InitTTL != 16 {
+		t.Fatalf("info %+v", fi)
+	}
+}
+
+func TestParseResponseErrors(t *testing.T) {
+	if _, err := ParseResponse(make([]byte, 4)); err == nil {
+		t.Fatal("want truncation error")
+	}
+	var pkt [IPv4HeaderLen + ICMPErrorLen]byte
+	outer := IPv4{TotalLength: uint16(len(pkt)), TTL: 64, Protocol: ProtoUDP, Src: 1, Dst: 2}
+	outer.Marshal(pkt[:])
+	if _, err := ParseResponse(pkt[:]); err == nil {
+		t.Fatal("want not-ICMP error")
+	}
+}
+
+func TestICMPErrorChecksumValid(t *testing.T) {
+	var probeBuf [64]byte
+	n := BuildFlashProbe(probeBuf[:], 1, 2, 3, false, 0, 0, TracerouteDstPort)
+	var quoted IPv4
+	if err := quoted.Unmarshal(probeBuf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	var resp [ICMPErrorLen]byte
+	MarshalICMPError(resp[:], ICMPTypeTimeExceeded, 0, &quoted, probeBuf[IPv4HeaderLen:IPv4HeaderLen+8])
+	if Checksum(resp[:]) != 0 {
+		t.Fatal("ICMP checksum over full message should verify to zero")
+	}
+}
+
+func BenchmarkBuildFlashProbe(b *testing.B) {
+	var buf [128]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildFlashProbe(buf[:], 1, uint32(i), uint8(i%32)+1, false,
+			time.Duration(i)*time.Microsecond, 0, TracerouteDstPort)
+	}
+}
+
+func BenchmarkParseFlashQuote(b *testing.B) {
+	var probeBuf [128]byte
+	n := BuildFlashProbe(probeBuf[:], 1, 0xDEADBEEF, 16, false, time.Second, 0, TracerouteDstPort)
+	var quoted IPv4
+	quoted.Unmarshal(probeBuf[:n])
+	var resp [ICMPErrorLen]byte
+	MarshalICMPError(resp[:], ICMPTypeTimeExceeded, 0, &quoted, probeBuf[IPv4HeaderLen:IPv4HeaderLen+8])
+	var m ICMPError
+	m.UnmarshalICMPError(resp[:])
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseFlashQuote(&m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package probe
+
+import (
+	"encoding/binary"
+)
+
+// UDPHeaderLen is the length of a UDP header.
+const UDPHeaderLen = 8
+
+// TCPHeaderLen is the length of a minimal (option-less) TCP header.
+const TCPHeaderLen = 20
+
+// TracerouteDstPort is the base destination port reserved for traceroute
+// (the classic UDP traceroute port range starts here). FlashRoute's
+// preprobing sends to exactly this port to solicit port-unreachable
+// responses from end hosts (paper §3.3.1).
+const TracerouteDstPort = 33434
+
+// UDP is a UDP header. Length covers header + payload, per RFC 768.
+type UDP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16
+	Checksum uint16
+}
+
+// Marshal writes the header into b (at least UDPHeaderLen bytes).
+// The checksum field is written as-is; scanners in this repository use the
+// checksum field as an encoding slot (Yarrp-UDP) or leave it zero
+// ("no checksum" per RFC 768), so no pseudo-header sum is computed here.
+func (u *UDP) Marshal(b []byte) int {
+	if len(b) < UDPHeaderLen {
+		panic("probe: UDP.Marshal buffer too small")
+	}
+	binary.BigEndian.PutUint16(b[0:], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:], u.Length)
+	binary.BigEndian.PutUint16(b[6:], u.Checksum)
+	return UDPHeaderLen
+}
+
+// Unmarshal parses a UDP header from b.
+func (u *UDP) Unmarshal(b []byte) error {
+	if len(b) < UDPHeaderLen {
+		return ErrTruncated
+	}
+	u.SrcPort = binary.BigEndian.Uint16(b[0:])
+	u.DstPort = binary.BigEndian.Uint16(b[2:])
+	u.Length = binary.BigEndian.Uint16(b[4:])
+	u.Checksum = binary.BigEndian.Uint16(b[6:])
+	return nil
+}
+
+// TCP is a minimal TCP header sufficient for ACK probes.
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8 // e.g. FlagACK
+	Window  uint16
+}
+
+// TCP flag bits.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+)
+
+// Marshal writes the header into b (at least TCPHeaderLen bytes).
+func (t *TCP) Marshal(b []byte) int {
+	if len(b) < TCPHeaderLen {
+		panic("probe: TCP.Marshal buffer too small")
+	}
+	binary.BigEndian.PutUint16(b[0:], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:], t.Seq)
+	binary.BigEndian.PutUint32(b[8:], t.Ack)
+	b[12] = 5 << 4 // data offset: 5 words
+	b[13] = t.Flags
+	binary.BigEndian.PutUint16(b[14:], t.Window)
+	b[16], b[17] = 0, 0 // checksum (unused by the simulator)
+	b[18], b[19] = 0, 0 // urgent pointer
+	return TCPHeaderLen
+}
+
+// Unmarshal parses a TCP header from b. Only the first 8 bytes (ports and
+// sequence number) are guaranteed present in an ICMP quote, so Unmarshal
+// accepts 8-byte quotes and zeroes the rest.
+func (t *TCP) Unmarshal(b []byte) error {
+	if len(b) < 8 {
+		return ErrTruncated
+	}
+	t.SrcPort = binary.BigEndian.Uint16(b[0:])
+	t.DstPort = binary.BigEndian.Uint16(b[2:])
+	t.Seq = binary.BigEndian.Uint32(b[4:])
+	if len(b) >= TCPHeaderLen {
+		t.Ack = binary.BigEndian.Uint32(b[8:])
+		t.Flags = b[13]
+		t.Window = binary.BigEndian.Uint16(b[14:])
+	} else {
+		t.Ack, t.Flags, t.Window = 0, 0, 0
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+// Package probe6 implements the IPv6 wire formats and probe encoding for
+// FlashRoute6 — the IPv6 extension the paper plans in §5.4.
+//
+// IPv6 changes the encoding constraints of §3.1: there is no IPID field,
+// but the 20-bit flow label is available (and is part of what per-flow
+// load balancers hash, so it doubles as the Paris flow discipline —
+// exactly how Yarrp6 uses it). FlashRoute6 packs the probing context as:
+//
+//   - flow label bits 19..15: initial hop limit (1..32, stored minus 1);
+//   - flow label bit 14: preprobing-phase flag;
+//   - flow label bits 13..0 plus 6 bits of payload length: a 20-bit
+//     millisecond timestamp (wrap ~17.5 minutes);
+//   - UDP source port: checksum of the destination address, detecting
+//     in-flight destination rewriting as in IPv4 (§5.3).
+package probe6
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Addr is an IPv6 address. It is a value type usable as a map key — the
+// property the sparse control state of FlashRoute6 relies on.
+type Addr [16]byte
+
+// String renders the address in the canonical hex form (no zero
+// compression; diagnostic use).
+func (a Addr) String() string {
+	return fmt.Sprintf("%x:%x:%x:%x:%x:%x:%x:%x",
+		binary.BigEndian.Uint16(a[0:]), binary.BigEndian.Uint16(a[2:]),
+		binary.BigEndian.Uint16(a[4:]), binary.BigEndian.Uint16(a[6:]),
+		binary.BigEndian.Uint16(a[8:]), binary.BigEndian.Uint16(a[10:]),
+		binary.BigEndian.Uint16(a[12:]), binary.BigEndian.Uint16(a[14:]))
+}
+
+// HeaderLen is the fixed IPv6 header length.
+const HeaderLen = 40
+
+// UDPHeaderLen is the UDP header length.
+const UDPHeaderLen = 8
+
+// Next-header protocol numbers.
+const (
+	ProtoUDP    = 17
+	ProtoICMPv6 = 58
+)
+
+// ICMPv6 types/codes used by traceroute probing (RFC 4443).
+const (
+	ICMP6TypeDestUnreachable = 1
+	ICMP6TypeTimeExceeded    = 3
+	ICMP6CodeHopLimit        = 0
+	ICMP6CodePortUnreachable = 4
+)
+
+// MaxHopLimit is the largest initial hop limit representable in the
+// 5-bit flow-label slot.
+const MaxHopLimit = 32
+
+// TracerouteDstPort mirrors the IPv4 convention.
+const TracerouteDstPort = 33434
+
+// Errors.
+var (
+	ErrTruncated  = errors.New("probe6: truncated packet")
+	ErrBadVersion = errors.New("probe6: bad IP version")
+)
+
+// Header is the fixed IPv6 header.
+type Header struct {
+	TrafficClass  uint8
+	FlowLabel     uint32 // 20 bits
+	PayloadLength uint16
+	NextHeader    uint8
+	HopLimit      uint8
+	Src, Dst      Addr
+}
+
+// Marshal writes the header into b (at least HeaderLen bytes).
+func (h *Header) Marshal(b []byte) int {
+	if len(b) < HeaderLen {
+		panic("probe6: Header.Marshal buffer too small")
+	}
+	fl := h.FlowLabel & 0xfffff
+	binary.BigEndian.PutUint32(b[0:], uint32(6)<<28|uint32(h.TrafficClass)<<20|fl)
+	binary.BigEndian.PutUint16(b[4:], h.PayloadLength)
+	b[6] = h.NextHeader
+	b[7] = h.HopLimit
+	copy(b[8:24], h.Src[:])
+	copy(b[24:40], h.Dst[:])
+	return HeaderLen
+}
+
+// Unmarshal parses the header from b.
+func (h *Header) Unmarshal(b []byte) error {
+	if len(b) < HeaderLen {
+		return ErrTruncated
+	}
+	w := binary.BigEndian.Uint32(b[0:])
+	if w>>28 != 6 {
+		return ErrBadVersion
+	}
+	h.TrafficClass = uint8(w >> 20)
+	h.FlowLabel = w & 0xfffff
+	h.PayloadLength = binary.BigEndian.Uint16(b[4:])
+	h.NextHeader = b[6]
+	h.HopLimit = b[7]
+	copy(h.Src[:], b[8:24])
+	copy(h.Dst[:], b[24:40])
+	return nil
+}
+
+// AddrChecksum folds an IPv6 address into a 16-bit Internet checksum,
+// used as the probe source port (0 maps to 0xffff: port 0 is reserved).
+func AddrChecksum(a Addr) uint16 {
+	var sum uint32
+	for i := 0; i < 16; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(a[i:]))
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	cs := ^uint16(sum)
+	if cs == 0 {
+		cs = 0xffff
+	}
+	return cs
+}
+
+// Flow-label encoding layout.
+const (
+	flHopShift = 15
+	flPreBit   = 1 << 14
+	flTSMask   = (1 << 14) - 1 // high 14 of the 20-bit timestamp
+	tsLowBits  = 6
+	tsLowMask  = (1 << tsLowBits) - 1
+	tsBits     = 20
+	tsMask     = (1 << tsBits) - 1
+)
+
+// Info is the probing context recovered from an ICMPv6 response.
+type Info struct {
+	Dst              Addr
+	InitHopLimit     uint8
+	ResidualHopLimit uint8
+	Preprobe         bool
+	TSMillis         uint32 // 20-bit millisecond timestamp
+	SrcPort, DstPort uint16
+}
+
+// RTT derives the round-trip time, handling the ~17.5-minute wrap.
+func (i Info) RTT(receivedAt time.Duration) time.Duration {
+	recv := uint32(receivedAt.Milliseconds()) & tsMask
+	delta := (recv - i.TSMillis) & tsMask
+	return time.Duration(delta) * time.Millisecond
+}
+
+// ChecksumMatches reports whether the quoted source port matches the
+// checksum of the quoted destination plus the scan offset.
+func (i Info) ChecksumMatches(scanOffset uint16) bool {
+	return i.SrcPort == AddrChecksum(i.Dst)+scanOffset
+}
+
+// Disclosure mirrors the IPv4 probes' research-disclosure payload.
+const Disclosure = "flashroute6-go topology measurement research"
+
+// BuildProbe serializes a FlashRoute6 UDP probe into buf and returns its
+// length.
+func BuildProbe(buf []byte, src, dst Addr, hopLimit uint8, preprobe bool, elapsed time.Duration, srcPortOffset uint16, dstPort uint16) int {
+	if hopLimit < 1 || hopLimit > MaxHopLimit {
+		panic("probe6: BuildProbe hop limit out of range")
+	}
+	ts := uint32(elapsed.Milliseconds()) & tsMask
+	fl := uint32(hopLimit-1) << flHopShift
+	if preprobe {
+		fl |= flPreBit
+	}
+	fl |= (ts >> tsLowBits) & flTSMask
+	payloadLen := int(ts & tsLowMask)
+	udpLen := UDPHeaderLen + payloadLen
+	total := HeaderLen + udpLen
+	if len(buf) < total {
+		panic("probe6: BuildProbe buffer too small")
+	}
+	h := Header{
+		FlowLabel:     fl,
+		PayloadLength: uint16(udpLen),
+		NextHeader:    ProtoUDP,
+		HopLimit:      hopLimit,
+		Src:           src,
+		Dst:           dst,
+	}
+	h.Marshal(buf)
+	binary.BigEndian.PutUint16(buf[HeaderLen+0:], AddrChecksum(dst)+srcPortOffset)
+	binary.BigEndian.PutUint16(buf[HeaderLen+2:], dstPort)
+	binary.BigEndian.PutUint16(buf[HeaderLen+4:], uint16(udpLen))
+	binary.BigEndian.PutUint16(buf[HeaderLen+6:], 0)
+	for i := 0; i < payloadLen; i++ {
+		buf[HeaderLen+UDPHeaderLen+i] = Disclosure[i%len(Disclosure)]
+	}
+	return total
+}
+
+// ICMPErrorLen is the ICMPv6 error length used here: 8 bytes of ICMPv6
+// header + the quoted IPv6 header + 8 bytes of the original transport.
+const ICMPErrorLen = 8 + HeaderLen + 8
+
+// ICMPError is a parsed ICMPv6 error with its quote.
+type ICMPError struct {
+	Type, Code      uint8
+	Quote           Header
+	QuotedTransport [8]byte
+}
+
+// MarshalICMPError builds an ICMPv6 error message into b.
+func MarshalICMPError(b []byte, icmpType, code uint8, quote *Header, quotedTransport []byte) int {
+	if len(b) < ICMPErrorLen {
+		panic("probe6: MarshalICMPError buffer too small")
+	}
+	b[0], b[1] = icmpType, code
+	b[2], b[3] = 0, 0 // checksum (pseudo-header based; simulator leaves 0)
+	binary.BigEndian.PutUint32(b[4:], 0)
+	quote.Marshal(b[8:])
+	n := copy(b[8+HeaderLen:ICMPErrorLen], quotedTransport)
+	for i := 8 + HeaderLen + n; i < ICMPErrorLen; i++ {
+		b[i] = 0
+	}
+	return ICMPErrorLen
+}
+
+// UnmarshalICMPError parses an ICMPv6 error from b.
+func (m *ICMPError) UnmarshalICMPError(b []byte) error {
+	if len(b) < ICMPErrorLen {
+		return ErrTruncated
+	}
+	m.Type, m.Code = b[0], b[1]
+	if err := m.Quote.Unmarshal(b[8:]); err != nil {
+		return err
+	}
+	copy(m.QuotedTransport[:], b[8+HeaderLen:8+HeaderLen+8])
+	return nil
+}
+
+// IsHopLimitExceeded reports a hop's time-exceeded message.
+func (m *ICMPError) IsHopLimitExceeded() bool {
+	return m.Type == ICMP6TypeTimeExceeded && m.Code == ICMP6CodeHopLimit
+}
+
+// IsUnreachable reports a destination-unreachable message.
+func (m *ICMPError) IsUnreachable() bool { return m.Type == ICMP6TypeDestUnreachable }
+
+// ParseQuote recovers the FlashRoute6 probing context from an ICMPv6
+// error.
+func ParseQuote(m *ICMPError) (Info, error) {
+	if m.Quote.NextHeader != ProtoUDP {
+		return Info{}, errors.New("probe6: quoted packet is not UDP")
+	}
+	fl := m.Quote.FlowLabel
+	udpLen := binary.BigEndian.Uint16(m.QuotedTransport[4:])
+	ts := (fl&flTSMask)<<tsLowBits | uint32(udpLen-UDPHeaderLen)&tsLowMask
+	return Info{
+		Dst:              m.Quote.Dst,
+		InitHopLimit:     uint8(fl>>flHopShift) + 1,
+		ResidualHopLimit: m.Quote.HopLimit,
+		Preprobe:         fl&flPreBit != 0,
+		TSMillis:         ts,
+		SrcPort:          binary.BigEndian.Uint16(m.QuotedTransport[0:]),
+		DstPort:          binary.BigEndian.Uint16(m.QuotedTransport[2:]),
+	}, nil
+}
+
+// Response is a fully parsed ICMPv6 response packet.
+type Response struct {
+	Hop  Addr
+	ICMP ICMPError
+}
+
+// ParseResponse parses a complete IPv6 packet carrying an ICMPv6 error.
+func ParseResponse(pkt []byte) (Response, error) {
+	var outer Header
+	if err := outer.Unmarshal(pkt); err != nil {
+		return Response{}, err
+	}
+	if outer.NextHeader != ProtoICMPv6 {
+		return Response{}, errors.New("probe6: response is not ICMPv6")
+	}
+	var r Response
+	r.Hop = outer.Src
+	if err := r.ICMP.UnmarshalICMPError(pkt[HeaderLen:]); err != nil {
+		return Response{}, err
+	}
+	return r, nil
+}

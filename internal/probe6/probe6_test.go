@@ -1,0 +1,210 @@
+package probe6
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func addr(b byte) Addr {
+	var a Addr
+	a[0], a[15] = 0x20, b
+	a[1] = 0x01
+	return a
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		TrafficClass:  7,
+		FlowLabel:     0xABCDE,
+		PayloadLength: 99,
+		NextHeader:    ProtoUDP,
+		HopLimit:      17,
+		Src:           addr(1),
+		Dst:           addr(2),
+	}
+	var b [HeaderLen]byte
+	h.Marshal(b[:])
+	var g Header
+	if err := g.Unmarshal(b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if g != h {
+		t.Fatalf("round trip: %+v vs %+v", g, h)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	prop := func(tc uint8, fl uint32, pl uint16, hop uint8, sb, db byte) bool {
+		h := Header{
+			TrafficClass:  tc,
+			FlowLabel:     fl & 0xfffff,
+			PayloadLength: pl,
+			NextHeader:    ProtoUDP,
+			HopLimit:      hop,
+			Src:           addr(sb),
+			Dst:           addr(db),
+		}
+		var b [HeaderLen]byte
+		h.Marshal(b[:])
+		var g Header
+		return g.Unmarshal(b[:]) == nil && g == h
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderErrors(t *testing.T) {
+	var g Header
+	if err := g.Unmarshal(make([]byte, 8)); err != ErrTruncated {
+		t.Fatal(err)
+	}
+	b := make([]byte, HeaderLen)
+	b[0] = 0x45 // IPv4
+	if err := g.Unmarshal(b); err != ErrBadVersion {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeRoundTrip(t *testing.T) {
+	var buf [128]byte
+	src, dst := addr(1), addr(99)
+	elapsed := 12*time.Minute + 345*time.Millisecond
+	n := BuildProbe(buf[:], src, dst, 27, true, elapsed, 0, TracerouteDstPort)
+
+	var quoted Header
+	if err := quoted.Unmarshal(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	quoted.HopLimit = 4 // residual at the responder
+	var resp [ICMPErrorLen]byte
+	MarshalICMPError(resp[:], ICMP6TypeDestUnreachable, ICMP6CodePortUnreachable,
+		&quoted, buf[HeaderLen:HeaderLen+8])
+	var m ICMPError
+	if err := m.UnmarshalICMPError(resp[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsUnreachable() || m.IsHopLimitExceeded() {
+		t.Fatal("type predicates wrong")
+	}
+	fi, err := ParseQuote(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Dst != dst || fi.InitHopLimit != 27 || !fi.Preprobe || fi.ResidualHopLimit != 4 {
+		t.Fatalf("info %+v", fi)
+	}
+	wantTS := uint32(elapsed.Milliseconds()) & tsMask
+	if fi.TSMillis != wantTS {
+		t.Fatalf("ts=%d want %d", fi.TSMillis, wantTS)
+	}
+	if !fi.ChecksumMatches(0) {
+		t.Fatal("checksum must match")
+	}
+}
+
+func TestProbeTimestampProperty(t *testing.T) {
+	var buf [128]byte
+	prop := func(ms uint32, hop uint8, db byte, pre bool) bool {
+		hop = hop%MaxHopLimit + 1
+		ms &= tsMask
+		n := BuildProbe(buf[:], addr(1), addr(db), hop, pre,
+			time.Duration(ms)*time.Millisecond, 0, TracerouteDstPort)
+		var quoted Header
+		if quoted.Unmarshal(buf[:n]) != nil {
+			return false
+		}
+		var resp [ICMPErrorLen]byte
+		MarshalICMPError(resp[:], ICMP6TypeTimeExceeded, ICMP6CodeHopLimit,
+			&quoted, buf[HeaderLen:HeaderLen+8])
+		var m ICMPError
+		if m.UnmarshalICMPError(resp[:]) != nil {
+			return false
+		}
+		fi, err := ParseQuote(&m)
+		return err == nil && fi.TSMillis == ms && fi.InitHopLimit == hop && fi.Preprobe == pre
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRTTWrap(t *testing.T) {
+	fi := Info{TSMillis: tsMask - 100} // sent just before the 20-bit wrap
+	rtt := fi.RTT(time.Duration(tsMask+200) * time.Millisecond)
+	if rtt != 300*time.Millisecond {
+		t.Fatalf("rtt=%v", rtt)
+	}
+}
+
+func TestChecksumMismatchOnRewrite(t *testing.T) {
+	var buf [128]byte
+	dst := addr(50)
+	n := BuildProbe(buf[:], addr(1), dst, 10, false, 0, 0, TracerouteDstPort)
+	var quoted Header
+	if err := quoted.Unmarshal(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	quoted.Dst[15] ^= 1
+	var resp [ICMPErrorLen]byte
+	MarshalICMPError(resp[:], ICMP6TypeDestUnreachable, ICMP6CodePortUnreachable,
+		&quoted, buf[HeaderLen:HeaderLen+8])
+	var m ICMPError
+	if err := m.UnmarshalICMPError(resp[:]); err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := ParseQuote(&m)
+	if fi.ChecksumMatches(0) {
+		t.Fatal("rewritten destination must not match")
+	}
+}
+
+func TestParseResponseFull(t *testing.T) {
+	var pbuf [128]byte
+	dst := addr(7)
+	n := BuildProbe(pbuf[:], addr(1), dst, 16, false, time.Second, 0, TracerouteDstPort)
+	var quoted Header
+	if err := quoted.Unmarshal(pbuf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	quoted.HopLimit = 1
+
+	hop := addr(200)
+	var pkt [HeaderLen + ICMPErrorLen]byte
+	outer := Header{
+		PayloadLength: ICMPErrorLen,
+		NextHeader:    ProtoICMPv6,
+		HopLimit:      64,
+		Src:           hop,
+		Dst:           addr(1),
+	}
+	outer.Marshal(pkt[:])
+	MarshalICMPError(pkt[HeaderLen:], ICMP6TypeTimeExceeded, ICMP6CodeHopLimit,
+		&quoted, pbuf[HeaderLen:HeaderLen+8])
+	r, err := ParseResponse(pkt[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hop != hop || !r.ICMP.IsHopLimitExceeded() {
+		t.Fatalf("response %+v", r)
+	}
+	fi, err := ParseQuote(&r.ICMP)
+	if err != nil || fi.Dst != dst || fi.InitHopLimit != 16 {
+		t.Fatalf("info %+v err %v", fi, err)
+	}
+}
+
+func TestAddrChecksumNonZeroProperty(t *testing.T) {
+	prop := func(bs [16]byte) bool { return AddrChecksum(Addr(bs)) != 0 }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	a := addr(0xBB)
+	if got := a.String(); got != "2001:0:0:0:0:0:0:bb" {
+		t.Fatalf("String()=%q", got)
+	}
+}

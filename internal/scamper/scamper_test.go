@@ -1,0 +1,107 @@
+package scamper
+
+import (
+	"testing"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/netsim"
+	"github.com/flashroute/flashroute/internal/simclock"
+)
+
+func run(t testing.TB, blocks int, seed int64, mutate func(*Config)) *Result {
+	t.Helper()
+	u := netsim.NewSyntheticUniverse(blocks)
+	topo := netsim.NewTopology(u, netsim.DefaultParams(seed))
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	n := netsim.New(topo, clock)
+	cfg := DefaultConfig()
+	cfg.Blocks = blocks
+	cfg.Source = topo.Vantage()
+	cfg.Seed = seed
+	cfg.Targets = func(block int) uint32 {
+		z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(block)*0xd6e8feb86659fd93
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		return u.BlockAddr(block) | uint32(1+z%254)
+	}
+	cfg.BlockOf = func(addr uint32) (int, bool) { return u.BlockIndex(addr) }
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sc, err := NewScanner(cfg, n.NewConn(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestScamperCompletes(t *testing.T) {
+	res := run(t, 1024, 1, nil)
+	if res.ProbesSent == 0 || res.Store.Interfaces().Len() == 0 {
+		t.Fatalf("empty scan: %d probes %d ifaces", res.ProbesSent, res.Store.Interfaces().Len())
+	}
+	t.Logf("scamper-16: %d probes, %d interfaces, %d rounds, %v",
+		res.ProbesSent, res.Store.Interfaces().Len(), res.Rounds, res.ScanTime)
+}
+
+// TestScamperPPSCappedAt10K: the configuration cannot exceed Scamper's
+// maximum rate.
+func TestScamperPPSCappedAt10K(t *testing.T) {
+	u := netsim.NewSyntheticUniverse(16)
+	topo := netsim.NewTopology(u, netsim.DefaultParams(1))
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	n := netsim.New(topo, clock)
+	cfg := DefaultConfig()
+	cfg.Blocks = 16
+	cfg.PPS = 1_000_000
+	cfg.Targets = func(block int) uint32 { return u.BlockAddr(block) | 1 }
+	cfg.BlockOf = func(addr uint32) (int, bool) { return u.BlockIndex(addr) }
+	sc, err := NewScanner(cfg, n.NewConn(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.cfg.PPS != 10_000 {
+		t.Fatalf("PPS=%d want capped 10000", sc.cfg.PPS)
+	}
+}
+
+// TestScamperDelayedElimination reproduces the Figure 7 relationship:
+// Scamper's delayed redundancy elimination sends more probes than a
+// FlashRoute-style immediate stop would — i.e., more backward probes reach
+// low-to-mid TTLs.
+func TestScamperDelayedElimination(t *testing.T) {
+	immediate := run(t, 2048, 2, func(c *Config) {
+		c.DelayedHits = 1
+		c.StubbornFrac = 0
+	})
+	delayed := run(t, 2048, 2, nil)
+	if delayed.ProbesSent <= immediate.ProbesSent {
+		t.Fatalf("delayed elimination should cost probes: delayed=%d immediate=%d",
+			delayed.ProbesSent, immediate.ProbesSent)
+	}
+	di, ii := delayed.Store.Interfaces().Len(), immediate.Store.Interfaces().Len()
+	if di < ii {
+		t.Fatalf("delayed elimination should not find fewer interfaces: %d vs %d", di, ii)
+	}
+	t.Logf("immediate: %d probes/%d ifaces; delayed: %d probes/%d ifaces (+%.1f%% probes)",
+		immediate.ProbesSent, ii, delayed.ProbesSent, di,
+		100*(float64(delayed.ProbesSent)/float64(immediate.ProbesSent)-1))
+}
+
+func TestScamperValidation(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	if _, err := NewScanner(Config{}, nil, clock); err == nil {
+		t.Fatal("empty config should be rejected")
+	}
+	cfg := DefaultConfig()
+	cfg.Blocks = 4
+	cfg.Targets = func(int) uint32 { return 1 }
+	cfg.BlockOf = func(uint32) (int, bool) { return 0, true }
+	cfg.FirstTTL = 40
+	if _, err := NewScanner(cfg, nil, clock); err == nil {
+		t.Fatal("bad FirstTTL should be rejected")
+	}
+}

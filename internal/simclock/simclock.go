@@ -1,0 +1,298 @@
+// Package simclock provides pluggable time for the probing engines and the
+// network simulator.
+//
+// Every quantity FlashRoute's evaluation reports — scan time, probing rate,
+// round pacing, ICMP rate-limit windows, RTTs — is a function of time. To
+// reproduce the paper's full-/24-scale experiments on one machine we run
+// the engines against a deterministic virtual clock: time advances only
+// when every registered actor (sender thread, receiver thread, ...) is
+// blocked, and it jumps straight to the earliest instant at which any of
+// them can make progress. The same engines run unmodified against the real
+// clock (used for the maximum-probing-rate experiment, paper Table 5, and
+// for live deployments).
+//
+// The coordination primitive is the Parker: a blocking site that can be
+// released either by a deadline (virtual or real) or by an explicit Unpark
+// from another actor (e.g. the simulator delivering a packet to a blocked
+// reader). Unpark means "wake up and re-evaluate your condition", so
+// spurious wakeups are always safe.
+package simclock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal interface engine code paces itself with.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks the calling actor for d.
+	Sleep(d time.Duration)
+}
+
+// Waiter extends Clock with actor registration and parking. The virtual
+// clock needs to know how many actors exist so it can tell "everyone is
+// blocked, advance time" from "someone is still running".
+type Waiter interface {
+	Clock
+	// AddActor registers one more concurrently running actor. Call it
+	// before starting the actor's goroutine.
+	AddActor()
+	// DoneActor unregisters an actor. Call it when the actor exits.
+	DoneActor()
+	// NewParker allocates a blocking site for use with Park/Unpark.
+	NewParker() *Parker
+	// Park blocks the calling actor until Unpark is called on p or until
+	// deadline (if nonzero) is reached. It reports whether the wakeup was
+	// an explicit Unpark.
+	Park(p *Parker, deadline time.Time) (unparked bool)
+	// Unpark releases an actor blocked on p, or records the signal if the
+	// actor parks later... it never blocks.
+	Unpark(p *Parker)
+}
+
+// Parker is a blocking site managed by a Waiter. A Parker must not be
+// shared by two actors blocking at the same time.
+type Parker struct {
+	// virtual-clock fields, guarded by Virtual.mu
+	woken    bool
+	deadline int64 // ns since base; 0 = none
+	active   bool
+
+	// real-clock field
+	ch chan struct{}
+}
+
+// Virtual is a deterministic simulated clock. The zero value is not
+// usable; use NewVirtual.
+type Virtual struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	base   time.Time
+	now    int64 // ns since base
+	actors int
+	parked []*Parker
+}
+
+var _ Waiter = (*Virtual)(nil)
+
+// NewVirtual returns a virtual clock whose epoch is start.
+func NewVirtual(start time.Time) *Virtual {
+	v := &Virtual{base: start}
+	v.cond = sync.NewCond(&v.mu)
+	return v
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.base.Add(time.Duration(v.now))
+}
+
+// Elapsed returns how much virtual time has passed since the epoch.
+func (v *Virtual) Elapsed() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return time.Duration(v.now)
+}
+
+// AddActor registers a running actor.
+func (v *Virtual) AddActor() {
+	v.mu.Lock()
+	v.actors++
+	v.mu.Unlock()
+}
+
+// DoneActor unregisters an actor and, if everyone remaining is parked,
+// advances time.
+func (v *Virtual) DoneActor() {
+	v.mu.Lock()
+	v.actors--
+	if v.actors < 0 {
+		v.mu.Unlock()
+		panic("simclock: DoneActor without matching AddActor")
+	}
+	if msg := v.maybeAdvance(); msg != "" {
+		v.mu.Unlock()
+		panic(msg)
+	}
+	v.mu.Unlock()
+}
+
+// NewParker allocates a parking site.
+func (v *Virtual) NewParker() *Parker { return &Parker{} }
+
+// Sleep advances the actor past d of virtual time.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	var p Parker
+	v.mu.Lock()
+	v.parkLocked(&p, v.now+int64(d))
+	v.mu.Unlock()
+}
+
+// Park blocks until Unpark(p) or the deadline.
+func (v *Virtual) Park(p *Parker, deadline time.Time) bool {
+	var dl int64
+	if !deadline.IsZero() {
+		dl = int64(deadline.Sub(v.base))
+		if dl == 0 {
+			dl = 1 // distinguish "epoch deadline" from "no deadline"
+		}
+	}
+	v.mu.Lock()
+	unparked := v.parkLocked(p, dl)
+	v.mu.Unlock()
+	return unparked
+}
+
+// parkLocked blocks the calling actor with v.mu held. dl==0 means no
+// deadline. It returns whether the wakeup was an explicit Unpark.
+func (v *Virtual) parkLocked(p *Parker, dl int64) bool {
+	if p.active {
+		panic("simclock: Parker parked twice concurrently")
+	}
+	if p.woken {
+		// An Unpark arrived between the caller's condition check and this
+		// park; consume it immediately.
+		p.woken = false
+		return true
+	}
+	if dl != 0 && v.now >= dl {
+		return false
+	}
+	p.deadline = dl
+	p.active = true
+	v.parked = append(v.parked, p)
+	if msg := v.maybeAdvance(); msg != "" {
+		v.removeParked(p)
+		p.active = false
+		v.mu.Unlock()
+		panic(msg)
+	}
+	for !p.woken && (dl == 0 || v.now < dl) {
+		v.cond.Wait()
+	}
+	v.removeParked(p)
+	p.active = false
+	unparked := p.woken
+	p.woken = false
+	return unparked
+}
+
+// Unpark wakes the actor blocked on p (or marks the signal for the next
+// Park if none is blocked yet).
+func (v *Virtual) Unpark(p *Parker) {
+	v.mu.Lock()
+	p.woken = true
+	v.cond.Broadcast()
+	v.mu.Unlock()
+}
+
+func (v *Virtual) removeParked(p *Parker) {
+	for i, q := range v.parked {
+		if q == p {
+			last := len(v.parked) - 1
+			v.parked[i] = v.parked[last]
+			v.parked[last] = nil
+			v.parked = v.parked[:last]
+			return
+		}
+	}
+}
+
+// maybeAdvance jumps virtual time forward when every registered actor is
+// parked. Must be called with v.mu held. A non-empty return value is a
+// deadlock diagnostic; the caller must release v.mu and panic with it
+// (panicking here would leave the mutex held and hang other actors).
+func (v *Virtual) maybeAdvance() string {
+	if v.actors == 0 || len(v.parked) < v.actors {
+		return ""
+	}
+	min := int64(0)
+	for _, p := range v.parked {
+		if p.woken {
+			// Someone has a pending wake; no advance needed, the broadcast
+			// from Unpark handles it.
+			return ""
+		}
+		if p.deadline != 0 && (min == 0 || p.deadline < min) {
+			min = p.deadline
+		}
+	}
+	if min == 0 {
+		return fmt.Sprintf("simclock: deadlock — all %d actors parked with no deadline", v.actors)
+	}
+	if min > v.now {
+		v.now = min
+	}
+	v.cond.Broadcast()
+	return ""
+}
+
+// Real is the wall clock. Its Park/Unpark use channels and timers.
+type Real struct{}
+
+var _ Waiter = (*Real)(nil)
+
+// NewReal returns the wall-clock Waiter.
+func NewReal() *Real { return &Real{} }
+
+// Now returns time.Now().
+func (*Real) Now() time.Time { return time.Now() }
+
+// Sleep delegates to time.Sleep.
+func (*Real) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// AddActor is a no-op for the real clock.
+func (*Real) AddActor() {}
+
+// DoneActor is a no-op for the real clock.
+func (*Real) DoneActor() {}
+
+// NewParker allocates a parking site backed by a channel.
+func (*Real) NewParker() *Parker {
+	return &Parker{ch: make(chan struct{}, 1)}
+}
+
+// Park blocks on the parker's channel, optionally with a deadline.
+func (*Real) Park(p *Parker, deadline time.Time) bool {
+	if deadline.IsZero() {
+		<-p.ch
+		return true
+	}
+	d := time.Until(deadline)
+	if d <= 0 {
+		select {
+		case <-p.ch:
+			return true
+		default:
+			return false
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-p.ch:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// Unpark signals the parker; the signal is retained if no one is parked.
+func (*Real) Unpark(p *Parker) {
+	select {
+	case p.ch <- struct{}{}:
+	default:
+	}
+}

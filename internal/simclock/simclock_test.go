@@ -1,0 +1,225 @@
+package simclock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestVirtualSleepSingleActor(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	v.AddActor()
+	defer v.DoneActor()
+	v.Sleep(10 * time.Millisecond)
+	v.Sleep(5 * time.Millisecond)
+	if got := v.Elapsed(); got != 15*time.Millisecond {
+		t.Fatalf("elapsed=%v want 15ms", got)
+	}
+}
+
+func TestVirtualSleepZeroAndNegative(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	v.AddActor()
+	defer v.DoneActor()
+	v.Sleep(0)
+	v.Sleep(-time.Second)
+	if got := v.Elapsed(); got != 0 {
+		t.Fatalf("elapsed=%v want 0", got)
+	}
+}
+
+func TestVirtualTwoActorsInterleave(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	var order []int
+	var mu sync.Mutex
+	record := func(id int) {
+		mu.Lock()
+		order = append(order, id)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	v.AddActor()
+	v.AddActor()
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer v.DoneActor()
+		for i := 0; i < 3; i++ {
+			v.Sleep(10 * time.Millisecond) // wakes at 10, 20, 30
+			record(1)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		defer v.DoneActor()
+		for i := 0; i < 2; i++ {
+			v.Sleep(15 * time.Millisecond) // wakes at 15, 30
+			record(2)
+		}
+	}()
+	wg.Wait()
+	if got := v.Elapsed(); got != 30*time.Millisecond {
+		t.Fatalf("elapsed=%v want 30ms", got)
+	}
+	// The first three wakeups are strictly ordered: 10(1), 15(2), 20(1).
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int{1, 2, 1}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order=%v want prefix %v", order, want)
+		}
+	}
+}
+
+func TestVirtualParkUnpark(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	p := v.NewParker()
+	var delivered atomic.Bool
+	v.AddActor()
+	v.AddActor()
+	done := make(chan bool, 1)
+	go func() {
+		defer v.DoneActor()
+		unparked := v.Park(p, time.Time{}) // no deadline; must be unparked
+		done <- unparked
+	}()
+	go func() {
+		defer v.DoneActor()
+		v.Sleep(time.Second)
+		delivered.Store(true)
+		v.Unpark(p)
+	}()
+	if got := <-done; !got {
+		t.Fatal("Park returned without Unpark")
+	}
+	if !delivered.Load() {
+		t.Fatal("woke before Unpark")
+	}
+	if v.Elapsed() != time.Second {
+		t.Fatalf("elapsed=%v want 1s", v.Elapsed())
+	}
+}
+
+func TestVirtualParkDeadline(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	v.AddActor()
+	defer v.DoneActor()
+	p := v.NewParker()
+	unparked := v.Park(p, v.Now().Add(50*time.Millisecond))
+	if unparked {
+		t.Fatal("expected deadline wake")
+	}
+	if v.Elapsed() != 50*time.Millisecond {
+		t.Fatalf("elapsed=%v", v.Elapsed())
+	}
+}
+
+func TestVirtualPendingUnparkConsumed(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	v.AddActor()
+	defer v.DoneActor()
+	p := v.NewParker()
+	v.Unpark(p) // signal before parking
+	if !v.Park(p, v.Now().Add(time.Hour)) {
+		t.Fatal("pending unpark not consumed")
+	}
+	if v.Elapsed() != 0 {
+		t.Fatalf("park should not have advanced time, elapsed=%v", v.Elapsed())
+	}
+}
+
+func TestVirtualParkExpiredDeadline(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	v.AddActor()
+	defer v.DoneActor()
+	v.Sleep(time.Second)
+	p := v.NewParker()
+	if v.Park(p, v.Now().Add(-time.Millisecond)) {
+		t.Fatal("expired deadline should return false")
+	}
+	if v.Elapsed() != time.Second {
+		t.Fatalf("elapsed=%v", v.Elapsed())
+	}
+}
+
+func TestVirtualDeadlockPanics(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	v.AddActor()
+	p := v.NewParker()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		v.DoneActor()
+	}()
+	v.Park(p, time.Time{}) // sole actor, no deadline, no one to unpark
+}
+
+func TestVirtualManyActorsDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		v := NewVirtual(time.Unix(0, 0))
+		var wg sync.WaitGroup
+		for a := 0; a < 8; a++ {
+			v.AddActor()
+			wg.Add(1)
+			go func(a int) {
+				defer wg.Done()
+				defer v.DoneActor()
+				for i := 0; i < 100; i++ {
+					v.Sleep(time.Duration(a+1) * time.Millisecond)
+				}
+			}(a)
+		}
+		wg.Wait()
+		return v.Elapsed()
+	}
+	first := run()
+	if first != 800*time.Millisecond {
+		t.Fatalf("elapsed=%v want 800ms (slowest actor: 100 x 8ms)", first)
+	}
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("nondeterministic: %v vs %v", got, first)
+		}
+	}
+}
+
+func TestRealClockSmoke(t *testing.T) {
+	r := NewReal()
+	start := r.Now()
+	r.Sleep(10 * time.Millisecond)
+	if e := r.Now().Sub(start); e < 9*time.Millisecond {
+		t.Fatalf("real sleep too short: %v", e)
+	}
+	p := r.NewParker()
+	go func() { r.Unpark(p) }()
+	if !r.Park(p, time.Now().Add(5*time.Second)) {
+		t.Fatal("real unpark lost")
+	}
+	if r.Park(p, time.Now().Add(20*time.Millisecond)) {
+		t.Fatal("expected real deadline wake")
+	}
+}
+
+func TestRealPendingUnpark(t *testing.T) {
+	r := NewReal()
+	p := r.NewParker()
+	r.Unpark(p)
+	r.Unpark(p) // double signal collapses into one
+	if !r.Park(p, time.Time{}) {
+		t.Fatal("pending unpark not consumed")
+	}
+}
+
+func TestVirtualNowMatchesBase(t *testing.T) {
+	base := time.Date(2020, 10, 27, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(base)
+	v.AddActor()
+	defer v.DoneActor()
+	v.Sleep(90 * time.Second)
+	if want := base.Add(90 * time.Second); !v.Now().Equal(want) {
+		t.Fatalf("Now=%v want %v", v.Now(), want)
+	}
+}

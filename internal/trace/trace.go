@@ -1,0 +1,260 @@
+// Package trace holds the measurement results of a scan: discovered
+// interfaces, per-destination routes, and the analyses the paper performs
+// on them (route lengths, loops, on-route destination appearances).
+//
+// FlashRoute itself is deliberately minimal about results — responses are
+// self-describing (paper §3.1), so result collection is a pure consumer of
+// the response stream and never feeds back into probing. That separation
+// is preserved here: engines emit (destination, TTL, hop, RTT) tuples and
+// "destination reached" events; this package stores and analyzes them.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/probe"
+)
+
+// Hop is one discovered interface on a route.
+type Hop struct {
+	TTL  uint8         // hop distance from the vantage point
+	Addr uint32        // interface address that responded
+	RTT  time.Duration // round-trip time derived from the probe timestamp
+}
+
+// Route is the discovered path to one destination.
+type Route struct {
+	Dst     uint32 // the probed destination address
+	Hops    []Hop  // sorted by TTL ascending; gaps are unresponsive hops
+	Reached bool   // destination answered (host/port/proto unreachable)
+	// Length is the hop distance of the destination if Reached, else the
+	// largest responding TTL observed.
+	Length uint8
+}
+
+// InterfaceSet is a set of interface addresses.
+type InterfaceSet map[uint32]struct{}
+
+// Add inserts addr and reports whether it was newly added.
+func (s InterfaceSet) Add(addr uint32) bool {
+	if _, ok := s[addr]; ok {
+		return false
+	}
+	s[addr] = struct{}{}
+	return true
+}
+
+// Has reports membership.
+func (s InterfaceSet) Has(addr uint32) bool {
+	_, ok := s[addr]
+	return ok
+}
+
+// Len returns the set cardinality.
+func (s InterfaceSet) Len() int { return len(s) }
+
+// Store accumulates scan results. It is written by a single receiver
+// goroutine (the engines' response thread) and read after the scan; it is
+// not safe for concurrent mutation.
+type Store struct {
+	routes     map[uint32]*Route
+	interfaces InterfaceSet
+	// CollectRoutes controls whether per-destination hop lists are kept.
+	// Interface counting alone needs far less memory, which matters for
+	// full-universe scans.
+	collectRoutes bool
+}
+
+// NewStore returns a Store. If collectRoutes is false, only the interface
+// set and per-destination reach/length summaries are kept.
+func NewStore(collectRoutes bool) *Store {
+	return &Store{
+		routes:        make(map[uint32]*Route),
+		interfaces:    make(InterfaceSet),
+		collectRoutes: collectRoutes,
+	}
+}
+
+func (st *Store) route(dst uint32) *Route {
+	r := st.routes[dst]
+	if r == nil {
+		r = &Route{Dst: dst}
+		st.routes[dst] = r
+	}
+	return r
+}
+
+// AddHop records a TTL-exceeded response from addr for a probe to dst at
+// the given TTL.
+func (st *Store) AddHop(dst uint32, ttl uint8, addr uint32, rtt time.Duration) {
+	st.AddHopReportNew(dst, ttl, addr, rtt)
+}
+
+// AddHopReportNew is AddHop, additionally reporting whether addr is a
+// never-before-seen interface (Yarrp's neighborhood protection keys off
+// this signal).
+func (st *Store) AddHopReportNew(dst uint32, ttl uint8, addr uint32, rtt time.Duration) bool {
+	isNew := st.interfaces.Add(addr)
+	r := st.route(dst)
+	if ttl > r.Length && !r.Reached {
+		r.Length = ttl
+	}
+	if st.collectRoutes {
+		r.Hops = append(r.Hops, Hop{TTL: ttl, Addr: addr, RTT: rtt})
+	}
+	return isNew
+}
+
+// SetReached records that the destination itself answered. ttl is its hop
+// distance when known; pass 0 when the response carries no distance (a
+// bare TCP RST), which preserves any previously recorded length.
+//
+// Destination responses do NOT enter the interface set: the paper's
+// "interfaces discovered" metric counts router interfaces revealed by
+// TTL-exceeded responses (see DESIGN.md — this is the only reading
+// consistent with the paper's Table 3 and §5.1 numbers simultaneously).
+func (st *Store) SetReached(dst uint32, ttl uint8, addr uint32, rtt time.Duration) {
+	r := st.route(dst)
+	wasReached := r.Reached
+	r.Reached = true
+	if ttl > 0 {
+		r.Length = ttl
+	}
+	// Probes beyond the destination's distance all reach it and answer;
+	// record the destination hop once.
+	if st.collectRoutes && ttl > 0 && !wasReached {
+		r.Hops = append(r.Hops, Hop{TTL: ttl, Addr: addr, RTT: rtt})
+	}
+}
+
+// Interfaces returns the set of unique responding interfaces.
+func (st *Store) Interfaces() InterfaceSet { return st.interfaces }
+
+// Route returns the route to dst with hops sorted by TTL, or nil if no
+// response involving dst was recorded.
+func (st *Store) Route(dst uint32) *Route {
+	r := st.routes[dst]
+	if r == nil {
+		return nil
+	}
+	sort.Slice(r.Hops, func(i, j int) bool { return r.Hops[i].TTL < r.Hops[j].TTL })
+	return r
+}
+
+// NumRoutes returns the number of destinations with at least one response.
+func (st *Store) NumRoutes() int { return len(st.routes) }
+
+// ForEachRoute calls fn for every stored route. Hop order within a route
+// is unspecified unless Route() was used.
+func (st *Store) ForEachRoute(fn func(*Route)) {
+	for _, r := range st.routes {
+		fn(r)
+	}
+}
+
+// HasLoop reports whether the route visits the same interface at two
+// TTLs at least two hops apart — the forwarding-loop signature of §5.1
+// (stub networks bouncing packets for nonexistent addresses back to their
+// ISP). A repeat at adjacent TTLs is not a loop: it is the signature of a
+// route that gained or lost one hop mid-scan (route dynamics).
+func (r *Route) HasLoop() bool {
+	seen := make(map[uint32]uint8, len(r.Hops))
+	for _, h := range r.Hops {
+		if prev, ok := seen[h.Addr]; ok {
+			d := int(h.TTL) - int(prev)
+			if d < 0 {
+				d = -d
+			}
+			if d >= 2 {
+				return true
+			}
+		}
+		seen[h.Addr] = h.TTL
+	}
+	return false
+}
+
+// HopAt returns the interface observed at the given TTL, if any.
+func (r *Route) HopAt(ttl uint8) (uint32, bool) {
+	for _, h := range r.Hops {
+		if h.TTL == ttl {
+			return h.Addr, true
+		}
+	}
+	return 0, false
+}
+
+// WriteJSONL writes one JSON object per route:
+// {"dst":"a.b.c.d","reached":bool,"length":n,"hops":[{"ttl":n,"addr":"...","rtt_us":n},...]}.
+func (st *Store) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	dsts := make([]uint32, 0, len(st.routes))
+	for d := range st.routes {
+		dsts = append(dsts, d)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	type jsonHop struct {
+		TTL   uint8  `json:"ttl"`
+		Addr  string `json:"addr"`
+		RTTus int64  `json:"rtt_us"`
+	}
+	type jsonRoute struct {
+		Dst     string    `json:"dst"`
+		Reached bool      `json:"reached"`
+		Length  uint8     `json:"length"`
+		Hops    []jsonHop `json:"hops"`
+	}
+	enc := json.NewEncoder(bw)
+	for _, d := range dsts {
+		r := st.Route(d)
+		jr := jsonRoute{
+			Dst:     probe.FormatAddr(d),
+			Reached: r.Reached,
+			Length:  r.Length,
+			Hops:    make([]jsonHop, 0, len(r.Hops)),
+		}
+		for _, h := range r.Hops {
+			jr.Hops = append(jr.Hops, jsonHop{
+				TTL: h.TTL, Addr: probe.FormatAddr(h.Addr), RTTus: h.RTT.Microseconds(),
+			})
+		}
+		if err := enc.Encode(&jr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteCSV writes all stored routes as CSV rows:
+// destination,ttl,hop,rtt_us,reached.
+func (st *Store) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "destination,ttl,hop,rtt_us,reached"); err != nil {
+		return err
+	}
+	dsts := make([]uint32, 0, len(st.routes))
+	for d := range st.routes {
+		dsts = append(dsts, d)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	for _, d := range dsts {
+		r := st.Route(d)
+		for _, h := range r.Hops {
+			reached := 0
+			if r.Reached && h.TTL == r.Length {
+				reached = 1
+			}
+			if _, err := fmt.Fprintf(bw, "%s,%d,%s,%d,%d\n",
+				probe.FormatAddr(d), h.TTL, probe.FormatAddr(h.Addr),
+				h.RTT.Microseconds(), reached); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStoreBasics(t *testing.T) {
+	st := NewStore(true)
+	st.AddHop(100, 3, 0xA, time.Millisecond)
+	st.AddHop(100, 1, 0xB, time.Millisecond)
+	st.AddHop(100, 2, 0xA, time.Millisecond) // same interface twice
+	st.SetReached(100, 4, 100, 2*time.Millisecond)
+
+	// Destination responses do not enter the interface set (router
+	// interfaces only — see the SetReached doc comment).
+	if st.Interfaces().Len() != 2 {
+		t.Fatalf("interfaces=%d want 2 (A, B)", st.Interfaces().Len())
+	}
+	r := st.Route(100)
+	if r == nil || !r.Reached || r.Length != 4 {
+		t.Fatalf("route %+v", r)
+	}
+	if len(r.Hops) != 4 {
+		t.Fatalf("hops=%d", len(r.Hops))
+	}
+	for i := 1; i < len(r.Hops); i++ {
+		if r.Hops[i-1].TTL > r.Hops[i].TTL {
+			t.Fatal("hops not sorted by TTL")
+		}
+	}
+	if a, ok := r.HopAt(3); !ok || a != 0xA {
+		t.Fatalf("HopAt(3)=%#x,%v", a, ok)
+	}
+	if _, ok := r.HopAt(9); ok {
+		t.Fatal("HopAt(9) should miss")
+	}
+}
+
+func TestStoreLengthSemantics(t *testing.T) {
+	st := NewStore(false)
+	st.AddHop(7, 10, 1, 0)
+	if st.Route(7).Length != 10 {
+		t.Fatal("length should track max hop TTL")
+	}
+	// A bare RST (unknown distance) must not clobber the length.
+	st.SetReached(7, 0, 7, 0)
+	r := st.Route(7)
+	if !r.Reached || r.Length != 10 {
+		t.Fatalf("route %+v", r)
+	}
+	// A real unreachable fixes the length even below the max probed TTL.
+	st.SetReached(7, 8, 7, 0)
+	if st.Route(7).Length != 8 {
+		t.Fatal("definitive distance should overwrite")
+	}
+	// Later hop responses must not raise a reached route's length.
+	st.AddHop(7, 12, 9, 0)
+	if st.Route(7).Length != 8 {
+		t.Fatal("late hop raised a definitive length")
+	}
+}
+
+func TestAddHopReportNew(t *testing.T) {
+	st := NewStore(false)
+	if !st.AddHopReportNew(1, 1, 0xCC, 0) {
+		t.Fatal("first sighting should be new")
+	}
+	if st.AddHopReportNew(2, 5, 0xCC, 0) {
+		t.Fatal("second sighting should not be new")
+	}
+}
+
+func TestHasLoop(t *testing.T) {
+	r := &Route{Hops: []Hop{{TTL: 1, Addr: 5}, {TTL: 2, Addr: 6}, {TTL: 3, Addr: 5}}}
+	if !r.HasLoop() {
+		t.Fatal("loop not detected")
+	}
+	r2 := &Route{Hops: []Hop{{TTL: 1, Addr: 5}, {TTL: 2, Addr: 6}}}
+	if r2.HasLoop() {
+		t.Fatal("false loop")
+	}
+	// The same interface at the same TTL (duplicate response) is no loop.
+	r3 := &Route{Hops: []Hop{{TTL: 1, Addr: 5}, {TTL: 1, Addr: 5}}}
+	if r3.HasLoop() {
+		t.Fatal("duplicate response misread as loop")
+	}
+	// A repeat at ADJACENT TTLs is route dynamics (a hop inserted or
+	// removed mid-scan), not a forwarding loop.
+	r4 := &Route{Hops: []Hop{{TTL: 4, Addr: 5}, {TTL: 5, Addr: 5}}}
+	if r4.HasLoop() {
+		t.Fatal("route flap misread as loop")
+	}
+}
+
+func TestForEachRouteAndCount(t *testing.T) {
+	st := NewStore(false)
+	for i := uint32(0); i < 10; i++ {
+		st.AddHop(i, 1, 100+i, 0)
+	}
+	if st.NumRoutes() != 10 {
+		t.Fatalf("routes=%d", st.NumRoutes())
+	}
+	n := 0
+	st.ForEachRoute(func(*Route) { n++ })
+	if n != 10 {
+		t.Fatalf("visited %d", n)
+	}
+	if st.Route(99) != nil {
+		t.Fatal("unknown destination should be nil")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	st := NewStore(true)
+	st.AddHop(0x04000001, 1, 0xF0000001, 1500*time.Microsecond)
+	st.SetReached(0x04000001, 2, 0x04000001, 2*time.Millisecond)
+	var buf bytes.Buffer
+	if err := st.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines=%d: %q", len(lines), out)
+	}
+	if lines[0] != "destination,ttl,hop,rtt_us,reached" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "4.0.0.1,1,240.0.0.1,1500,0") {
+		t.Fatalf("row %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "4.0.0.1,2,4.0.0.1,2000,1") {
+		t.Fatalf("row %q", lines[2])
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	st := NewStore(true)
+	st.AddHop(0x04000001, 1, 0xF0000001, 1500*time.Microsecond)
+	st.SetReached(0x04000001, 2, 0x04000001, 2*time.Millisecond)
+	st.AddHop(0x04000102, 5, 0xF0000002, time.Millisecond)
+	var buf bytes.Buffer
+	if err := st.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines=%d: %q", len(lines), buf.String())
+	}
+	var first struct {
+		Dst     string `json:"dst"`
+		Reached bool   `json:"reached"`
+		Length  uint8  `json:"length"`
+		Hops    []struct {
+			TTL   uint8  `json:"ttl"`
+			Addr  string `json:"addr"`
+			RTTus int64  `json:"rtt_us"`
+		} `json:"hops"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Dst != "4.0.0.1" || !first.Reached || first.Length != 2 || len(first.Hops) != 2 {
+		t.Fatalf("route %+v", first)
+	}
+	if first.Hops[0].Addr != "240.0.0.1" || first.Hops[0].RTTus != 1500 {
+		t.Fatalf("hop %+v", first.Hops[0])
+	}
+}
+
+func TestInterfaceSet(t *testing.T) {
+	s := make(InterfaceSet)
+	if !s.Add(1) || s.Add(1) {
+		t.Fatal("Add newness wrong")
+	}
+	if !s.Has(1) || s.Has(2) {
+		t.Fatal("Has wrong")
+	}
+	if s.Len() != 1 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestNoRouteCollection(t *testing.T) {
+	st := NewStore(false)
+	st.AddHop(5, 3, 9, 0)
+	r := st.Route(5)
+	if len(r.Hops) != 0 {
+		t.Fatal("hops retained despite collectRoutes=false")
+	}
+	if r.Length != 3 {
+		t.Fatal("summary fields must still work")
+	}
+}

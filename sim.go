@@ -1,0 +1,205 @@
+package flashroute
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/hitlist"
+	"github.com/flashroute/flashroute/internal/netsim"
+	"github.com/flashroute/flashroute/internal/simclock"
+)
+
+// SimConfig parameterizes a simulated Internet (see DESIGN.md for the
+// model and its calibration against the paper's measurements).
+type SimConfig struct {
+	// Blocks is the number of /24 blocks in the universe (up to 2^22).
+	Blocks int
+	// CIDRs optionally defines the universe from address ranges instead
+	// of a synthetic block count (prefix lengths up to /24).
+	CIDRs []string
+	// Seed makes the whole Internet reproducible.
+	Seed int64
+	// RealTime runs the simulation on the wall clock instead of virtual
+	// time (virtual time is the default: scans complete in milliseconds
+	// of real time while reporting faithful scan durations).
+	RealTime bool
+	// Mutate, if set, adjusts the topology parameters before generation
+	// (silence rates, middlebox prevalence, rate limits, ...).
+	Mutate func(*netsim.Params)
+}
+
+// Simulation is a synthetic Internet bound to a clock — the substrate all
+// examples and experiments scan against.
+type Simulation struct {
+	topo  *netsim.Topology
+	net   *netsim.Net
+	clock simclock.Waiter
+	seed  int64
+	hl    *hitlist.Hitlist
+}
+
+// NewSimulation generates the Internet. It panics on invalid
+// configuration (synthetic sizes out of range); use NewSimulationCIDRs
+// errors for user-supplied ranges.
+func NewSimulation(cfg SimConfig) *Simulation {
+	var u *netsim.Universe
+	if len(cfg.CIDRs) > 0 {
+		var err error
+		u, err = netsim.ParseUniverse(cfg.CIDRs)
+		if err != nil {
+			panic(fmt.Sprintf("flashroute: bad SimConfig.CIDRs: %v", err))
+		}
+	} else {
+		u = netsim.NewSyntheticUniverse(cfg.Blocks)
+	}
+	params := netsim.DefaultParams(cfg.Seed)
+	if cfg.Mutate != nil {
+		cfg.Mutate(&params)
+	}
+	topo := netsim.NewTopology(u, params)
+	var clock simclock.Waiter
+	if cfg.RealTime {
+		clock = simclock.NewReal()
+	} else {
+		clock = simclock.NewVirtual(time.Unix(0, 0))
+	}
+	return &Simulation{
+		topo:  topo,
+		net:   netsim.New(topo, clock),
+		clock: clock,
+		seed:  cfg.Seed,
+	}
+}
+
+// Blocks returns the number of /24 blocks in the simulated universe.
+func (s *Simulation) Blocks() int { return s.topo.U.NumBlocks() }
+
+// Vantage returns the scanning vantage point's source address.
+func (s *Simulation) Vantage() uint32 { return s.topo.Vantage() }
+
+// Clock returns the simulation's clock (pass it to NewScanner alongside
+// Conn for custom setups).
+func (s *Simulation) Clock() Clock { return s.clock }
+
+// Conn opens a raw-socket-like connection into the simulated network.
+func (s *Simulation) Conn() PacketConn { return s.net.NewConn() }
+
+// BlockAddr returns the base address of the i-th /24 block.
+func (s *Simulation) BlockAddr(i int) uint32 { return s.topo.U.BlockAddr(i) }
+
+// BlockOf maps an address to its block index.
+func (s *Simulation) BlockOf(addr uint32) (int, bool) { return s.topo.U.BlockIndex(addr) }
+
+// RandomTargets returns the default per-block random representative
+// function, seeded by the simulation seed.
+func (s *Simulation) RandomTargets() func(block int) uint32 {
+	u := s.topo.U
+	seed := uint64(s.seed)
+	return func(block int) uint32 {
+		z := seed*0x9e3779b97f4a7c15 + uint64(block)*0xd6e8feb86659fd93 + 0x1234
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z ^= z >> 31
+		return u.BlockAddr(block) | uint32(1+z%254)
+	}
+}
+
+// HitlistTargets generates (once) and returns the simulated census
+// hitlist's per-block targets (paper §4.1.3, §5.1).
+func (s *Simulation) HitlistTargets() func(block int) uint32 {
+	if s.hl == nil {
+		s.hl = hitlist.Generate(s.topo)
+	}
+	return s.hl.TargetFunc()
+}
+
+// PingCensus rebuilds the hitlist the way the census actually works — by
+// sending ICMP echo requests through this simulation's network — and
+// makes it the hitlist subsequent HitlistTargets/WriteHitlist calls use.
+// It returns the number of ping-responsive entries found.
+func (s *Simulation) PingCensus() (responsive int, err error) {
+	h, err := hitlist.GenerateViaPings(s.topo.U, s.net.NewConn(), s.clock, s.seed)
+	if err != nil {
+		return 0, err
+	}
+	s.hl = h
+	return h.Responsive(), nil
+}
+
+// WriteHitlist stores the simulated hitlist in FlashRoute's
+// one-address-per-line exterior-file format.
+func (s *Simulation) WriteHitlist(w io.Writer) error {
+	if s.hl == nil {
+		s.hl = hitlist.Generate(s.topo)
+	}
+	_, err := s.hl.WriteTo(w)
+	return err
+}
+
+// TrueDistance returns the simulator's ground-truth hop distance of an
+// address (0 if unrouted) — for validating measurements in examples and
+// tests.
+func (s *Simulation) TrueDistance(addr uint32) uint8 {
+	return s.topo.DistanceNow(addr, s.net.Elapsed())
+}
+
+// Stats reports the network-side counters accumulated so far.
+func (s *Simulation) Stats() SimStats {
+	return SimStats{
+		ProbesSeen:  s.net.Stats.ProbesSent.Load(),
+		Responses:   s.net.Stats.Responses.Load(),
+		RateLimited: s.net.Stats.RateLimited.Load(),
+		SilentHops:  s.net.Stats.SilentHops.Load(),
+		NoRoute:     s.net.Stats.NoRoute.Load(),
+	}
+}
+
+// SimStats are network-side counters of a simulation.
+type SimStats struct {
+	ProbesSeen  uint64
+	Responses   uint64
+	RateLimited uint64
+	SilentHops  uint64
+	NoRoute     uint64
+}
+
+// Scan runs a FlashRoute scan against this simulation, filling in the
+// universe-dependent configuration fields (Blocks, Targets, BlockOf,
+// Source) when unset.
+func (s *Simulation) Scan(cfg Config) (*Result, error) {
+	s.fill(&cfg)
+	sc, err := NewScanner(cfg, s.Conn(), s.clock)
+	if err != nil {
+		return nil, err
+	}
+	return sc.Run()
+}
+
+func (s *Simulation) fill(cfg *Config) {
+	if cfg.Blocks == 0 {
+		cfg.Blocks = s.Blocks()
+	}
+	if cfg.Targets == nil {
+		cfg.Targets = s.RandomTargets()
+	}
+	if cfg.VaryExtraScanTargets && cfg.ExtraScanTargets == nil {
+		u := s.topo.U
+		seed := uint64(s.seed)
+		cfg.ExtraScanTargets = func(block, scan int) uint32 {
+			z := seed*0x9e3779b97f4a7c15 + uint64(block)*0xd6e8feb86659fd93 +
+				uint64(scan)*0xa0761d6478bd642f + 0x9b
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z ^= z >> 31
+			return u.BlockAddr(block) | uint32(1+z%254)
+		}
+	}
+	if cfg.BlockOf == nil {
+		cfg.BlockOf = s.BlockOf
+	}
+	if cfg.Source == 0 {
+		cfg.Source = s.Vantage()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = s.seed
+	}
+}

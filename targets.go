@@ -1,0 +1,60 @@
+package flashroute
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"github.com/flashroute/flashroute/internal/probe"
+)
+
+// ReadTargets implements FlashRoute's exterior-target-file option (paper
+// §3.4: "FlashRoute also has an option to load IP addresses from an
+// exterior file instead but would still only use one address per /24
+// block"): one dotted-quad address per line, '#' comments allowed. Each
+// listed address becomes its block's representative; later entries for
+// the same block win; unlisted blocks keep the fallback function's pick
+// (pass sim.RandomTargets() or nil to skip unlisted blocks entirely).
+//
+// The returned targets function is ready for Config.Targets; when
+// fallback is nil, pair the returned skip function with Config.Skip so
+// unlisted blocks are excluded from the scan.
+func (s *Simulation) ReadTargets(r io.Reader, fallback func(block int) uint32) (targets func(block int) uint32, skip func(block int) bool, err error) {
+	override := make(map[int]uint32)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		t := sc.Text()
+		if t == "" || t[0] == '#' {
+			continue
+		}
+		a, err := probe.ParseAddr(t)
+		if err != nil {
+			return nil, nil, fmt.Errorf("targets: line %d: %w", line, err)
+		}
+		if b, ok := s.BlockOf(a); ok {
+			override[b] = a
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	targets = func(block int) uint32 {
+		if a, ok := override[block]; ok {
+			return a
+		}
+		if fallback != nil {
+			return fallback(block)
+		}
+		return 0
+	}
+	skip = func(block int) bool {
+		if fallback != nil {
+			return false
+		}
+		_, ok := override[block]
+		return !ok
+	}
+	return targets, skip, nil
+}

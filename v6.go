@@ -1,0 +1,173 @@
+package flashroute
+
+import (
+	"time"
+
+	"github.com/flashroute/flashroute/internal/core6"
+	"github.com/flashroute/flashroute/internal/netsim6"
+	"github.com/flashroute/flashroute/internal/probe6"
+	"github.com/flashroute/flashroute/internal/simclock"
+)
+
+// Addr6 is an IPv6 address (value type, usable as a map key).
+type Addr6 = probe6.Addr
+
+// Sim6Config parameterizes a simulated IPv6 Internet (the §5.4 extension:
+// sparse allocated prefixes with candidate target lists).
+type Sim6Config struct {
+	// Prefixes is the number of allocated /48s; TargetsPerPrefix the
+	// candidate addresses per prefix.
+	Prefixes         int
+	TargetsPerPrefix int
+	Seed             int64
+	RealTime         bool
+	// Mutate adjusts topology parameters before generation.
+	Mutate func(*netsim6.Params)
+}
+
+// Simulation6 is a synthetic IPv6 Internet bound to a clock.
+type Simulation6 struct {
+	topo  *netsim6.Topology
+	net   *netsim6.Net
+	clock simclock.Waiter
+	seed  int64
+}
+
+// NewSimulation6 generates the IPv6 Internet.
+func NewSimulation6(cfg Sim6Config) *Simulation6 {
+	p := netsim6.DefaultParams(cfg.Seed)
+	if cfg.Prefixes > 0 {
+		p.Prefixes = cfg.Prefixes
+	}
+	if cfg.TargetsPerPrefix > 0 {
+		p.TargetsPerPrefix = cfg.TargetsPerPrefix
+	}
+	if cfg.Mutate != nil {
+		cfg.Mutate(&p)
+	}
+	topo := netsim6.NewTopology(p)
+	var clock simclock.Waiter
+	if cfg.RealTime {
+		clock = simclock.NewReal()
+	} else {
+		clock = simclock.NewVirtual(time.Unix(0, 0))
+	}
+	return &Simulation6{topo: topo, net: netsim6.New(topo, clock), clock: clock, seed: cfg.Seed}
+}
+
+// Targets returns the candidate target list.
+func (s *Simulation6) Targets() []Addr6 { return s.topo.Targets() }
+
+// Vantage returns the scanning source address.
+func (s *Simulation6) Vantage() Addr6 { return s.topo.Vantage() }
+
+// TrueDistance returns the ground-truth hop distance of a target.
+func (s *Simulation6) TrueDistance(a Addr6) uint8 { return s.topo.DistanceNow(a) }
+
+// Config6 parameterizes a FlashRoute6 scan. Zero TTL/PPS fields mean the
+// defaults (split 16, gap 5, 100 Kpps, preprobing with same-prefix
+// prediction).
+type Config6 struct {
+	Targets []Addr6
+	Source  Addr6
+
+	SplitTTL uint8
+	GapLimit uint8
+	PPS      int
+
+	PreprobeOff             bool
+	NoSamePrefixPrediction  bool
+	NoRedundancyElimination bool
+	CollectRoutes           bool
+	Seed                    int64
+}
+
+// Result6 is what an IPv6 scan produced.
+type Result6 struct {
+	inner *core6.Result
+}
+
+// Probes returns the total probe count.
+func (r *Result6) Probes() uint64 { return r.inner.ProbesSent }
+
+// ScanTime returns the scan duration.
+func (r *Result6) ScanTime() time.Duration { return r.inner.ScanTime }
+
+// InterfaceCount returns the unique router interfaces found.
+func (r *Result6) InterfaceCount() int { return r.inner.InterfaceCount() }
+
+// ReachedCount returns how many targets answered.
+func (r *Result6) ReachedCount() int { return r.inner.ReachedCount() }
+
+// DistancesMeasured / DistancesPredicted report preprobing coverage.
+func (r *Result6) DistancesMeasured() int  { return r.inner.DistancesMeasured }
+func (r *Result6) DistancesPredicted() int { return r.inner.DistancesPredicted }
+
+// Route6 is a discovered IPv6 route.
+type Route6 struct {
+	Dst     Addr6
+	Hops    []Hop6
+	Reached bool
+	Length  uint8
+}
+
+// Hop6 is one discovered IPv6 interface on a route.
+type Hop6 struct {
+	TTL  uint8
+	Addr Addr6
+	RTT  time.Duration
+}
+
+// Route returns the route traced to a target, or nil.
+func (r *Result6) Route(a Addr6) *Route6 {
+	rt := r.inner.Route(a)
+	if rt == nil {
+		return nil
+	}
+	out := &Route6{Dst: rt.Dst, Reached: rt.Reached, Length: rt.Length}
+	for _, h := range rt.Hops {
+		out.Hops = append(out.Hops, Hop6{TTL: h.TTL, Addr: h.Addr, RTT: h.RTT})
+	}
+	return out
+}
+
+// Scan runs a FlashRoute6 scan against this simulation, filling in
+// universe-dependent fields when unset.
+func (s *Simulation6) Scan(cfg Config6) (*Result6, error) {
+	ic := core6.DefaultConfig()
+	ic.Targets = cfg.Targets
+	if ic.Targets == nil {
+		ic.Targets = s.topo.Targets()
+	}
+	ic.Source = cfg.Source
+	var zero Addr6
+	if ic.Source == zero {
+		ic.Source = s.topo.Vantage()
+	}
+	if cfg.SplitTTL != 0 {
+		ic.SplitTTL = cfg.SplitTTL
+	}
+	if cfg.GapLimit != 0 {
+		ic.GapLimit = cfg.GapLimit
+	}
+	if cfg.PPS != 0 {
+		ic.PPS = cfg.PPS
+	}
+	ic.Preprobe = !cfg.PreprobeOff
+	ic.SamePrefixPrediction = !cfg.NoSamePrefixPrediction
+	ic.NoRedundancyElimination = cfg.NoRedundancyElimination
+	ic.CollectRoutes = cfg.CollectRoutes
+	ic.Seed = cfg.Seed
+	if ic.Seed == 0 {
+		ic.Seed = s.seed
+	}
+	sc, err := core6.NewScanner(ic, s.net.NewConn(), s.clock)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sc.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Result6{inner: res}, nil
+}
