@@ -12,6 +12,7 @@ package flashroute
 // EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/flashroute/flashroute/internal/experiments"
@@ -152,6 +153,33 @@ func BenchmarkTable5MaxRate(b *testing.B) {
 				b.ReportMetric(row.MeasuredKpps, "yarrp32-kpps")
 			}
 		}
+	}
+}
+
+// BenchmarkSenderScaling measures the unthrottled probing rate at 1, 2, 4
+// and 8 sender goroutines on the Table 5 fast network. The per-K rates are
+// reported as custom metrics; allocation reporting keeps the steady-state
+// send path honest (the per-probe path must stay allocation-free for the
+// rate numbers to mean anything).
+func BenchmarkSenderScaling(b *testing.B) {
+	b.ReportAllocs()
+	counts := []int{1, 2, 4, 8}
+	sums := make(map[int]float64)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.SenderScaling(
+			experiments.NewScenario(4096, int64(42+i)), counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			if row.Interfaces == 0 {
+				b.Fatalf("senders=%d discovered no interfaces", row.Senders)
+			}
+			sums[row.Senders] += row.MeasuredKpps
+		}
+	}
+	for _, k := range counts {
+		b.ReportMetric(sums[k]/float64(b.N), fmt.Sprintf("s%d-kpps", k))
 	}
 }
 

@@ -30,6 +30,7 @@ func main() {
 		split      = flag.Int("split", 16, "default split TTL (paper: 16 or 32)")
 		gap        = flag.Int("gap", 5, "forward-probing gap limit")
 		pps        = flag.Int("pps", 100000, "probing rate in packets per second (0 = unthrottled)")
+		senders    = flag.Int("senders", 1, "number of sending goroutines (1 = deterministic paper-faithful mode)")
 		preprobe   = flag.String("preprobe", "random", "preprobing mode: off, random, hitlist")
 		span       = flag.Int("span", 5, "proximity span for distance prediction")
 		noRedund   = flag.Bool("no-redundancy", false, "disable backward-probing redundancy elimination")
@@ -79,6 +80,7 @@ func main() {
 	} else {
 		cfg.PPS = *pps
 	}
+	cfg.Senders = *senders
 	switch *preprobe {
 	case "off":
 		cfg.Preprobe = flashroute.PreprobeOff

@@ -94,6 +94,13 @@ type Config struct {
 	// Unthrottled disables pacing (Table 5 style); a plain zero PPS means
 	// "default 100 Kpps".
 	Unthrottled bool
+	// Senders is the number of sending goroutines; the destination
+	// permutation is sharded into that many contiguous slices, each driven
+	// by its own sender with its own pacer so the aggregate rate still
+	// honors PPS. <=0 and 1 both mean a single sender — the paper-faithful
+	// configuration, and the only one whose probe interleaving is
+	// deterministic on the simulation's virtual clock.
+	Senders int
 
 	// Preprobe selects the preprobing mode (default PreprobeRandom);
 	// PreprobeTargets supplies hitlist addresses for PreprobeHitlist.
@@ -167,6 +174,7 @@ func (c Config) toCore() core.Config {
 	if c.Unthrottled {
 		cc.PPS = 0
 	}
+	cc.Senders = c.Senders
 	cc.Preprobe = core.PreprobeMode(c.Preprobe)
 	cc.PreprobeTargets = core.TargetFunc(c.PreprobeTargets)
 	cc.ProximitySpan = c.ProximitySpan

@@ -87,8 +87,19 @@ type Config struct {
 
 	// PPS is the probing rate in packets per second; <= 0 disables
 	// throttling (only meaningful on a real clock — on a virtual clock an
-	// unthrottled sender never yields and time cannot advance).
+	// unthrottled sender never yields and time cannot advance). The rate
+	// is an aggregate across all senders.
 	PPS int
+
+	// Senders is the number of sending goroutines. The permuted
+	// destination sequence is sharded into Senders contiguous slices, each
+	// owned by one sender with its own packet buffer and pacer; the
+	// receiver keeps racing against all of them through the per-DCB locks
+	// (§3.4). <= 0 and 1 both mean a single sender — the paper-faithful
+	// configuration every reproduction experiment pins, because probe
+	// interleaving (and with it rate-limit and route-dynamics timing) is
+	// only deterministic with one sender on the virtual clock.
+	Senders int
 
 	// Preprobe selects the preprobing mode; PreprobeTargets supplies
 	// hitlist addresses when PreprobeHitlist is used (ignored otherwise).

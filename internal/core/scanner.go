@@ -57,6 +57,11 @@ type Scanner struct {
 	splits []uint8
 	order  []uint32
 
+	// shards partitions the permuted order among the sending goroutines.
+	// With Config.Senders == 1 there is exactly one shard, run inline on
+	// the Run goroutine — the paper's single-sender configuration.
+	shards []*senderShard
+
 	// stop set: interfaces already discovered; backward probing
 	// terminates upon encountering one (§3.2). Owned by the receiver
 	// thread except for the membership count read after the scan.
@@ -70,14 +75,35 @@ type Scanner struct {
 
 	store *trace.Store
 
-	probesSent   uint64 // sender-thread only
-	roundCount   int
-	mismatched   atomic.Uint64
-	unparsed     atomic.Uint64
-	paceCount    int
-	paceBatch    int
-	paceInterval time.Duration
-	pktBuf       [probe.IPv4HeaderLen + probe.UDPHeaderLen + 64]byte
+	mismatched atomic.Uint64
+	unparsed   atomic.Uint64
+
+	// obsMu serializes Config.Observer callbacks when several senders are
+	// probing concurrently, so observers need not be thread-safe.
+	obsMu sync.Mutex
+
+	// phaseParker and phaseDone coordinate the join at the end of each
+	// sending phase when Senders > 1: finished senders unpark the Run
+	// goroutine, which parks (staying visible to the virtual clock)
+	// until every shard has reported in.
+	phaseParker *simclock.Parker
+	phaseDone   atomic.Int32
+}
+
+// senderShard is the per-sender slice of the probing workload: a
+// contiguous chunk of the permuted destination order plus all the state
+// one sending goroutine touches without synchronization — its packet
+// buffer, probe counter and pacer. DCB probing fields stay shared with
+// the receiver and are guarded by the per-DCB locks; the linked-list
+// overlay built over a shard's order is traversed by that shard alone.
+type senderShard struct {
+	s     *Scanner
+	order []uint32 // contiguous slice of the scan-order permutation
+
+	probesSent uint64
+	rounds     int
+	pacer      pacer
+	pktBuf     [probe.IPv4HeaderLen + probe.UDPHeaderLen + 64]byte
 }
 
 // NewScanner validates the configuration and prepares a scanner.
@@ -109,14 +135,18 @@ func NewScanner(cfg Config, conn PacketConn, clock simclock.Waiter) (*Scanner, e
 		cfg.NoRedundancyElimination = true
 		cfg.Preprobe = PreprobeOff
 	}
+	if cfg.Senders <= 0 {
+		cfg.Senders = 1
+	}
 	s := &Scanner{
-		cfg:     cfg,
-		conn:    conn,
-		clock:   clock,
-		dcbs:    make([]dcb, cfg.Blocks),
-		splits:  make([]uint8, cfg.Blocks),
-		stopSet: make(map[uint32]struct{}),
-		store:   trace.NewStore(cfg.CollectRoutes),
+		cfg:         cfg,
+		conn:        conn,
+		clock:       clock,
+		dcbs:        make([]dcb, cfg.Blocks),
+		splits:      make([]uint8, cfg.Blocks),
+		stopSet:     make(map[uint32]struct{}),
+		store:       trace.NewStore(cfg.CollectRoutes),
+		phaseParker: clock.NewParker(),
 	}
 	switch cfg.LockMode {
 	case LockMutex:
@@ -126,14 +156,84 @@ func NewScanner(cfg Config, conn PacketConn, clock simclock.Waiter) (*Scanner, e
 	default:
 		return nil, fmt.Errorf("core: unknown LockMode %d", cfg.LockMode)
 	}
-	if cfg.PPS > 0 {
-		s.paceBatch = cfg.PPS / 200 // ~5 ms pacing quantum
-		if s.paceBatch < 1 {
-			s.paceBatch = 1
-		}
-		s.paceInterval = time.Duration(int64(time.Second) * int64(s.paceBatch) / int64(cfg.PPS))
-	}
 	return s, nil
+}
+
+// makeShards splits the permuted order into Config.Senders contiguous
+// slices, each with its own pacer carrying an equal share of the
+// aggregate Config.PPS budget.
+func (s *Scanner) makeShards() {
+	k := s.cfg.Senders
+	if k > len(s.order) {
+		k = len(s.order)
+	}
+	if k < 1 {
+		k = 1
+	}
+	s.shards = make([]*senderShard, k)
+	chunk := (len(s.order) + k - 1) / k
+	base, rem := 0, 0
+	if s.cfg.PPS > 0 {
+		base, rem = s.cfg.PPS/k, s.cfg.PPS%k
+	}
+	for i := range s.shards {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(s.order) {
+			hi = len(s.order)
+		}
+		pps := base
+		if i < rem {
+			pps++
+		}
+		if s.cfg.PPS > 0 && pps == 0 {
+			pps = 1 // more senders than packets per second: floor at 1
+		}
+		s.shards[i] = &senderShard{
+			s:     s,
+			order: s.order[lo:hi],
+			pacer: newPacer(s.clock, pps),
+		}
+	}
+}
+
+// eachShard runs one sending phase: fn over every shard, inline on the
+// Run goroutine for a single sender (the deterministic paper
+// configuration takes exactly the pre-sharding code path), or on one
+// clock-registered goroutine per extra shard otherwise. It returns once
+// every shard's phase has completed.
+func (s *Scanner) eachShard(fn func(*senderShard)) {
+	if len(s.shards) == 1 {
+		fn(s.shards[0])
+		return
+	}
+	s.phaseDone.Store(0)
+	for _, sh := range s.shards[1:] {
+		s.clock.AddActor()
+		go func(sh *senderShard) {
+			fn(sh)
+			s.phaseDone.Add(1)
+			// Unpark before DoneActor: Run may be parked with no deadline,
+			// and the virtual clock must see its pending wake before this
+			// actor leaves, or it would diagnose a deadlock.
+			s.clock.Unpark(s.phaseParker)
+			s.clock.DoneActor()
+		}(sh)
+	}
+	fn(s.shards[0])
+	for int(s.phaseDone.Load()) < len(s.shards)-1 {
+		s.clock.Park(s.phaseParker, time.Time{})
+	}
+}
+
+// probesSentTotal sums the per-shard counters. Only call between phases
+// (senders quiescent).
+func (s *Scanner) probesSentTotal() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.probesSent
+	}
+	return n
 }
 
 // Run executes the scan: optional preprobing, the main probing rounds, and
@@ -154,6 +254,7 @@ func (s *Scanner) Run() (*Result, error) {
 		}
 		s.order = append(s.order, b)
 	}
+	s.makeShards()
 
 	// Register the sender (this goroutine) before the receiver can start:
 	// a receiver that parks while it is the only registered actor would
@@ -172,7 +273,8 @@ func (s *Scanner) Run() (*Result, error) {
 	usePre := s.cfg.Preprobe != PreprobeOff && !s.cfg.Exhaustive
 	if usePre {
 		s.measured = make([]uint8, s.cfg.Blocks)
-		s.runPreprobe()
+		s.eachShard((*senderShard).runPreprobe)
+		s.clock.Sleep(s.cfg.DrainWait)
 	}
 	s.distMu.Lock()
 	s.phase.Store(1)
@@ -180,22 +282,20 @@ func (s *Scanner) Run() (*Result, error) {
 
 	res := &Result{Store: s.store}
 	if usePre {
-		res.PreprobeProbes = s.probesSent
+		res.PreprobeProbes = s.probesSentTotal()
 		res.Measured = s.measured
 		res.Predicted = make([]uint8, s.cfg.Blocks)
 		s.predictDistances(res)
 	}
 
 	s.initDCBs(res)
-	l := buildList(s.dcbs, s.order)
-	s.runRounds(l, 0)
+	s.runScanPass(0)
 	s.clock.Sleep(s.cfg.DrainWait)
 
 	for extra := 1; extra <= s.cfg.ExtraScans; extra++ {
 		s.scanOffset.Store(uint32(extra))
 		s.resetForExtraScan(extra)
-		l = buildList(s.dcbs, s.order)
-		s.runRounds(l, uint16(extra))
+		s.runScanPass(uint16(extra))
 		s.clock.Sleep(s.cfg.DrainWait)
 	}
 
@@ -206,28 +306,39 @@ func (s *Scanner) Run() (*Result, error) {
 	s.clock.DoneActor()
 	<-recvDone
 
-	res.ProbesSent = s.probesSent
-	res.Rounds = s.roundCount
+	res.ProbesSent = s.probesSentTotal()
+	for _, sh := range s.shards {
+		if sh.rounds > res.Rounds {
+			res.Rounds = sh.rounds
+		}
+	}
 	res.MismatchedResponses = s.mismatched.Load()
 	res.UnparsedResponses = s.unparsed.Load()
 	return res, nil
 }
 
-// runPreprobe sends one TTL-MaxTTL probe to every block's preprobe target
-// (§3.3.1) and waits for responses to drain.
-func (s *Scanner) runPreprobe() {
+// runScanPass runs one full probing pass (the main scan or one extra
+// scan) across all sender shards concurrently.
+func (s *Scanner) runScanPass(srcPortOffset uint16) {
+	s.eachShard(func(sh *senderShard) { sh.runRounds(srcPortOffset) })
+}
+
+// runPreprobe sends one TTL-MaxTTL probe to every block of the shard's
+// preprobe targets (§3.3.1). The caller drains after all shards finish.
+func (sh *senderShard) runPreprobe() {
+	s := sh.s
 	targets := s.cfg.Targets
 	if s.cfg.Preprobe == PreprobeHitlist {
 		targets = s.cfg.PreprobeTargets
 	}
-	for _, b := range s.order {
+	sh.pacer.reset()
+	for _, b := range sh.order {
 		dst := targets(int(b))
 		if dst == 0 {
 			continue // no preprobe candidate for this block
 		}
-		s.sendProbe(dst, s.cfg.MaxTTL, true, 0)
+		sh.sendProbe(dst, s.cfg.MaxTTL, true, 0)
 	}
-	s.clock.Sleep(s.cfg.DrainWait)
 }
 
 // predictDistances fills Predicted for unmeasured blocks from the nearest
@@ -343,12 +454,15 @@ func (s *Scanner) resetForExtraScan(i int) {
 	}
 }
 
-// runRounds executes probing rounds until every destination completes
-// (§3.2): per round, up to one backward and one forward probe per
-// destination, issued back-to-back; rounds last at least one second so
-// responses can adjust the strategy between a destination's consecutive
-// steps.
-func (s *Scanner) runRounds(l *list, srcPortOffset uint16) {
+// runRounds executes probing rounds over the shard's destinations until
+// every one completes (§3.2): per round, up to one backward and one
+// forward probe per destination, issued back-to-back; rounds last at
+// least one second so responses can adjust the strategy between a
+// destination's consecutive steps.
+func (sh *senderShard) runRounds(srcPortOffset uint16) {
+	s := sh.s
+	l := buildList(s.dcbs, sh.order)
+	sh.pacer.reset()
 	for l.size > 0 {
 		roundStart := s.clock.Now()
 		cur := l.head
@@ -371,10 +485,10 @@ func (s *Scanner) runRounds(l *list, srcPortOffset uint16) {
 			s.locks.unlock(cur)
 
 			if bw > 0 {
-				s.sendProbe(dst, bw, false, srcPortOffset)
+				sh.sendProbe(dst, bw, false, srcPortOffset)
 			}
 			if fw > 0 {
-				s.sendProbe(dst, fw, false, srcPortOffset)
+				sh.sendProbe(dst, fw, false, srcPortOffset)
 			}
 			if bw == 0 && fw == 0 {
 				// No work this round: re-check completion under the lock
@@ -389,36 +503,32 @@ func (s *Scanner) runRounds(l *list, srcPortOffset uint16) {
 			}
 			cur = next
 		}
-		s.roundCount++
+		sh.rounds++
 		if rem := s.cfg.MinRoundTime - s.clock.Now().Sub(roundStart); rem > 0 {
 			s.clock.Sleep(rem)
+			sh.pacer.reset()
 		}
 	}
 }
 
 // sendProbe builds, stamps, paces and writes one probe.
-func (s *Scanner) sendProbe(dst uint32, ttl uint8, preprobe bool, srcPortOffset uint16) {
+func (sh *senderShard) sendProbe(dst uint32, ttl uint8, preprobe bool, srcPortOffset uint16) {
+	s := sh.s
 	elapsed := s.clock.Now().Sub(s.start)
-	n := probe.BuildFlashProbe(s.pktBuf[:], s.cfg.Source, dst, ttl, preprobe,
+	n := probe.BuildFlashProbe(sh.pktBuf[:], s.cfg.Source, dst, ttl, preprobe,
 		elapsed, srcPortOffset, probe.TracerouteDstPort)
-	_ = s.conn.WritePacket(s.pktBuf[:n])
-	s.probesSent++
+	_ = s.conn.WritePacket(sh.pktBuf[:n])
+	sh.probesSent++
 	if s.cfg.Observer != nil {
-		s.cfg.Observer(dst, ttl, elapsed)
+		if len(s.shards) > 1 {
+			s.obsMu.Lock()
+			s.cfg.Observer(dst, ttl, elapsed)
+			s.obsMu.Unlock()
+		} else {
+			s.cfg.Observer(dst, ttl, elapsed)
+		}
 	}
-	s.pace()
-}
-
-// pace throttles the sender to Config.PPS in batches of ~5 ms.
-func (s *Scanner) pace() {
-	if s.paceBatch == 0 {
-		return
-	}
-	s.paceCount++
-	if s.paceCount >= s.paceBatch {
-		s.paceCount = 0
-		s.clock.Sleep(s.paceInterval)
-	}
+	sh.pacer.pace()
 }
 
 // receiveLoop is the receiving thread (§3.2): it decodes every response

@@ -284,3 +284,46 @@ func Table5MaxRate(s *Scenario) (*RateResult, error) {
 	}
 	return out, nil
 }
+
+// SenderRateRow is one sender-count measurement of SenderScaling.
+type SenderRateRow struct {
+	Senders      int
+	MeasuredKpps float64
+	// Interfaces discovered — the sanity check that parallelism does not
+	// change the topology the scan sees, only how fast it sees it.
+	Interfaces int
+}
+
+// SenderScaling measures the unthrottled probing rate the engine sustains
+// at each sender-goroutine count, on the same near-zero-RTT network used
+// by the Table 5 measurement so the numbers are CPU-bound and comparable
+// to it. The paper's engine is single-sender (one sending thread, §3.2);
+// this quantifies what the sharded multi-sender extension buys on hosts
+// with spare cores.
+func SenderScaling(s *Scenario, senders []int) ([]SenderRateRow, error) {
+	var out []SenderRateRow
+	for _, k := range senders {
+		clock := simclock.NewReal()
+		n := s.newFastNet(clock)
+		cfg := s.FlashConfig()
+		cfg.PPS = 0 // unthrottled
+		cfg.Senders = k
+		cfg.MinRoundTime = time.Millisecond
+		cfg.DrainWait = 100 * time.Millisecond
+		sc, err := core.NewScanner(cfg, n.NewConn(), clock)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sc.Run()
+		if err != nil {
+			return nil, err
+		}
+		rate := float64(res.ProbesSent) / res.ScanTime.Seconds()
+		out = append(out, SenderRateRow{
+			Senders:      k,
+			MeasuredKpps: rate / 1000,
+			Interfaces:   res.Store.Interfaces().Len(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/probe"
+	"github.com/flashroute/flashroute/internal/simclock"
+)
+
+// TestConnConcurrentWriters: WritePacket must be safe under several
+// concurrent senders sharing one Conn (run with -race). Every probe's
+// response must still come out of ReadPacket exactly once.
+func TestConnConcurrentWriters(t *testing.T) {
+	u := NewSyntheticUniverse(1 << 10)
+	p := DefaultParams(3)
+	p.BaseRTT, p.PerHopRTT, p.JitterRTT = 0, 0, 0 // immediately deliverable
+	p.ICMPRateLimitPPS = 0
+	topo := NewTopology(u, p)
+	n := New(topo, simclock.NewReal())
+	conn := n.NewConn()
+
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var pkt [128]byte
+			for i := 0; i < perWriter; i++ {
+				blk := (w*perWriter + i) % u.NumBlocks()
+				dst := u.BlockAddr(blk) | uint32(1+i%254)
+				ln := probe.BuildFlashProbe(pkt[:], topo.Vantage(), dst, uint8(1+i%32),
+					false, 0, 0, probe.TracerouteDstPort)
+				if err := conn.WritePacket(pkt[:ln]); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := n.Stats.ProbesSent.Load(); got != writers*perWriter {
+		t.Fatalf("ProbesSent=%d, want %d", got, writers*perWriter)
+	}
+	var buf [MaxResponseLen]byte
+	read := uint64(0)
+	for conn.Pending() > 0 {
+		if _, err := conn.ReadPacket(buf[:]); err != nil {
+			t.Fatal(err)
+		}
+		read++
+	}
+	if read == 0 {
+		t.Fatal("no responses delivered")
+	}
+	if want := n.Stats.Responses.Load(); read != want {
+		t.Fatalf("read %d responses, network generated %d", read, want)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRespHeapOrdering: the hand-rolled value-typed inbox heap must pop in
+// (deliverAt, seq) order for arbitrary push sequences — the property the
+// replaced container/heap implementation guaranteed.
+func TestRespHeapOrdering(t *testing.T) {
+	check := func(keys []uint16) bool {
+		var h respHeap
+		for i, k := range keys {
+			h.push(pendingResp{deliverAt: time.Duration(k % 97), seq: uint64(i)})
+		}
+		var prev pendingResp
+		for i := 0; len(h) > 0; i++ {
+			r := h.pop()
+			if i > 0 && (r.deliverAt < prev.deliverAt ||
+				(r.deliverAt == prev.deliverAt && r.seq < prev.seq)) {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

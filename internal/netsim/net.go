@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"errors"
 	"io"
 	"sync"
@@ -36,8 +35,21 @@ type Net struct {
 
 	Stats Stats
 
-	mu      sync.Mutex
-	buckets map[uint32]*bucket
+	// Rate-limit buckets, sharded so concurrent senders do not contend on
+	// one global mutex for every probe.
+	buckets [bucketShards]bucketShard
+}
+
+// bucketShards is the number of independently locked rate-limit bucket
+// maps; a power of two so the shard pick is a mask.
+const bucketShards = 256
+
+type bucketShard struct {
+	mu sync.Mutex
+	m  map[uint32]*bucket
+	// padding to keep neighbouring shards off one cache line under
+	// concurrent senders.
+	_ [24]byte
 }
 
 type bucket struct {
@@ -45,16 +57,26 @@ type bucket struct {
 	count  int
 }
 
+// bucketShardOf spreads addresses over the shards. Responder populations
+// are biased in their low octet (gateways at .1, appliances at .1), so
+// fold all four octets in rather than masking the low byte.
+func bucketShardOf(addr uint32) uint32 {
+	return (addr ^ addr>>8 ^ addr>>16 ^ addr>>24) & (bucketShards - 1)
+}
+
 // New creates a network over the topology, driven by the given clock. The
 // clock's current time becomes the network epoch (time zero for route
 // dynamics and rate-limit windows).
 func New(topo *Topology, clock simclock.Waiter) *Net {
-	return &Net{
-		topo:    topo,
-		clock:   clock,
-		epoch:   clock.Now(),
-		buckets: make(map[uint32]*bucket),
+	n := &Net{
+		topo:  topo,
+		clock: clock,
+		epoch: clock.Now(),
 	}
+	for i := range n.buckets {
+		n.buckets[i].m = make(map[uint32]*bucket)
+	}
+	return n
 }
 
 // Topo returns the underlying topology.
@@ -75,11 +97,12 @@ func (n *Net) allowICMP(addr uint32, now time.Duration) bool {
 		return true
 	}
 	sec := int64(now / time.Second)
-	n.mu.Lock()
-	b := n.buckets[addr]
+	sh := &n.buckets[bucketShardOf(addr)]
+	sh.mu.Lock()
+	b := sh.m[addr]
 	if b == nil {
 		b = &bucket{second: -1}
-		n.buckets[addr] = b
+		sh.m[addr] = b
 	}
 	if b.second != sec {
 		b.second = sec
@@ -87,7 +110,7 @@ func (n *Net) allowICMP(addr uint32, now time.Duration) bool {
 	}
 	b.count++
 	ok := b.count <= limit
-	n.mu.Unlock()
+	sh.mu.Unlock()
 	return ok
 }
 
@@ -122,18 +145,64 @@ type pendingResp struct {
 	transport [8]byte
 }
 
+// respHeap is a value-typed binary min-heap of pending responses ordered
+// by delivery time (seq breaks ties deterministically). It deliberately
+// does not go through container/heap: the interface-based API boxes every
+// pushed and popped element into an `any` allocation, which on the probe
+// write path would mean one heap allocation per response in flight. The
+// inlined sift operations below keep the steady-state write/read path
+// allocation-free (the backing array grows amortized and is then reused).
 type respHeap []pendingResp
 
-func (h respHeap) Len() int { return len(h) }
-func (h respHeap) Less(i, j int) bool {
+func (h respHeap) less(i, j int) bool {
 	if h[i].deliverAt != h[j].deliverAt {
 		return h[i].deliverAt < h[j].deliverAt
 	}
 	return h[i].seq < h[j].seq
 }
-func (h respHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *respHeap) Push(x any)        { *h = append(*h, x.(pendingResp)) }
-func (h *respHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// push inserts r, sifting it up to its heap position.
+func (h *respHeap) push(r pendingResp) {
+	q := append(*h, r)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
+// pop removes and returns the earliest-delivery response.
+func (h *respHeap) pop() pendingResp {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(q) {
+			break
+		}
+		c := l
+		if r := l + 1; r < len(q) && q.less(r, l) {
+			c = r
+		}
+		if !q.less(c, i) {
+			break
+		}
+		q[i], q[c] = q[c], q[i]
+		i = c
+	}
+	*h = q
+	return top
+}
+
 func (h respHeap) peek() *pendingResp { return &h[0] }
 
 // Conn is a raw-socket-like connection from the vantage point into the
@@ -221,7 +290,7 @@ func (c *Conn) WritePacket(pkt []byte) error {
 		}
 		resp.seq = c.seq
 		c.seq++
-		heap.Push(&c.inbox, resp)
+		c.inbox.push(resp)
 		c.mu.Unlock()
 		n.Stats.Responses.Add(1)
 		c.net.clock.Unpark(c.parker)
@@ -277,7 +346,7 @@ func (c *Conn) WritePacket(pkt []byte) error {
 	}
 	resp.seq = c.seq
 	c.seq++
-	heap.Push(&c.inbox, resp)
+	c.inbox.push(resp)
 	c.mu.Unlock()
 	n.Stats.Responses.Add(1)
 	c.net.clock.Unpark(c.parker)
@@ -292,7 +361,7 @@ func (c *Conn) ReadPacket(buf []byte) (int, error) {
 		c.mu.Lock()
 		now := c.net.Elapsed()
 		if len(c.inbox) > 0 && c.inbox.peek().deliverAt <= now {
-			resp := heap.Pop(&c.inbox).(pendingResp)
+			resp := c.inbox.pop()
 			c.mu.Unlock()
 			return c.materialize(buf, &resp), nil
 		}

@@ -165,7 +165,9 @@ type SimStats struct {
 
 // Scan runs a FlashRoute scan against this simulation, filling in the
 // universe-dependent configuration fields (Blocks, Targets, BlockOf,
-// Source) when unset.
+// Source) when unset. Multi-sender scans (Config.Senders > 1) work on
+// the virtual clock but give up deterministic probe interleaving; pin
+// Senders to 1 (the default) when reproducing paper tables.
 func (s *Simulation) Scan(cfg Config) (*Result, error) {
 	s.fill(&cfg)
 	sc, err := NewScanner(cfg, s.Conn(), s.clock)
