@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"github.com/flashroute/flashroute"
+	"github.com/flashroute/flashroute/internal/metrics"
 )
 
 func main() {
@@ -42,10 +43,37 @@ func main() {
 		targetsF   = flag.String("targets", "", "exterior target file (one address per line; unlisted blocks use random representatives)")
 		hitlistOut = flag.String("gen-hitlist", "", "generate the simulated census hitlist to this file and exit")
 		realTime   = flag.Bool("real-time", false, "run on the wall clock instead of virtual time")
+
+		loss          = flag.Float64("loss", 0, "independent packet loss probability (0..1)")
+		burstToBad    = flag.Float64("burst-to-bad", 0, "Gilbert–Elliott good→bad transition probability per packet")
+		burstToGood   = flag.Float64("burst-to-good", 0, "Gilbert–Elliott bad→good transition probability (mean burst = 1/p packets)")
+		burstLoss     = flag.Float64("burst-loss", 0, "extra loss probability while in the bad state")
+		dup           = flag.Float64("dup", 0, "packet duplication probability (0..1)")
+		reorder       = flag.Float64("reorder", 0, "response reordering probability (needs -reorder-window)")
+		reorderWindow = flag.Duration("reorder-window", 0, "reordering delay window (e.g. 30ms)")
+		extraJitter   = flag.Duration("extra-jitter", 0, "extra uniform response latency jitter (e.g. 5ms)")
+
+		preprobeRetries = flag.Int("preprobe-retries", 0, "extra preprobe passes over still-unmeasured blocks")
+		forwardRetries  = flag.Int("forward-retries", 0, "per-destination forward-probing retries after silence")
+		forwardTimeout  = flag.Duration("forward-timeout", 0, "silence before a forward retry fires (default 500ms)")
 	)
 	flag.Parse()
 
-	simCfg := flashroute.SimConfig{Blocks: *blocks, Seed: *seed, RealTime: *realTime}
+	simCfg := flashroute.SimConfig{
+		Blocks:   *blocks,
+		Seed:     *seed,
+		RealTime: *realTime,
+		Impair: flashroute.Impairments{
+			LossProb:      *loss,
+			BurstToBad:    *burstToBad,
+			BurstToGood:   *burstToGood,
+			BurstLoss:     *burstLoss,
+			DupProb:       *dup,
+			ReorderProb:   *reorder,
+			ReorderWindow: *reorderWindow,
+			ExtraJitter:   *extraJitter,
+		},
+	}
 	if *cidrs != "" {
 		simCfg.CIDRs = strings.Split(*cidrs, ",")
 		simCfg.Blocks = 0
@@ -93,6 +121,9 @@ func main() {
 		fatal(fmt.Errorf("unknown -preprobe %q", *preprobe))
 	}
 	cfg.ProximitySpan = *span
+	cfg.PreprobeRetries = *preprobeRetries
+	cfg.ForwardRetries = *forwardRetries
+	cfg.ForwardTimeout = *forwardTimeout
 	cfg.NoRedundancyElimination = *noRedund
 	cfg.Exhaustive = *exhaustive
 	cfg.ExtraScans = *extraScans
@@ -137,6 +168,21 @@ func main() {
 	fmt.Printf("rounds:               %d\n", res.Rounds())
 	fmt.Printf("distances measured:   %d, predicted: %d\n", res.DistancesMeasured(), res.DistancesPredicted())
 	fmt.Printf("mismatched responses: %d (in-flight destination modification)\n", res.MismatchedResponses())
+
+	st := sim.Stats()
+	resil := metrics.Resilience{
+		ProbesLost:          st.ProbesLost,
+		RepliesLost:         st.RepliesLost,
+		Duplicates:          st.Duplicates,
+		Reordered:           st.Reordered,
+		Retransmitted:       res.RetransmittedProbes(),
+		DuplicatesDiscarded: res.DuplicateResponses(),
+	}
+	if resil.Any() {
+		if err := resil.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *output != "" {
 		f, err := os.Create(*output)

@@ -109,6 +109,21 @@ type Config struct {
 	// ProximitySpan is the distance-prediction span (default 5).
 	ProximitySpan int
 
+	// PreprobeRetries re-sends the preprobe to blocks still unmeasured
+	// after each preprobing pass, up to that many extra passes — loss
+	// tolerance for lossy paths (0, the default, is the paper's single
+	// pass).
+	PreprobeRetries int
+	// ForwardRetries re-probes the trailing gap-limit window of a
+	// destination whose forward probing went silent, up to that many times
+	// per destination per scan, so a burst of lost replies does not end
+	// forward probing early. 0 (the default) disables retries.
+	ForwardRetries int
+	// ForwardTimeout is how long a destination's forward probing must have
+	// been silent before a retry fires (default 500ms). Only meaningful
+	// with ForwardRetries > 0.
+	ForwardTimeout time.Duration
+
 	// NoRedundancyElimination disables backward-probing termination at
 	// convergence points (paper Table 1 "off").
 	NoRedundancyElimination bool
@@ -178,6 +193,9 @@ func (c Config) toCore() core.Config {
 	cc.Preprobe = core.PreprobeMode(c.Preprobe)
 	cc.PreprobeTargets = core.TargetFunc(c.PreprobeTargets)
 	cc.ProximitySpan = c.ProximitySpan
+	cc.PreprobeRetries = c.PreprobeRetries
+	cc.ForwardRetries = c.ForwardRetries
+	cc.ForwardTimeout = c.ForwardTimeout
 	cc.NoRedundancyElimination = c.NoRedundancyElimination
 	cc.Exhaustive = c.Exhaustive
 	cc.ExtraScans = c.ExtraScans
@@ -287,6 +305,16 @@ func (r *Result) DistancesPredicted() int { return r.inner.DistancesPredicted }
 // destination failed the source-port checksum test (in-flight destination
 // modification, paper §5.3).
 func (r *Result) MismatchedResponses() uint64 { return r.inner.MismatchedResponses }
+
+// RetransmittedProbes counts probes re-issued by the loss-tolerance knobs
+// (Config.PreprobeRetries and Config.ForwardRetries); always zero with
+// both at their zero defaults.
+func (r *Result) RetransmittedProbes() uint64 { return r.inner.RetransmittedProbes }
+
+// DuplicateResponses counts replies discarded because their (destination,
+// TTL) had already been processed — duplicated packets on the network, or
+// re-answers elicited by retransmitted probes.
+func (r *Result) DuplicateResponses() uint64 { return r.inner.DuplicateResponses }
 
 // WriteCSV writes collected routes as CSV (destination,ttl,hop,rtt_us,
 // reached).

@@ -109,6 +109,26 @@ type Config struct {
 	// predicts on each side (§3.3.3; default 5).
 	ProximitySpan int
 
+	// PreprobeRetries re-preprobes blocks still unmeasured after the
+	// first preprobe pass and its drain, up to this many extra passes
+	// (each followed by its own drain). 0 = single pass, the paper's
+	// behavior on a loss-free network; on a lossy network one lost
+	// unreachable reply otherwise silently downgrades the block from a
+	// measured to a predicted (or default) split point.
+	PreprobeRetries int
+
+	// ForwardRetries lets a destination whose forward probing went
+	// silent for the whole GapLimit rewind and re-probe the silent gap,
+	// up to this many times, instead of giving up — distinguishing lost
+	// replies from genuinely silent hops. 0 = no retries (paper
+	// behavior: a lost reply burns the GapLimit like a silent hop).
+	ForwardRetries int
+
+	// ForwardTimeout is how long a gap-exhausted destination waits for
+	// in-flight replies before a forward retry (or final removal) when
+	// ForwardRetries > 0. Default 500ms.
+	ForwardTimeout time.Duration
+
 	// NoRedundancyElimination disables the Doubletree stop set so
 	// backward probing always walks to TTL 1 (Table 1 "off" rows).
 	NoRedundancyElimination bool

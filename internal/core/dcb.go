@@ -15,6 +15,24 @@ package core
 type dcb struct {
 	dest uint32
 
+	// respSeen has bit (TTL-1) set once a TTL-exceeded response for that
+	// initial TTL has been processed this pass — the duplicate-reply
+	// guard: a duplicated ICMP reply must neither double-count an
+	// interface in the route nor re-run the probing-strategy update
+	// (which would otherwise see its own hop in the stop set and
+	// terminate backward probing early). Guarded by the per-DCB lock.
+	respSeen uint32
+
+	// Doubly linked list overlay (indexes into the DCB array).
+	next, prev uint32
+
+	// lastForward is the scan-relative issue time of this destination's
+	// most recent forward probe in 16 ms ticks, read by the forward-retry
+	// timeout (unsigned wrap-safe comparison; a wrap past ~17 min can at
+	// worst defer a retry by one round). Only maintained when
+	// Config.ForwardRetries > 0.
+	lastForward uint16
+
 	// Probing progress (paper Listing 1).
 	nextBackward   uint8 // TTL of the next backward probe; 0 = backward done
 	nextForward    uint8 // TTL of the next forward probe
@@ -24,9 +42,9 @@ type dcb struct {
 	// distance once reached) — the input to the §5.4 adaptive heuristic
 	// for discovery-optimized extra scans.
 	routeLen uint8
-
-	// Doubly linked list overlay (indexes into the DCB array).
-	next, prev uint32
+	// fwRetries counts forward-gap rewinds performed for this
+	// destination (bounded by Config.ForwardRetries).
+	fwRetries uint8
 }
 
 // dcb flag bits.
@@ -34,6 +52,7 @@ const (
 	dcbForwardDone = 1 << iota // destination answered (unreachable received)
 	dcbRemoved                 // unlinked from the probing list
 	dcbSplitHigh               // low bits of the split TTL continue in splitLow
+	dcbPreSeen                 // a TTL-exceeded preprobe response was processed
 )
 
 // list is the circular doubly linked list threaded through the DCB array

@@ -42,6 +42,14 @@ type Result struct {
 	MismatchedResponses uint64
 	// UnparsedResponses counts packets the receiver could not interpret.
 	UnparsedResponses uint64
+	// RetransmittedProbes is the subset of ProbesSent re-issued by
+	// loss-tolerance machinery: preprobe retry passes and forward-gap
+	// rewinds (Config.PreprobeRetries / Config.ForwardRetries).
+	RetransmittedProbes uint64
+	// DuplicateResponses counts responses discarded because an identical
+	// (destination, TTL) reply had already been processed this pass —
+	// duplicated or retransmit-elicited ICMP.
+	DuplicateResponses uint64
 }
 
 // Scanner runs FlashRoute scans over a PacketConn.
@@ -75,8 +83,9 @@ type Scanner struct {
 
 	store *trace.Store
 
-	mismatched atomic.Uint64
-	unparsed   atomic.Uint64
+	mismatched   atomic.Uint64
+	unparsed     atomic.Uint64
+	dupResponses atomic.Uint64
 
 	// obsMu serializes Config.Observer callbacks when several senders are
 	// probing concurrently, so observers need not be thread-safe.
@@ -100,10 +109,11 @@ type senderShard struct {
 	s     *Scanner
 	order []uint32 // contiguous slice of the scan-order permutation
 
-	probesSent uint64
-	rounds     int
-	pacer      pacer
-	pktBuf     [probe.IPv4HeaderLen + probe.UDPHeaderLen + 64]byte
+	probesSent  uint64
+	retransmits uint64
+	rounds      int
+	pacer       pacer
+	pktBuf      [probe.IPv4HeaderLen + probe.UDPHeaderLen + 64]byte
 }
 
 // NewScanner validates the configuration and prepares a scanner.
@@ -125,6 +135,12 @@ func NewScanner(cfg Config, conn PacketConn, clock simclock.Waiter) (*Scanner, e
 	}
 	if cfg.DrainWait <= 0 {
 		cfg.DrainWait = 2 * time.Second
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 500 * time.Millisecond
+	}
+	if cfg.ForwardRetries > 255 {
+		cfg.ForwardRetries = 255 // stored per DCB in a uint8
 	}
 	if cfg.MinRoundTime <= 0 {
 		cfg.MinRoundTime = time.Second
@@ -236,6 +252,23 @@ func (s *Scanner) probesSentTotal() uint64 {
 	return n
 }
 
+// retransmitsTotal sums the per-shard retransmit counters. Only call
+// between phases (senders quiescent).
+func (s *Scanner) retransmitsTotal() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.retransmits
+	}
+	return n
+}
+
+// fwdTick quantizes scan-relative time to the 16 ms ticks of
+// dcb.lastForward (kept to 16 bits so the DCB stays within its
+// paper-§3.4 size budget).
+func (s *Scanner) fwdTick() uint16 {
+	return uint16(s.clock.Now().Sub(s.start) / (16 * time.Millisecond))
+}
+
 // Run executes the scan: optional preprobing, the main probing rounds, and
 // any discovery-optimized extra scans. Run must be called from a goroutine
 // that is NOT registered as a clock actor; it registers the sender and
@@ -275,6 +308,18 @@ func (s *Scanner) Run() (*Result, error) {
 		s.measured = make([]uint8, s.cfg.Blocks)
 		s.eachShard((*senderShard).runPreprobe)
 		s.clock.Sleep(s.cfg.DrainWait)
+		// Preprobe retransmission: blocks still unmeasured after the
+		// drain either genuinely cannot answer or lost a packet; re-probe
+		// them up to PreprobeRetries times so one lost reply does not
+		// silently downgrade the block's split point.
+		for r := 0; r < s.cfg.PreprobeRetries; r++ {
+			before := s.retransmitsTotal()
+			s.eachShard((*senderShard).runPreprobeRetry)
+			if s.retransmitsTotal() == before {
+				break // every candidate block is measured
+			}
+			s.clock.Sleep(s.cfg.DrainWait)
+		}
 	}
 	s.distMu.Lock()
 	s.phase.Store(1)
@@ -314,6 +359,8 @@ func (s *Scanner) Run() (*Result, error) {
 	}
 	res.MismatchedResponses = s.mismatched.Load()
 	res.UnparsedResponses = s.unparsed.Load()
+	res.RetransmittedProbes = s.retransmitsTotal()
+	res.DuplicateResponses = s.dupResponses.Load()
 	return res, nil
 }
 
@@ -338,6 +385,32 @@ func (sh *senderShard) runPreprobe() {
 			continue // no preprobe candidate for this block
 		}
 		sh.sendProbe(dst, s.cfg.MaxTTL, true, 0)
+	}
+}
+
+// runPreprobeRetry re-sends the preprobe to the shard's still-unmeasured
+// blocks (one retry pass; the caller drains and decides whether to run
+// another).
+func (sh *senderShard) runPreprobeRetry() {
+	s := sh.s
+	targets := s.cfg.Targets
+	if s.cfg.Preprobe == PreprobeHitlist {
+		targets = s.cfg.PreprobeTargets
+	}
+	sh.pacer.reset()
+	for _, b := range sh.order {
+		s.distMu.Lock()
+		measured := s.measured[b] != 0
+		s.distMu.Unlock()
+		if measured {
+			continue
+		}
+		dst := targets(int(b))
+		if dst == 0 {
+			continue
+		}
+		sh.sendProbe(dst, s.cfg.MaxTTL, true, 0)
+		sh.retransmits++
 	}
 }
 
@@ -373,6 +446,9 @@ func (s *Scanner) initDCBs(res *Result) {
 	fold := s.cfg.foldsPreprobe() && s.cfg.Preprobe != PreprobeOff && !s.cfg.Exhaustive
 	for _, b := range s.order {
 		d := &s.dcbs[b]
+		// Straggler preprobe replies may still be arriving; the receiver
+		// touches dcbPreSeen under the per-DCB lock, so take it here too.
+		s.locks.lock(b)
 		d.dest = s.cfg.Targets(int(b))
 
 		split := s.cfg.SplitTTL
@@ -414,6 +490,7 @@ func (s *Scanner) initDCBs(res *Result) {
 			// direction's goal (reaching the target) is met.
 			d.flags |= dcbForwardDone
 		}
+		s.locks.unlock(b)
 	}
 }
 
@@ -449,6 +526,8 @@ func (s *Scanner) resetForExtraScan(i int) {
 		d.nextForward = start + 1
 		d.forwardHorizon = 0 // no forward probing in extra scans
 		d.flags = dcbForwardDone
+		d.respSeen = 0 // each pass dedups its own replies
+		d.fwRetries = 0
 		s.splits[b] = start
 		s.locks.unlock(b)
 	}
@@ -480,6 +559,9 @@ func (sh *senderShard) runRounds(srcPortOffset uint16) {
 			if d.flags&dcbForwardDone == 0 && d.nextForward <= d.forwardHorizon {
 				fw = d.nextForward
 				d.nextForward++
+				if s.cfg.ForwardRetries > 0 {
+					d.lastForward = s.fwdTick()
+				}
 			}
 			dst := d.dest
 			s.locks.unlock(cur)
@@ -493,10 +575,37 @@ func (sh *senderShard) runRounds(srcPortOffset uint16) {
 			if bw == 0 && fw == 0 {
 				// No work this round: re-check completion under the lock
 				// (a response may have just extended the horizon).
+				retried := 0
 				s.locks.lock(cur)
 				done := d.nextBackward == 0 &&
 					(d.flags&dcbForwardDone != 0 || d.nextForward > d.forwardHorizon)
+				if done && s.cfg.ForwardRetries > 0 && s.cfg.GapLimit > 0 &&
+					d.flags&dcbForwardDone == 0 && d.forwardHorizon > 0 {
+					// The whole gap went silent without the destination
+					// answering. On a lossy network that can mean a lost
+					// reply rather than genuinely silent hops: give
+					// in-flight replies ForwardTimeout to arrive, then
+					// rewind and re-probe the silent gap.
+					wait := uint16((s.cfg.ForwardTimeout + 15*time.Millisecond) / (16 * time.Millisecond))
+					if s.fwdTick()-d.lastForward < wait {
+						done = false // replies may still be in flight
+					} else if d.fwRetries < uint8(s.cfg.ForwardRetries) {
+						d.fwRetries++
+						lo := int(d.forwardHorizon) - int(s.cfg.GapLimit) + 1
+						if min := int(s.splits[cur]) + 1; lo < min {
+							lo = min
+						}
+						if lo <= int(d.forwardHorizon) {
+							retried = int(d.forwardHorizon) - lo + 1
+							d.nextForward = uint8(lo)
+							done = false
+						}
+					}
+				}
 				s.locks.unlock(cur)
+				if retried > 0 {
+					sh.retransmits += uint64(retried)
+				}
 				if done {
 					l.remove(cur)
 				}
@@ -581,10 +690,20 @@ func (s *Scanner) handleResponse(pkt []byte) {
 	d := &s.dcbs[block]
 	switch {
 	case resp.ICMP.IsTTLExceeded():
-		s.store.AddHop(fi.Dst, fi.InitTTL, resp.Hop, rtt)
-		_, seen := s.stopSet[resp.Hop]
-		s.stopSet[resp.Hop] = struct{}{}
+		// Duplicate guard: a second reply for an already-processed
+		// (destination, TTL) — a network duplicate or the echo of a
+		// retransmitted probe — must not double-count the hop in the
+		// route or re-run the strategy update below (which would see its
+		// own hop in the stop set and terminate backward probing early).
+		bit := uint32(1) << (fi.InitTTL - 1)
 		s.locks.lock(uint32(block))
+		if d.respSeen&bit != 0 {
+			s.locks.unlock(uint32(block))
+			s.dupResponses.Add(1)
+			return
+		}
+		d.respSeen |= bit
+		_, seen := s.stopSet[resp.Hop]
 		if fi.InitTTL > d.routeLen && d.flags&dcbForwardDone == 0 {
 			d.routeLen = fi.InitTTL
 		}
@@ -606,8 +725,16 @@ func (s *Scanner) handleResponse(pkt []byte) {
 			}
 		}
 		s.locks.unlock(uint32(block))
+		s.store.AddHop(fi.Dst, fi.InitTTL, resp.Hop, rtt)
+		s.stopSet[resp.Hop] = struct{}{}
 
 	case resp.ICMP.IsUnreachable():
+		// Destination answers need no duplicate guard: every step here is
+		// idempotent (SetReached keeps the first answer, the stop-set
+		// insert and flag set are set-like), destination addresses never
+		// enter the interface set, and no backward/horizon strategy runs.
+		// Probes past the destination legitimately elicit one unreachable
+		// each, so repeats are not necessarily network duplicates.
 		dist := distanceFrom(fi)
 		s.store.SetReached(fi.Dst, dist, resp.Hop, rtt)
 		s.stopSet[resp.Hop] = struct{}{}
@@ -642,6 +769,18 @@ func (s *Scanner) handlePreprobeResponse(block int, fi probe.FlashInfo, resp *pr
 		return
 	}
 	if resp.ICMP.IsTTLExceeded() {
+		// Preprobes always travel at MaxTTL, so every TTL-exceeded reply
+		// to them quotes the same initial TTL: any reply after the first
+		// (a duplicate, or a retry pass answered by the same router) adds
+		// nothing and must not re-append the hop to the route.
+		s.locks.lock(uint32(block))
+		preSeen := s.dcbs[block].flags&dcbPreSeen != 0
+		s.dcbs[block].flags |= dcbPreSeen
+		s.locks.unlock(uint32(block))
+		if preSeen {
+			s.dupResponses.Add(1)
+			return
+		}
 		s.store.AddHop(fi.Dst, fi.InitTTL, resp.Hop, rtt)
 		s.stopSet[resp.Hop] = struct{}{}
 	}

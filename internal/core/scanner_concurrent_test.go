@@ -110,9 +110,9 @@ func TestMakeShardsPartition(t *testing.T) {
 		{1000, 1, 50_000},
 		{1000, 3, 50_000},
 		{1000, 7, 99_999},
-		{7, 16, 100},  // more senders than work
-		{1024, 8, 5},  // more senders than packets per second
-		{5, 5, 0},     // unthrottled
+		{7, 16, 100}, // more senders than work
+		{1024, 8, 5}, // more senders than packets per second
+		{5, 5, 0},    // unthrottled
 		{1, 4, 1},
 	} {
 		s := &Scanner{cfg: Config{Senders: tc.senders, PPS: tc.pps}, clock: clock}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLossSweepRecovery pins the loss-tolerance acceptance criterion: at
+// 5% packet loss with the retry knobs on (one preprobe retry, one forward
+// retry), FlashRoute's reached-destination count recovers to at least 95%
+// of the lossless run on seed 1. Also checks the sweep's qualitative
+// shape: loss cannot help discovery, and retransmissions actually happen.
+func TestLossSweepRecovery(t *testing.T) {
+	s := NewScenario(4096, 1)
+	tab, err := LossSweep(s, []float64{0, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows=%d, want 6", len(tab.Rows))
+	}
+
+	base := tab.Find(0, LossToolFlash)
+	plain := tab.Find(5, LossToolFlash)
+	retried := tab.Find(5, LossToolFlashRetries)
+	ybase := tab.Find(0, LossToolYarrp)
+	ylossy := tab.Find(5, LossToolYarrp)
+	for name, r := range map[string]*LossRow{
+		"flash@0": base, "flash@5": plain, "flash+retries@5": retried,
+		"yarrp@0": ybase, "yarrp@5": ylossy,
+	} {
+		if r == nil {
+			t.Fatalf("row %s missing", name)
+		}
+	}
+
+	if base.Reached == 0 {
+		t.Fatal("lossless run reached no destinations")
+	}
+	// The acceptance criterion: ≥95% of lossless reached destinations.
+	if retried.Reached*100 < base.Reached*95 {
+		t.Errorf("5%% loss with retries reached %d of %d destinations (< 95%%)",
+			retried.Reached, base.Reached)
+	}
+	if retried.Retransmits == 0 {
+		t.Error("retry configuration recorded no retransmissions under loss")
+	}
+	if plain.Retransmits != 0 {
+		t.Errorf("plain configuration retransmitted %d probes", plain.Retransmits)
+	}
+	// Loss cannot help the stateless baseline.
+	if ylossy.Interfaces > ybase.Interfaces {
+		t.Errorf("Yarrp discovered more under loss: %d > %d", ylossy.Interfaces, ybase.Interfaces)
+	}
+
+	var sb strings.Builder
+	if err := tab.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "FlashRoute-16+retries") {
+		t.Error("rendered table missing the retries configuration")
+	}
+	t.Logf("\n%s", sb.String())
+}

@@ -88,6 +88,16 @@ func (s *Scenario) NewNet() (*netsim.Net, *simclock.Virtual) {
 	return netsim.New(s.Topo, clock), clock
 }
 
+// NewImpairedNet is NewNet with network impairments layered over the same
+// topology (a shallow copy shares the immutable structure, so the routes
+// and responders are identical — only packet delivery degrades).
+func (s *Scenario) NewImpairedNet(im netsim.Impairments) (*netsim.Net, *simclock.Virtual) {
+	impaired := *s.Topo
+	impaired.P.Impair = im
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	return netsim.New(&impaired, clock), clock
+}
+
 // newFastNet builds a network over this topology on the given (real)
 // clock with near-zero RTTs, so maximum-rate measurements are CPU-bound —
 // matching the paper's testbed methodology — instead of drain-bound.

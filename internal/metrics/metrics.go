@@ -248,6 +248,40 @@ func interfacesByDistance(st *trace.Store, maxDist int) []trace.InterfaceSet {
 	return sets
 }
 
+// Resilience summarizes a scan's loss-tolerance accounting: what the
+// network did to packets (as counted by the impairment layer) and what
+// the scanner did about it (retransmissions issued, duplicate replies
+// discarded). All-zero on a perfect network with retries disabled.
+type Resilience struct {
+	ProbesLost          uint64 // outbound probes the network dropped
+	RepliesLost         uint64 // responses the network dropped
+	Duplicates          uint64 // packets the network duplicated
+	Reordered           uint64 // responses delayed by the reordering window
+	Retransmitted       uint64 // probes the scanner re-issued (preprobe + forward retries)
+	DuplicatesDiscarded uint64 // replies the scanner dropped as already processed
+}
+
+// Any reports whether anything at all happened — used to keep the
+// perfect-network report output unchanged.
+func (r *Resilience) Any() bool {
+	return r.ProbesLost != 0 || r.RepliesLost != 0 || r.Duplicates != 0 ||
+		r.Reordered != 0 || r.Retransmitted != 0 || r.DuplicatesDiscarded != 0
+}
+
+// WriteText renders the resilience counters as report lines.
+func (r *Resilience) WriteText(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"probes lost:          %d\n"+
+			"replies lost:         %d\n"+
+			"duplicated packets:   %d\n"+
+			"reordered replies:    %d\n"+
+			"retransmitted probes: %d\n"+
+			"duplicates discarded: %d\n",
+		r.ProbesLost, r.RepliesLost, r.Duplicates,
+		r.Reordered, r.Retransmitted, r.DuplicatesDiscarded)
+	return err
+}
+
 // FormatDuration renders a scan duration the way the paper's tables do:
 // M:SS.cc or H:MM:SS.cc.
 func FormatDuration(d time.Duration) string {

@@ -1,0 +1,248 @@
+package netsim
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/probe"
+	"github.com/flashroute/flashroute/internal/simclock"
+)
+
+func TestImpairmentsEnabled(t *testing.T) {
+	var zero Impairments
+	if zero.Enabled() {
+		t.Error("zero value must be disabled")
+	}
+	cases := []Impairments{
+		{LossProb: 0.01},
+		{GEGoodToBad: 0.01},
+		{DupProb: 0.01},
+		{ReorderProb: 0.5, ReorderWindow: time.Millisecond},
+		{ExtraJitter: time.Millisecond},
+	}
+	for i, im := range cases {
+		if !im.Enabled() {
+			t.Errorf("case %d: %+v should be enabled", i, im)
+		}
+	}
+	// A reordering probability without a window (or vice versa) is inert.
+	if (&Impairments{ReorderProb: 0.5}).Enabled() {
+		t.Error("ReorderProb without ReorderWindow should be inert")
+	}
+}
+
+// TestImpairStateLossRate: the independent-loss draw must track LossProb
+// closely over a long stream (binomial stddev ≈ 0.13% at n=100k).
+func TestImpairStateLossRate(t *testing.T) {
+	im := &Impairments{LossProb: 0.20}
+	st := newImpairState(42)
+	const n = 100_000
+	lost := 0
+	for i := 0; i < n; i++ {
+		if st.step(im) {
+			lost++
+		}
+	}
+	rate := float64(lost) / n
+	if rate < 0.19 || rate > 0.21 {
+		t.Errorf("loss rate %.4f, want ≈ 0.20", rate)
+	}
+}
+
+// TestImpairStateGEBursts: with loss exactly in the bad state, the chain's
+// stationary loss fraction must be p/(p+r) and the mean run of consecutive
+// losses ≈ 1/r — the burstiness independent loss cannot produce.
+func TestImpairStateGEBursts(t *testing.T) {
+	im := &Impairments{GEGoodToBad: 0.02, GEBadToGood: 0.25, GEBadLoss: 1}
+	st := newImpairState(7)
+	const n = 200_000
+	lost, bursts, run := 0, 0, 0
+	var runs []int
+	for i := 0; i < n; i++ {
+		if st.step(im) {
+			lost++
+			run++
+		} else if run > 0 {
+			bursts++
+			runs = append(runs, run)
+			run = 0
+		}
+	}
+	frac := float64(lost) / n
+	want := 0.02 / (0.02 + 0.25) // ≈ 0.074
+	if frac < want-0.02 || frac > want+0.02 {
+		t.Errorf("stationary loss fraction %.4f, want ≈ %.4f", frac, want)
+	}
+	var sum int
+	for _, r := range runs {
+		sum += r
+	}
+	mean := float64(sum) / float64(bursts)
+	if mean < 3.0 || mean > 5.0 {
+		t.Errorf("mean burst length %.2f, want ≈ 4 (1/GEBadToGood)", mean)
+	}
+}
+
+// TestImpairStateDeterminism: equal seeds produce identical fate streams.
+func TestImpairStateDeterminism(t *testing.T) {
+	im := &Impairments{
+		LossProb: 0.1, GEGoodToBad: 0.01, GEBadToGood: 0.2, GEBadLoss: 0.5,
+		DupProb: 0.05, ReorderProb: 0.1, ReorderWindow: 10 * time.Millisecond,
+		ExtraJitter: 5 * time.Millisecond,
+	}
+	a, b := newImpairState(99), newImpairState(99)
+	for i := 0; i < 10_000; i++ {
+		if i%2 == 0 {
+			if ca, cb := a.probeFate(im), b.probeFate(im); ca != cb {
+				t.Fatalf("probe fate diverged at %d: %d vs %d", i, ca, cb)
+			}
+			continue
+		}
+		ca, da, ra := a.responseFate(im)
+		cb, db, rb := b.responseFate(im)
+		if ca != cb || da != db || ra != rb {
+			t.Fatalf("response fate diverged at %d: (%d,%v,%d) vs (%d,%v,%d)",
+				i, ca, da, ra, cb, db, rb)
+		}
+	}
+}
+
+// responsiveDest finds a gateway that answers UDP-to-high-port directly,
+// so each probe deterministically yields exactly one response on a
+// perfect network.
+func responsiveDest(t *testing.T, topo *Topology, blocks int) uint32 {
+	t.Helper()
+	for blk := 0; blk < blocks; blk++ {
+		if gw := topo.GatewayOfBlock(blk); gw != 0 {
+			s := &topo.stubs[topo.blockStub[blk]]
+			if s.midReset || s.midRewrite {
+				continue
+			}
+			if topo.Resolve(gw, 32, 0, 0, probe.ProtoUDP).Kind != HopDestUDP {
+				continue
+			}
+			return gw
+		}
+	}
+	t.Fatal("no responsive gateway found")
+	return 0
+}
+
+// TestImpairConnLossAndDup drives packets end to end: full loss delivers
+// nothing, full duplication delivers four copies of a reply (probe
+// duplicated on the way out, each response duplicated on the way back).
+func TestImpairConnLossAndDup(t *testing.T) {
+	build := func(im Impairments) (*Net, *Conn, uint32, *simclock.Virtual) {
+		u := NewSyntheticUniverse(1024)
+		p := DefaultParams(5)
+		p.Impair = im
+		topo := NewTopology(u, p)
+		clock := simclock.NewVirtual(time.Unix(0, 0))
+		n := New(topo, clock)
+		return n, n.NewConn(), responsiveDest(t, topo, 1024), clock
+	}
+
+	var pkt [128]byte
+
+	// Total loss: the probe is counted lost, nothing is scheduled.
+	n, conn, dst, clock := build(Impairments{LossProb: 1})
+	clock.AddActor()
+	ln := probe.BuildFlashProbe(pkt[:], n.Topo().Vantage(), dst, 32, false, 0, 0, probe.TracerouteDstPort)
+	if err := conn.WritePacket(pkt[:ln]); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Stats.ProbesLost.Load(); got != 1 {
+		t.Errorf("ProbesLost = %d, want 1", got)
+	}
+	if conn.Pending() != 0 {
+		t.Errorf("lost probe scheduled %d responses", conn.Pending())
+	}
+	clock.DoneActor()
+
+	// Total duplication: 2 probe copies × 2 response copies = 4 reads.
+	n, conn, dst, clock = build(Impairments{DupProb: 1})
+	clock.AddActor()
+	ln = probe.BuildFlashProbe(pkt[:], n.Topo().Vantage(), dst, 32, false, 0, 0, probe.TracerouteDstPort)
+	if err := conn.WritePacket(pkt[:ln]); err != nil {
+		t.Fatal(err)
+	}
+	if conn.Pending() != 4 {
+		t.Fatalf("DupProb=1 scheduled %d responses, want 4", conn.Pending())
+	}
+	var buf [MaxResponseLen]byte
+	for i := 0; i < 4; i++ {
+		rn, err := conn.ReadPacket(buf[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := probe.ParseResponse(buf[:rn])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Hop != dst {
+			t.Errorf("copy %d from %#x, want %#x", i, resp.Hop, dst)
+		}
+	}
+	if got := n.Stats.Duplicates.Load(); got != 3 {
+		t.Errorf("Duplicates = %d, want 3 (1 probe + 2 responses)", got)
+	}
+	conn.Close()
+	if _, err := conn.ReadPacket(buf[:]); err != io.EOF {
+		t.Fatalf("want EOF after drain, got %v", err)
+	}
+	clock.DoneActor()
+}
+
+// TestImpairConnReorder: with reordering forced on, responses still all
+// arrive (loss-free), each delayed within the window and counted.
+func TestImpairConnReorder(t *testing.T) {
+	u := NewSyntheticUniverse(1024)
+	p := DefaultParams(9)
+	p.JitterRTT = 0
+	p.Impair = Impairments{ReorderProb: 1, ReorderWindow: 50 * time.Millisecond}
+	topo := NewTopology(u, p)
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	n := New(topo, clock)
+	conn := n.NewConn()
+	dst := responsiveDest(t, topo, 1024)
+
+	clock.AddActor()
+	defer clock.DoneActor()
+
+	const probes = 50
+	var pkt [128]byte
+	for i := 0; i < probes; i++ {
+		ln := probe.BuildFlashProbe(pkt[:], topo.Vantage(), dst, 32, false,
+			clock.Elapsed(), 0, probe.TracerouteDstPort)
+		if err := conn.WritePacket(pkt[:ln]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delivered := int(n.Stats.Responses.Load())
+	if lost := n.Stats.RepliesLost.Load() + n.Stats.ProbesLost.Load(); lost != 0 {
+		t.Fatalf("reorder-only impairment lost %d packets", lost)
+	}
+	if got := int(n.Stats.Reordered.Load()); got != delivered {
+		t.Errorf("Reordered = %d, want %d (every delivered copy)", got, delivered)
+	}
+
+	// Delivery times must stay within base RTT + window, and ReadPacket
+	// must hand them out in nondecreasing virtual time.
+	var buf [MaxResponseLen]byte
+	var last time.Duration
+	maxRTT := p.BaseRTT + 33*p.PerHopRTT + p.Impair.ReorderWindow
+	for i := 0; i < delivered; i++ {
+		if _, err := conn.ReadPacket(buf[:]); err != nil {
+			t.Fatal(err)
+		}
+		at := clock.Elapsed()
+		if at < last {
+			t.Fatalf("delivery %d at %v before previous %v", i, at, last)
+		}
+		last = at
+	}
+	if last > maxRTT {
+		t.Errorf("last delivery at %v exceeds RTT+window bound %v", last, maxRTT)
+	}
+}

@@ -24,6 +24,12 @@ type Stats struct {
 	NoRoute        atomic.Uint64 // probes falling off route ends
 	DestSilent     atomic.Uint64 // probes reaching hosts that don't answer this type
 	MalformedSends atomic.Uint64 // unparseable probe packets
+
+	// Impairment-layer counters (all zero on a perfect network).
+	ProbesLost  atomic.Uint64 // outbound probes dropped before any hop
+	RepliesLost atomic.Uint64 // responses dropped after the responder sent them
+	Duplicates  atomic.Uint64 // packets (either direction) delivered twice
+	Reordered   atomic.Uint64 // response copies delayed by the reordering window
 }
 
 // Net binds a Topology to a clock and delivers packets with modeled RTTs,
@@ -212,6 +218,7 @@ type Conn struct {
 	net    *Net
 	src    uint32
 	parker *simclock.Parker
+	imp    *impairState // nil unless Params.Impair is enabled
 
 	mu     sync.Mutex
 	inbox  respHeap
@@ -221,11 +228,15 @@ type Conn struct {
 
 // NewConn opens a connection sourced at the vantage point.
 func (n *Net) NewConn() *Conn {
-	return &Conn{
+	c := &Conn{
 		net:    n,
 		src:    n.topo.Vantage(),
 		parker: n.clock.NewParker(),
 	}
+	if n.topo.P.Impair.Enabled() {
+		c.imp = newImpairState(n.topo.P.Seed)
+	}
+	return c
 }
 
 // WritePacket injects one serialized IPv4 probe packet into the network.
@@ -251,6 +262,20 @@ func (c *Conn) WritePacket(pkt []byte) error {
 		return nil // dies immediately, no response from ourselves
 	}
 
+	// Outbound impairments: a lost probe never reaches a hop (no resolve,
+	// no rate-limit debit); a duplicated probe traverses the network twice.
+	copies := 1
+	if c.imp != nil {
+		copies = c.imp.probeFate(&n.topo.P.Impair)
+		if copies == 0 {
+			n.Stats.ProbesLost.Add(1)
+			return nil
+		}
+		if copies == 2 {
+			n.Stats.Duplicates.Add(1)
+		}
+	}
+
 	var transport [8]byte
 	copy(transport[:], pkt[probe.IPv4HeaderLen:probe.IPv4HeaderLen+8])
 	srcPort := uint16(transport[0])<<8 | uint16(transport[1])
@@ -266,11 +291,7 @@ func (c *Conn) WritePacket(pkt []byte) error {
 			return nil
 		}
 		if !n.topo.PingResponsive(hdr.Dst) {
-			n.Stats.DestSilent.Add(1)
-			return nil
-		}
-		if !n.allowICMP(hdr.Dst, now) {
-			n.Stats.RateLimited.Add(1)
+			n.Stats.DestSilent.Add(uint64(copies))
 			return nil
 		}
 		depth := n.topo.DistanceNow(hdr.Dst, now)
@@ -283,17 +304,15 @@ func (c *Conn) WritePacket(pkt []byte) error {
 			hop:       hdr.Dst,
 			transport: transport,
 		}
-		c.mu.Lock()
-		if c.closed {
-			c.mu.Unlock()
-			return ErrClosed
+		for i := 0; i < copies; i++ {
+			if !n.allowICMP(hdr.Dst, now) {
+				n.Stats.RateLimited.Add(1)
+				continue
+			}
+			if err := c.deliver(resp); err != nil {
+				return err
+			}
 		}
-		resp.seq = c.seq
-		c.seq++
-		c.inbox.push(resp)
-		c.mu.Unlock()
-		n.Stats.Responses.Add(1)
-		c.net.clock.Unpark(c.parker)
 		return nil
 	}
 	flow := flowHash(hdr.Src, hdr.Dst, srcPort, dstPort, hdr.Protocol)
@@ -302,13 +321,13 @@ func (c *Conn) WritePacket(pkt []byte) error {
 	var kind uint8
 	switch hop.Kind {
 	case HopNone:
-		n.Stats.NoRoute.Add(1)
+		n.Stats.NoRoute.Add(uint64(copies))
 		return nil
 	case HopSilentRouter:
-		n.Stats.SilentHops.Add(1)
+		n.Stats.SilentHops.Add(uint64(copies))
 		return nil
 	case HopDestSilent:
-		n.Stats.DestSilent.Add(1)
+		n.Stats.DestSilent.Add(uint64(copies))
 		return nil
 	case HopRouter:
 		kind = respICMPTimeExceeded
@@ -316,13 +335,6 @@ func (c *Conn) WritePacket(pkt []byte) error {
 		kind = respICMPPortUnreach
 	case HopDestTCP:
 		kind = respTCPRST
-	}
-
-	// ICMP rate limiting at the responder (TCP RSTs are not ICMP and are
-	// not throttled by it).
-	if kind != respTCPRST && !n.allowICMP(hop.Addr, now) {
-		n.Stats.RateLimited.Add(1)
-		return nil
 	}
 
 	// The quoted header is the probe's header as the responder saw it:
@@ -339,17 +351,57 @@ func (c *Conn) WritePacket(pkt []byte) error {
 		transport: transport,
 	}
 
+	for i := 0; i < copies; i++ {
+		// ICMP rate limiting at the responder (TCP RSTs are not ICMP and
+		// are not throttled by it; each duplicate debits the budget).
+		if kind != respTCPRST && !n.allowICMP(hop.Addr, now) {
+			n.Stats.RateLimited.Add(1)
+			continue
+		}
+		if err := c.deliver(resp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliver schedules one emitted response for delivery to the inbox,
+// applying inbound impairments (loss, duplication, reordering, extra
+// jitter) when enabled. With impairments off it is exactly the
+// pre-impairment scheduling path.
+func (c *Conn) deliver(resp pendingResp) error {
+	n := c.net
+	copies := 1
+	var extra [2]time.Duration
+	if c.imp != nil {
+		var reordered int
+		copies, extra, reordered = c.imp.responseFate(&n.topo.P.Impair)
+		if copies == 0 {
+			n.Stats.RepliesLost.Add(1)
+			return nil
+		}
+		if copies == 2 {
+			n.Stats.Duplicates.Add(1)
+		}
+		if reordered > 0 {
+			n.Stats.Reordered.Add(uint64(reordered))
+		}
+	}
+	base := resp.deliverAt
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return ErrClosed
 	}
-	resp.seq = c.seq
-	c.seq++
-	c.inbox.push(resp)
+	for i := 0; i < copies; i++ {
+		resp.deliverAt = base + extra[i]
+		resp.seq = c.seq
+		c.seq++
+		c.inbox.push(resp)
+	}
 	c.mu.Unlock()
-	n.Stats.Responses.Add(1)
-	c.net.clock.Unpark(c.parker)
+	n.Stats.Responses.Add(uint64(copies))
+	n.clock.Unpark(c.parker)
 	return nil
 }
 

@@ -107,6 +107,11 @@ type Params struct {
 	BaseRTT          time.Duration
 	PerHopRTT        time.Duration
 	JitterRTT        time.Duration
+
+	// Impair models live-Internet packet pathologies (loss, burst loss,
+	// duplication, reordering, jitter; see Impairments). The zero value —
+	// the default — is the perfect network.
+	Impair Impairments
 }
 
 // DefaultParams returns the calibrated defaults for the given seed.

@@ -1,0 +1,61 @@
+package probe
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestGenCorpus(t *testing.T) {
+	if os.Getenv("GEN_CORPUS") == "" {
+		t.Skip("set GEN_CORPUS=1 to regenerate fuzz seed corpora")
+	}
+	write := func(target, name string, data []byte) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	full := seedFlashResponse(ICMPTypeTimeExceeded, ICMPCodeTTLExceeded, 1)
+	write("FuzzParseResponse", "flash-ttl-exceeded", full)
+	write("FuzzParseResponse", "flash-unreachable",
+		seedFlashResponse(ICMPTypeDestUnreachable, ICMPCodePortUnreachable, 25))
+	write("FuzzParseResponse", "yarrp-tcp", seedYarrpResponse(false))
+	write("FuzzParseResponse", "yarrp-udp", seedYarrpResponse(true))
+	for _, cut := range []int{IPv4HeaderLen, IPv4HeaderLen + 7, len(full) - 1} {
+		write("FuzzParseResponse", fmt.Sprintf("truncated-%d", cut), full[:cut])
+	}
+	corrupt := append([]byte(nil), full...)
+	corrupt[IPv4HeaderLen+8+9] = 255 // quoted protocol: neither UDP nor TCP
+	write("FuzzParseResponse", "quote-bad-proto", corrupt)
+
+	var buf [64]byte
+	n := BuildEchoRequest(buf[:], 0x0a000001, 0xc0a80101, 0x1234, 7)
+	reply := append([]byte(nil), buf[:n]...)
+	reply[IPv4HeaderLen] = ICMPTypeEchoReply
+	write("FuzzParseEchoReply", "echo-reply", reply)
+	write("FuzzParseEchoReply", "echo-request", buf[:n])
+	write("FuzzParseEchoReply", "truncated", reply[:IPv4HeaderLen+4])
+
+	h := IPv4{TotalLength: 48, ID: 0xbeef, TTL: 16, Protocol: ProtoUDP,
+		Src: 0x0a000001, Dst: 0xc0a80101}
+	h.Marshal(buf[:])
+	write("FuzzIPv4", "udp-header", buf[:IPv4HeaderLen])
+	write("FuzzIPv4", "short", buf[:IPv4HeaderLen-1])
+
+	var probe [256]byte
+	pn := BuildFlashProbe(probe[:], 0x0a000001, 0xc0a80101, 7, true,
+		42*time.Millisecond, 3, TracerouteDstPort)
+	write("FuzzTransport", "flash-udp", probe[IPv4HeaderLen:pn])
+	pn = BuildYarrpTCPProbe(probe[:], 0x0a000001, 0xc0a80101, 9, 5*time.Second)
+	write("FuzzTransport", "yarrp-tcp", probe[IPv4HeaderLen:pn])
+	write("FuzzTransport", "tcp-quote-8", probe[IPv4HeaderLen:IPv4HeaderLen+8])
+}

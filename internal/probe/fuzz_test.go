@@ -1,0 +1,217 @@
+package probe
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// The fuzz targets hold one line: no input — however truncated, corrupted
+// or adversarial — may panic a parser. Responses come off a raw socket
+// (or the simulator standing in for one), so every byte is attacker
+// controlled. On accepted inputs the targets additionally check the
+// parse/serialize round-trip invariants the engines rely on.
+//
+// Seed corpora live in testdata/fuzz/<Target>/ and are built from the
+// real probe builders plus truncations and bit flips, so coverage starts
+// at the interesting packet shapes instead of random noise.
+
+// seedFlashResponse builds a full ICMP error response to a FlashRoute
+// probe, the way a simulated hop would.
+func seedFlashResponse(icmpType, code, residual uint8) []byte {
+	var pr [256]byte
+	n := BuildFlashProbe(pr[:], 0x0a000001, 0xc0a80101, 7, false,
+		1234*time.Millisecond, 0, TracerouteDstPort)
+	var quote IPv4
+	if err := quote.Unmarshal(pr[:n]); err != nil {
+		panic(err)
+	}
+	quote.TTL = residual
+	var resp [256]byte
+	outer := IPv4{
+		TotalLength: uint16(IPv4HeaderLen + ICMPErrorLen),
+		TTL:         64,
+		Protocol:    ProtoICMP,
+		Src:         0xac100101,
+		Dst:         0x0a000001,
+	}
+	outer.Marshal(resp[:])
+	MarshalICMPError(resp[IPv4HeaderLen:], icmpType, code, &quote, pr[IPv4HeaderLen:IPv4HeaderLen+8])
+	return append([]byte(nil), resp[:IPv4HeaderLen+ICMPErrorLen]...)
+}
+
+func seedYarrpResponse(udp bool) []byte {
+	var pr [256]byte
+	var n int
+	if udp {
+		var err error
+		n, err = BuildYarrpUDPProbe(pr[:], 0x0a000001, 0xc0a80101, 9, 5*time.Second)
+		if err != nil {
+			panic(err)
+		}
+	} else {
+		n = BuildYarrpTCPProbe(pr[:], 0x0a000001, 0xc0a80101, 9, 5*time.Second)
+	}
+	var quote IPv4
+	if err := quote.Unmarshal(pr[:n]); err != nil {
+		panic(err)
+	}
+	quote.TTL = 1
+	var resp [256]byte
+	outer := IPv4{
+		TotalLength: uint16(IPv4HeaderLen + ICMPErrorLen),
+		TTL:         64,
+		Protocol:    ProtoICMP,
+		Src:         0xac100101,
+		Dst:         0x0a000001,
+	}
+	outer.Marshal(resp[:])
+	MarshalICMPError(resp[IPv4HeaderLen:], ICMPTypeTimeExceeded, ICMPCodeTTLExceeded,
+		&quote, pr[IPv4HeaderLen:IPv4HeaderLen+8])
+	return append([]byte(nil), resp[:IPv4HeaderLen+ICMPErrorLen]...)
+}
+
+func fuzzResponseSeeds(f *testing.F) {
+	f.Add(seedFlashResponse(ICMPTypeTimeExceeded, ICMPCodeTTLExceeded, 1))
+	f.Add(seedFlashResponse(ICMPTypeDestUnreachable, ICMPCodePortUnreachable, 25))
+	f.Add(seedYarrpResponse(false))
+	f.Add(seedYarrpResponse(true))
+	full := seedFlashResponse(ICMPTypeTimeExceeded, ICMPCodeTTLExceeded, 1)
+	for _, cut := range []int{0, 1, IPv4HeaderLen - 1, IPv4HeaderLen,
+		IPv4HeaderLen + 7, IPv4HeaderLen + ICMPErrorLen - 1} {
+		f.Add(append([]byte(nil), full[:cut]...))
+	}
+	bad := append([]byte(nil), full...)
+	bad[0] = 0x65 // IPv6 version nibble
+	f.Add(bad)
+	opt := append([]byte(nil), full...)
+	opt[0] = 0x46 // IHL 6: options, unsupported
+	f.Add(opt)
+	proto := append([]byte(nil), full...)
+	proto[9] = ProtoUDP // outer packet not ICMP
+	f.Add(proto)
+}
+
+// FuzzParseResponse: the full response-parsing path (outer IPv4 + ICMP
+// error + quoted probe decoding) must never panic, and accepted inputs
+// must decode to in-range probing context.
+func FuzzParseResponse(f *testing.F) {
+	fuzzResponseSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ParseResponse(data)
+		if err != nil {
+			return
+		}
+		// The quote decoders run on whatever the network handed back; they
+		// may reject it but must not panic, and what they accept must be
+		// representable.
+		if fi, err := ParseFlashQuote(&r.ICMP); err == nil {
+			if fi.InitTTL < 1 || fi.InitTTL > MaxTTL {
+				t.Fatalf("FlashInfo.InitTTL %d out of range", fi.InitTTL)
+			}
+			fi.ChecksumMatches(0)
+			if rtt := fi.RTT(time.Duration(fi.TSMillis+5) * time.Millisecond); rtt < 0 {
+				t.Fatalf("negative RTT %v", rtt)
+			}
+		}
+		if yi, err := ParseYarrpQuote(&r.ICMP); err == nil {
+			if yi.InitTTL < 1 || yi.InitTTL > MaxTTL {
+				t.Fatalf("YarrpInfo.InitTTL %d out of range", yi.InitTTL)
+			}
+		}
+		r.ICMP.IsTTLExceeded()
+		r.ICMP.IsUnreachable()
+	})
+}
+
+// FuzzParseEchoReply: the hitlist census parser must never panic, and may
+// only accept packets long enough to actually hold an echo reply.
+func FuzzParseEchoReply(f *testing.F) {
+	var buf [64]byte
+	n := BuildEchoRequest(buf[:], 0x0a000001, 0xc0a80101, 0x1234, 7)
+	req := append([]byte(nil), buf[:n]...)
+	f.Add(req)
+	reply := append([]byte(nil), req...)
+	reply[IPv4HeaderLen] = ICMPTypeEchoReply
+	f.Add(reply)
+	f.Add(reply[:IPv4HeaderLen+4])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		from, id, seq, ok := ParseEchoReply(data)
+		if !ok {
+			return
+		}
+		if len(data) < IPv4HeaderLen+EchoLen {
+			t.Fatalf("accepted %d-byte packet (min %d): from=%#x id=%d seq=%d",
+				len(data), IPv4HeaderLen+EchoLen, from, id, seq)
+		}
+	})
+}
+
+// FuzzIPv4: header parsing must never panic, and every accepted header
+// must survive a Marshal/Unmarshal round trip with a valid checksum.
+func FuzzIPv4(f *testing.F) {
+	var buf [64]byte
+	h := IPv4{TotalLength: 48, ID: 0xbeef, TTL: 16, Protocol: ProtoUDP,
+		Src: 0x0a000001, Dst: 0xc0a80101}
+	h.Marshal(buf[:])
+	f.Add(append([]byte(nil), buf[:IPv4HeaderLen]...))
+	f.Add(append([]byte(nil), buf[:IPv4HeaderLen-1]...))
+	f.Add([]byte{0x60, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h IPv4
+		if err := h.Unmarshal(data); err != nil {
+			return
+		}
+		var out [IPv4HeaderLen]byte
+		h.Marshal(out[:])
+		if !VerifyChecksum(out[:]) {
+			t.Fatal("Marshal produced an invalid checksum")
+		}
+		var back IPv4
+		if err := back.Unmarshal(out[:]); err != nil {
+			t.Fatalf("re-Unmarshal failed: %v", err)
+		}
+		// The checksum is recomputed; everything else must round-trip.
+		h.Checksum = back.Checksum
+		if back != h {
+			t.Fatalf("round trip changed header: %+v != %+v", back, h)
+		}
+	})
+}
+
+// FuzzTransport: the UDP and TCP header parsers (fed from untrusted ICMP
+// quotes) must never panic, and accepted headers must round-trip.
+func FuzzTransport(f *testing.F) {
+	var buf [TCPHeaderLen]byte
+	(&UDP{SrcPort: 33434, DstPort: TracerouteDstPort, Length: 14, Checksum: 0xabcd}).Marshal(buf[:])
+	f.Add(append([]byte(nil), buf[:UDPHeaderLen]...))
+	(&TCP{SrcPort: 80, DstPort: 443, Seq: 0xdeadbeef, Ack: 1, Flags: FlagACK, Window: 1024}).Marshal(buf[:])
+	f.Add(append([]byte(nil), buf[:]...))
+	f.Add(append([]byte(nil), buf[:8]...))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var u UDP
+		if err := u.Unmarshal(data); err == nil {
+			var out [UDPHeaderLen]byte
+			u.Marshal(out[:])
+			if !bytes.Equal(out[:], data[:UDPHeaderLen]) {
+				t.Fatalf("UDP round trip changed bytes: % x != % x", out, data[:UDPHeaderLen])
+			}
+		}
+		var tc TCP
+		if err := tc.Unmarshal(data); err == nil {
+			var out [TCPHeaderLen]byte
+			tc.Marshal(out[:])
+			var back TCP
+			if err := back.Unmarshal(out[:]); err != nil {
+				t.Fatalf("TCP re-Unmarshal failed: %v", err)
+			}
+			// An 8-byte quote zeroes Ack/Flags/Window by contract; the
+			// round trip must preserve whatever Unmarshal reported.
+			if back != tc {
+				t.Fatalf("TCP round trip changed header: %+v != %+v", back, tc)
+			}
+		}
+	})
+}

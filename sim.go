@@ -24,9 +24,56 @@ type SimConfig struct {
 	// time (virtual time is the default: scans complete in milliseconds
 	// of real time while reporting faithful scan durations).
 	RealTime bool
+	// Impair layers packet-level pathologies (loss, burst loss,
+	// duplication, reordering, jitter) over the network. The zero value is
+	// the perfect network; see Impairments.
+	Impair Impairments
 	// Mutate, if set, adjusts the topology parameters before generation
-	// (silence rates, middlebox prevalence, rate limits, ...).
+	// (silence rates, middlebox prevalence, rate limits, ...). It runs
+	// after Impair is applied and may override it.
 	Mutate func(*netsim.Params)
+}
+
+// Impairments models the packet-level pathologies of probing the live
+// Internet: independent and bursty (Gilbert–Elliott) loss, duplication,
+// bounded reordering and extra latency jitter, applied symmetrically to
+// probes and responses. All decisions are drawn deterministically from
+// the simulation seed, so impaired scans are as reproducible as perfect
+// ones (exactly with one sender, statistically with several). The zero
+// value disables everything.
+type Impairments struct {
+	// LossProb is the independent per-packet loss probability.
+	LossProb float64
+	// BurstToBad, BurstToGood and BurstLoss parameterize Gilbert–Elliott
+	// burst loss: the per-packet good→bad and bad→good transition
+	// probabilities and the extra loss probability while in the bad state
+	// (combined with LossProb). Mean burst length is 1/BurstToGood
+	// packets; the stationary bad fraction BurstToBad/(BurstToBad+BurstToGood).
+	BurstToBad  float64
+	BurstToGood float64
+	BurstLoss   float64
+	// DupProb is the probability a surviving packet is duplicated once.
+	DupProb float64
+	// ReorderProb delays a response by uniform [0, ReorderWindow) extra,
+	// letting later traffic overtake it (bounded reordering). Both must be
+	// set to have an effect.
+	ReorderProb   float64
+	ReorderWindow time.Duration
+	// ExtraJitter adds uniform [0, ExtraJitter) latency to every response.
+	ExtraJitter time.Duration
+}
+
+func (im Impairments) toNetsim() netsim.Impairments {
+	return netsim.Impairments{
+		LossProb:      im.LossProb,
+		GEGoodToBad:   im.BurstToBad,
+		GEBadToGood:   im.BurstToGood,
+		GEBadLoss:     im.BurstLoss,
+		DupProb:       im.DupProb,
+		ReorderProb:   im.ReorderProb,
+		ReorderWindow: im.ReorderWindow,
+		ExtraJitter:   im.ExtraJitter,
+	}
 }
 
 // Simulation is a synthetic Internet bound to a clock — the substrate all
@@ -54,6 +101,7 @@ func NewSimulation(cfg SimConfig) *Simulation {
 		u = netsim.NewSyntheticUniverse(cfg.Blocks)
 	}
 	params := netsim.DefaultParams(cfg.Seed)
+	params.Impair = cfg.Impair.toNetsim()
 	if cfg.Mutate != nil {
 		cfg.Mutate(&params)
 	}
@@ -151,16 +199,25 @@ func (s *Simulation) Stats() SimStats {
 		RateLimited: s.net.Stats.RateLimited.Load(),
 		SilentHops:  s.net.Stats.SilentHops.Load(),
 		NoRoute:     s.net.Stats.NoRoute.Load(),
+		ProbesLost:  s.net.Stats.ProbesLost.Load(),
+		RepliesLost: s.net.Stats.RepliesLost.Load(),
+		Duplicates:  s.net.Stats.Duplicates.Load(),
+		Reordered:   s.net.Stats.Reordered.Load(),
 	}
 }
 
-// SimStats are network-side counters of a simulation.
+// SimStats are network-side counters of a simulation. The last four are
+// the impairment layer's accounting and stay zero on a perfect network.
 type SimStats struct {
 	ProbesSeen  uint64
 	Responses   uint64
 	RateLimited uint64
 	SilentHops  uint64
 	NoRoute     uint64
+	ProbesLost  uint64
+	RepliesLost uint64
+	Duplicates  uint64
+	Reordered   uint64
 }
 
 // Scan runs a FlashRoute scan against this simulation, filling in the
