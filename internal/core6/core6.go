@@ -21,6 +21,7 @@
 package core6
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -126,6 +127,19 @@ func (r *Result) InterfaceCount() int { return len(r.interfaces) }
 func (r *Result) HasInterface(a probe6.Addr) bool {
 	_, ok := r.interfaces[a]
 	return ok
+}
+
+// Interfaces returns the discovered router interfaces in ascending
+// address order.
+func (r *Result) Interfaces() []probe6.Addr {
+	out := make([]probe6.Addr, 0, len(r.interfaces))
+	for a := range r.interfaces {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i][:], out[j][:]) < 0
+	})
+	return out
 }
 
 // Route returns the route traced to a target (nil if no responses), with
