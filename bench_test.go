@@ -183,6 +183,31 @@ func BenchmarkSenderScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkSenderScaling6 is BenchmarkSenderScaling through the IPv6
+// instantiation of the generic engine: the sharded sender path must scale
+// the same way whatever the address family, and the interface count must
+// stay sender-count-invariant.
+func BenchmarkSenderScaling6(b *testing.B) {
+	b.ReportAllocs()
+	counts := []int{1, 2, 4, 8}
+	sums := make(map[int]float64)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.SenderScaling6(256, 16, int64(42+i), counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			if row.Interfaces == 0 {
+				b.Fatalf("senders=%d discovered no interfaces", row.Senders)
+			}
+			sums[row.Senders] += row.MeasuredKpps
+		}
+	}
+	for _, k := range counts {
+		b.ReportMetric(sums[k]/float64(b.N), fmt.Sprintf("s%d-kpps", k))
+	}
+}
+
 func BenchmarkFig8HitlistJaccard(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Figure8HitlistBias(benchScenario(i))

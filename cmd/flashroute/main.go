@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/flashroute/flashroute"
 	"github.com/flashroute/flashroute/internal/metrics"
@@ -25,6 +26,9 @@ import (
 
 func main() {
 	var (
+		ipv6       = flag.Bool("6", false, "scan a simulated IPv6 Internet (FlashRoute6, §5.4); composes with -senders, -loss/-dup/-reorder and the retry flags")
+		prefixes   = flag.Int("prefixes", 2048, "with -6: allocated /48 prefixes in the simulated IPv6 Internet")
+		perPrefix  = flag.Int("per-prefix", 16, "with -6: candidate targets per prefix")
 		blocks     = flag.Int("blocks", 65536, "number of /24 blocks in the simulated universe")
 		cidrs      = flag.String("cidrs", "", "comma-separated CIDRs (up to /24) instead of -blocks")
 		seed       = flag.Int64("seed", 1, "simulation and permutation seed")
@@ -59,20 +63,42 @@ func main() {
 	)
 	flag.Parse()
 
+	impair := flashroute.Impairments{
+		LossProb:      *loss,
+		BurstToBad:    *burstToBad,
+		BurstToGood:   *burstToGood,
+		BurstLoss:     *burstLoss,
+		DupProb:       *dup,
+		ReorderProb:   *reorder,
+		ReorderWindow: *reorderWindow,
+		ExtraJitter:   *extraJitter,
+	}
+
+	if *ipv6 {
+		scan6(scan6Opts{
+			prefixes:        *prefixes,
+			perPrefix:       *perPrefix,
+			seed:            *seed,
+			realTime:        *realTime,
+			impair:          impair,
+			split:           uint8(*split),
+			gap:             uint8(*gap),
+			pps:             *pps,
+			senders:         *senders,
+			preprobe:        *preprobe,
+			preprobeRetries: *preprobeRetries,
+			forwardRetries:  *forwardRetries,
+			forwardTimeout:  *forwardTimeout,
+			noRedund:        *noRedund,
+		})
+		return
+	}
+
 	simCfg := flashroute.SimConfig{
 		Blocks:   *blocks,
 		Seed:     *seed,
 		RealTime: *realTime,
-		Impair: flashroute.Impairments{
-			LossProb:      *loss,
-			BurstToBad:    *burstToBad,
-			BurstToGood:   *burstToGood,
-			BurstLoss:     *burstLoss,
-			DupProb:       *dup,
-			ReorderProb:   *reorder,
-			ReorderWindow: *reorderWindow,
-			ExtraJitter:   *extraJitter,
-		},
+		Impair:   impair,
 	}
 	if *cidrs != "" {
 		simCfg.CIDRs = strings.Split(*cidrs, ",")
@@ -210,6 +236,81 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("%d binary records written to %s\n", n, *binOutput)
+	}
+}
+
+type scan6Opts struct {
+	prefixes, perPrefix int
+	seed                int64
+	realTime            bool
+	impair              flashroute.Impairments
+	split, gap          uint8
+	pps                 int
+	senders             int
+	preprobe            string
+	preprobeRetries     int
+	forwardRetries      int
+	forwardTimeout      time.Duration
+	noRedund            bool
+}
+
+// scan6 is the -6 path: the same engine knobs (senders, impairments,
+// retries) applied to a FlashRoute6 scan over the sparse IPv6 simulation.
+func scan6(o scan6Opts) {
+	switch o.preprobe {
+	case "random":
+		// The IPv6 preprobe has no target choice to make — candidate
+		// lists are explicit addresses.
+	case "off":
+	default:
+		fatal(fmt.Errorf("-preprobe %q is not available with -6 (use random or off)", o.preprobe))
+	}
+	sim := flashroute.NewSimulation6(flashroute.Sim6Config{
+		Prefixes:         o.prefixes,
+		TargetsPerPrefix: o.perPrefix,
+		Seed:             o.seed,
+		RealTime:         o.realTime,
+		Impair:           o.impair,
+	})
+	targets := sim.Targets()
+	fmt.Printf("simulated IPv6 Internet: %d targets across %d /48s, seed %d\n",
+		len(targets), o.prefixes, o.seed)
+
+	res, err := sim.Scan(flashroute.Config6{
+		SplitTTL:                o.split,
+		GapLimit:                o.gap,
+		PPS:                     o.pps,
+		Senders:                 o.senders,
+		PreprobeOff:             o.preprobe == "off",
+		PreprobeRetries:         o.preprobeRetries,
+		ForwardRetries:          o.forwardRetries,
+		ForwardTimeout:          o.forwardTimeout,
+		NoRedundancyElimination: o.noRedund,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scan time:            %v\n", res.ScanTime())
+	fmt.Printf("probes sent:          %d (%.2f per target)\n",
+		res.Probes(), float64(res.Probes())/float64(len(targets)))
+	fmt.Printf("interfaces found:     %d\n", res.InterfaceCount())
+	fmt.Printf("targets reached:      %d\n", res.ReachedCount())
+	fmt.Printf("distances measured:   %d, same-prefix predicted: %d\n",
+		res.DistancesMeasured(), res.DistancesPredicted())
+
+	st := sim.Stats()
+	resil := metrics.Resilience{
+		ProbesLost:          st.ProbesLost,
+		RepliesLost:         st.RepliesLost,
+		Duplicates:          st.Duplicates,
+		Reordered:           st.Reordered,
+		Retransmitted:       res.RetransmittedProbes(),
+		DuplicatesDiscarded: res.DuplicateResponses(),
+	}
+	if resil.Any() {
+		if err := resil.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"github.com/flashroute/flashroute"
 	"github.com/flashroute/flashroute/internal/experiments"
+	"github.com/flashroute/flashroute/internal/metrics"
 )
 
 func main() {
@@ -23,7 +24,16 @@ func main() {
 		split     = flag.Int("split", 16, "default split hop limit")
 		gap       = flag.Int("gap", 5, "forward-probing gap limit")
 		pps       = flag.Int("pps", 0, "probing rate (default: scaled to list size)")
+		senders   = flag.Int("senders", 1, "number of sending goroutines (1 = deterministic mode)")
 		compare   = flag.Bool("compare-yarrp6", false, "also run the Yarrp6 baseline and compare")
+
+		loss          = flag.Float64("loss", 0, "independent packet loss probability (0..1)")
+		dup           = flag.Float64("dup", 0, "packet duplication probability (0..1)")
+		reorder       = flag.Float64("reorder", 0, "response reordering probability (needs -reorder-window)")
+		reorderWindow = flag.Duration("reorder-window", 0, "reordering delay window (e.g. 30ms)")
+
+		preprobeRetries = flag.Int("preprobe-retries", 0, "extra preprobe passes over still-unmeasured targets")
+		forwardRetries  = flag.Int("forward-retries", 0, "per-target forward-probing retries after silence")
 	)
 	flag.Parse()
 
@@ -40,6 +50,12 @@ func main() {
 
 	sim := flashroute.NewSimulation6(flashroute.Sim6Config{
 		Prefixes: *prefixes, TargetsPerPrefix: *perPrefix, Seed: *seed,
+		Impair: flashroute.Impairments{
+			LossProb:      *loss,
+			DupProb:       *dup,
+			ReorderProb:   *reorder,
+			ReorderWindow: *reorderWindow,
+		},
 	})
 	targets := sim.Targets()
 	rate := *pps
@@ -53,9 +69,12 @@ func main() {
 		len(targets), *prefixes, rate)
 
 	res, err := sim.Scan(flashroute.Config6{
-		SplitTTL: uint8(*split),
-		GapLimit: uint8(*gap),
-		PPS:      rate,
+		SplitTTL:        uint8(*split),
+		GapLimit:        uint8(*gap),
+		PPS:             rate,
+		Senders:         *senders,
+		PreprobeRetries: *preprobeRetries,
+		ForwardRetries:  *forwardRetries,
 	})
 	if err != nil {
 		fatal(err)
@@ -67,6 +86,21 @@ func main() {
 	fmt.Printf("targets reached:      %d\n", res.ReachedCount())
 	fmt.Printf("distances measured:   %d, same-prefix predicted: %d\n",
 		res.DistancesMeasured(), res.DistancesPredicted())
+
+	st := sim.Stats()
+	resil := metrics.Resilience{
+		ProbesLost:          st.ProbesLost,
+		RepliesLost:         st.RepliesLost,
+		Duplicates:          st.Duplicates,
+		Reordered:           st.Reordered,
+		Retransmitted:       res.RetransmittedProbes(),
+		DuplicatesDiscarded: res.DuplicateResponses(),
+	}
+	if resil.Any() {
+		if err := resil.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

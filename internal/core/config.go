@@ -16,6 +16,13 @@
 //     in random-permutation order and a per-DCB mutex;
 //   - §5.2 discovery-optimized mode — extra backward-only scans with
 //     shifted source ports sharing the main scan's stop set.
+//
+// The engine is generic over the address representation A: packet
+// construction and decoding are delegated to a Family implementation,
+// while all probing strategy, scheduling, retry, and dedup logic is
+// shared. The IPv4 instantiation keeps its historical names (Config,
+// Scanner, Result) as aliases; internal/core6 instantiates the same
+// engine at the IPv6 address type.
 package core
 
 import (
@@ -24,17 +31,18 @@ import (
 	"github.com/flashroute/flashroute/internal/probe"
 )
 
-// PacketConn is the raw network access FlashRoute needs: write whole IPv4
-// probe packets, read whole response packets. internal/netsim provides the
-// simulated implementation; a production deployment would back it with a
-// raw socket.
+// PacketConn is the raw network access FlashRoute needs: write whole
+// probe packets, read whole response packets. internal/netsim (and
+// netsim6) provide the simulated implementations; a production deployment
+// would back it with a raw socket.
 type PacketConn interface {
 	WritePacket(pkt []byte) error
 	ReadPacket(buf []byte) (int, error)
 	Close() error
 }
 
-// TargetFunc supplies the representative address probed for a block.
+// TargetFunc supplies the representative address probed for a block
+// (IPv4 form; the generic ConfigOf uses the equivalent raw func type).
 type TargetFunc func(block int) uint32
 
 // BlockFunc maps an address back to its block index (ok=false if the
@@ -63,17 +71,21 @@ const (
 // Table 4 overprobing analysis.
 type ProbeObserver func(dst uint32, ttl uint8, at time.Duration)
 
-// Config parameterizes a scan. Use DefaultConfig as the starting point.
-type Config struct {
-	// Blocks is the number of /24 blocks in the universe (DCB array size).
+// ConfigOf parameterizes a scan over address type A. Use DefaultConfig
+// (IPv4) as the starting point; IPv6 call sites build it through
+// internal/core6.
+type ConfigOf[A comparable] struct {
+	// Blocks is the number of destination blocks in the universe (DCB
+	// array size): /24s for IPv4, candidate-list entries for IPv6.
 	Blocks int
 	// Targets supplies the per-block representative probed in the main
-	// scan.
-	Targets TargetFunc
+	// scan. A zero-valued address marks the block as having no candidate
+	// and is never probed.
+	Targets func(block int) A
 	// BlockOf maps quoted destination addresses back to block indexes.
-	BlockOf BlockFunc
+	BlockOf func(addr A) (int, bool)
 	// Source is the vantage point address stamped into probes.
-	Source uint32
+	Source A
 
 	// SplitTTL is the default split point where backward and forward
 	// probing commence for destinations without a measured or predicted
@@ -104,10 +116,18 @@ type Config struct {
 	// Preprobe selects the preprobing mode; PreprobeTargets supplies
 	// hitlist addresses when PreprobeHitlist is used (ignored otherwise).
 	Preprobe        PreprobeMode
-	PreprobeTargets TargetFunc
+	PreprobeTargets func(block int) A
 	// ProximitySpan is how many neighboring blocks a measured distance
-	// predicts on each side (§3.3.3; default 5).
+	// predicts on each side (§3.3.3; default 5). Ignored when Predict is
+	// set.
 	ProximitySpan int
+
+	// Predict, when non-nil, replaces the built-in proximity-span
+	// prediction: it receives the per-block measured distances (0 =
+	// unmeasured) and fills predicted distances for unmeasured blocks.
+	// IPv6 uses this for same-/48 prediction, where block adjacency —
+	// not numeric adjacency — defines proximity.
+	Predict func(measured, predicted []uint8)
 
 	// PreprobeRetries re-preprobes blocks still unmeasured after the
 	// first preprobe pass and its drain, up to this many extra passes
@@ -154,7 +174,7 @@ type Config struct {
 	// for the one-address-per-/24 limitation: each discovery-optimized
 	// extra scan probes a different destination address within the block
 	// (scan = 1..ExtraScans), exposing address-dependent internal paths.
-	ExtraScanTargets func(block, scan int) uint32
+	ExtraScanTargets func(block, scan int) A
 
 	// Skip excludes blocks from the scan (the exclusion list and
 	// reserved/private space of §3.4); nil scans everything.
@@ -165,7 +185,7 @@ type Config struct {
 	CollectRoutes bool
 
 	// Observer, if non-nil, sees every probe issuance.
-	Observer ProbeObserver
+	Observer func(dst A, ttl uint8, at time.Duration)
 
 	// Seed drives the destination permutation and the random choices of
 	// discovery-optimized mode.
@@ -188,7 +208,10 @@ type Config struct {
 	LockMode LockMode
 }
 
-// DefaultConfig returns the paper's recommended configuration
+// Config is the IPv4 scan configuration.
+type Config = ConfigOf[uint32]
+
+// DefaultConfig returns the paper's recommended IPv4 configuration
 // (FlashRoute-16: split TTL 16, gap limit 5, redundancy elimination on,
 // preprobing on, proximity span 5, 100 Kpps).
 func DefaultConfig() Config {
@@ -207,6 +230,6 @@ func DefaultConfig() Config {
 // foldsPreprobe reports whether preprobing can replace the first round of
 // the main scan (§3.3.5): the preprobe targets are the main targets and
 // both phases start at MaxTTL.
-func (c *Config) foldsPreprobe() bool {
+func (c *ConfigOf[A]) foldsPreprobe() bool {
 	return c.Preprobe == PreprobeRandom && c.SplitTTL == c.MaxTTL
 }

@@ -1,7 +1,8 @@
 package core
 
-// dcb is the destination control block of paper §3.4 (Listing 1): the
-// per-destination probing state plus the doubly-linked-list overlay.
+// dcbOf is the destination control block of paper §3.4 (Listing 1): the
+// per-destination probing state plus the doubly-linked-list overlay,
+// generic over the destination address type.
 //
 // The sending thread reads nextBackward/nextForward/forwardHorizon each
 // round and advances them as it issues probes; the receiving thread
@@ -12,8 +13,8 @@ package core
 // test-and-set spinlocks), exactly as the paper argues: contention only
 // occurs when a response for a destination arrives while the sender
 // happens to be handling the same destination.
-type dcb struct {
-	dest uint32
+type dcbOf[A comparable] struct {
+	dest A
 
 	// respSeen has bit (TTL-1) set once a TTL-exceeded response for that
 	// initial TTL has been processed this pass — the duplicate-reply
@@ -47,6 +48,9 @@ type dcb struct {
 	fwRetries uint8
 }
 
+// dcb is the IPv4 DCB (used by the footprint accounting).
+type dcb = dcbOf[uint32]
+
 // dcb flag bits.
 const (
 	dcbForwardDone = 1 << iota // destination answered (unreachable received)
@@ -55,11 +59,12 @@ const (
 	dcbPreSeen                 // a TTL-exceeded preprobe response was processed
 )
 
-// list is the circular doubly linked list threaded through the DCB array
-// in random-permutation order (paper Figure 5). Only the sending thread
-// traverses and modifies links, so no locking is needed on next/prev.
-type list struct {
-	dcbs []dcb
+// listOf is the circular doubly linked list threaded through the DCB
+// array in random-permutation order (paper Figure 5). Only the sending
+// thread traverses and modifies links, so no locking is needed on
+// next/prev.
+type listOf[A comparable] struct {
+	dcbs []dcbOf[A]
 	head uint32 // any live element; noHead when empty
 	size int
 }
@@ -68,8 +73,8 @@ const noHead = ^uint32(0)
 
 // buildList threads the DCBs at the given permuted order into a circular
 // list. order lists DCB indexes; already-removed DCBs are skipped.
-func buildList(dcbs []dcb, order []uint32) *list {
-	l := &list{dcbs: dcbs, head: noHead}
+func buildList[A comparable](dcbs []dcbOf[A], order []uint32) *listOf[A] {
+	l := &listOf[A]{dcbs: dcbs, head: noHead}
 	var prev uint32 = noHead
 	var first uint32 = noHead
 	for _, idx := range order {
@@ -95,7 +100,7 @@ func buildList(dcbs []dcb, order []uint32) *list {
 }
 
 // remove unlinks idx from the list. Caller guarantees idx is linked.
-func (l *list) remove(idx uint32) {
+func (l *listOf[A]) remove(idx uint32) {
 	d := &l.dcbs[idx]
 	d.flags |= dcbRemoved
 	l.size--

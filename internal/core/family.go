@@ -1,0 +1,131 @@
+package core
+
+import (
+	"time"
+
+	"github.com/flashroute/flashroute/internal/probe"
+)
+
+// ReplyKind classifies one decoded response packet.
+type ReplyKind uint8
+
+const (
+	// ReplyUnparsed: not a response to this scan's probes (foreign
+	// traffic, truncated packets, unquotable ICMP).
+	ReplyUnparsed ReplyKind = iota
+	// ReplyMismatch: the quoted source port does not match the checksum
+	// of the quoted destination — in-flight destination modification
+	// (§5.3).
+	ReplyMismatch
+	// ReplyTTLExceeded: a router on the path answered (hop discovery).
+	ReplyTTLExceeded
+	// ReplyUnreachable: the destination itself answered.
+	ReplyUnreachable
+	// ReplyOther: a well-formed quote of our probe carrying a response
+	// type the strategy has no use for.
+	ReplyOther
+)
+
+// Reply is the family-independent decoding of one response packet: the
+// engine's receiver consumes these and never looks at wire bytes.
+type Reply[A comparable] struct {
+	Kind     ReplyKind
+	Dst      A     // quoted probe destination
+	Hop      A     // responding interface
+	InitTTL  uint8 // probe's initial TTL, recovered from the quote (§3.1)
+	Dist     uint8 // destination hop distance (unreachable replies only)
+	Preprobe bool  // the probe was a preprobe
+	RTT      time.Duration
+}
+
+// Family supplies the per-address-family operations the generic engine
+// needs: probe construction, response decoding, the probing bounds, and
+// address rendering/ordering for the result store. Everything else —
+// rounds, DCBs, sharded senders, pacing, retries, dedup, the stop set —
+// is family-independent and lives in the ScannerOf engine.
+type Family[A comparable] interface {
+	// MaxTTL bounds probing and validates Config.MaxTTL.
+	MaxTTL() uint8
+	// PermSalt domain-separates this family's destination permutation
+	// from the other consumers of the scan seed.
+	PermSalt() uint64
+	// BuildProbe serializes one probe into buf and returns its length.
+	// buf is at least maxProbeBuf bytes.
+	BuildProbe(buf []byte, src, dst A, ttl uint8, preprobe bool,
+		elapsed time.Duration, srcPortOffset uint16) int
+	// ParseReply decodes one received packet. scanOffset is the source
+	// port offset of the current scan pass (for the §5.3 checksum
+	// verification); now is the scan-relative receive time used to
+	// derive the RTT from the probe's embedded timestamp.
+	ParseReply(pkt []byte, scanOffset uint16, now time.Duration) Reply[A]
+	// FormatAddr and AddrLess supply the result store's address
+	// rendering and deterministic output order.
+	FormatAddr(a A) string
+	AddrLess(a, b A) bool
+}
+
+// maxProbeBuf is the per-shard probe buffer size, sized for the largest
+// probe either family builds (IPv6 header + UDP + payload with margin).
+const maxProbeBuf = 160
+
+// ipv4Family is the uint32/IPv4 instantiation of the engine: FlashRoute
+// exactly as the paper describes it.
+type ipv4Family struct{}
+
+func (ipv4Family) MaxTTL() uint8    { return probe.MaxTTL }
+func (ipv4Family) PermSalt() uint64 { return 0x5f3759df }
+
+func (ipv4Family) BuildProbe(buf []byte, src, dst uint32, ttl uint8, preprobe bool,
+	elapsed time.Duration, srcPortOffset uint16) int {
+	return probe.BuildFlashProbe(buf, src, dst, ttl, preprobe, elapsed,
+		srcPortOffset, probe.TracerouteDstPort)
+}
+
+func (ipv4Family) ParseReply(pkt []byte, scanOffset uint16, now time.Duration) Reply[uint32] {
+	resp, err := probe.ParseResponse(pkt)
+	if err != nil {
+		// FlashRoute sends only UDP probes; TCP RSTs or other traffic are
+		// not ours.
+		return Reply[uint32]{Kind: ReplyUnparsed}
+	}
+	fi, err := probe.ParseFlashQuote(&resp.ICMP)
+	if err != nil {
+		return Reply[uint32]{Kind: ReplyUnparsed}
+	}
+	if !fi.ChecksumMatches(scanOffset) {
+		return Reply[uint32]{Kind: ReplyMismatch}
+	}
+	r := Reply[uint32]{
+		Dst:      fi.Dst,
+		Hop:      resp.Hop,
+		InitTTL:  fi.InitTTL,
+		Preprobe: fi.Preprobe,
+		RTT:      fi.RTT(now),
+	}
+	switch {
+	case resp.ICMP.IsTTLExceeded():
+		r.Kind = ReplyTTLExceeded
+	case resp.ICMP.IsUnreachable():
+		r.Kind = ReplyUnreachable
+		r.Dist = distanceFrom(fi)
+	default:
+		r.Kind = ReplyOther
+	}
+	return r
+}
+
+func (ipv4Family) FormatAddr(a uint32) string { return probe.FormatAddr(a) }
+func (ipv4Family) AddrLess(a, b uint32) bool  { return a < b }
+
+// distanceFrom recovers the destination's hop distance from a
+// destination-unreachable response: initial TTL minus residual plus one.
+func distanceFrom(fi probe.FlashInfo) uint8 {
+	d := int(fi.InitTTL) - int(fi.ResidualTTL) + 1
+	if d < 1 {
+		return 1
+	}
+	if d > int(probe.MaxTTL) {
+		return probe.MaxTTL
+	}
+	return uint8(d)
+}

@@ -23,8 +23,9 @@ type Footprint struct {
 // Total returns the summed footprint in bytes.
 func (f Footprint) Total() uint64 { return f.DCBBytes + f.LockBytes + f.SideBytes }
 
-// EstimateFootprint computes the control-state footprint for a universe
-// of the given size under the given lock mode, without allocating it.
+// EstimateFootprint computes the IPv4 control-state footprint for a
+// universe of the given size under the given lock mode, without
+// allocating it.
 func EstimateFootprint(blocks int, mode LockMode) Footprint {
 	var d dcb
 	lockBytes := uint64(8)
@@ -40,8 +41,18 @@ func EstimateFootprint(blocks int, mode LockMode) Footprint {
 	}
 }
 
-// Footprint reports the scanner's own control-state accounting.
-func (s *Scanner) Footprint() Footprint {
-	f := EstimateFootprint(s.cfg.Blocks, s.cfg.LockMode)
-	return f
+// Footprint reports the scanner's own control-state accounting, sized
+// for the instantiated address family's DCB layout.
+func (s *ScannerOf[A]) Footprint() Footprint {
+	var d dcbOf[A]
+	lockBytes := uint64(8)
+	if s.cfg.LockMode == LockSpin {
+		lockBytes = 4
+	}
+	return Footprint{
+		Blocks:    s.cfg.Blocks,
+		DCBBytes:  uint64(s.cfg.Blocks) * uint64(unsafe.Sizeof(d)),
+		LockBytes: uint64(s.cfg.Blocks) * lockBytes,
+		SideBytes: uint64(s.cfg.Blocks) * (3 + 4),
+	}
 }

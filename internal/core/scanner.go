@@ -9,15 +9,14 @@ import (
 	"time"
 
 	"github.com/flashroute/flashroute/internal/permute"
-	"github.com/flashroute/flashroute/internal/probe"
 	"github.com/flashroute/flashroute/internal/simclock"
 	"github.com/flashroute/flashroute/internal/trace"
 )
 
-// Result is what a scan produced.
-type Result struct {
+// ResultOf is what a scan produced.
+type ResultOf[A comparable] struct {
 	// Store holds discovered interfaces and (optionally) full routes.
-	Store *trace.Store
+	Store *trace.StoreOf[A]
 	// ProbesSent is the total probe count, including preprobing and any
 	// discovery-optimized extra scans (the paper's "Probes" columns).
 	ProbesSent uint64
@@ -52,15 +51,22 @@ type Result struct {
 	DuplicateResponses uint64
 }
 
-// Scanner runs FlashRoute scans over a PacketConn.
-type Scanner struct {
-	cfg   Config
+// Result is an IPv4 scan result.
+type Result = ResultOf[uint32]
+
+// ScannerOf runs FlashRoute scans over a PacketConn, generic over the
+// address family: wire formats come from the Family, everything else —
+// scheduling, rounds, sharded senders, retries, dedup, the stop set — is
+// shared across instantiations.
+type ScannerOf[A comparable] struct {
+	cfg   ConfigOf[A]
+	fam   Family[A]
 	conn  PacketConn
 	clock simclock.Waiter
 
 	start time.Time
 
-	dcbs   []dcb
+	dcbs   []dcbOf[A]
 	locks  dcbLocks
 	splits []uint8
 	order  []uint32
@@ -68,12 +74,12 @@ type Scanner struct {
 	// shards partitions the permuted order among the sending goroutines.
 	// With Config.Senders == 1 there is exactly one shard, run inline on
 	// the Run goroutine — the paper's single-sender configuration.
-	shards []*senderShard
+	shards []*senderShardOf[A]
 
 	// stop set: interfaces already discovered; backward probing
 	// terminates upon encountering one (§3.2). Owned by the receiver
 	// thread except for the membership count read after the scan.
-	stopSet map[uint32]struct{}
+	stopSet map[A]struct{}
 
 	distMu   sync.Mutex
 	measured []uint8
@@ -81,7 +87,7 @@ type Scanner struct {
 
 	scanOffset atomic.Uint32 // source-port offset of the current scan pass
 
-	store *trace.Store
+	store *trace.StoreOf[A]
 
 	mismatched   atomic.Uint64
 	unparsed     atomic.Uint64
@@ -99,33 +105,42 @@ type Scanner struct {
 	phaseDone   atomic.Int32
 }
 
-// senderShard is the per-sender slice of the probing workload: a
+// Scanner is the IPv4 scanner.
+type Scanner = ScannerOf[uint32]
+
+// senderShardOf is the per-sender slice of the probing workload: a
 // contiguous chunk of the permuted destination order plus all the state
 // one sending goroutine touches without synchronization — its packet
 // buffer, probe counter and pacer. DCB probing fields stay shared with
 // the receiver and are guarded by the per-DCB locks; the linked-list
 // overlay built over a shard's order is traversed by that shard alone.
-type senderShard struct {
-	s     *Scanner
+type senderShardOf[A comparable] struct {
+	s     *ScannerOf[A]
 	order []uint32 // contiguous slice of the scan-order permutation
 
 	probesSent  uint64
 	retransmits uint64
 	rounds      int
 	pacer       pacer
-	pktBuf      [probe.IPv4HeaderLen + probe.UDPHeaderLen + 64]byte
+	pktBuf      [maxProbeBuf]byte
 }
 
-// NewScanner validates the configuration and prepares a scanner.
+// NewScanner validates the configuration and prepares an IPv4 scanner.
 func NewScanner(cfg Config, conn PacketConn, clock simclock.Waiter) (*Scanner, error) {
+	return NewScannerOf[uint32](ipv4Family{}, cfg, conn, clock)
+}
+
+// NewScannerOf validates the configuration and prepares a scanner over
+// the given address family.
+func NewScannerOf[A comparable](fam Family[A], cfg ConfigOf[A], conn PacketConn, clock simclock.Waiter) (*ScannerOf[A], error) {
 	if cfg.Blocks <= 0 {
 		return nil, errors.New("core: Config.Blocks must be positive")
 	}
 	if cfg.Targets == nil || cfg.BlockOf == nil {
 		return nil, errors.New("core: Config.Targets and Config.BlockOf are required")
 	}
-	if cfg.MaxTTL == 0 || cfg.MaxTTL > probe.MaxTTL {
-		return nil, fmt.Errorf("core: MaxTTL must be in 1..%d", probe.MaxTTL)
+	if cfg.MaxTTL == 0 || cfg.MaxTTL > fam.MaxTTL() {
+		return nil, fmt.Errorf("core: MaxTTL must be in 1..%d", fam.MaxTTL())
 	}
 	if cfg.SplitTTL == 0 || cfg.SplitTTL > cfg.MaxTTL {
 		return nil, errors.New("core: SplitTTL must be in 1..MaxTTL")
@@ -154,14 +169,15 @@ func NewScanner(cfg Config, conn PacketConn, clock simclock.Waiter) (*Scanner, e
 	if cfg.Senders <= 0 {
 		cfg.Senders = 1
 	}
-	s := &Scanner{
+	s := &ScannerOf[A]{
 		cfg:         cfg,
+		fam:         fam,
 		conn:        conn,
 		clock:       clock,
-		dcbs:        make([]dcb, cfg.Blocks),
+		dcbs:        make([]dcbOf[A], cfg.Blocks),
 		splits:      make([]uint8, cfg.Blocks),
-		stopSet:     make(map[uint32]struct{}),
-		store:       trace.NewStore(cfg.CollectRoutes),
+		stopSet:     make(map[A]struct{}),
+		store:       trace.NewStoreOf[A](cfg.CollectRoutes, fam.FormatAddr, fam.AddrLess),
 		phaseParker: clock.NewParker(),
 	}
 	switch cfg.LockMode {
@@ -178,7 +194,7 @@ func NewScanner(cfg Config, conn PacketConn, clock simclock.Waiter) (*Scanner, e
 // makeShards splits the permuted order into Config.Senders contiguous
 // slices, each with its own pacer carrying an equal share of the
 // aggregate Config.PPS budget.
-func (s *Scanner) makeShards() {
+func (s *ScannerOf[A]) makeShards() {
 	k := s.cfg.Senders
 	if k > len(s.order) {
 		k = len(s.order)
@@ -186,7 +202,7 @@ func (s *Scanner) makeShards() {
 	if k < 1 {
 		k = 1
 	}
-	s.shards = make([]*senderShard, k)
+	s.shards = make([]*senderShardOf[A], k)
 	chunk := (len(s.order) + k - 1) / k
 	base, rem := 0, 0
 	if s.cfg.PPS > 0 {
@@ -205,7 +221,7 @@ func (s *Scanner) makeShards() {
 		if s.cfg.PPS > 0 && pps == 0 {
 			pps = 1 // more senders than packets per second: floor at 1
 		}
-		s.shards[i] = &senderShard{
+		s.shards[i] = &senderShardOf[A]{
 			s:     s,
 			order: s.order[lo:hi],
 			pacer: newPacer(s.clock, pps),
@@ -218,7 +234,7 @@ func (s *Scanner) makeShards() {
 // configuration takes exactly the pre-sharding code path), or on one
 // clock-registered goroutine per extra shard otherwise. It returns once
 // every shard's phase has completed.
-func (s *Scanner) eachShard(fn func(*senderShard)) {
+func (s *ScannerOf[A]) eachShard(fn func(*senderShardOf[A])) {
 	if len(s.shards) == 1 {
 		fn(s.shards[0])
 		return
@@ -226,7 +242,7 @@ func (s *Scanner) eachShard(fn func(*senderShard)) {
 	s.phaseDone.Store(0)
 	for _, sh := range s.shards[1:] {
 		s.clock.AddActor()
-		go func(sh *senderShard) {
+		go func(sh *senderShardOf[A]) {
 			fn(sh)
 			s.phaseDone.Add(1)
 			// Unpark before DoneActor: Run may be parked with no deadline,
@@ -244,7 +260,7 @@ func (s *Scanner) eachShard(fn func(*senderShard)) {
 
 // probesSentTotal sums the per-shard counters. Only call between phases
 // (senders quiescent).
-func (s *Scanner) probesSentTotal() uint64 {
+func (s *ScannerOf[A]) probesSentTotal() uint64 {
 	var n uint64
 	for _, sh := range s.shards {
 		n += sh.probesSent
@@ -254,7 +270,7 @@ func (s *Scanner) probesSentTotal() uint64 {
 
 // retransmitsTotal sums the per-shard retransmit counters. Only call
 // between phases (senders quiescent).
-func (s *Scanner) retransmitsTotal() uint64 {
+func (s *ScannerOf[A]) retransmitsTotal() uint64 {
 	var n uint64
 	for _, sh := range s.shards {
 		n += sh.retransmits
@@ -265,7 +281,7 @@ func (s *Scanner) retransmitsTotal() uint64 {
 // fwdTick quantizes scan-relative time to the 16 ms ticks of
 // dcb.lastForward (kept to 16 bits so the DCB stays within its
 // paper-§3.4 size budget).
-func (s *Scanner) fwdTick() uint16 {
+func (s *ScannerOf[A]) fwdTick() uint16 {
 	return uint16(s.clock.Now().Sub(s.start) / (16 * time.Millisecond))
 }
 
@@ -273,11 +289,11 @@ func (s *Scanner) fwdTick() uint16 {
 // any discovery-optimized extra scans. Run must be called from a goroutine
 // that is NOT registered as a clock actor; it registers the sender and
 // receiver itself.
-func (s *Scanner) Run() (*Result, error) {
+func (s *ScannerOf[A]) Run() (*ResultOf[A], error) {
 	s.start = s.clock.Now()
 
 	// The random permutation threading the DCBs (paper §3.2, §3.4).
-	perm := permute.NewFeistel(uint64(s.cfg.Blocks), uint64(s.cfg.Seed)^0x5f3759df)
+	perm := permute.NewFeistel(uint64(s.cfg.Blocks), uint64(s.cfg.Seed)^s.fam.PermSalt())
 	s.order = make([]uint32, 0, s.cfg.Blocks)
 	for i := uint64(0); i < uint64(s.cfg.Blocks); i++ {
 		b := uint32(perm.Map(i))
@@ -306,7 +322,7 @@ func (s *Scanner) Run() (*Result, error) {
 	usePre := s.cfg.Preprobe != PreprobeOff && !s.cfg.Exhaustive
 	if usePre {
 		s.measured = make([]uint8, s.cfg.Blocks)
-		s.eachShard((*senderShard).runPreprobe)
+		s.eachShard((*senderShardOf[A]).runPreprobe)
 		s.clock.Sleep(s.cfg.DrainWait)
 		// Preprobe retransmission: blocks still unmeasured after the
 		// drain either genuinely cannot answer or lost a packet; re-probe
@@ -314,7 +330,7 @@ func (s *Scanner) Run() (*Result, error) {
 		// silently downgrade the block's split point.
 		for r := 0; r < s.cfg.PreprobeRetries; r++ {
 			before := s.retransmitsTotal()
-			s.eachShard((*senderShard).runPreprobeRetry)
+			s.eachShard((*senderShardOf[A]).runPreprobeRetry)
 			if s.retransmitsTotal() == before {
 				break // every candidate block is measured
 			}
@@ -325,7 +341,7 @@ func (s *Scanner) Run() (*Result, error) {
 	s.phase.Store(1)
 	s.distMu.Unlock()
 
-	res := &Result{Store: s.store}
+	res := &ResultOf[A]{Store: s.store}
 	if usePre {
 		res.PreprobeProbes = s.probesSentTotal()
 		res.Measured = s.measured
@@ -366,22 +382,23 @@ func (s *Scanner) Run() (*Result, error) {
 
 // runScanPass runs one full probing pass (the main scan or one extra
 // scan) across all sender shards concurrently.
-func (s *Scanner) runScanPass(srcPortOffset uint16) {
-	s.eachShard(func(sh *senderShard) { sh.runRounds(srcPortOffset) })
+func (s *ScannerOf[A]) runScanPass(srcPortOffset uint16) {
+	s.eachShard(func(sh *senderShardOf[A]) { sh.runRounds(srcPortOffset) })
 }
 
 // runPreprobe sends one TTL-MaxTTL probe to every block of the shard's
 // preprobe targets (§3.3.1). The caller drains after all shards finish.
-func (sh *senderShard) runPreprobe() {
+func (sh *senderShardOf[A]) runPreprobe() {
 	s := sh.s
 	targets := s.cfg.Targets
 	if s.cfg.Preprobe == PreprobeHitlist {
 		targets = s.cfg.PreprobeTargets
 	}
+	var zero A
 	sh.pacer.reset()
 	for _, b := range sh.order {
 		dst := targets(int(b))
-		if dst == 0 {
+		if dst == zero {
 			continue // no preprobe candidate for this block
 		}
 		sh.sendProbe(dst, s.cfg.MaxTTL, true, 0)
@@ -391,12 +408,13 @@ func (sh *senderShard) runPreprobe() {
 // runPreprobeRetry re-sends the preprobe to the shard's still-unmeasured
 // blocks (one retry pass; the caller drains and decides whether to run
 // another).
-func (sh *senderShard) runPreprobeRetry() {
+func (sh *senderShardOf[A]) runPreprobeRetry() {
 	s := sh.s
 	targets := s.cfg.Targets
 	if s.cfg.Preprobe == PreprobeHitlist {
 		targets = s.cfg.PreprobeTargets
 	}
+	var zero A
 	sh.pacer.reset()
 	for _, b := range sh.order {
 		s.distMu.Lock()
@@ -406,7 +424,7 @@ func (sh *senderShard) runPreprobeRetry() {
 			continue
 		}
 		dst := targets(int(b))
-		if dst == 0 {
+		if dst == zero {
 			continue
 		}
 		sh.sendProbe(dst, s.cfg.MaxTTL, true, 0)
@@ -414,11 +432,24 @@ func (sh *senderShard) runPreprobeRetry() {
 	}
 }
 
-// predictDistances fills Predicted for unmeasured blocks from the nearest
-// measured block within ProximitySpan on either side (§3.3.3).
-func (s *Scanner) predictDistances(res *Result) {
-	span := s.cfg.ProximitySpan
+// predictDistances fills Predicted for unmeasured blocks: via the
+// Config.Predict hook when supplied (the IPv6 same-/48 rule), else from
+// the nearest measured block within ProximitySpan on either side
+// (§3.3.3).
+func (s *ScannerOf[A]) predictDistances(res *ResultOf[A]) {
 	n := s.cfg.Blocks
+	if s.cfg.Predict != nil {
+		s.cfg.Predict(s.measured, res.Predicted)
+		for b := 0; b < n; b++ {
+			if s.measured[b] != 0 {
+				res.DistancesMeasured++
+			} else if res.Predicted[b] != 0 {
+				res.DistancesPredicted++
+			}
+		}
+		return
+	}
+	span := s.cfg.ProximitySpan
 	for b := 0; b < n; b++ {
 		if s.measured[b] != 0 {
 			res.DistancesMeasured++
@@ -442,7 +473,7 @@ func (s *Scanner) predictDistances(res *Result) {
 
 // initDCBs sets every destination's split point and probing bounds
 // (§3.3.5, §3.4).
-func (s *Scanner) initDCBs(res *Result) {
+func (s *ScannerOf[A]) initDCBs(res *ResultOf[A]) {
 	fold := s.cfg.foldsPreprobe() && s.cfg.Preprobe != PreprobeOff && !s.cfg.Exhaustive
 	for _, b := range s.order {
 		d := &s.dcbs[b]
@@ -497,8 +528,9 @@ func (s *Scanner) initDCBs(res *Result) {
 // resetForExtraScan re-arms every DCB for a discovery-optimized extra scan
 // (§5.2): backward-only probing from a random starting TTL, sharing the
 // accumulated stop set.
-func (s *Scanner) resetForExtraScan(i int) {
+func (s *ScannerOf[A]) resetForExtraScan(i int) {
 	h := uint64(s.cfg.Seed)*0x9e3779b97f4a7c15 + uint64(i)*0xd6e8feb86659fd93
+	var zero A
 	for _, b := range s.order {
 		d := &s.dcbs[b]
 		z := h + uint64(b)*0xa0761d6478bd642f
@@ -508,7 +540,7 @@ func (s *Scanner) resetForExtraScan(i int) {
 		if s.cfg.ExtraScanTargets != nil {
 			// §5.4: vary the destination address within the block across
 			// extra scans to expose address-dependent internal paths.
-			if alt := s.cfg.ExtraScanTargets(int(b), i); alt != 0 {
+			if alt := s.cfg.ExtraScanTargets(int(b), i); alt != zero {
 				d.dest = alt
 			}
 		}
@@ -538,7 +570,7 @@ func (s *Scanner) resetForExtraScan(i int) {
 // forward probe per destination, issued back-to-back; rounds last at
 // least one second so responses can adjust the strategy between a
 // destination's consecutive steps.
-func (sh *senderShard) runRounds(srcPortOffset uint16) {
+func (sh *senderShardOf[A]) runRounds(srcPortOffset uint16) {
 	s := sh.s
 	l := buildList(s.dcbs, sh.order)
 	sh.pacer.reset()
@@ -621,11 +653,11 @@ func (sh *senderShard) runRounds(srcPortOffset uint16) {
 }
 
 // sendProbe builds, stamps, paces and writes one probe.
-func (sh *senderShard) sendProbe(dst uint32, ttl uint8, preprobe bool, srcPortOffset uint16) {
+func (sh *senderShardOf[A]) sendProbe(dst A, ttl uint8, preprobe bool, srcPortOffset uint16) {
 	s := sh.s
 	elapsed := s.clock.Now().Sub(s.start)
-	n := probe.BuildFlashProbe(sh.pktBuf[:], s.cfg.Source, dst, ttl, preprobe,
-		elapsed, srcPortOffset, probe.TracerouteDstPort)
+	n := s.fam.BuildProbe(sh.pktBuf[:], s.cfg.Source, dst, ttl, preprobe,
+		elapsed, srcPortOffset)
 	_ = s.conn.WritePacket(sh.pktBuf[:n])
 	sh.probesSent++
 	if s.cfg.Observer != nil {
@@ -642,7 +674,7 @@ func (sh *senderShard) sendProbe(dst uint32, ttl uint8, preprobe bool, srcPortOf
 
 // receiveLoop is the receiving thread (§3.2): it decodes every response
 // from the quoted probe header alone and updates the corresponding DCB.
-func (s *Scanner) receiveLoop() {
+func (s *ScannerOf[A]) receiveLoop() {
 	var buf [4096]byte
 	for {
 		n, err := s.conn.ReadPacket(buf[:])
@@ -656,46 +688,38 @@ func (s *Scanner) receiveLoop() {
 	}
 }
 
-func (s *Scanner) handleResponse(pkt []byte) {
-	resp, err := probe.ParseResponse(pkt)
-	if err != nil {
-		// FlashRoute sends only UDP probes; TCP RSTs or other traffic are
-		// not ours.
+func (s *ScannerOf[A]) handleResponse(pkt []byte) {
+	now := s.clock.Now().Sub(s.start)
+	r := s.fam.ParseReply(pkt, uint16(s.scanOffset.Load()), now)
+	switch r.Kind {
+	case ReplyUnparsed:
 		s.unparsed.Add(1)
 		return
-	}
-	fi, err := probe.ParseFlashQuote(&resp.ICMP)
-	if err != nil {
-		s.unparsed.Add(1)
-		return
-	}
-	if !fi.ChecksumMatches(uint16(s.scanOffset.Load())) {
+	case ReplyMismatch:
 		// The destination was modified in flight (§5.3): discard.
 		s.mismatched.Add(1)
 		return
 	}
-	block, ok := s.cfg.BlockOf(fi.Dst)
+	block, ok := s.cfg.BlockOf(r.Dst)
 	if !ok {
 		s.unparsed.Add(1)
 		return
 	}
-	now := s.clock.Now().Sub(s.start)
-	rtt := fi.RTT(now)
 
-	if fi.Preprobe {
-		s.handlePreprobeResponse(block, fi, &resp)
+	if r.Preprobe {
+		s.handlePreprobeResponse(block, &r)
 		return
 	}
 
 	d := &s.dcbs[block]
-	switch {
-	case resp.ICMP.IsTTLExceeded():
+	switch r.Kind {
+	case ReplyTTLExceeded:
 		// Duplicate guard: a second reply for an already-processed
 		// (destination, TTL) — a network duplicate or the echo of a
 		// retransmitted probe — must not double-count the hop in the
 		// route or re-run the strategy update below (which would see its
 		// own hop in the stop set and terminate backward probing early).
-		bit := uint32(1) << (fi.InitTTL - 1)
+		bit := uint32(1) << (r.InitTTL - 1)
 		s.locks.lock(uint32(block))
 		if d.respSeen&bit != 0 {
 			s.locks.unlock(uint32(block))
@@ -703,20 +727,20 @@ func (s *Scanner) handleResponse(pkt []byte) {
 			return
 		}
 		d.respSeen |= bit
-		_, seen := s.stopSet[resp.Hop]
-		if fi.InitTTL > d.routeLen && d.flags&dcbForwardDone == 0 {
-			d.routeLen = fi.InitTTL
+		_, seen := s.stopSet[r.Hop]
+		if r.InitTTL > d.routeLen && d.flags&dcbForwardDone == 0 {
+			d.routeLen = r.InitTTL
 		}
-		if fi.InitTTL <= s.splits[block] {
+		if r.InitTTL <= s.splits[block] {
 			// Backward side: terminate on the vantage point's first hop or
 			// on route convergence with the stop set (§3.2, §3.4).
-			if fi.InitTTL == 1 || (seen && !s.cfg.NoRedundancyElimination) {
+			if r.InitTTL == 1 || (seen && !s.cfg.NoRedundancyElimination) {
 				d.nextBackward = 0
 			}
 		} else if d.flags&dcbForwardDone == 0 {
 			// Forward side: the farthest responding hop pushes the horizon
 			// out by GapLimit (§3.4).
-			h := fi.InitTTL + s.cfg.GapLimit
+			h := r.InitTTL + s.cfg.GapLimit
 			if h > s.cfg.MaxTTL {
 				h = s.cfg.MaxTTL
 			}
@@ -725,22 +749,21 @@ func (s *Scanner) handleResponse(pkt []byte) {
 			}
 		}
 		s.locks.unlock(uint32(block))
-		s.store.AddHop(fi.Dst, fi.InitTTL, resp.Hop, rtt)
-		s.stopSet[resp.Hop] = struct{}{}
+		s.store.AddHop(r.Dst, r.InitTTL, r.Hop, r.RTT)
+		s.stopSet[r.Hop] = struct{}{}
 
-	case resp.ICMP.IsUnreachable():
+	case ReplyUnreachable:
 		// Destination answers need no duplicate guard: every step here is
 		// idempotent (SetReached keeps the first answer, the stop-set
 		// insert and flag set are set-like), destination addresses never
 		// enter the interface set, and no backward/horizon strategy runs.
 		// Probes past the destination legitimately elicit one unreachable
 		// each, so repeats are not necessarily network duplicates.
-		dist := distanceFrom(fi)
-		s.store.SetReached(fi.Dst, dist, resp.Hop, rtt)
-		s.stopSet[resp.Hop] = struct{}{}
+		s.store.SetReached(r.Dst, r.Dist, r.Hop, r.RTT)
+		s.stopSet[r.Hop] = struct{}{}
 		s.locks.lock(uint32(block))
 		d.flags |= dcbForwardDone
-		d.routeLen = dist
+		d.routeLen = r.Dist
 		s.locks.unlock(uint32(block))
 
 	default:
@@ -752,23 +775,20 @@ func (s *Scanner) handleResponse(pkt []byte) {
 // response to the TTL-MaxTTL preprobe yields the exact hop distance from a
 // single probe. TTL-exceeded preprobe responses are folded into the
 // discovered topology (§3.3.5).
-func (s *Scanner) handlePreprobeResponse(block int, fi probe.FlashInfo, resp *probe.Response) {
-	now := s.clock.Now().Sub(s.start)
-	rtt := fi.RTT(now)
-	if resp.ICMP.IsUnreachable() {
-		dist := distanceFrom(fi)
-		s.store.SetReached(fi.Dst, dist, resp.Hop, rtt)
-		s.stopSet[resp.Hop] = struct{}{}
-		if dist >= 1 && dist <= s.cfg.MaxTTL {
+func (s *ScannerOf[A]) handlePreprobeResponse(block int, r *Reply[A]) {
+	if r.Kind == ReplyUnreachable {
+		s.store.SetReached(r.Dst, r.Dist, r.Hop, r.RTT)
+		s.stopSet[r.Hop] = struct{}{}
+		if r.Dist >= 1 && r.Dist <= s.cfg.MaxTTL {
 			s.distMu.Lock()
 			if s.phase.Load() == 0 && s.measured != nil {
-				s.measured[block] = dist
+				s.measured[block] = r.Dist
 			}
 			s.distMu.Unlock()
 		}
 		return
 	}
-	if resp.ICMP.IsTTLExceeded() {
+	if r.Kind == ReplyTTLExceeded {
 		// Preprobes always travel at MaxTTL, so every TTL-exceeded reply
 		// to them quotes the same initial TTL: any reply after the first
 		// (a duplicate, or a retry pass answered by the same router) adds
@@ -781,24 +801,11 @@ func (s *Scanner) handlePreprobeResponse(block int, fi probe.FlashInfo, resp *pr
 			s.dupResponses.Add(1)
 			return
 		}
-		s.store.AddHop(fi.Dst, fi.InitTTL, resp.Hop, rtt)
-		s.stopSet[resp.Hop] = struct{}{}
+		s.store.AddHop(r.Dst, r.InitTTL, r.Hop, r.RTT)
+		s.stopSet[r.Hop] = struct{}{}
 	}
-}
-
-// distanceFrom recovers the destination's hop distance from a
-// destination-unreachable response: initial TTL minus residual plus one.
-func distanceFrom(fi probe.FlashInfo) uint8 {
-	d := int(fi.InitTTL) - int(fi.ResidualTTL) + 1
-	if d < 1 {
-		return 1
-	}
-	if d > int(probe.MaxTTL) {
-		return probe.MaxTTL
-	}
-	return uint8(d)
 }
 
 // StopSetSize reports the number of interfaces in the stop set (after the
 // scan; used by tests and the discovery-mode analysis).
-func (s *Scanner) StopSetSize() int { return len(s.stopSet) }
+func (s *ScannerOf[A]) StopSetSize() int { return len(s.stopSet) }

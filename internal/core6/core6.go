@@ -1,46 +1,40 @@
 // Package core6 implements FlashRoute6 — the IPv6 extension of FlashRoute
 // the paper plans in §5.4.
 //
-// The probing strategy is FlashRoute's (§3.2-3.3): preprobing for
-// hop-distance split points, round-based backward and forward probing
-// over a shuffled target sequence, Doubletree stop-set termination, a
-// forward gap limit, and decoupled sender/receiver threads.
+// The probing engine is the generic internal/core engine instantiated at
+// the 16-byte IPv6 address type: rounds, sharded multi-sender probing,
+// pacing, Doubletree stop-set termination, the forward gap limit,
+// duplicate-reply dedup, and the loss-tolerance retries all come from the
+// shared implementation. This package contributes only what §5.4 says
+// must differ:
 //
-// The control state is redesigned exactly as §5.4 anticipates: IPv6
-// targets are sparse candidate lists, not a dense prefix lattice, so the
-// destination control blocks live in an array indexed by *list position*
-// with the random permutation woven through it, while the receiving
-// thread locates DCBs through a hash index keyed by address. (The IPv4
-// engine's response lookup is a O(1) array access by /24 prefix; here it
-// is one map lookup — the price of 2^128 sparsity.)
-//
-// Proximity-span prediction does not carry over: adjacent /24 blocks
-// share supernet routes, but numerically adjacent IPv6 candidates share
-// nothing. Instead, measured distances of targets within the same /48
-// predict their list-mates' distances (same-prefix prediction).
+//   - the control state is indexed by *candidate-list position* — IPv6
+//     targets are sparse lists, not a dense prefix lattice — with the
+//     receiving thread locating DCBs through a hash index keyed by
+//     address (one map lookup, the price of 2^128 sparsity);
+//   - proximity-span prediction does not carry over: numerically adjacent
+//     IPv6 candidates share nothing. Instead, measured distances of
+//     targets within the same /48 predict their list-mates' distances
+//     (same-prefix prediction), supplied to the engine as a Predict hook;
+//   - the IPv6 wire formats (internal/probe6) behind the engine's Family
+//     interface.
 package core6
 
 import (
 	"bytes"
 	"errors"
-	"fmt"
-	"io"
 	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"github.com/flashroute/flashroute/internal/permute"
+	"github.com/flashroute/flashroute/internal/core"
 	"github.com/flashroute/flashroute/internal/probe6"
 	"github.com/flashroute/flashroute/internal/simclock"
+	"github.com/flashroute/flashroute/internal/trace"
 )
 
-// PacketConn is the raw IPv6 network access.
-type PacketConn interface {
-	WritePacket(pkt []byte) error
-	ReadPacket(buf []byte) (int, error)
-	Close() error
-}
+// PacketConn is the raw IPv6 network access (same contract as the IPv4
+// engine's).
+type PacketConn = core.PacketConn
 
 // Config parameterizes a FlashRoute6 scan.
 type Config struct {
@@ -57,11 +51,27 @@ type Config struct {
 	// PPS throttles probing; <= 0 disables (real-clock only).
 	PPS int
 
+	// Senders is the number of sending goroutines sharing the PPS budget
+	// (the engine's sharded multi-sender mode); <= 0 and 1 both mean the
+	// deterministic single-sender configuration.
+	Senders int
+
 	// Preprobe enables the one-probe distance measurement phase; with
 	// SamePrefixPrediction, measured distances predict unmeasured targets
 	// within the same /48.
 	Preprobe             bool
 	SamePrefixPrediction bool
+
+	// PreprobeRetries re-preprobes still-unmeasured targets after the
+	// preprobe drain, up to this many extra passes (loss tolerance).
+	PreprobeRetries int
+
+	// ForwardRetries lets a target whose forward probing went silent for
+	// the whole GapLimit rewind and re-probe the gap up to this many
+	// times; ForwardTimeout is how long it waits for in-flight replies
+	// first (default 500ms).
+	ForwardRetries int
+	ForwardTimeout time.Duration
 
 	// NoRedundancyElimination disables stop-set termination.
 	NoRedundancyElimination bool
@@ -116,24 +126,27 @@ type Result struct {
 	MismatchedResponses uint64
 	UnparsedResponses   uint64
 
-	interfaces map[probe6.Addr]struct{}
-	routes     map[probe6.Addr]*Route
+	// RetransmittedProbes / DuplicateResponses report the loss-tolerance
+	// machinery: probes re-issued by preprobe and forward-gap retries,
+	// and replies discarded by the duplicate guard.
+	RetransmittedProbes uint64
+	DuplicateResponses  uint64
+
+	store *trace.StoreOf[probe6.Addr]
 }
 
 // InterfaceCount returns the number of unique router interfaces found.
-func (r *Result) InterfaceCount() int { return len(r.interfaces) }
+func (r *Result) InterfaceCount() int { return r.store.Interfaces().Len() }
 
 // HasInterface reports whether addr was discovered.
-func (r *Result) HasInterface(a probe6.Addr) bool {
-	_, ok := r.interfaces[a]
-	return ok
-}
+func (r *Result) HasInterface(a probe6.Addr) bool { return r.store.Interfaces().Has(a) }
 
 // Interfaces returns the discovered router interfaces in ascending
 // address order.
 func (r *Result) Interfaces() []probe6.Addr {
-	out := make([]probe6.Addr, 0, len(r.interfaces))
-	for a := range r.interfaces {
+	set := r.store.Interfaces()
+	out := make([]probe6.Addr, 0, set.Len())
+	for a := range set {
 		out = append(out, a)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -145,425 +158,77 @@ func (r *Result) Interfaces() []probe6.Addr {
 // Route returns the route traced to a target (nil if no responses), with
 // hops sorted by TTL.
 func (r *Result) Route(a probe6.Addr) *Route {
-	rt := r.routes[a]
+	rt := r.store.Route(a)
 	if rt == nil {
 		return nil
 	}
-	sort.Slice(rt.Hops, func(i, j int) bool { return rt.Hops[i].TTL < rt.Hops[j].TTL })
-	return rt
+	out := &Route{Dst: rt.Dst, Reached: rt.Reached, Length: rt.Length}
+	for _, h := range rt.Hops {
+		out.Hops = append(out.Hops, Hop{TTL: h.TTL, Addr: h.Addr, RTT: h.RTT})
+	}
+	return out
 }
 
 // ReachedCount returns how many targets answered.
 func (r *Result) ReachedCount() int {
 	n := 0
-	for _, rt := range r.routes {
+	r.store.ForEachRoute(func(rt *trace.RouteOf[probe6.Addr]) {
 		if rt.Reached {
 			n++
 		}
-	}
+	})
 	return n
 }
 
-// dcb6 is the FlashRoute6 destination control block: Listing 1 fields,
-// indexed by target-list position.
-type dcb6 struct {
-	nextBackward   uint8
-	nextForward    uint8
-	forwardHorizon uint8
-	flags          uint8
-	next, prev     uint32
+// family6 supplies the IPv6 wire formats and bounds to the generic
+// engine.
+type family6 struct{}
+
+func (family6) MaxTTL() uint8    { return probe6.MaxHopLimit }
+func (family6) PermSalt() uint64 { return 0x6b7a5c3d }
+
+func (family6) BuildProbe(buf []byte, src, dst probe6.Addr, ttl uint8, preprobe bool,
+	elapsed time.Duration, srcPortOffset uint16) int {
+	return probe6.BuildProbe(buf, src, dst, ttl, preprobe, elapsed,
+		srcPortOffset, probe6.TracerouteDstPort)
 }
 
-const (
-	dcbForwardDone = 1 << iota
-	dcbRemoved
-)
-
-const noHead = ^uint32(0)
-
-// Scanner runs FlashRoute6 scans.
-type Scanner struct {
-	cfg   Config
-	conn  PacketConn
-	clock simclock.Waiter
-	start time.Time
-
-	dcbs   []dcb6
-	locks  []sync.Mutex
-	splits []uint8
-	order  []uint32
-
-	// index is the sparse response-to-DCB lookup (§5.4's redesign).
-	index map[probe6.Addr]uint32
-
-	stopSet map[probe6.Addr]struct{}
-
-	distMu   sync.Mutex
-	measured []uint8
-	phase    atomic.Int32
-
-	res *Result
-
-	probesSent   uint64
-	rounds       int
-	mismatched   atomic.Uint64
-	unparsed     atomic.Uint64
-	paceCount    int
-	paceBatch    int
-	paceInterval time.Duration
-	pktBuf       [probe6.HeaderLen + probe6.UDPHeaderLen + 64]byte
-}
-
-// NewScanner validates the configuration.
-func NewScanner(cfg Config, conn PacketConn, clock simclock.Waiter) (*Scanner, error) {
-	if len(cfg.Targets) == 0 {
-		return nil, errors.New("core6: Config.Targets must be non-empty")
-	}
-	if cfg.MaxTTL == 0 || cfg.MaxTTL > probe6.MaxHopLimit {
-		return nil, fmt.Errorf("core6: MaxTTL must be in 1..%d", probe6.MaxHopLimit)
-	}
-	if cfg.SplitTTL == 0 || cfg.SplitTTL > cfg.MaxTTL {
-		return nil, errors.New("core6: SplitTTL must be in 1..MaxTTL")
-	}
-	if cfg.DrainWait <= 0 {
-		cfg.DrainWait = 2 * time.Second
-	}
-	if cfg.MinRoundTime <= 0 {
-		cfg.MinRoundTime = time.Second
-	}
-	n := len(cfg.Targets)
-	s := &Scanner{
-		cfg:     cfg,
-		conn:    conn,
-		clock:   clock,
-		dcbs:    make([]dcb6, n),
-		locks:   make([]sync.Mutex, n),
-		splits:  make([]uint8, n),
-		index:   make(map[probe6.Addr]uint32, n),
-		stopSet: make(map[probe6.Addr]struct{}),
-		res: &Result{
-			interfaces: make(map[probe6.Addr]struct{}),
-			routes:     make(map[probe6.Addr]*Route),
-		},
-	}
-	for i, a := range cfg.Targets {
-		s.index[a] = uint32(i)
-	}
-	if cfg.PPS > 0 {
-		s.paceBatch = cfg.PPS / 200
-		if s.paceBatch < 1 {
-			s.paceBatch = 1
-		}
-		s.paceInterval = time.Duration(int64(time.Second) * int64(s.paceBatch) / int64(cfg.PPS))
-	}
-	return s, nil
-}
-
-// Run executes the scan (same actor contract as the IPv4 engine).
-func (s *Scanner) Run() (*Result, error) {
-	s.start = s.clock.Now()
-	n := len(s.cfg.Targets)
-
-	perm := permute.NewFeistel(uint64(n), uint64(s.cfg.Seed)^0x6b7a5c3d)
-	s.order = make([]uint32, 0, n)
-	for i := uint64(0); i < uint64(n); i++ {
-		s.order = append(s.order, uint32(perm.Map(i)))
-	}
-
-	s.clock.AddActor() // sender first (see the IPv4 engine)
-	s.clock.AddActor()
-	recvDone := make(chan struct{})
-	go func() {
-		defer close(recvDone)
-		defer s.clock.DoneActor()
-		s.receiveLoop()
-	}()
-
-	if s.cfg.Preprobe {
-		s.measured = make([]uint8, n)
-		for _, i := range s.order {
-			s.sendProbe(s.cfg.Targets[i], s.cfg.MaxTTL, true)
-		}
-		s.clock.Sleep(s.cfg.DrainWait)
-	}
-	s.distMu.Lock()
-	s.phase.Store(1)
-	s.distMu.Unlock()
-	if s.cfg.Preprobe {
-		s.res.PreprobeProbes = s.probesSent
-	}
-
-	s.initDCBs()
-	s.runRounds()
-	s.clock.Sleep(s.cfg.DrainWait)
-
-	s.res.ScanTime = s.clock.Now().Sub(s.start)
-	s.conn.Close()
-	s.clock.DoneActor()
-	<-recvDone
-
-	s.res.ProbesSent = s.probesSent
-	s.res.Rounds = s.rounds
-	s.res.MismatchedResponses = s.mismatched.Load()
-	s.res.UnparsedResponses = s.unparsed.Load()
-	return s.res, nil
-}
-
-// initDCBs assigns split points from measurements, same-prefix
-// predictions, or the default.
-func (s *Scanner) initDCBs() {
-	var prefixDist map[[6]byte]uint8
-	if s.cfg.Preprobe && s.cfg.SamePrefixPrediction {
-		prefixDist = make(map[[6]byte]uint8)
-		for i, a := range s.cfg.Targets {
-			if m := s.measured[i]; m != 0 {
-				var key [6]byte
-				copy(key[:], a[:6])
-				prefixDist[key] = m
-			}
-		}
-	}
-	for i := range s.dcbs {
-		split := s.cfg.SplitTTL
-		if s.measured != nil && s.measured[i] != 0 {
-			split = s.measured[i]
-			s.res.DistancesMeasured++
-		} else if prefixDist != nil {
-			var key [6]byte
-			copy(key[:], s.cfg.Targets[i][:6])
-			if p, ok := prefixDist[key]; ok {
-				split = p
-				s.res.DistancesPredicted++
-			}
-		}
-		if split > s.cfg.MaxTTL {
-			split = s.cfg.MaxTTL
-		}
-		d := &s.dcbs[i]
-		d.nextBackward = split
-		d.nextForward = split + 1
-		d.forwardHorizon = split + s.cfg.GapLimit
-		if d.forwardHorizon > s.cfg.MaxTTL {
-			d.forwardHorizon = s.cfg.MaxTTL
-		}
-		s.splits[i] = split
-	}
-}
-
-// runRounds mirrors the IPv4 engine's round loop over the permuted
-// circular list.
-func (s *Scanner) runRounds() {
-	// Thread the circular list.
-	var prev uint32 = noHead
-	var head uint32 = noHead
-	size := 0
-	for _, idx := range s.order {
-		if head == noHead {
-			head = idx
-		} else {
-			s.dcbs[prev].next = idx
-			s.dcbs[idx].prev = prev
-		}
-		prev = idx
-		size++
-	}
-	if size > 0 {
-		s.dcbs[prev].next = head
-		s.dcbs[head].prev = prev
-	}
-
-	for size > 0 {
-		roundStart := s.clock.Now()
-		cur := head
-		count := size
-		for i := 0; i < count && size > 0; i++ {
-			d := &s.dcbs[cur]
-			next := d.next
-
-			var bw, fw uint8
-			s.locks[cur].Lock()
-			if d.nextBackward > 0 {
-				bw = d.nextBackward
-				d.nextBackward--
-			}
-			if d.flags&dcbForwardDone == 0 && d.nextForward <= d.forwardHorizon {
-				fw = d.nextForward
-				d.nextForward++
-			}
-			s.locks[cur].Unlock()
-
-			dst := s.cfg.Targets[cur]
-			if bw > 0 {
-				s.sendProbe(dst, bw, false)
-			}
-			if fw > 0 {
-				s.sendProbe(dst, fw, false)
-			}
-			if bw == 0 && fw == 0 {
-				s.locks[cur].Lock()
-				done := d.nextBackward == 0 &&
-					(d.flags&dcbForwardDone != 0 || d.nextForward > d.forwardHorizon)
-				s.locks[cur].Unlock()
-				if done {
-					d.flags |= dcbRemoved
-					size--
-					if size == 0 {
-						break
-					}
-					nn, pp := d.next, d.prev
-					s.dcbs[pp].next = nn
-					s.dcbs[nn].prev = pp
-					if head == cur {
-						head = nn
-					}
-				}
-			}
-			cur = next
-		}
-		s.rounds++
-		if rem := s.cfg.MinRoundTime - s.clock.Now().Sub(roundStart); rem > 0 {
-			s.clock.Sleep(rem)
-		}
-	}
-}
-
-func (s *Scanner) sendProbe(dst probe6.Addr, hopLimit uint8, preprobe bool) {
-	elapsed := s.clock.Now().Sub(s.start)
-	n := probe6.BuildProbe(s.pktBuf[:], s.cfg.Source, dst, hopLimit, preprobe,
-		elapsed, 0, probe6.TracerouteDstPort)
-	_ = s.conn.WritePacket(s.pktBuf[:n])
-	s.probesSent++
-	if s.paceBatch > 0 {
-		s.paceCount++
-		if s.paceCount >= s.paceBatch {
-			s.paceCount = 0
-			s.clock.Sleep(s.paceInterval)
-		}
-	}
-}
-
-func (s *Scanner) receiveLoop() {
-	var buf [4096]byte
-	for {
-		n, err := s.conn.ReadPacket(buf[:])
-		if err != nil {
-			if err != io.EOF {
-				s.unparsed.Add(1)
-			}
-			return
-		}
-		s.handleResponse(buf[:n])
-	}
-}
-
-func (s *Scanner) handleResponse(pkt []byte) {
+func (family6) ParseReply(pkt []byte, scanOffset uint16, now time.Duration) core.Reply[probe6.Addr] {
 	resp, err := probe6.ParseResponse(pkt)
 	if err != nil {
-		s.unparsed.Add(1)
-		return
+		return core.Reply[probe6.Addr]{Kind: core.ReplyUnparsed}
 	}
 	fi, err := probe6.ParseQuote(&resp.ICMP)
 	if err != nil {
-		s.unparsed.Add(1)
-		return
+		return core.Reply[probe6.Addr]{Kind: core.ReplyUnparsed}
 	}
-	if !fi.ChecksumMatches(0) {
-		s.mismatched.Add(1)
-		return
+	if !fi.ChecksumMatches(scanOffset) {
+		return core.Reply[probe6.Addr]{Kind: core.ReplyMismatch}
 	}
-	idx, ok := s.index[fi.Dst] // the sparse lookup of §5.4
-	if !ok {
-		s.unparsed.Add(1)
-		return
+	r := core.Reply[probe6.Addr]{
+		Dst:      fi.Dst,
+		Hop:      resp.Hop,
+		InitTTL:  fi.InitHopLimit,
+		Preprobe: fi.Preprobe,
+		RTT:      fi.RTT(now),
 	}
-	now := s.clock.Now().Sub(s.start)
-	rtt := fi.RTT(now)
-
-	if fi.Preprobe {
-		if resp.ICMP.IsUnreachable() {
-			dist := distance6(fi)
-			s.recordReached(fi.Dst, dist, rtt)
-			s.stopSet[resp.Hop] = struct{}{}
-			if dist >= 1 && dist <= s.cfg.MaxTTL {
-				s.distMu.Lock()
-				if s.phase.Load() == 0 && s.measured != nil {
-					s.measured[idx] = dist
-				}
-				s.distMu.Unlock()
-			}
-		} else if resp.ICMP.IsHopLimitExceeded() {
-			s.recordHop(fi.Dst, fi.InitHopLimit, resp.Hop, rtt)
-			s.stopSet[resp.Hop] = struct{}{}
-		}
-		return
-	}
-
-	d := &s.dcbs[idx]
 	switch {
 	case resp.ICMP.IsHopLimitExceeded():
-		s.recordHop(fi.Dst, fi.InitHopLimit, resp.Hop, rtt)
-		_, seen := s.stopSet[resp.Hop]
-		s.stopSet[resp.Hop] = struct{}{}
-		s.locks[idx].Lock()
-		if fi.InitHopLimit <= s.splits[idx] {
-			if fi.InitHopLimit == 1 || (seen && !s.cfg.NoRedundancyElimination) {
-				d.nextBackward = 0
-			}
-		} else if d.flags&dcbForwardDone == 0 {
-			h := fi.InitHopLimit + s.cfg.GapLimit
-			if h > s.cfg.MaxTTL {
-				h = s.cfg.MaxTTL
-			}
-			if h > d.forwardHorizon {
-				d.forwardHorizon = h
-			}
-		}
-		s.locks[idx].Unlock()
-
+		r.Kind = core.ReplyTTLExceeded
 	case resp.ICMP.IsUnreachable():
-		s.recordReached(fi.Dst, distance6(fi), rtt)
-		s.stopSet[resp.Hop] = struct{}{}
-		s.locks[idx].Lock()
-		d.flags |= dcbForwardDone
-		s.locks[idx].Unlock()
-
+		r.Kind = core.ReplyUnreachable
+		r.Dist = distance6(fi)
 	default:
-		s.unparsed.Add(1)
-	}
-}
-
-func (s *Scanner) route(dst probe6.Addr) *Route {
-	r := s.res.routes[dst]
-	if r == nil {
-		r = &Route{Dst: dst}
-		s.res.routes[dst] = r
+		r.Kind = core.ReplyOther
 	}
 	return r
 }
 
-func (s *Scanner) recordHop(dst probe6.Addr, ttl uint8, hop probe6.Addr, rtt time.Duration) {
-	s.res.interfaces[hop] = struct{}{}
-	r := s.route(dst)
-	if ttl > r.Length && !r.Reached {
-		r.Length = ttl
-	}
-	if s.cfg.CollectRoutes {
-		r.Hops = append(r.Hops, Hop{TTL: ttl, Addr: hop, RTT: rtt})
-	}
-}
+func (family6) FormatAddr(a probe6.Addr) string { return a.String() }
+func (family6) AddrLess(a, b probe6.Addr) bool  { return bytes.Compare(a[:], b[:]) < 0 }
 
-func (s *Scanner) recordReached(dst probe6.Addr, dist uint8, rtt time.Duration) {
-	r := s.route(dst)
-	wasReached := r.Reached
-	r.Reached = true
-	if dist > 0 {
-		r.Length = dist
-	}
-	if s.cfg.CollectRoutes && dist > 0 && !wasReached {
-		r.Hops = append(r.Hops, Hop{TTL: dist, Addr: dst, RTT: rtt})
-	}
-}
-
+// distance6 recovers the target's hop distance from a
+// destination-unreachable response.
 func distance6(fi probe6.Info) uint8 {
 	d := int(fi.InitHopLimit) - int(fi.ResidualHopLimit) + 1
 	if d < 1 {
@@ -573,4 +238,110 @@ func distance6(fi probe6.Info) uint8 {
 		return probe6.MaxHopLimit
 	}
 	return uint8(d)
+}
+
+// samePrefixPredict builds the engine Predict hook implementing §5.4's
+// same-/48 prediction: the measured distance of any target in a /48
+// predicts its unmeasured list-mates (ascending list order, last
+// measurement wins — matching the pre-unification scanner).
+func samePrefixPredict(targets []probe6.Addr) func(measured, predicted []uint8) {
+	return func(measured, predicted []uint8) {
+		prefixDist := make(map[[6]byte]uint8)
+		for i := range targets {
+			if m := measured[i]; m != 0 {
+				var key [6]byte
+				copy(key[:], targets[i][:6])
+				prefixDist[key] = m
+			}
+		}
+		for i := range targets {
+			if measured[i] != 0 {
+				continue
+			}
+			var key [6]byte
+			copy(key[:], targets[i][:6])
+			if p, ok := prefixDist[key]; ok {
+				predicted[i] = p
+			}
+		}
+	}
+}
+
+// Scanner runs FlashRoute6 scans: the generic engine instantiated at
+// probe6.Addr with the sparse list-position index as its block mapping.
+type Scanner struct {
+	inner *core.ScannerOf[probe6.Addr]
+}
+
+// NewScanner validates the configuration.
+func NewScanner(cfg Config, conn PacketConn, clock simclock.Waiter) (*Scanner, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, errors.New("core6: Config.Targets must be non-empty")
+	}
+	targets := cfg.Targets
+	// The sparse response-to-DCB lookup of §5.4: candidate-list position
+	// is the block index, recovered from quoted destinations by hash.
+	index := make(map[probe6.Addr]uint32, len(targets))
+	for i, a := range targets {
+		index[a] = uint32(i)
+	}
+	ecfg := core.ConfigOf[probe6.Addr]{
+		Blocks:  len(targets),
+		Targets: func(block int) probe6.Addr { return targets[block] },
+		BlockOf: func(a probe6.Addr) (int, bool) {
+			i, ok := index[a]
+			return int(i), ok
+		},
+		Source:                  cfg.Source,
+		SplitTTL:                cfg.SplitTTL,
+		GapLimit:                cfg.GapLimit,
+		MaxTTL:                  cfg.MaxTTL,
+		PPS:                     cfg.PPS,
+		Senders:                 cfg.Senders,
+		PreprobeRetries:         cfg.PreprobeRetries,
+		ForwardRetries:          cfg.ForwardRetries,
+		ForwardTimeout:          cfg.ForwardTimeout,
+		NoRedundancyElimination: cfg.NoRedundancyElimination,
+		CollectRoutes:           cfg.CollectRoutes,
+		Seed:                    cfg.Seed,
+		DrainWait:               cfg.DrainWait,
+		MinRoundTime:            cfg.MinRoundTime,
+	}
+	if cfg.Preprobe {
+		ecfg.Preprobe = core.PreprobeRandom
+		if cfg.SamePrefixPrediction {
+			ecfg.Predict = samePrefixPredict(targets)
+		}
+		// With Predict nil and ProximitySpan 0 the engine predicts
+		// nothing, which is exactly the no-prediction configuration.
+	} else {
+		ecfg.Preprobe = core.PreprobeOff
+	}
+	inner, err := core.NewScannerOf[probe6.Addr](family6{}, ecfg, conn, clock)
+	if err != nil {
+		return nil, err
+	}
+	return &Scanner{inner: inner}, nil
+}
+
+// Run executes the scan (same actor contract as the IPv4 engine: call
+// from a goroutine not registered with the clock).
+func (s *Scanner) Run() (*Result, error) {
+	eres, err := s.inner.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ProbesSent:          eres.ProbesSent,
+		PreprobeProbes:      eres.PreprobeProbes,
+		ScanTime:            eres.ScanTime,
+		Rounds:              eres.Rounds,
+		DistancesMeasured:   eres.DistancesMeasured,
+		DistancesPredicted:  eres.DistancesPredicted,
+		MismatchedResponses: eres.MismatchedResponses,
+		UnparsedResponses:   eres.UnparsedResponses,
+		RetransmittedProbes: eres.RetransmittedProbes,
+		DuplicateResponses:  eres.DuplicateResponses,
+		store:               eres.Store,
+	}, nil
 }

@@ -1,6 +1,8 @@
 package core6
 
 import (
+	"io"
+	"sync"
 	"testing"
 	"time"
 
@@ -142,14 +144,34 @@ func TestScanner6Validation(t *testing.T) {
 	}
 }
 
+// stubConn serves a fixed set of response packets, then EOF; writes are
+// discarded. It lets tests inject hand-crafted responses into a full
+// scanner run.
+type stubConn struct {
+	mu   sync.Mutex
+	pkts [][]byte
+}
+
+func (c *stubConn) WritePacket(p []byte) error { return nil }
+
+func (c *stubConn) ReadPacket(buf []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.pkts) == 0 {
+		return 0, io.EOF
+	}
+	p := c.pkts[0]
+	c.pkts = c.pkts[1:]
+	return copy(buf, p), nil
+}
+
+func (c *stubConn) Close() error { return nil }
+
 func TestSparseIndexIgnoresForeignResponses(t *testing.T) {
 	// A response quoting a destination outside the target list must be
 	// dropped, not crash or misattribute.
-	e := newEnv(t, 64, 4, 5)
-	sc, err := NewScanner(e.cfg, e.net.NewConn(), e.clock)
-	if err != nil {
-		t.Fatal(err)
-	}
+	e := newEnv(t, 8, 4, 5)
+	e.cfg.Preprobe = false // probe into the void; only the injected reply arrives
 	var foreign probe6.Addr
 	foreign[0] = 0xfd
 	var pkt [probe6.HeaderLen + probe6.ICMPErrorLen]byte
@@ -170,8 +192,18 @@ func TestSparseIndexIgnoresForeignResponses(t *testing.T) {
 	tp[4], tp[5] = 0, probe6.UDPHeaderLen
 	probe6.MarshalICMPError(pkt[probe6.HeaderLen:], probe6.ICMP6TypeTimeExceeded,
 		probe6.ICMP6CodeHopLimit, &quote, tp[:])
-	sc.handleResponse(pkt[:])
-	if sc.unparsed.Load() != 1 {
-		t.Fatalf("foreign response not dropped: unparsed=%d", sc.unparsed.Load())
+	sc, err := NewScanner(e.cfg, &stubConn{pkts: [][]byte{pkt[:]}}, e.clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnparsedResponses != 1 {
+		t.Fatalf("foreign response not dropped: unparsed=%d", res.UnparsedResponses)
+	}
+	if res.InterfaceCount() != 0 {
+		t.Fatalf("foreign response misattributed: %d interfaces", res.InterfaceCount())
 	}
 }

@@ -104,3 +104,91 @@ func IPv6Comparison(prefixes, perPrefix int, seed int64) (*IPv6Result, error) {
 	out.YarrpTime = yres.ScanTime
 	return out, nil
 }
+
+// fastTopo6 builds an IPv6 topology tuned for real-clock throughput
+// measurement: the same near-zero RTTs as the Table 5 fast network, so
+// rates are CPU-bound and comparable across families.
+func fastTopo6(prefixes, perPrefix int, seed int64) *netsim6.Topology {
+	p := netsim6.DefaultParams(seed)
+	p.Prefixes = prefixes
+	p.TargetsPerPrefix = perPrefix
+	p.BaseRTT = 100 * time.Microsecond
+	p.PerHopRTT = 0
+	p.JitterRTT = 200 * time.Microsecond
+	return netsim6.NewTopology(p)
+}
+
+// MaxRate6 measures the unthrottled real-clock probing rate of a
+// FlashRoute6 scan over a candidate list of about the given size — the
+// Table 5 measurement run through the IPv6 instantiation of the same
+// engine. The full-scan estimate extrapolates to a paper-scale candidate
+// list of PaperBlocks addresses (one per routed /24-equivalent, the §5.4
+// hitlist regime).
+func MaxRate6(targetCount int, seed int64) (RateRow, error) {
+	perPrefix := 16
+	prefixes := targetCount / perPrefix
+	if prefixes < 1 {
+		prefixes = 1
+	}
+	clock := simclock.NewReal()
+	topo := fastTopo6(prefixes, perPrefix, seed)
+	n := netsim6.New(topo, clock)
+	cfg := core6.DefaultConfig()
+	cfg.Targets = topo.Targets()
+	cfg.Source = topo.Vantage()
+	cfg.Seed = seed
+	cfg.PPS = 0 // unthrottled
+	cfg.MinRoundTime = time.Millisecond
+	cfg.DrainWait = 100 * time.Millisecond
+	sc, err := core6.NewScanner(cfg, n.NewConn(), clock)
+	if err != nil {
+		return RateRow{}, err
+	}
+	res, err := sc.Run()
+	if err != nil {
+		return RateRow{}, err
+	}
+	rate := float64(res.ProbesSent) / res.ScanTime.Seconds()
+	scale := float64(PaperBlocks) / float64(len(cfg.Targets))
+	return RateRow{
+		Name:              "FlashRoute6-16",
+		MeasuredKpps:      rate / 1000,
+		EstimatedFullScan: time.Duration(float64(res.ProbesSent) * scale / rate * float64(time.Second)),
+	}, nil
+}
+
+// SenderScaling6 is SenderScaling run through the IPv6 instantiation of
+// the engine: unthrottled real-clock rate at each sender count over the
+// same fast network, with the interface count as the invariance sanity
+// check.
+func SenderScaling6(prefixes, perPrefix int, seed int64, senders []int) ([]SenderRateRow, error) {
+	var out []SenderRateRow
+	for _, k := range senders {
+		clock := simclock.NewReal()
+		topo := fastTopo6(prefixes, perPrefix, seed)
+		n := netsim6.New(topo, clock)
+		cfg := core6.DefaultConfig()
+		cfg.Targets = topo.Targets()
+		cfg.Source = topo.Vantage()
+		cfg.Seed = seed
+		cfg.PPS = 0 // unthrottled
+		cfg.Senders = k
+		cfg.MinRoundTime = time.Millisecond
+		cfg.DrainWait = 100 * time.Millisecond
+		sc, err := core6.NewScanner(cfg, n.NewConn(), clock)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sc.Run()
+		if err != nil {
+			return nil, err
+		}
+		rate := float64(res.ProbesSent) / res.ScanTime.Seconds()
+		out = append(out, SenderRateRow{
+			Senders:      k,
+			MeasuredKpps: rate / 1000,
+			Interfaces:   res.InterfaceCount(),
+		})
+	}
+	return out, nil
+}

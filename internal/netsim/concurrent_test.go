@@ -3,8 +3,6 @@ package netsim
 import (
 	"sync"
 	"testing"
-	"testing/quick"
-	"time"
 
 	"github.com/flashroute/flashroute/internal/probe"
 	"github.com/flashroute/flashroute/internal/simclock"
@@ -66,27 +64,5 @@ func TestConnConcurrentWriters(t *testing.T) {
 	}
 }
 
-// TestRespHeapOrdering: the hand-rolled value-typed inbox heap must pop in
-// (deliverAt, seq) order for arbitrary push sequences — the property the
-// replaced container/heap implementation guaranteed.
-func TestRespHeapOrdering(t *testing.T) {
-	check := func(keys []uint16) bool {
-		var h respHeap
-		for i, k := range keys {
-			h.push(pendingResp{deliverAt: time.Duration(k % 97), seq: uint64(i)})
-		}
-		var prev pendingResp
-		for i := 0; len(h) > 0; i++ {
-			r := h.pop()
-			if i > 0 && (r.deliverAt < prev.deliverAt ||
-				(r.deliverAt == prev.deliverAt && r.seq < prev.seq)) {
-				return false
-			}
-			prev = r
-		}
-		return true
-	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
-	}
-}
+// The inbox heap's (deliverAt, seq) ordering property moved to
+// internal/simnet with the heap itself (TestInboxHeapOrdering).

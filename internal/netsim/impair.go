@@ -1,171 +1,10 @@
 package netsim
 
-import (
-	"sync"
-	"time"
-)
+import "github.com/flashroute/flashroute/internal/simnet"
 
-// Impairments models the packet-level pathologies of probing the live
-// Internet, which the paper's measurement engine has to survive but a
-// perfect simulator never exercises: probes and ICMP responses are lost
-// (independently and in bursts), duplicated, reordered and jittered.
-//
-// The zero value is the perfect network: every packet delivered exactly
-// once, in order, with only the topology's modeled RTT — bit-identical to
-// the simulator's behavior before impairments existed.
-//
-// All impairment decisions are drawn from a deterministic generator
-// seeded by the topology seed, so a scan over an impaired network is as
-// reproducible as one over a perfect network: same seed, same
-// Impairments, same (single-sender) probe sequence ⇒ same losses, same
-// duplicates, same delivery order. With multiple concurrent senders the
-// draw order follows the packet interleaving, so runs are race-safe but
-// only statistically reproducible — the same trade multi-sender scans
-// already make for probe interleaving.
-type Impairments struct {
-	// LossProb is the independent per-packet loss probability, applied
-	// symmetrically: an outbound probe is lost before it reaches any hop
-	// (so it consumes no ICMP rate budget — a silent hop from the
-	// scanner's view), an inbound response is lost after the responder
-	// sent it (the budget is spent, the scanner still sees nothing).
-	LossProb float64
-
-	// Gilbert–Elliott burst loss: a two-state Markov chain advanced once
-	// per packet. In the good state only LossProb applies; in the bad
-	// state losses combine to 1-(1-LossProb)(1-GEBadLoss). GEGoodToBad
-	// and GEBadToGood are the per-packet transition probabilities; the
-	// stationary bad fraction is GEGoodToBad/(GEGoodToBad+GEBadToGood)
-	// and the mean burst length 1/GEBadToGood packets.
-	GEGoodToBad float64
-	GEBadToGood float64
-	GEBadLoss   float64
-
-	// DupProb is the probability a surviving packet is duplicated once.
-	// A duplicated probe traverses the network twice (two responses, two
-	// rate-limit debits); a duplicated response is delivered to the
-	// scanner twice.
-	DupProb float64
-
-	// ReorderProb delays a response by an extra uniform [0, ReorderWindow)
-	// on top of its modeled RTT. Because the connection inbox delivers in
-	// deliverAt order, a delayed packet is overtaken by up to
-	// ReorderWindow's worth of later traffic — bounded reordering: no
-	// packet is ever reordered past more than ReorderWindow of the
-	// stream.
-	ReorderProb   float64
-	ReorderWindow time.Duration
-
-	// ExtraJitter adds uniform [0, ExtraJitter) latency to every
-	// delivered response, independent of reordering (the topology's
-	// JitterRTT models path RTT variance; this models measurement-host
-	// and queueing noise).
-	ExtraJitter time.Duration
-}
-
-// Enabled reports whether any impairment is active. When false the
-// network takes the exact pre-impairment fast path: no draws, no locks.
-func (im *Impairments) Enabled() bool {
-	return im.LossProb > 0 || im.GEGoodToBad > 0 || im.DupProb > 0 ||
-		(im.ReorderProb > 0 && im.ReorderWindow > 0) || im.ExtraJitter > 0
-}
-
-// impairSeedTag domain-separates the impairment stream from every other
-// consumer of the topology seed.
-const impairSeedTag = 0x1e55bad0fade0ff1
-
-// impairState is the per-connection impairment randomness: a splitmix64
-// stream plus the Gilbert–Elliott channel state. Guarded by its own
-// mutex so K concurrent senders draw race-safely; with one sender the
-// draw sequence is a pure function of the packet sequence.
-type impairState struct {
-	mu  sync.Mutex
-	rng uint64
-	bad bool // Gilbert–Elliott channel state
-}
-
-func newImpairState(seed int64) *impairState {
-	return &impairState{rng: uint64(seed) ^ impairSeedTag}
-}
-
-// next advances the splitmix64 stream.
-func (st *impairState) next() uint64 {
-	st.rng += 0x9e3779b97f4a7c15
-	z := st.rng
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// below draws one uniform variate and reports whether it fell under p.
-// p <= 0 still consumes a draw, keeping the stream aligned across
-// configurations that differ only in probabilities.
-func (st *impairState) below(p float64) bool {
-	return float64(st.next()>>11)/(1<<53) < p
-}
-
-// within draws a uniform duration in [0, d).
-func (st *impairState) within(d time.Duration) time.Duration {
-	if d <= 0 {
-		return 0
-	}
-	return time.Duration(st.next() % uint64(d))
-}
-
-// step advances the Gilbert–Elliott chain one packet and draws that
-// packet's loss. Caller holds st.mu.
-func (st *impairState) step(im *Impairments) bool {
-	if st.bad {
-		if st.below(im.GEBadToGood) {
-			st.bad = false
-		}
-	} else if im.GEGoodToBad > 0 && st.below(im.GEGoodToBad) {
-		st.bad = true
-	}
-	p := im.LossProb
-	if st.bad {
-		p = 1 - (1-p)*(1-im.GEBadLoss)
-	}
-	if p <= 0 {
-		return false
-	}
-	return st.below(p)
-}
-
-// probeFate draws the outbound fate of one probe: dropped entirely, or
-// delivered 1 or 2 times (duplication in the forward direction).
-func (st *impairState) probeFate(im *Impairments) (copies int) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.step(im) {
-		return 0
-	}
-	if im.DupProb > 0 && st.below(im.DupProb) {
-		return 2
-	}
-	return 1
-}
-
-// responseFate draws the inbound fate of one scheduled response: how many
-// copies reach the scanner (0..2) and each copy's extra delay from
-// reordering and jitter.
-func (st *impairState) responseFate(im *Impairments) (copies int, delay [2]time.Duration, reordered int) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.step(im) {
-		return 0, delay, 0
-	}
-	copies = 1
-	if im.DupProb > 0 && st.below(im.DupProb) {
-		copies = 2
-	}
-	for i := 0; i < copies; i++ {
-		if im.ReorderProb > 0 && im.ReorderWindow > 0 && st.below(im.ReorderProb) {
-			delay[i] += st.within(im.ReorderWindow)
-			reordered++
-		}
-		if im.ExtraJitter > 0 {
-			delay[i] += st.within(im.ExtraJitter)
-		}
-	}
-	return copies, delay, reordered
-}
+// Impairments is the shared packet-impairment model (loss, bursts,
+// duplication, reordering, jitter), aliased here so IPv4 call sites keep
+// reading netsim.Impairments. The model itself — and the deterministic
+// per-connection draw stream — lives in the family-independent simnet
+// package, where netsim6 picks it up too.
+type Impairments = simnet.Impairments

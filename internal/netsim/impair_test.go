@@ -32,81 +32,9 @@ func TestImpairmentsEnabled(t *testing.T) {
 	}
 }
 
-// TestImpairStateLossRate: the independent-loss draw must track LossProb
-// closely over a long stream (binomial stddev ≈ 0.13% at n=100k).
-func TestImpairStateLossRate(t *testing.T) {
-	im := &Impairments{LossProb: 0.20}
-	st := newImpairState(42)
-	const n = 100_000
-	lost := 0
-	for i := 0; i < n; i++ {
-		if st.step(im) {
-			lost++
-		}
-	}
-	rate := float64(lost) / n
-	if rate < 0.19 || rate > 0.21 {
-		t.Errorf("loss rate %.4f, want ≈ 0.20", rate)
-	}
-}
-
-// TestImpairStateGEBursts: with loss exactly in the bad state, the chain's
-// stationary loss fraction must be p/(p+r) and the mean run of consecutive
-// losses ≈ 1/r — the burstiness independent loss cannot produce.
-func TestImpairStateGEBursts(t *testing.T) {
-	im := &Impairments{GEGoodToBad: 0.02, GEBadToGood: 0.25, GEBadLoss: 1}
-	st := newImpairState(7)
-	const n = 200_000
-	lost, bursts, run := 0, 0, 0
-	var runs []int
-	for i := 0; i < n; i++ {
-		if st.step(im) {
-			lost++
-			run++
-		} else if run > 0 {
-			bursts++
-			runs = append(runs, run)
-			run = 0
-		}
-	}
-	frac := float64(lost) / n
-	want := 0.02 / (0.02 + 0.25) // ≈ 0.074
-	if frac < want-0.02 || frac > want+0.02 {
-		t.Errorf("stationary loss fraction %.4f, want ≈ %.4f", frac, want)
-	}
-	var sum int
-	for _, r := range runs {
-		sum += r
-	}
-	mean := float64(sum) / float64(bursts)
-	if mean < 3.0 || mean > 5.0 {
-		t.Errorf("mean burst length %.2f, want ≈ 4 (1/GEBadToGood)", mean)
-	}
-}
-
-// TestImpairStateDeterminism: equal seeds produce identical fate streams.
-func TestImpairStateDeterminism(t *testing.T) {
-	im := &Impairments{
-		LossProb: 0.1, GEGoodToBad: 0.01, GEBadToGood: 0.2, GEBadLoss: 0.5,
-		DupProb: 0.05, ReorderProb: 0.1, ReorderWindow: 10 * time.Millisecond,
-		ExtraJitter: 5 * time.Millisecond,
-	}
-	a, b := newImpairState(99), newImpairState(99)
-	for i := 0; i < 10_000; i++ {
-		if i%2 == 0 {
-			if ca, cb := a.probeFate(im), b.probeFate(im); ca != cb {
-				t.Fatalf("probe fate diverged at %d: %d vs %d", i, ca, cb)
-			}
-			continue
-		}
-		ca, da, ra := a.responseFate(im)
-		cb, db, rb := b.responseFate(im)
-		if ca != cb || da != db || ra != rb {
-			t.Fatalf("response fate diverged at %d: (%d,%v,%d) vs (%d,%v,%d)",
-				i, ca, da, ra, cb, db, rb)
-		}
-	}
-}
+// The draw-level impairment properties (loss rate, GE burst statistics,
+// stream determinism) moved to internal/simnet with the state itself;
+// the tests below cover the netsim Conn's use of that state.
 
 // responsiveDest finds a gateway that answers UDP-to-high-port directly,
 // so each probe deterministically yields exactly one response on a

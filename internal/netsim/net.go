@@ -3,12 +3,12 @@ package netsim
 import (
 	"errors"
 	"io"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/flashroute/flashroute/internal/probe"
 	"github.com/flashroute/flashroute/internal/simclock"
+	"github.com/flashroute/flashroute/internal/simnet"
 )
 
 // ErrClosed is returned by writes on a closed Conn.
@@ -18,18 +18,16 @@ var ErrClosed = errors.New("netsim: connection closed")
 // may be read during a scan.
 type Stats struct {
 	ProbesSent     atomic.Uint64 // packets written
-	Responses      atomic.Uint64 // responses delivered to the inbox
 	RateLimited    atomic.Uint64 // ICMP responses suppressed by rate limits
 	SilentHops     atomic.Uint64 // probes expiring at persistently silent routers
 	NoRoute        atomic.Uint64 // probes falling off route ends
 	DestSilent     atomic.Uint64 // probes reaching hosts that don't answer this type
 	MalformedSends atomic.Uint64 // unparseable probe packets
 
-	// Impairment-layer counters (all zero on a perfect network).
-	ProbesLost  atomic.Uint64 // outbound probes dropped before any hop
-	RepliesLost atomic.Uint64 // responses dropped after the responder sent them
-	Duplicates  atomic.Uint64 // packets (either direction) delivered twice
-	Reordered   atomic.Uint64 // response copies delayed by the reordering window
+	// Responses plus the impairment-layer counters, promoted from the
+	// shared substrate (all impairment counters zero on a perfect
+	// network).
+	simnet.DeliveryStats
 }
 
 // Net binds a Topology to a clock and delivers packets with modeled RTTs,
@@ -43,46 +41,26 @@ type Net struct {
 
 	// Rate-limit buckets, sharded so concurrent senders do not contend on
 	// one global mutex for every probe.
-	buckets [bucketShards]bucketShard
-}
-
-// bucketShards is the number of independently locked rate-limit bucket
-// maps; a power of two so the shard pick is a mask.
-const bucketShards = 256
-
-type bucketShard struct {
-	mu sync.Mutex
-	m  map[uint32]*bucket
-	// padding to keep neighbouring shards off one cache line under
-	// concurrent senders.
-	_ [24]byte
-}
-
-type bucket struct {
-	second int64
-	count  int
+	buckets *simnet.Buckets[uint32]
 }
 
 // bucketShardOf spreads addresses over the shards. Responder populations
 // are biased in their low octet (gateways at .1, appliances at .1), so
 // fold all four octets in rather than masking the low byte.
 func bucketShardOf(addr uint32) uint32 {
-	return (addr ^ addr>>8 ^ addr>>16 ^ addr>>24) & (bucketShards - 1)
+	return addr ^ addr>>8 ^ addr>>16 ^ addr>>24
 }
 
 // New creates a network over the topology, driven by the given clock. The
 // clock's current time becomes the network epoch (time zero for route
 // dynamics and rate-limit windows).
 func New(topo *Topology, clock simclock.Waiter) *Net {
-	n := &Net{
-		topo:  topo,
-		clock: clock,
-		epoch: clock.Now(),
+	return &Net{
+		topo:    topo,
+		clock:   clock,
+		epoch:   clock.Now(),
+		buckets: simnet.NewBuckets[uint32](bucketShardOf),
 	}
-	for i := range n.buckets {
-		n.buckets[i].m = make(map[uint32]*bucket)
-	}
-	return n
 }
 
 // Topo returns the underlying topology.
@@ -98,26 +76,7 @@ func (n *Net) Elapsed() time.Duration { return n.clock.Now().Sub(n.epoch) }
 // current one-second window and reports whether the response may be sent
 // (fixed-window limit of ICMPRateLimitPPS per interface, per [19]).
 func (n *Net) allowICMP(addr uint32, now time.Duration) bool {
-	limit := n.topo.P.ICMPRateLimitPPS
-	if limit <= 0 {
-		return true
-	}
-	sec := int64(now / time.Second)
-	sh := &n.buckets[bucketShardOf(addr)]
-	sh.mu.Lock()
-	b := sh.m[addr]
-	if b == nil {
-		b = &bucket{second: -1}
-		sh.m[addr] = b
-	}
-	if b.second != sec {
-		b.second = sec
-		b.count = 0
-	}
-	b.count++
-	ok := b.count <= limit
-	sh.mu.Unlock()
-	return ok
+	return n.buckets.Allow(addr, n.topo.P.ICMPRateLimitPPS, now)
 }
 
 // rtt models the round-trip time to a responder at the given depth, with
@@ -140,101 +99,35 @@ const (
 	respEchoReply
 )
 
-// pendingResp is a scheduled response, materialized into bytes at read
-// time (identical bytes, no per-probe allocation while in flight).
-type pendingResp struct {
-	deliverAt time.Duration // since epoch
-	seq       uint64        // tiebreaker for deterministic ordering
+// respPayload is a scheduled response, materialized into bytes at read
+// time (identical bytes, no per-probe allocation while in flight). Its
+// delivery time and ordering sequence live in the inbox item wrapping it.
+type respPayload struct {
 	kind      uint8
 	hop       uint32
 	quote     probe.IPv4
 	transport [8]byte
 }
 
-// respHeap is a value-typed binary min-heap of pending responses ordered
-// by delivery time (seq breaks ties deterministically). It deliberately
-// does not go through container/heap: the interface-based API boxes every
-// pushed and popped element into an `any` allocation, which on the probe
-// write path would mean one heap allocation per response in flight. The
-// inlined sift operations below keep the steady-state write/read path
-// allocation-free (the backing array grows amortized and is then reused).
-type respHeap []pendingResp
-
-func (h respHeap) less(i, j int) bool {
-	if h[i].deliverAt != h[j].deliverAt {
-		return h[i].deliverAt < h[j].deliverAt
-	}
-	return h[i].seq < h[j].seq
-}
-
-// push inserts r, sifting it up to its heap position.
-func (h *respHeap) push(r pendingResp) {
-	q := append(*h, r)
-	i := len(q) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
-			break
-		}
-		q[i], q[parent] = q[parent], q[i]
-		i = parent
-	}
-	*h = q
-}
-
-// pop removes and returns the earliest-delivery response.
-func (h *respHeap) pop() pendingResp {
-	q := *h
-	top := q[0]
-	last := len(q) - 1
-	q[0] = q[last]
-	q = q[:last]
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= len(q) {
-			break
-		}
-		c := l
-		if r := l + 1; r < len(q) && q.less(r, l) {
-			c = r
-		}
-		if !q.less(c, i) {
-			break
-		}
-		q[i], q[c] = q[c], q[i]
-		i = c
-	}
-	*h = q
-	return top
-}
-
-func (h respHeap) peek() *pendingResp { return &h[0] }
-
 // Conn is a raw-socket-like connection from the vantage point into the
 // simulated network. One goroutine may write while another reads — the
 // decoupled sender/receiver design of the paper (§3.2).
 type Conn struct {
-	net    *Net
-	src    uint32
-	parker *simclock.Parker
-	imp    *impairState // nil unless Params.Impair is enabled
-
-	mu     sync.Mutex
-	inbox  respHeap
-	seq    uint64
-	closed bool
+	net   *Net
+	src   uint32
+	imp   *simnet.ImpairState // nil unless Params.Impair is enabled
+	inbox *simnet.Inbox[respPayload]
 }
 
 // NewConn opens a connection sourced at the vantage point.
 func (n *Net) NewConn() *Conn {
 	c := &Conn{
-		net:    n,
-		src:    n.topo.Vantage(),
-		parker: n.clock.NewParker(),
+		net:   n,
+		src:   n.topo.Vantage(),
+		inbox: simnet.NewInbox[respPayload](n.clock, n.epoch),
 	}
 	if n.topo.P.Impair.Enabled() {
-		c.imp = newImpairState(n.topo.P.Seed)
+		c.imp = simnet.NewImpairState(n.topo.P.Seed)
 	}
 	return c
 }
@@ -266,7 +159,7 @@ func (c *Conn) WritePacket(pkt []byte) error {
 	// no rate-limit debit); a duplicated probe traverses the network twice.
 	copies := 1
 	if c.imp != nil {
-		copies = c.imp.probeFate(&n.topo.P.Impair)
+		copies = c.imp.ProbeFate(&n.topo.P.Impair)
 		if copies == 0 {
 			n.Stats.ProbesLost.Add(1)
 			return nil
@@ -298,18 +191,18 @@ func (c *Conn) WritePacket(pkt []byte) error {
 		if depth == 0 {
 			depth = 16 // infra or unrouted responders: nominal RTT depth
 		}
-		resp := pendingResp{
-			deliverAt: now + n.rtt(hdr.Dst, depth, now),
+		resp := respPayload{
 			kind:      respEchoReply,
 			hop:       hdr.Dst,
 			transport: transport,
 		}
+		at := now + n.rtt(hdr.Dst, depth, now)
 		for i := 0; i < copies; i++ {
 			if !n.allowICMP(hdr.Dst, now) {
 				n.Stats.RateLimited.Add(1)
 				continue
 			}
-			if err := c.deliver(resp); err != nil {
+			if err := c.deliver(resp, at); err != nil {
 				return err
 			}
 		}
@@ -343,13 +236,13 @@ func (c *Conn) WritePacket(pkt []byte) error {
 	quote.TTL = hop.Residual
 	quote.Dst = hop.QuotedDst
 
-	resp := pendingResp{
-		deliverAt: now + n.rtt(hdr.Dst, hop.Depth, now),
+	resp := respPayload{
 		kind:      kind,
 		hop:       hop.Addr,
 		quote:     quote,
 		transport: transport,
 	}
+	at := now + n.rtt(hdr.Dst, hop.Depth, now)
 
 	for i := 0; i < copies; i++ {
 		// ICMP rate limiting at the responder (TCP RSTs are not ICMP and
@@ -358,7 +251,7 @@ func (c *Conn) WritePacket(pkt []byte) error {
 			n.Stats.RateLimited.Add(1)
 			continue
 		}
-		if err := c.deliver(resp); err != nil {
+		if err := c.deliver(resp, at); err != nil {
 			return err
 		}
 	}
@@ -369,39 +262,11 @@ func (c *Conn) WritePacket(pkt []byte) error {
 // applying inbound impairments (loss, duplication, reordering, extra
 // jitter) when enabled. With impairments off it is exactly the
 // pre-impairment scheduling path.
-func (c *Conn) deliver(resp pendingResp) error {
-	n := c.net
-	copies := 1
-	var extra [2]time.Duration
-	if c.imp != nil {
-		var reordered int
-		copies, extra, reordered = c.imp.responseFate(&n.topo.P.Impair)
-		if copies == 0 {
-			n.Stats.RepliesLost.Add(1)
-			return nil
-		}
-		if copies == 2 {
-			n.Stats.Duplicates.Add(1)
-		}
-		if reordered > 0 {
-			n.Stats.Reordered.Add(uint64(reordered))
-		}
-	}
-	base := resp.deliverAt
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+func (c *Conn) deliver(resp respPayload, at time.Duration) error {
+	if !simnet.ScheduleResponse(c.inbox, c.imp, &c.net.topo.P.Impair,
+		&c.net.Stats.DeliveryStats, resp, at) {
 		return ErrClosed
 	}
-	for i := 0; i < copies; i++ {
-		resp.deliverAt = base + extra[i]
-		resp.seq = c.seq
-		c.seq++
-		c.inbox.push(resp)
-	}
-	c.mu.Unlock()
-	n.Stats.Responses.Add(uint64(copies))
-	n.clock.Unpark(c.parker)
 	return nil
 }
 
@@ -409,29 +274,15 @@ func (c *Conn) deliver(resp pendingResp) error {
 // buf, and returns its length. It returns io.EOF once the connection is
 // closed and drained.
 func (c *Conn) ReadPacket(buf []byte) (int, error) {
-	for {
-		c.mu.Lock()
-		now := c.net.Elapsed()
-		if len(c.inbox) > 0 && c.inbox.peek().deliverAt <= now {
-			resp := c.inbox.pop()
-			c.mu.Unlock()
-			return c.materialize(buf, &resp), nil
-		}
-		if c.closed && len(c.inbox) == 0 {
-			c.mu.Unlock()
-			return 0, io.EOF
-		}
-		var deadline time.Time
-		if len(c.inbox) > 0 {
-			deadline = c.net.epoch.Add(c.inbox.peek().deliverAt)
-		}
-		c.mu.Unlock()
-		c.net.clock.Park(c.parker, deadline)
+	resp, ok := c.inbox.Next()
+	if !ok {
+		return 0, io.EOF
 	}
+	return c.materialize(buf, &resp), nil
 }
 
 // materialize renders a pending response into wire bytes in buf.
-func (c *Conn) materialize(buf []byte, r *pendingResp) int {
+func (c *Conn) materialize(buf []byte, r *respPayload) int {
 	switch r.kind {
 	case respEchoReply:
 		total := probe.IPv4HeaderLen + probe.EchoLen
@@ -501,19 +352,12 @@ const MaxResponseLen = probe.IPv4HeaderLen + probe.ICMPErrorLen
 // Close closes the connection; pending deliverable responses may still be
 // read, after which ReadPacket returns io.EOF.
 func (c *Conn) Close() error {
-	c.mu.Lock()
-	c.closed = true
-	c.mu.Unlock()
-	c.net.clock.Unpark(c.parker)
+	c.inbox.Close()
 	return nil
 }
 
 // Pending returns the number of scheduled, not yet read responses.
-func (c *Conn) Pending() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.inbox)
-}
+func (c *Conn) Pending() int { return c.inbox.Len() }
 
 // flowHash derives the load-balancer flow identifier from the 5-tuple
 // (FNV-1a over the tuple bytes), as a per-flow balancer would.

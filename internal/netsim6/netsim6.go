@@ -10,18 +10,21 @@
 package netsim6
 
 import (
-	"container/heap"
 	"encoding/binary"
 	"errors"
 	"io"
 	"math/rand"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/flashroute/flashroute/internal/probe6"
 	"github.com/flashroute/flashroute/internal/simclock"
+	"github.com/flashroute/flashroute/internal/simnet"
 )
+
+// Impairments is the shared packet-impairment model, aliased so IPv6
+// call sites read netsim6.Impairments; see simnet.Impairments.
+type Impairments = simnet.Impairments
 
 // Params shape the synthetic IPv6 Internet.
 type Params struct {
@@ -50,6 +53,12 @@ type Params struct {
 	BaseRTT          time.Duration
 	PerHopRTT        time.Duration
 	JitterRTT        time.Duration
+
+	// Impair layers packet-level pathologies (loss, bursts, duplication,
+	// reordering, extra jitter) over the modeled network — the same
+	// deterministic model the IPv4 simulator uses. The zero value is the
+	// perfect network.
+	Impair Impairments
 }
 
 // DefaultParams returns calibrated defaults for the given seed.
@@ -315,10 +324,13 @@ var ErrClosed = errors.New("netsim6: connection closed")
 // Stats counts network-side events.
 type Stats struct {
 	ProbesSent  atomic.Uint64
-	Responses   atomic.Uint64
 	RateLimited atomic.Uint64
 	Silent      atomic.Uint64
 	NoRoute     atomic.Uint64
+
+	// Responses plus the impairment-layer counters, promoted from the
+	// shared substrate.
+	simnet.DeliveryStats
 }
 
 // Net binds the topology to a clock.
@@ -329,46 +341,38 @@ type Net struct {
 
 	Stats Stats
 
-	mu      sync.Mutex
-	buckets map[probe6.Addr]*bucket
+	// Rate-limit buckets, sharded so concurrent senders do not contend
+	// on one global mutex for every probe.
+	buckets *simnet.Buckets[probe6.Addr]
 }
 
-type bucket struct {
-	second int64
-	count  int
+// bucketShardOf folds all address bytes: IPv6 responder populations are
+// biased in their interface identifier, so no single byte spreads well.
+func bucketShardOf(a probe6.Addr) uint32 {
+	h := uint32(2166136261)
+	for _, b := range a {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return h
 }
 
 // New creates an IPv6 network on the clock.
 func New(topo *Topology, clock simclock.Waiter) *Net {
 	return &Net{topo: topo, clock: clock, epoch: clock.Now(),
-		buckets: make(map[probe6.Addr]*bucket)}
+		buckets: simnet.NewBuckets[probe6.Addr](bucketShardOf)}
 }
 
 // Topo returns the topology.
 func (n *Net) Topo() *Topology { return n.topo }
 
+// Clock returns the clock driving this network.
+func (n *Net) Clock() simclock.Waiter { return n.clock }
+
 // Elapsed returns time since the network epoch.
 func (n *Net) Elapsed() time.Duration { return n.clock.Now().Sub(n.epoch) }
 
 func (n *Net) allowICMP(a probe6.Addr, now time.Duration) bool {
-	limit := n.topo.P.ICMPRateLimitPPS
-	if limit <= 0 {
-		return true
-	}
-	sec := int64(now / time.Second)
-	n.mu.Lock()
-	b := n.buckets[a]
-	if b == nil {
-		b = &bucket{second: -1}
-		n.buckets[a] = b
-	}
-	if b.second != sec {
-		b.second, b.count = sec, 0
-	}
-	b.count++
-	ok := b.count <= limit
-	n.mu.Unlock()
-	return ok
+	return n.buckets.Allow(a, n.topo.P.ICMPRateLimitPPS, now)
 }
 
 func (n *Net) rtt(depth uint8, h uint64) time.Duration {
@@ -380,42 +384,31 @@ func (n *Net) rtt(depth uint8, h uint64) time.Duration {
 	return p.BaseRTT + time.Duration(depth)*p.PerHopRTT + j
 }
 
-type pending struct {
-	deliverAt time.Duration
-	seq       uint64
+// respPayload is a scheduled response, materialized into bytes at read
+// time. Its delivery time and ordering sequence live in the inbox item
+// wrapping it — the same allocation-free value-typed fast path as the
+// IPv4 simulator.
+type respPayload struct {
 	unreach   bool
 	hop       probe6.Addr
 	quote     probe6.Header
 	transport [8]byte
 }
 
-type pendHeap []pending
-
-func (h pendHeap) Len() int { return len(h) }
-func (h pendHeap) Less(i, j int) bool {
-	if h[i].deliverAt != h[j].deliverAt {
-		return h[i].deliverAt < h[j].deliverAt
-	}
-	return h[i].seq < h[j].seq
-}
-func (h pendHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *pendHeap) Push(x any)   { *h = append(*h, x.(pending)) }
-func (h *pendHeap) Pop() any     { o := *h; n := len(o); v := o[n-1]; *h = o[:n-1]; return v }
-
 // Conn is the raw IPv6 connection.
 type Conn struct {
-	net    *Net
-	parker *simclock.Parker
-
-	mu     sync.Mutex
-	inbox  pendHeap
-	seq    uint64
-	closed bool
+	net   *Net
+	imp   *simnet.ImpairState // nil unless Params.Impair is enabled
+	inbox *simnet.Inbox[respPayload]
 }
 
 // NewConn opens a connection from the vantage point.
 func (n *Net) NewConn() *Conn {
-	return &Conn{net: n, parker: n.clock.NewParker()}
+	c := &Conn{net: n, inbox: simnet.NewInbox[respPayload](n.clock, n.epoch)}
+	if n.topo.P.Impair.Enabled() {
+		c.imp = simnet.NewImpairState(n.topo.P.Seed)
+	}
+	return c
 }
 
 // MaxResponseLen is the largest response ReadPacket produces.
@@ -435,18 +428,29 @@ func (c *Conn) WritePacket(pkt []byte) error {
 	if hdr.HopLimit == 0 {
 		return nil
 	}
+
+	// Outbound impairments: a lost probe never reaches a hop (no resolve,
+	// no rate-limit debit); a duplicated probe traverses the network twice.
+	copies := 1
+	if c.imp != nil {
+		copies = c.imp.ProbeFate(&n.topo.P.Impair)
+		if copies == 0 {
+			n.Stats.ProbesLost.Add(1)
+			return nil
+		}
+		if copies == 2 {
+			n.Stats.Duplicates.Add(1)
+		}
+	}
+
 	now := n.Elapsed()
 	hop := n.topo.Resolve(hdr.Dst, hdr.HopLimit)
 	switch hop.Kind {
 	case HopNone:
-		n.Stats.NoRoute.Add(1)
+		n.Stats.NoRoute.Add(uint64(copies))
 		return nil
 	case HopSilentRouter, HopDestSilent:
-		n.Stats.Silent.Add(1)
-		return nil
-	}
-	if !n.allowICMP(hop.Addr, now) {
-		n.Stats.RateLimited.Add(1)
+		n.Stats.Silent.Add(uint64(copies))
 		return nil
 	}
 	var transport [8]byte
@@ -454,51 +458,47 @@ func (c *Conn) WritePacket(pkt []byte) error {
 	quote := hdr
 	quote.HopLimit = hop.Residual
 
-	p := pending{
-		deliverAt: now + n.rtt(hop.Depth, n.topo.hash(addrWord(hdr.Dst), uint64(hdr.HopLimit), uint64(now))),
+	resp := respPayload{
 		unreach:   hop.Kind == HopDest,
 		hop:       hop.Addr,
 		quote:     quote,
 		transport: transport,
 	}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	at := now + n.rtt(hop.Depth, n.topo.hash(addrWord(hdr.Dst), uint64(hdr.HopLimit), uint64(now)))
+	for i := 0; i < copies; i++ {
+		// Each duplicate debits the responder's ICMP budget separately.
+		if !n.allowICMP(hop.Addr, now) {
+			n.Stats.RateLimited.Add(1)
+			continue
+		}
+		if err := c.deliver(resp, at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliver schedules one emitted response for delivery to the inbox,
+// applying inbound impairments when enabled. With impairments off it is
+// exactly the pre-impairment scheduling path.
+func (c *Conn) deliver(resp respPayload, at time.Duration) error {
+	if !simnet.ScheduleResponse(c.inbox, c.imp, &c.net.topo.P.Impair,
+		&c.net.Stats.DeliveryStats, resp, at) {
 		return ErrClosed
 	}
-	p.seq = c.seq
-	c.seq++
-	heap.Push(&c.inbox, p)
-	c.mu.Unlock()
-	n.Stats.Responses.Add(1)
-	n.clock.Unpark(c.parker)
 	return nil
 }
 
 // ReadPacket blocks for the next deliverable response.
 func (c *Conn) ReadPacket(buf []byte) (int, error) {
-	for {
-		c.mu.Lock()
-		now := c.net.Elapsed()
-		if len(c.inbox) > 0 && c.inbox[0].deliverAt <= now {
-			p := heap.Pop(&c.inbox).(pending)
-			c.mu.Unlock()
-			return c.materialize(buf, &p), nil
-		}
-		if c.closed && len(c.inbox) == 0 {
-			c.mu.Unlock()
-			return 0, io.EOF
-		}
-		var deadline time.Time
-		if len(c.inbox) > 0 {
-			deadline = c.net.epoch.Add(c.inbox[0].deliverAt)
-		}
-		c.mu.Unlock()
-		c.net.clock.Park(c.parker, deadline)
+	p, ok := c.inbox.Next()
+	if !ok {
+		return 0, io.EOF
 	}
+	return c.materialize(buf, &p), nil
 }
 
-func (c *Conn) materialize(buf []byte, p *pending) int {
+func (c *Conn) materialize(buf []byte, p *respPayload) int {
 	total := probe6.HeaderLen + probe6.ICMPErrorLen
 	outer := probe6.Header{
 		PayloadLength: probe6.ICMPErrorLen,
@@ -519,9 +519,9 @@ func (c *Conn) materialize(buf []byte, p *pending) int {
 
 // Close closes the connection; buffered responses drain, then EOF.
 func (c *Conn) Close() error {
-	c.mu.Lock()
-	c.closed = true
-	c.mu.Unlock()
-	c.net.clock.Unpark(c.parker)
+	c.inbox.Close()
 	return nil
 }
+
+// Pending returns the number of scheduled, not yet read responses.
+func (c *Conn) Pending() int { return c.inbox.Len() }

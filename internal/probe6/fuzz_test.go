@@ -1,0 +1,109 @@
+package probe6
+
+import (
+	"testing"
+	"time"
+)
+
+// The IPv6 parse paths have the same one-line contract as probe's: no
+// input — truncated, corrupted or adversarial — may panic, and what a
+// parser accepts must decode to representable probing context. Seeds are
+// built from the real probe builder plus truncations and corruptions, so
+// coverage starts at the interesting packet shapes.
+
+// seedResponse6 builds a complete ICMPv6 error response to a FlashRoute6
+// probe, the way a simulated hop would.
+func seedResponse6(icmpType, code, residual uint8, preprobe bool) []byte {
+	src, dst := addr(1), addr(99)
+	var pr [128]byte
+	n := BuildProbe(pr[:], src, dst, 12, preprobe, 1234*time.Millisecond, 0, TracerouteDstPort)
+	var quoted Header
+	if err := quoted.Unmarshal(pr[:n]); err != nil {
+		panic(err)
+	}
+	quoted.HopLimit = residual
+	var pkt [HeaderLen + ICMPErrorLen]byte
+	outer := Header{
+		PayloadLength: ICMPErrorLen,
+		NextHeader:    ProtoICMPv6,
+		HopLimit:      64,
+		Src:           addr(200),
+		Dst:           src,
+	}
+	outer.Marshal(pkt[:])
+	MarshalICMPError(pkt[HeaderLen:], icmpType, code, &quoted, pr[HeaderLen:HeaderLen+8])
+	return append([]byte(nil), pkt[:]...)
+}
+
+// FuzzParseResponse6: the full IPv6 response path (outer header + ICMPv6
+// error + quoted probe decoding) must never panic, and accepted inputs
+// must decode to in-range probing context.
+func FuzzParseResponse6(f *testing.F) {
+	f.Add(seedResponse6(ICMP6TypeTimeExceeded, ICMP6CodeHopLimit, 1, false))
+	f.Add(seedResponse6(ICMP6TypeDestUnreachable, ICMP6CodePortUnreachable, 20, false))
+	f.Add(seedResponse6(ICMP6TypeTimeExceeded, ICMP6CodeHopLimit, 3, true))
+	full := seedResponse6(ICMP6TypeTimeExceeded, ICMP6CodeHopLimit, 1, false)
+	for _, cut := range []int{0, 1, HeaderLen - 1, HeaderLen,
+		HeaderLen + 7, HeaderLen + ICMPErrorLen - 1} {
+		f.Add(append([]byte(nil), full[:cut]...))
+	}
+	bad := append([]byte(nil), full...)
+	bad[0] = 0x45 // IPv4 version nibble
+	f.Add(bad)
+	proto := append([]byte(nil), full...)
+	proto[6] = ProtoUDP // outer packet not ICMPv6
+	f.Add(proto)
+	quoteProto := append([]byte(nil), full...)
+	quoteProto[HeaderLen+8+6] = ProtoICMPv6 // quoted packet not UDP
+	f.Add(quoteProto)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ParseResponse(data)
+		if err != nil {
+			return
+		}
+		r.ICMP.IsHopLimitExceeded()
+		r.ICMP.IsUnreachable()
+		fi, err := ParseQuote(&r.ICMP)
+		if err != nil {
+			return
+		}
+		if fi.InitHopLimit < 1 || fi.InitHopLimit > MaxHopLimit {
+			t.Fatalf("InitHopLimit %d out of range", fi.InitHopLimit)
+		}
+		if fi.TSMillis > tsMask {
+			t.Fatalf("TSMillis %d exceeds the 20-bit field", fi.TSMillis)
+		}
+		fi.ChecksumMatches(0)
+		if rtt := fi.RTT(time.Duration(fi.TSMillis+5) * time.Millisecond); rtt < 0 {
+			t.Fatalf("negative RTT %v", rtt)
+		}
+	})
+}
+
+// FuzzHeader6: IPv6 header parsing must never panic, and every accepted
+// header must survive a Marshal/Unmarshal round trip.
+func FuzzHeader6(f *testing.F) {
+	var buf [HeaderLen]byte
+	h := Header{TrafficClass: 7, FlowLabel: 0xABCDE, PayloadLength: 48,
+		NextHeader: ProtoUDP, HopLimit: 17, Src: addr(1), Dst: addr(2)}
+	h.Marshal(buf[:])
+	f.Add(append([]byte(nil), buf[:]...))
+	f.Add(append([]byte(nil), buf[:HeaderLen-1]...))
+	f.Add([]byte{0x45, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h Header
+		if err := h.Unmarshal(data); err != nil {
+			return
+		}
+		var out [HeaderLen]byte
+		h.Marshal(out[:])
+		var back Header
+		if err := back.Unmarshal(out[:]); err != nil {
+			t.Fatalf("re-Unmarshal failed: %v", err)
+		}
+		if back != h {
+			t.Fatalf("round trip changed header: %+v != %+v", back, h)
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package simnet
+
+import (
+	"sync"
+	"time"
+)
+
+// bucketShards is the number of independently locked rate-limit bucket
+// maps; a power of two so the shard pick is a mask.
+const bucketShards = 256
+
+// Buckets is a per-address fixed-window rate limiter (the per-interface
+// ICMP generation limit of real routers), sharded so concurrent senders
+// do not contend on one global mutex for every probe. The shard function
+// is injected because address distributions are family-specific: IPv4
+// responder populations are biased in their low octet, IPv6 ones in
+// their interface identifier.
+type Buckets[A comparable] struct {
+	shardOf func(A) uint32
+	shards  [bucketShards]bucketShard[A]
+}
+
+type bucketShard[A comparable] struct {
+	mu sync.Mutex
+	m  map[A]*bucket
+	// padding to keep neighbouring shards off one cache line under
+	// concurrent senders.
+	_ [24]byte
+}
+
+type bucket struct {
+	second int64
+	count  int
+}
+
+// NewBuckets creates the limiter; shardOf spreads addresses over the 256
+// shards (only the low 8 bits of its result are used).
+func NewBuckets[A comparable](shardOf func(A) uint32) *Buckets[A] {
+	bk := &Buckets[A]{shardOf: shardOf}
+	for i := range bk.shards {
+		bk.shards[i].m = make(map[A]*bucket)
+	}
+	return bk
+}
+
+// Allow consumes one unit of the address's budget for the current
+// one-second window and reports whether the response may be sent
+// (fixed-window limit per address). limit <= 0 disables limiting.
+func (bk *Buckets[A]) Allow(addr A, limit int, now time.Duration) bool {
+	if limit <= 0 {
+		return true
+	}
+	sec := int64(now / time.Second)
+	sh := &bk.shards[bk.shardOf(addr)&(bucketShards-1)]
+	sh.mu.Lock()
+	b := sh.m[addr]
+	if b == nil {
+		b = &bucket{second: -1}
+		sh.m[addr] = b
+	}
+	if b.second != sec {
+		b.second = sec
+		b.count = 0
+	}
+	b.count++
+	ok := b.count <= limit
+	sh.mu.Unlock()
+	return ok
+}

@@ -1,0 +1,180 @@
+package simnet
+
+import (
+	"sync"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/simclock"
+)
+
+// Item is a scheduled payload in an Inbox: the payload plus its delivery
+// time and a per-inbox sequence number breaking delivery-time ties
+// deterministically.
+type Item[P any] struct {
+	DeliverAt time.Duration // since the inbox epoch
+	Seq       uint64
+	Payload   P
+}
+
+// Inbox is the receive side of a simulated connection: a value-typed
+// binary min-heap of scheduled payloads ordered by (DeliverAt, Seq),
+// drained in virtual-time order by a parked reader. It deliberately does
+// not go through container/heap: the interface-based API boxes every
+// pushed and popped element into an `any` allocation, which on the probe
+// write path would mean one heap allocation per response in flight. The
+// inlined sift operations below keep the steady-state write/read path
+// allocation-free (the backing array grows amortized and is then reused).
+type Inbox[P any] struct {
+	clock  simclock.Waiter
+	epoch  time.Time
+	parker *simclock.Parker
+
+	mu     sync.Mutex
+	heap   []Item[P]
+	seq    uint64
+	closed bool
+}
+
+// NewInbox creates an inbox on the clock. deliverAt values are relative
+// to epoch.
+func NewInbox[P any](clock simclock.Waiter, epoch time.Time) *Inbox[P] {
+	return &Inbox[P]{clock: clock, epoch: epoch, parker: clock.NewParker()}
+}
+
+// Schedule pushes copies instances of payload, copy i deliverable at
+// base+extra[i], and wakes the reader. It reports false — scheduling
+// nothing — once the inbox is closed.
+func (in *Inbox[P]) Schedule(payload P, copies int, base time.Duration, extra [2]time.Duration) bool {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return false
+	}
+	for i := 0; i < copies; i++ {
+		in.push(Item[P]{DeliverAt: base + extra[i], Seq: in.seq, Payload: payload})
+		in.seq++
+	}
+	in.mu.Unlock()
+	in.clock.Unpark(in.parker)
+	return true
+}
+
+// Next blocks until the earliest scheduled item is deliverable at the
+// current clock time and returns its payload. It reports false once the
+// inbox is closed and drained.
+func (in *Inbox[P]) Next() (P, bool) {
+	for {
+		in.mu.Lock()
+		now := in.clock.Now().Sub(in.epoch)
+		if len(in.heap) > 0 && in.heap[0].DeliverAt <= now {
+			it := in.pop()
+			in.mu.Unlock()
+			return it.Payload, true
+		}
+		if in.closed && len(in.heap) == 0 {
+			in.mu.Unlock()
+			var zero P
+			return zero, false
+		}
+		var deadline time.Time
+		if len(in.heap) > 0 {
+			deadline = in.epoch.Add(in.heap[0].DeliverAt)
+		}
+		in.mu.Unlock()
+		in.clock.Park(in.parker, deadline)
+	}
+}
+
+// Close stops further scheduling; already scheduled items remain
+// drainable, after which Next reports false.
+func (in *Inbox[P]) Close() {
+	in.mu.Lock()
+	in.closed = true
+	in.mu.Unlock()
+	in.clock.Unpark(in.parker)
+}
+
+// Len returns the number of scheduled, not yet read items.
+func (in *Inbox[P]) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.heap)
+}
+
+func (in *Inbox[P]) less(h []Item[P], i, j int) bool {
+	if h[i].DeliverAt != h[j].DeliverAt {
+		return h[i].DeliverAt < h[j].DeliverAt
+	}
+	return h[i].Seq < h[j].Seq
+}
+
+// push inserts it, sifting up to its heap position. Caller holds in.mu.
+func (in *Inbox[P]) push(it Item[P]) {
+	q := append(in.heap, it)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !in.less(q, i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	in.heap = q
+}
+
+// pop removes and returns the earliest-delivery item. Caller holds in.mu.
+func (in *Inbox[P]) pop() Item[P] {
+	q := in.heap
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(q) {
+			break
+		}
+		c := l
+		if r := l + 1; r < len(q) && in.less(q, r, l) {
+			c = r
+		}
+		if !in.less(q, c, i) {
+			break
+		}
+		q[i], q[c] = q[c], q[i]
+		i = c
+	}
+	in.heap = q
+	return top
+}
+
+// ScheduleResponse applies inbound impairments (st nil means none) to one
+// emitted response and schedules the surviving copies into the inbox,
+// accounting each outcome in stats. It reports false only when the inbox
+// is closed; an impairment-dropped response is a successful (true)
+// delivery of nothing.
+func ScheduleResponse[P any](in *Inbox[P], st *ImpairState, im *Impairments, stats *DeliveryStats, payload P, base time.Duration) bool {
+	copies := 1
+	var extra [2]time.Duration
+	if st != nil {
+		var reordered int
+		copies, extra, reordered = st.ResponseFate(im)
+		if copies == 0 {
+			stats.RepliesLost.Add(1)
+			return true
+		}
+		if copies == 2 {
+			stats.Duplicates.Add(1)
+		}
+		if reordered > 0 {
+			stats.Reordered.Add(uint64(reordered))
+		}
+	}
+	if !in.Schedule(payload, copies, base, extra) {
+		return false
+	}
+	stats.Responses.Add(uint64(copies))
+	return true
+}

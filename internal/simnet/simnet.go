@@ -1,0 +1,28 @@
+// Package simnet is the address-family-independent substrate shared by
+// the IPv4 (netsim) and IPv6 (netsim6) network simulators: the
+// deterministic impairment model, the value-typed delivery inbox, the
+// sharded ICMP rate-limit buckets, and the delivery-side statistics.
+//
+// Everything here is generic over the payload or address representation;
+// the family packages supply wire formats, topologies and RTT models and
+// compose these pieces into their Conn types. Keeping the substrate in
+// one place means an impairment or scheduling fix lands once and both
+// families inherit it — the same argument the engine makes for a single
+// generic scanner core.
+package simnet
+
+import "sync/atomic"
+
+// DeliveryStats counts delivery-side events common to both simulator
+// families. Family simulators embed it in their Stats structs so the
+// counters promote to the familiar field names. All fields are updated
+// atomically and may be read during a scan.
+type DeliveryStats struct {
+	Responses atomic.Uint64 // responses delivered to the inbox
+
+	// Impairment-layer counters (all zero on a perfect network).
+	ProbesLost  atomic.Uint64 // outbound probes dropped before any hop
+	RepliesLost atomic.Uint64 // responses dropped after the responder sent them
+	Duplicates  atomic.Uint64 // packets (either direction) delivered twice
+	Reordered   atomic.Uint64 // response copies delayed by the reordering window
+}

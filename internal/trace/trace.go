@@ -7,6 +7,12 @@
 // the response stream and never feeds back into probing. That separation
 // is preserved here: engines emit (destination, TTL, hop, RTT) tuples and
 // "destination reached" events; this package stores and analyzes them.
+//
+// The store is generic over the address representation: the IPv4 engine
+// instantiates it at uint32 (the Hop/Route/Store aliases below), the IPv6
+// engine at its 16-byte address type. Formatting and ordering — the only
+// family-specific operations the store needs — are injected at
+// construction.
 package trace
 
 import (
@@ -20,28 +26,36 @@ import (
 	"github.com/flashroute/flashroute/internal/probe"
 )
 
-// Hop is one discovered interface on a route.
-type Hop struct {
+// HopOf is one discovered interface on a route.
+type HopOf[A comparable] struct {
 	TTL  uint8         // hop distance from the vantage point
-	Addr uint32        // interface address that responded
+	Addr A             // interface address that responded
 	RTT  time.Duration // round-trip time derived from the probe timestamp
 }
 
-// Route is the discovered path to one destination.
-type Route struct {
-	Dst     uint32 // the probed destination address
-	Hops    []Hop  // sorted by TTL ascending; gaps are unresponsive hops
-	Reached bool   // destination answered (host/port/proto unreachable)
+// RouteOf is the discovered path to one destination.
+type RouteOf[A comparable] struct {
+	Dst     A          // the probed destination address
+	Hops    []HopOf[A] // sorted by TTL ascending; gaps are unresponsive hops
+	Reached bool       // destination answered (host/port/proto unreachable)
 	// Length is the hop distance of the destination if Reached, else the
 	// largest responding TTL observed.
 	Length uint8
 }
 
-// InterfaceSet is a set of interface addresses.
-type InterfaceSet map[uint32]struct{}
+// InterfaceSetOf is a set of interface addresses.
+type InterfaceSetOf[A comparable] map[A]struct{}
+
+// IPv4 instantiations, keeping the original names for v4 call sites.
+type (
+	Hop          = HopOf[uint32]
+	Route        = RouteOf[uint32]
+	InterfaceSet = InterfaceSetOf[uint32]
+	Store        = StoreOf[uint32]
+)
 
 // Add inserts addr and reports whether it was newly added.
-func (s InterfaceSet) Add(addr uint32) bool {
+func (s InterfaceSetOf[A]) Add(addr A) bool {
 	if _, ok := s[addr]; ok {
 		return false
 	}
@@ -50,40 +64,53 @@ func (s InterfaceSet) Add(addr uint32) bool {
 }
 
 // Has reports membership.
-func (s InterfaceSet) Has(addr uint32) bool {
+func (s InterfaceSetOf[A]) Has(addr A) bool {
 	_, ok := s[addr]
 	return ok
 }
 
 // Len returns the set cardinality.
-func (s InterfaceSet) Len() int { return len(s) }
+func (s InterfaceSetOf[A]) Len() int { return len(s) }
 
-// Store accumulates scan results. It is written by a single receiver
+// StoreOf accumulates scan results. It is written by a single receiver
 // goroutine (the engines' response thread) and read after the scan; it is
 // not safe for concurrent mutation.
-type Store struct {
-	routes     map[uint32]*Route
-	interfaces InterfaceSet
-	// CollectRoutes controls whether per-destination hop lists are kept.
+type StoreOf[A comparable] struct {
+	routes     map[A]*RouteOf[A]
+	interfaces InterfaceSetOf[A]
+	// collectRoutes controls whether per-destination hop lists are kept.
 	// Interface counting alone needs far less memory, which matters for
 	// full-universe scans.
 	collectRoutes bool
+
+	format func(A) string  // address rendering for the writers
+	less   func(A, A) bool // address ordering for deterministic output
 }
 
-// NewStore returns a Store. If collectRoutes is false, only the interface
-// set and per-destination reach/length summaries are kept.
-func NewStore(collectRoutes bool) *Store {
-	return &Store{
-		routes:        make(map[uint32]*Route),
-		interfaces:    make(InterfaceSet),
+// NewStoreOf returns a store over the address type A; format and less
+// supply the family's address rendering and ordering for the writers. If
+// collectRoutes is false, only the interface set and per-destination
+// reach/length summaries are kept.
+func NewStoreOf[A comparable](collectRoutes bool, format func(A) string, less func(A, A) bool) *StoreOf[A] {
+	return &StoreOf[A]{
+		routes:        make(map[A]*RouteOf[A]),
+		interfaces:    make(InterfaceSetOf[A]),
 		collectRoutes: collectRoutes,
+		format:        format,
+		less:          less,
 	}
 }
 
-func (st *Store) route(dst uint32) *Route {
+// NewStore returns an IPv4 store.
+func NewStore(collectRoutes bool) *Store {
+	return NewStoreOf[uint32](collectRoutes, probe.FormatAddr,
+		func(a, b uint32) bool { return a < b })
+}
+
+func (st *StoreOf[A]) route(dst A) *RouteOf[A] {
 	r := st.routes[dst]
 	if r == nil {
-		r = &Route{Dst: dst}
+		r = &RouteOf[A]{Dst: dst}
 		st.routes[dst] = r
 	}
 	return r
@@ -91,21 +118,21 @@ func (st *Store) route(dst uint32) *Route {
 
 // AddHop records a TTL-exceeded response from addr for a probe to dst at
 // the given TTL.
-func (st *Store) AddHop(dst uint32, ttl uint8, addr uint32, rtt time.Duration) {
+func (st *StoreOf[A]) AddHop(dst A, ttl uint8, addr A, rtt time.Duration) {
 	st.AddHopReportNew(dst, ttl, addr, rtt)
 }
 
 // AddHopReportNew is AddHop, additionally reporting whether addr is a
 // never-before-seen interface (Yarrp's neighborhood protection keys off
 // this signal).
-func (st *Store) AddHopReportNew(dst uint32, ttl uint8, addr uint32, rtt time.Duration) bool {
+func (st *StoreOf[A]) AddHopReportNew(dst A, ttl uint8, addr A, rtt time.Duration) bool {
 	isNew := st.interfaces.Add(addr)
 	r := st.route(dst)
 	if ttl > r.Length && !r.Reached {
 		r.Length = ttl
 	}
 	if st.collectRoutes {
-		r.Hops = append(r.Hops, Hop{TTL: ttl, Addr: addr, RTT: rtt})
+		r.Hops = append(r.Hops, HopOf[A]{TTL: ttl, Addr: addr, RTT: rtt})
 	}
 	return isNew
 }
@@ -118,7 +145,7 @@ func (st *Store) AddHopReportNew(dst uint32, ttl uint8, addr uint32, rtt time.Du
 // "interfaces discovered" metric counts router interfaces revealed by
 // TTL-exceeded responses (see DESIGN.md — this is the only reading
 // consistent with the paper's Table 3 and §5.1 numbers simultaneously).
-func (st *Store) SetReached(dst uint32, ttl uint8, addr uint32, rtt time.Duration) {
+func (st *StoreOf[A]) SetReached(dst A, ttl uint8, addr A, rtt time.Duration) {
 	r := st.route(dst)
 	wasReached := r.Reached
 	r.Reached = true
@@ -128,16 +155,16 @@ func (st *Store) SetReached(dst uint32, ttl uint8, addr uint32, rtt time.Duratio
 	// Probes beyond the destination's distance all reach it and answer;
 	// record the destination hop once.
 	if st.collectRoutes && ttl > 0 && !wasReached {
-		r.Hops = append(r.Hops, Hop{TTL: ttl, Addr: addr, RTT: rtt})
+		r.Hops = append(r.Hops, HopOf[A]{TTL: ttl, Addr: addr, RTT: rtt})
 	}
 }
 
 // Interfaces returns the set of unique responding interfaces.
-func (st *Store) Interfaces() InterfaceSet { return st.interfaces }
+func (st *StoreOf[A]) Interfaces() InterfaceSetOf[A] { return st.interfaces }
 
 // Route returns the route to dst with hops sorted by TTL, or nil if no
 // response involving dst was recorded.
-func (st *Store) Route(dst uint32) *Route {
+func (st *StoreOf[A]) Route(dst A) *RouteOf[A] {
 	r := st.routes[dst]
 	if r == nil {
 		return nil
@@ -147,11 +174,11 @@ func (st *Store) Route(dst uint32) *Route {
 }
 
 // NumRoutes returns the number of destinations with at least one response.
-func (st *Store) NumRoutes() int { return len(st.routes) }
+func (st *StoreOf[A]) NumRoutes() int { return len(st.routes) }
 
 // ForEachRoute calls fn for every stored route. Hop order within a route
 // is unspecified unless Route() was used.
-func (st *Store) ForEachRoute(fn func(*Route)) {
+func (st *StoreOf[A]) ForEachRoute(fn func(*RouteOf[A])) {
 	for _, r := range st.routes {
 		fn(r)
 	}
@@ -162,8 +189,8 @@ func (st *Store) ForEachRoute(fn func(*Route)) {
 // (stub networks bouncing packets for nonexistent addresses back to their
 // ISP). A repeat at adjacent TTLs is not a loop: it is the signature of a
 // route that gained or lost one hop mid-scan (route dynamics).
-func (r *Route) HasLoop() bool {
-	seen := make(map[uint32]uint8, len(r.Hops))
+func (r *RouteOf[A]) HasLoop() bool {
+	seen := make(map[A]uint8, len(r.Hops))
 	for _, h := range r.Hops {
 		if prev, ok := seen[h.Addr]; ok {
 			d := int(h.TTL) - int(prev)
@@ -180,24 +207,30 @@ func (r *Route) HasLoop() bool {
 }
 
 // HopAt returns the interface observed at the given TTL, if any.
-func (r *Route) HopAt(ttl uint8) (uint32, bool) {
+func (r *RouteOf[A]) HopAt(ttl uint8) (A, bool) {
 	for _, h := range r.Hops {
 		if h.TTL == ttl {
 			return h.Addr, true
 		}
 	}
-	return 0, false
+	var zero A
+	return zero, false
+}
+
+// sortedDsts returns the stored destinations in st.less order.
+func (st *StoreOf[A]) sortedDsts() []A {
+	dsts := make([]A, 0, len(st.routes))
+	for d := range st.routes {
+		dsts = append(dsts, d)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return st.less(dsts[i], dsts[j]) })
+	return dsts
 }
 
 // WriteJSONL writes one JSON object per route:
 // {"dst":"a.b.c.d","reached":bool,"length":n,"hops":[{"ttl":n,"addr":"...","rtt_us":n},...]}.
-func (st *Store) WriteJSONL(w io.Writer) error {
+func (st *StoreOf[A]) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	dsts := make([]uint32, 0, len(st.routes))
-	for d := range st.routes {
-		dsts = append(dsts, d)
-	}
-	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
 	type jsonHop struct {
 		TTL   uint8  `json:"ttl"`
 		Addr  string `json:"addr"`
@@ -210,17 +243,17 @@ func (st *Store) WriteJSONL(w io.Writer) error {
 		Hops    []jsonHop `json:"hops"`
 	}
 	enc := json.NewEncoder(bw)
-	for _, d := range dsts {
+	for _, d := range st.sortedDsts() {
 		r := st.Route(d)
 		jr := jsonRoute{
-			Dst:     probe.FormatAddr(d),
+			Dst:     st.format(d),
 			Reached: r.Reached,
 			Length:  r.Length,
 			Hops:    make([]jsonHop, 0, len(r.Hops)),
 		}
 		for _, h := range r.Hops {
 			jr.Hops = append(jr.Hops, jsonHop{
-				TTL: h.TTL, Addr: probe.FormatAddr(h.Addr), RTTus: h.RTT.Microseconds(),
+				TTL: h.TTL, Addr: st.format(h.Addr), RTTus: h.RTT.Microseconds(),
 			})
 		}
 		if err := enc.Encode(&jr); err != nil {
@@ -232,17 +265,12 @@ func (st *Store) WriteJSONL(w io.Writer) error {
 
 // WriteCSV writes all stored routes as CSV rows:
 // destination,ttl,hop,rtt_us,reached.
-func (st *Store) WriteCSV(w io.Writer) error {
+func (st *StoreOf[A]) WriteCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintln(bw, "destination,ttl,hop,rtt_us,reached"); err != nil {
 		return err
 	}
-	dsts := make([]uint32, 0, len(st.routes))
-	for d := range st.routes {
-		dsts = append(dsts, d)
-	}
-	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
-	for _, d := range dsts {
+	for _, d := range st.sortedDsts() {
 		r := st.Route(d)
 		for _, h := range r.Hops {
 			reached := 0
@@ -250,7 +278,7 @@ func (st *Store) WriteCSV(w io.Writer) error {
 				reached = 1
 			}
 			if _, err := fmt.Fprintf(bw, "%s,%d,%s,%d,%d\n",
-				probe.FormatAddr(d), h.TTL, probe.FormatAddr(h.Addr),
+				st.format(d), h.TTL, st.format(h.Addr),
 				h.RTT.Microseconds(), reached); err != nil {
 				return err
 			}

@@ -11,8 +11,10 @@
 package yarrp6
 
 import (
+	"bytes"
 	"errors"
 	"io"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -81,8 +83,27 @@ func (r *Result) HasInterface(a probe6.Addr) bool {
 	return ok
 }
 
+// Interfaces returns the discovered router interfaces in ascending
+// address order.
+func (r *Result) Interfaces() []probe6.Addr {
+	out := make([]probe6.Addr, 0, len(r.interfaces))
+	for a := range r.interfaces {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i][:], out[j][:]) < 0
+	})
+	return out
+}
+
 // ReachedCount returns how many targets answered.
 func (r *Result) ReachedCount() int { return len(r.reached) }
+
+// HasReached reports whether the target answered.
+func (r *Result) HasReached(a probe6.Addr) bool {
+	_, ok := r.reached[a]
+	return ok
+}
 
 // Scanner runs Yarrp6 scans.
 type Scanner struct {

@@ -21,7 +21,12 @@ type Sim6Config struct {
 	TargetsPerPrefix int
 	Seed             int64
 	RealTime         bool
-	// Mutate adjusts topology parameters before generation.
+	// Impair layers the shared packet-level pathologies (loss, burst
+	// loss, duplication, reordering, jitter) over the IPv6 network — the
+	// same model, knobs and determinism guarantees as SimConfig.Impair.
+	Impair Impairments
+	// Mutate adjusts topology parameters before generation. It runs after
+	// Impair is applied and may override it.
 	Mutate func(*netsim6.Params)
 }
 
@@ -42,6 +47,7 @@ func NewSimulation6(cfg Sim6Config) *Simulation6 {
 	if cfg.TargetsPerPrefix > 0 {
 		p.TargetsPerPrefix = cfg.TargetsPerPrefix
 	}
+	p.Impair = cfg.Impair.toNetsim()
 	if cfg.Mutate != nil {
 		cfg.Mutate(&p)
 	}
@@ -64,6 +70,23 @@ func (s *Simulation6) Vantage() Addr6 { return s.topo.Vantage() }
 // TrueDistance returns the ground-truth hop distance of a target.
 func (s *Simulation6) TrueDistance(a Addr6) uint8 { return s.topo.DistanceNow(a) }
 
+// Stats reports the network-side counters accumulated so far (same
+// impairment accounting as Simulation.Stats; RateLimited counts
+// per-interface ICMP budget drops, SilentHops unanswering routers).
+func (s *Simulation6) Stats() SimStats {
+	return SimStats{
+		ProbesSeen:  s.net.Stats.ProbesSent.Load(),
+		Responses:   s.net.Stats.Responses.Load(),
+		RateLimited: s.net.Stats.RateLimited.Load(),
+		SilentHops:  s.net.Stats.Silent.Load(),
+		NoRoute:     s.net.Stats.NoRoute.Load(),
+		ProbesLost:  s.net.Stats.ProbesLost.Load(),
+		RepliesLost: s.net.Stats.RepliesLost.Load(),
+		Duplicates:  s.net.Stats.Duplicates.Load(),
+		Reordered:   s.net.Stats.Reordered.Load(),
+	}
+}
+
 // Config6 parameterizes a FlashRoute6 scan. Zero TTL/PPS fields mean the
 // defaults (split 16, gap 5, 100 Kpps, preprobing with same-prefix
 // prediction).
@@ -74,6 +97,20 @@ type Config6 struct {
 	SplitTTL uint8
 	GapLimit uint8
 	PPS      int
+
+	// Senders is the number of sending goroutines sharing the PPS budget
+	// (same engine knob as Config.Senders); 0 and 1 both mean the
+	// deterministic single-sender configuration.
+	Senders int
+
+	// PreprobeRetries and ForwardRetries enable the engine's loss
+	// tolerance for IPv6 scans exactly as for IPv4: extra preprobe passes
+	// over still-unmeasured targets, and rewinds of forward gaps that
+	// went silent. ForwardTimeout is how long a silent gap must age
+	// before a rewind (0 means the engine default).
+	PreprobeRetries int
+	ForwardRetries  int
+	ForwardTimeout  time.Duration
 
 	PreprobeOff             bool
 	NoSamePrefixPrediction  bool
@@ -102,6 +139,14 @@ func (r *Result6) ReachedCount() int { return r.inner.ReachedCount() }
 // DistancesMeasured / DistancesPredicted report preprobing coverage.
 func (r *Result6) DistancesMeasured() int  { return r.inner.DistancesMeasured }
 func (r *Result6) DistancesPredicted() int { return r.inner.DistancesPredicted }
+
+// RetransmittedProbes returns how many probes the loss-tolerance retries
+// re-issued (0 unless PreprobeRetries or ForwardRetries were set).
+func (r *Result6) RetransmittedProbes() uint64 { return r.inner.RetransmittedProbes }
+
+// DuplicateResponses returns how many replies the duplicate guard
+// discarded.
+func (r *Result6) DuplicateResponses() uint64 { return r.inner.DuplicateResponses }
 
 // Route6 is a discovered IPv6 route.
 type Route6 struct {
@@ -153,6 +198,10 @@ func (s *Simulation6) Scan(cfg Config6) (*Result6, error) {
 	if cfg.PPS != 0 {
 		ic.PPS = cfg.PPS
 	}
+	ic.Senders = cfg.Senders
+	ic.PreprobeRetries = cfg.PreprobeRetries
+	ic.ForwardRetries = cfg.ForwardRetries
+	ic.ForwardTimeout = cfg.ForwardTimeout
 	ic.Preprobe = !cfg.PreprobeOff
 	ic.SamePrefixPrediction = !cfg.NoSamePrefixPrediction
 	ic.NoRedundancyElimination = cfg.NoRedundancyElimination
