@@ -183,6 +183,34 @@ func BenchmarkSenderScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkReceiverScaling measures the unthrottled probing rate at 1, 2,
+// 4 and 8 receive workers with the sender count fixed at 4, on the Table 5
+// fast network. R=1 is the classic inline receiver and must be no worse
+// than before the pipeline existed; allocation reporting keeps the
+// steady-state receive path honest (parse, dispatch and reply processing
+// must not allocate per packet).
+func BenchmarkReceiverScaling(b *testing.B) {
+	b.ReportAllocs()
+	counts := []int{1, 2, 4, 8}
+	sums := make(map[int]float64)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ReceiverScaling(
+			experiments.NewScenario(4096, int64(42+i)), 4, counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			if row.Interfaces == 0 {
+				b.Fatalf("receivers=%d discovered no interfaces", row.Receivers)
+			}
+			sums[row.Receivers] += row.MeasuredKpps
+		}
+	}
+	for _, r := range counts {
+		b.ReportMetric(sums[r]/float64(b.N), fmt.Sprintf("r%d-kpps", r))
+	}
+}
+
 // BenchmarkSenderScaling6 is BenchmarkSenderScaling through the IPv6
 // instantiation of the generic engine: the sharded sender path must scale
 // the same way whatever the address family, and the interface count must

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,6 +38,7 @@ func main() {
 		gap        = flag.Int("gap", 5, "forward-probing gap limit")
 		pps        = flag.Int("pps", 100000, "probing rate in packets per second (0 = unthrottled)")
 		senders    = flag.Int("senders", 1, "number of sending goroutines (1 = deterministic paper-faithful mode)")
+		receivers  = flag.Int("receivers", 1, "number of reply-processing workers (1 = paper-faithful inline receiver)")
 		preprobe   = flag.String("preprobe", "random", "preprobing mode: off, random, hitlist")
 		span       = flag.Int("span", 5, "proximity span for distance prediction")
 		noRedund   = flag.Bool("no-redundancy", false, "disable backward-probing redundancy elimination")
@@ -60,8 +63,24 @@ func main() {
 		preprobeRetries = flag.Int("preprobe-retries", 0, "extra preprobe passes over still-unmeasured blocks")
 		forwardRetries  = flag.Int("forward-retries", 0, "per-destination forward-probing retries after silence")
 		forwardTimeout  = flag.Duration("forward-timeout", 0, "silence before a forward retry fires (default 500ms)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the scan to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile after the scan to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProfile)
 
 	impair := flashroute.Impairments{
 		LossProb:      *loss,
@@ -85,6 +104,7 @@ func main() {
 			gap:             uint8(*gap),
 			pps:             *pps,
 			senders:         *senders,
+			receivers:       *receivers,
 			preprobe:        *preprobe,
 			preprobeRetries: *preprobeRetries,
 			forwardRetries:  *forwardRetries,
@@ -135,6 +155,7 @@ func main() {
 		cfg.PPS = *pps
 	}
 	cfg.Senders = *senders
+	cfg.Receivers = *receivers
 	switch *preprobe {
 	case "off":
 		cfg.Preprobe = flashroute.PreprobeOff
@@ -203,6 +224,7 @@ func main() {
 		Reordered:           st.Reordered,
 		Retransmitted:       res.RetransmittedProbes(),
 		DuplicatesDiscarded: res.DuplicateResponses(),
+		ReadErrors:          res.ReadErrors(),
 	}
 	if resil.Any() {
 		if err := resil.WriteText(os.Stdout); err != nil {
@@ -247,6 +269,7 @@ type scan6Opts struct {
 	split, gap          uint8
 	pps                 int
 	senders             int
+	receivers           int
 	preprobe            string
 	preprobeRetries     int
 	forwardRetries      int
@@ -281,6 +304,7 @@ func scan6(o scan6Opts) {
 		GapLimit:                o.gap,
 		PPS:                     o.pps,
 		Senders:                 o.senders,
+		Receivers:               o.receivers,
 		PreprobeOff:             o.preprobe == "off",
 		PreprobeRetries:         o.preprobeRetries,
 		ForwardRetries:          o.forwardRetries,
@@ -306,11 +330,31 @@ func scan6(o scan6Opts) {
 		Reordered:           st.Reordered,
 		Retransmitted:       res.RetransmittedProbes(),
 		DuplicatesDiscarded: res.DuplicateResponses(),
+		ReadErrors:          res.ReadErrors(),
 	}
 	if resil.Any() {
 		if err := resil.WriteText(os.Stdout); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// writeMemProfile snapshots the heap after the scan (post-GC, so live
+// memory rather than garbage dominates the profile).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
 }
 

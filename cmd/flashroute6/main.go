@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/flashroute/flashroute"
 	"github.com/flashroute/flashroute/internal/experiments"
@@ -25,6 +27,7 @@ func main() {
 		gap       = flag.Int("gap", 5, "forward-probing gap limit")
 		pps       = flag.Int("pps", 0, "probing rate (default: scaled to list size)")
 		senders   = flag.Int("senders", 1, "number of sending goroutines (1 = deterministic mode)")
+		receivers = flag.Int("receivers", 1, "number of reply-processing workers (1 = inline receiver)")
 		compare   = flag.Bool("compare-yarrp6", false, "also run the Yarrp6 baseline and compare")
 
 		loss          = flag.Float64("loss", 0, "independent packet loss probability (0..1)")
@@ -34,8 +37,24 @@ func main() {
 
 		preprobeRetries = flag.Int("preprobe-retries", 0, "extra preprobe passes over still-unmeasured targets")
 		forwardRetries  = flag.Int("forward-retries", 0, "per-target forward-probing retries after silence")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the scan to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile after the scan to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProfile)
 
 	if *compare {
 		r, err := experiments.IPv6Comparison(*prefixes, *perPrefix, *seed)
@@ -73,6 +92,7 @@ func main() {
 		GapLimit:        uint8(*gap),
 		PPS:             rate,
 		Senders:         *senders,
+		Receivers:       *receivers,
 		PreprobeRetries: *preprobeRetries,
 		ForwardRetries:  *forwardRetries,
 	})
@@ -95,11 +115,31 @@ func main() {
 		Reordered:           st.Reordered,
 		Retransmitted:       res.RetransmittedProbes(),
 		DuplicatesDiscarded: res.DuplicateResponses(),
+		ReadErrors:          res.ReadErrors(),
 	}
 	if resil.Any() {
 		if err := resil.WriteText(os.Stdout); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// writeMemProfile snapshots the heap after the scan (post-GC, so live
+// memory rather than garbage dominates the profile).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
 }
 

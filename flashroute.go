@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"github.com/flashroute/flashroute/internal/core"
+	"github.com/flashroute/flashroute/internal/netsim"
 	"github.com/flashroute/flashroute/internal/output"
 	"github.com/flashroute/flashroute/internal/probe"
 	"github.com/flashroute/flashroute/internal/simclock"
@@ -101,6 +102,15 @@ type Config struct {
 	// configuration, and the only one whose probe interleaving is
 	// deterministic on the simulation's virtual clock.
 	Senders int
+	// Receivers is the number of reply-processing workers. With >1 the
+	// receive path is sharded: workers parse packets in parallel and
+	// dispatch each decoded reply to the worker owning block % Receivers
+	// (block-affinity dispatch). <=0 and 1 both mean the classic single
+	// inline receiver — the paper's configuration (§3.2), bit-identical
+	// to previous releases. Simulation-backed scans wire the per-worker
+	// read handles automatically; custom transports must implement
+	// NewReader on their PacketConn (see core.PacketReader).
+	Receivers int
 
 	// Preprobe selects the preprobing mode (default PreprobeRandom);
 	// PreprobeTargets supplies hitlist addresses for PreprobeHitlist.
@@ -190,6 +200,7 @@ func (c Config) toCore() core.Config {
 		cc.PPS = 0
 	}
 	cc.Senders = c.Senders
+	cc.Receivers = c.Receivers
 	cc.Preprobe = core.PreprobeMode(c.Preprobe)
 	cc.PreprobeTargets = core.TargetFunc(c.PreprobeTargets)
 	cc.ProximitySpan = c.ProximitySpan
@@ -316,6 +327,10 @@ func (r *Result) RetransmittedProbes() uint64 { return r.inner.RetransmittedProb
 // re-answers elicited by retransmitted probes.
 func (r *Result) DuplicateResponses() uint64 { return r.inner.DuplicateResponses }
 
+// ReadErrors counts receive-path read errors (transport failures distinct
+// from unparseable packets).
+func (r *Result) ReadErrors() uint64 { return r.inner.ReadErrors }
+
 // WriteCSV writes collected routes as CSV (destination,ttl,hop,rtt_us,
 // reached).
 func (r *Result) WriteCSV(w interface{ Write([]byte) (int, error) }) error {
@@ -342,7 +357,15 @@ type Scanner struct {
 
 // NewScanner validates the configuration and binds it to a transport.
 func NewScanner(cfg Config, conn PacketConn, clock Clock) (*Scanner, error) {
-	sc, err := core.NewScanner(cfg.toCore(), conn, clock)
+	cc := cfg.toCore()
+	// Simulation connections know how to hand out per-receiver read
+	// handles; wire them up so Receivers > 1 works out of the box.
+	if cfg.Receivers > 1 {
+		if nc, ok := conn.(*netsim.Conn); ok {
+			cc.NewReader = func() core.PacketReader { return nc.NewReader() }
+		}
+	}
+	sc, err := core.NewScanner(cc, conn, clock)
 	if err != nil {
 		return nil, err
 	}

@@ -41,6 +41,21 @@ type PacketConn interface {
 	Close() error
 }
 
+// PacketReader is a per-receiver read handle for the sharded receive
+// pipeline (Config.Receivers > 1): each receive worker owns one, so R
+// workers can block on the transport concurrently. ReadPacket has one
+// extension over PacketConn's: it may return (0, nil) when the wait was
+// interrupted by Wake before a packet arrived, letting the worker service
+// replies dispatched to it by its siblings. Wake must be safe to call
+// from any goroutine and must release a concurrently blocked (or the
+// next) ReadPacket. netsim's and netsim6's Conn.NewReader provide the
+// simulated implementations; a production deployment would back it with
+// a per-worker raw socket or a shared ring with per-worker eventfds.
+type PacketReader interface {
+	ReadPacket(buf []byte) (int, error)
+	Wake()
+}
+
 // TargetFunc supplies the representative address probed for a block
 // (IPv4 form; the generic ConfigOf uses the equivalent raw func type).
 type TargetFunc func(block int) uint32
@@ -112,6 +127,22 @@ type ConfigOf[A comparable] struct {
 	// interleaving (and with it rate-limit and route-dynamics timing) is
 	// only deterministic with one sender on the virtual clock.
 	Senders int
+
+	// Receivers is the number of reply-processing workers. The paper's
+	// engine has exactly one receiving thread (§3.2); with Receivers > 1
+	// the receive path is sharded: every worker pulls raw packets from its
+	// own PacketReader and parses them in parallel, then dispatches each
+	// decoded reply to the worker owning block % Receivers, so each DCB,
+	// stop-set shard and trace-store stripe keeps a single writer. <= 0
+	// and 1 both mean the classic inline receiver, bit-identical to the
+	// paper configuration.
+	Receivers int
+
+	// NewReader supplies the per-worker read handles of the sharded
+	// receive pipeline; required when Receivers > 1 (each call must return
+	// a handle safe to use concurrently with its siblings), ignored
+	// otherwise.
+	NewReader func() PacketReader
 
 	// Preprobe selects the preprobing mode; PreprobeTargets supplies
 	// hitlist addresses when PreprobeHitlist is used (ignored otherwise).

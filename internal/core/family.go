@@ -62,6 +62,10 @@ type Family[A comparable] interface {
 	// rendering and deterministic output order.
 	FormatAddr(a A) string
 	AddrLess(a, b A) bool
+	// HashAddr hashes an address for the sharded stop set (shard pick of
+	// the receive pipeline). It needs good avalanche over all address
+	// bits, not cryptographic strength.
+	HashAddr(a A) uint64
 }
 
 // maxProbeBuf is the per-shard probe buffer size, sized for the largest
@@ -116,6 +120,13 @@ func (ipv4Family) ParseReply(pkt []byte, scanOffset uint16, now time.Duration) R
 
 func (ipv4Family) FormatAddr(a uint32) string { return probe.FormatAddr(a) }
 func (ipv4Family) AddrLess(a, b uint32) bool  { return a < b }
+
+func (ipv4Family) HashAddr(a uint32) uint64 {
+	// splitmix64 finalizer over the 32-bit address.
+	z := uint64(a) * 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return z ^ (z >> 31)
+}
 
 // distanceFrom recovers the destination's hop distance from a
 // destination-unreachable response: initial TTL minus residual plus one.

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/flashroute/flashroute/internal/netsim"
+)
+
+// runReceivers runs the env's scan with the given sender and receiver
+// counts, wiring the per-worker read handles from a fresh connection.
+func (e *testEnv) runReceivers(t testing.TB, senders, receivers int) *Result {
+	t.Helper()
+	e.cfg.Senders = senders
+	e.cfg.Receivers = receivers
+	conn := e.net.NewConn()
+	if receivers > 1 {
+		e.cfg.NewReader = func() PacketReader { return conn.NewReader() }
+	}
+	sc, err := NewScanner(e.cfg, conn, e.clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestReceiverGridTopologyInvariant: every Senders × Receivers combination
+// of {1,4} × {1,4} must discover exactly the interfaces and reach exactly
+// the destinations the sequential (1,1) scan does. The lockstep
+// environment makes the discovered topology a pure function of the probe
+// set, so the equality is exact, not statistical. Run under -race this
+// also exercises four parsers dispatching into four single-writer shards.
+func TestReceiverGridTopologyInvariant(t *testing.T) {
+	const blocks, seed = 1024, 11
+
+	base := newLockstepEnv(t, blocks, seed).runReceivers(t, 1, 1)
+	baseFP := fpOf(base)
+	if base.Store.Interfaces().Len() == 0 {
+		t.Fatal("baseline discovered nothing")
+	}
+
+	for _, senders := range []int{1, 4} {
+		for _, receivers := range []int{1, 4} {
+			if senders == 1 && receivers == 1 {
+				continue
+			}
+			res := newLockstepEnv(t, blocks, seed).runReceivers(t, senders, receivers)
+			if fp := fpOf(res); fp != baseFP {
+				t.Errorf("senders=%d receivers=%d: fingerprint %#x, want %#x (interfaces %d vs %d, reached %d vs %d)",
+					senders, receivers, fp, baseFP,
+					res.Store.Interfaces().Len(), base.Store.Interfaces().Len(),
+					len(reachedSet(res)), len(reachedSet(base)))
+			}
+			if res.ReadErrors != 0 {
+				t.Errorf("senders=%d receivers=%d: %d read errors on a healthy transport",
+					senders, receivers, res.ReadErrors)
+			}
+		}
+	}
+}
+
+// TestReceiverOneGoldenFingerprint pins Receivers: 1 to the exact goldens
+// captured before the sharded receive pipeline existed (the same values
+// TestImpairmentZeroFingerprint pins): the single-receiver path must stay
+// bit-identical, probe for probe, whatever the sender count.
+func TestReceiverOneGoldenFingerprint(t *testing.T) {
+	single := []struct {
+		seed   int64
+		fp     uint64
+		probes uint64
+	}{
+		{1, 0xe464436d2a0b477e, 10985},
+		{7, 0xf723e4bc94b806ca, 10440},
+		{21, 0x477f025e0ae0c8fe, 11313},
+	}
+	for _, tc := range single {
+		e := newEnv(t, 1024, tc.seed)
+		res := e.runReceivers(t, 1, 1)
+		if fp := fpOf(res); fp != tc.fp {
+			t.Errorf("seed %d senders=1 receivers=1: fingerprint %#x, want %#x", tc.seed, fp, tc.fp)
+		}
+		if res.ProbesSent != tc.probes {
+			t.Errorf("seed %d senders=1 receivers=1: probes %d, want %d", tc.seed, res.ProbesSent, tc.probes)
+		}
+	}
+
+	// Senders: 4 is only order-invariant in the lockstep environment;
+	// these are the same multi-sender goldens the impairment suite pins.
+	multi := []struct {
+		seed int64
+		fp   uint64
+	}{
+		{1, 0xe7dc416d629f035c},
+		{7, 0x500ee780aefb45e9},
+		{21, 0xf9ab8ad983ad9858},
+	}
+	for _, tc := range multi {
+		e := newLockstepEnv(t, 1024, tc.seed)
+		res := e.runReceivers(t, 4, 1)
+		if fp := fpOf(res); fp != tc.fp {
+			t.Errorf("seed %d senders=4 receivers=1: fingerprint %#x, want %#x", tc.seed, fp, tc.fp)
+		}
+	}
+}
+
+// TestReceiverImpairedLossInvariant: under 5% packet loss the sharded
+// pipeline must still discover exactly what the inline receiver does. In
+// the lockstep environment with one sender the impairment draws are
+// send-side deterministic — the same packets are lost in both runs — so
+// the equality is exact even though the network is lossy.
+func TestReceiverImpairedLossInvariant(t *testing.T) {
+	run := func(receivers int) *Result {
+		e := newLockstepEnv(t, 1024, 9)
+		e.topo.P.Impair = netsim.Impairments{LossProb: 0.05}
+		return e.runReceivers(t, 1, receivers)
+	}
+	inline := run(1)
+	sharded := run(4)
+
+	if fi, fs := fpOf(inline), fpOf(sharded); fi != fs {
+		t.Errorf("5%% loss: receivers=4 fingerprint %#x, receivers=1 %#x (interfaces %d vs %d)",
+			fs, fi, sharded.Store.Interfaces().Len(), inline.Store.Interfaces().Len())
+	}
+	if inline.Store.Interfaces().Len() == 0 {
+		t.Fatal("lossy baseline discovered nothing")
+	}
+}
+
+// readErrConn fails its first read with a transport error, then passes
+// through. The receiver must count the failure as a read error — not as
+// an unparseable packet — and exit cleanly.
+type readErrConn struct {
+	PacketConn
+	failed bool
+}
+
+func (c *readErrConn) ReadPacket(buf []byte) (int, error) {
+	if !c.failed {
+		c.failed = true
+		return 0, errors.New("transport busted")
+	}
+	return c.PacketConn.ReadPacket(buf)
+}
+
+// TestReceiverReadErrorCounted: a non-EOF read failure surfaces in
+// Result.ReadErrors and leaves UnparsedResponses alone (the historical
+// behavior folded transport failures into the unparsed count).
+func TestReceiverReadErrorCounted(t *testing.T) {
+	e := newEnv(t, 64, 3)
+	conn := &readErrConn{PacketConn: e.net.NewConn()}
+	sc, err := NewScanner(e.cfg, conn, e.clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadErrors != 1 {
+		t.Errorf("ReadErrors = %d, want 1", res.ReadErrors)
+	}
+	if res.UnparsedResponses != 0 {
+		t.Errorf("read error leaked into UnparsedResponses: %d", res.UnparsedResponses)
+	}
+}
+
+// TestReceiverRequiresNewReader: Receivers > 1 without read handles is a
+// configuration error, caught at construction.
+func TestReceiverRequiresNewReader(t *testing.T) {
+	e := newEnv(t, 64, 1)
+	e.cfg.Receivers = 4
+	if _, err := NewScanner(e.cfg, e.net.NewConn(), e.clock); err == nil {
+		t.Fatal("Receivers=4 without NewReader accepted")
+	}
+}

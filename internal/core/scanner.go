@@ -49,6 +49,10 @@ type ResultOf[A comparable] struct {
 	// (destination, TTL) reply had already been processed this pass —
 	// duplicated or retransmit-elicited ICMP.
 	DuplicateResponses uint64
+	// ReadErrors counts transport read failures (not EOF). Distinct from
+	// UnparsedResponses: a read error is the socket failing, not a packet
+	// we could not interpret.
+	ReadErrors uint64
 }
 
 // Result is an IPv4 scan result.
@@ -77,9 +81,10 @@ type ScannerOf[A comparable] struct {
 	shards []*senderShardOf[A]
 
 	// stop set: interfaces already discovered; backward probing
-	// terminates upon encountering one (§3.2). Owned by the receiver
-	// thread except for the membership count read after the scan.
-	stopSet map[A]struct{}
+	// terminates upon encountering one (§3.2). With one receiver it is a
+	// single unlocked map owned by the receiver thread; with Receivers > 1
+	// it is sharded by address hash (see receive.go).
+	stopSet *stopSetOf[A]
 
 	distMu   sync.Mutex
 	measured []uint8
@@ -89,9 +94,17 @@ type ScannerOf[A comparable] struct {
 
 	store *trace.StoreOf[A]
 
+	// sharded receive pipeline (Config.Receivers > 1): the workers, their
+	// EOF join counter, and the striped store merged into the result when
+	// the scan ends. All nil/zero in the classic single-receiver mode.
+	recvWorkers []*recvWorkerOf[A]
+	recvEOF     atomic.Int32
+	striped     *trace.StripedStoreOf[A]
+
 	mismatched   atomic.Uint64
 	unparsed     atomic.Uint64
 	dupResponses atomic.Uint64
+	readErrors   atomic.Uint64
 
 	// obsMu serializes Config.Observer callbacks when several senders are
 	// probing concurrently, so observers need not be thread-safe.
@@ -169,6 +182,16 @@ func NewScannerOf[A comparable](fam Family[A], cfg ConfigOf[A], conn PacketConn,
 	if cfg.Senders <= 0 {
 		cfg.Senders = 1
 	}
+	if cfg.Receivers <= 0 {
+		cfg.Receivers = 1
+	}
+	if cfg.Receivers > 1 && cfg.NewReader == nil {
+		return nil, errors.New("core: Receivers > 1 requires Config.NewReader")
+	}
+	// Map capacity hints (the pre-sizing below): a scan discovers at most
+	// one route per block and, empirically, around one interface per two
+	// blocks; the stop set additionally holds reached destinations.
+	routeHint, ifaceHint := cfg.Blocks, cfg.Blocks/2
 	s := &ScannerOf[A]{
 		cfg:         cfg,
 		fam:         fam,
@@ -176,8 +199,7 @@ func NewScannerOf[A comparable](fam Family[A], cfg ConfigOf[A], conn PacketConn,
 		clock:       clock,
 		dcbs:        make([]dcbOf[A], cfg.Blocks),
 		splits:      make([]uint8, cfg.Blocks),
-		stopSet:     make(map[A]struct{}),
-		store:       trace.NewStoreOf[A](cfg.CollectRoutes, fam.FormatAddr, fam.AddrLess),
+		stopSet:     newStopSet(fam, cfg.Receivers, cfg.Blocks),
 		phaseParker: clock.NewParker(),
 	}
 	switch cfg.LockMode {
@@ -187,6 +209,23 @@ func NewScannerOf[A comparable](fam Family[A], cfg ConfigOf[A], conn PacketConn,
 		s.locks = newSpinLocks(cfg.Blocks)
 	default:
 		return nil, fmt.Errorf("core: unknown LockMode %d", cfg.LockMode)
+	}
+	if r := cfg.Receivers; r == 1 {
+		s.store = trace.NewStoreOfSized[A](cfg.CollectRoutes, fam.FormatAddr, fam.AddrLess, routeHint, ifaceHint)
+	} else {
+		s.striped = trace.NewStripedStoreOf[A](r, cfg.CollectRoutes,
+			fam.FormatAddr, fam.AddrLess, routeHint, ifaceHint)
+		s.recvWorkers = make([]*recvWorkerOf[A], r)
+		for i := range s.recvWorkers {
+			s.recvWorkers[i] = &recvWorkerOf[A]{
+				s:       s,
+				idx:     i,
+				reader:  cfg.NewReader(),
+				parker:  clock.NewParker(),
+				store:   s.striped.Stripe(i),
+				scratch: make([]dispatchedReply[A], 0, 64),
+			}
+		}
 	}
 	return s, nil
 }
@@ -310,14 +349,33 @@ func (s *ScannerOf[A]) Run() (*ResultOf[A], error) {
 	// look like a deadlock to the virtual clock.
 	s.clock.AddActor()
 
-	// Receiver thread (decoupled from sending, §3.2).
-	s.clock.AddActor()
+	// Receiver side (decoupled from sending, §3.2). One receiver runs the
+	// classic inline loop; Receivers > 1 runs the sharded receive pipeline
+	// of receive.go, one clock-registered goroutine per worker.
 	recvDone := make(chan struct{})
-	go func() {
-		defer close(recvDone)
-		defer s.clock.DoneActor()
-		s.receiveLoop()
-	}()
+	if len(s.recvWorkers) > 0 {
+		var wg sync.WaitGroup
+		for _, w := range s.recvWorkers {
+			s.clock.AddActor()
+			wg.Add(1)
+			go func(w *recvWorkerOf[A]) {
+				defer wg.Done()
+				defer s.clock.DoneActor()
+				w.loop()
+			}(w)
+		}
+		go func() {
+			wg.Wait()
+			close(recvDone)
+		}()
+	} else {
+		s.clock.AddActor()
+		go func() {
+			defer close(recvDone)
+			defer s.clock.DoneActor()
+			s.receiveLoop()
+		}()
+	}
 
 	usePre := s.cfg.Preprobe != PreprobeOff && !s.cfg.Exhaustive
 	if usePre {
@@ -361,11 +419,14 @@ func (s *ScannerOf[A]) Run() (*ResultOf[A], error) {
 	}
 
 	res.ScanTime = s.clock.Now().Sub(s.start)
-	// Close the conn first so the receiver (possibly parked waiting for
-	// packets) wakes to its EOF before the sender leaves the clock.
+	// Close the conn first so the receivers (possibly parked waiting for
+	// packets) wake to their EOF before the sender leaves the clock.
 	s.conn.Close()
 	s.clock.DoneActor()
 	<-recvDone
+	if s.striped != nil {
+		res.Store = s.striped.Merge()
+	}
 
 	res.ProbesSent = s.probesSentTotal()
 	for _, sh := range s.shards {
@@ -377,6 +438,7 @@ func (s *ScannerOf[A]) Run() (*ResultOf[A], error) {
 	res.UnparsedResponses = s.unparsed.Load()
 	res.RetransmittedProbes = s.retransmitsTotal()
 	res.DuplicateResponses = s.dupResponses.Load()
+	res.ReadErrors = s.readErrors.Load()
 	return res, nil
 }
 
@@ -672,15 +734,19 @@ func (sh *senderShardOf[A]) sendProbe(dst A, ttl uint8, preprobe bool, srcPortOf
 	sh.pacer.pace()
 }
 
-// receiveLoop is the receiving thread (§3.2): it decodes every response
-// from the quoted probe header alone and updates the corresponding DCB.
+// receiveLoop is the receiving thread of the single-receiver mode (§3.2):
+// it decodes every response from the quoted probe header alone and updates
+// the corresponding DCB. The sharded mode's per-worker loop lives in
+// receive.go.
 func (s *ScannerOf[A]) receiveLoop() {
 	var buf [4096]byte
 	for {
 		n, err := s.conn.ReadPacket(buf[:])
 		if err != nil {
 			if err != io.EOF {
-				s.unparsed.Add(1)
+				// A transport failure, not a malformed packet: account it
+				// separately from UnparsedResponses.
+				s.readErrors.Add(1)
 			}
 			return
 		}
@@ -688,26 +754,44 @@ func (s *ScannerOf[A]) receiveLoop() {
 	}
 }
 
+// handleResponse decodes and fully processes one response packet on the
+// calling goroutine (the single-receiver path).
 func (s *ScannerOf[A]) handleResponse(pkt []byte) {
+	if block, r, ok := s.parseResponse(pkt); ok {
+		s.processReply(s.store, block, &r)
+	}
+}
+
+// parseResponse runs the parallel-safe front half of response handling:
+// decode the packet, account unparseable and mismatched ones, and map the
+// quoted destination to its block. ok reports whether a reply came out.
+func (s *ScannerOf[A]) parseResponse(pkt []byte) (int, Reply[A], bool) {
 	now := s.clock.Now().Sub(s.start)
 	r := s.fam.ParseReply(pkt, uint16(s.scanOffset.Load()), now)
 	switch r.Kind {
 	case ReplyUnparsed:
 		s.unparsed.Add(1)
-		return
+		return 0, r, false
 	case ReplyMismatch:
 		// The destination was modified in flight (§5.3): discard.
 		s.mismatched.Add(1)
-		return
+		return 0, r, false
 	}
 	block, ok := s.cfg.BlockOf(r.Dst)
 	if !ok {
 		s.unparsed.Add(1)
-		return
+		return 0, r, false
 	}
+	return block, r, true
+}
 
+// processReply applies one decoded reply to the probing state: the
+// block's DCB, the stop set, and the given result store (the scanner's
+// only store in single-receiver mode, the owning worker's stripe in
+// sharded mode). All replies of a block go through exactly one goroutine.
+func (s *ScannerOf[A]) processReply(store *trace.StoreOf[A], block int, r *Reply[A]) {
 	if r.Preprobe {
-		s.handlePreprobeResponse(block, &r)
+		s.handlePreprobeResponse(store, block, r)
 		return
 	}
 
@@ -727,7 +811,7 @@ func (s *ScannerOf[A]) handleResponse(pkt []byte) {
 			return
 		}
 		d.respSeen |= bit
-		_, seen := s.stopSet[r.Hop]
+		seen := s.stopSet.has(r.Hop)
 		if r.InitTTL > d.routeLen && d.flags&dcbForwardDone == 0 {
 			d.routeLen = r.InitTTL
 		}
@@ -749,8 +833,8 @@ func (s *ScannerOf[A]) handleResponse(pkt []byte) {
 			}
 		}
 		s.locks.unlock(uint32(block))
-		s.store.AddHop(r.Dst, r.InitTTL, r.Hop, r.RTT)
-		s.stopSet[r.Hop] = struct{}{}
+		store.AddHop(r.Dst, r.InitTTL, r.Hop, r.RTT)
+		s.stopSet.add(r.Hop)
 
 	case ReplyUnreachable:
 		// Destination answers need no duplicate guard: every step here is
@@ -759,8 +843,8 @@ func (s *ScannerOf[A]) handleResponse(pkt []byte) {
 		// enter the interface set, and no backward/horizon strategy runs.
 		// Probes past the destination legitimately elicit one unreachable
 		// each, so repeats are not necessarily network duplicates.
-		s.store.SetReached(r.Dst, r.Dist, r.Hop, r.RTT)
-		s.stopSet[r.Hop] = struct{}{}
+		store.SetReached(r.Dst, r.Dist, r.Hop, r.RTT)
+		s.stopSet.add(r.Hop)
 		s.locks.lock(uint32(block))
 		d.flags |= dcbForwardDone
 		d.routeLen = r.Dist
@@ -775,10 +859,10 @@ func (s *ScannerOf[A]) handleResponse(pkt []byte) {
 // response to the TTL-MaxTTL preprobe yields the exact hop distance from a
 // single probe. TTL-exceeded preprobe responses are folded into the
 // discovered topology (§3.3.5).
-func (s *ScannerOf[A]) handlePreprobeResponse(block int, r *Reply[A]) {
+func (s *ScannerOf[A]) handlePreprobeResponse(store *trace.StoreOf[A], block int, r *Reply[A]) {
 	if r.Kind == ReplyUnreachable {
-		s.store.SetReached(r.Dst, r.Dist, r.Hop, r.RTT)
-		s.stopSet[r.Hop] = struct{}{}
+		store.SetReached(r.Dst, r.Dist, r.Hop, r.RTT)
+		s.stopSet.add(r.Hop)
 		if r.Dist >= 1 && r.Dist <= s.cfg.MaxTTL {
 			s.distMu.Lock()
 			if s.phase.Load() == 0 && s.measured != nil {
@@ -801,11 +885,11 @@ func (s *ScannerOf[A]) handlePreprobeResponse(block int, r *Reply[A]) {
 			s.dupResponses.Add(1)
 			return
 		}
-		s.store.AddHop(r.Dst, r.InitTTL, r.Hop, r.RTT)
-		s.stopSet[r.Hop] = struct{}{}
+		store.AddHop(r.Dst, r.InitTTL, r.Hop, r.RTT)
+		s.stopSet.add(r.Hop)
 	}
 }
 
 // StopSetSize reports the number of interfaces in the stop set (after the
 // scan; used by tests and the discovery-mode analysis).
-func (s *ScannerOf[A]) StopSetSize() int { return len(s.stopSet) }
+func (s *ScannerOf[A]) StopSetSize() int { return s.stopSet.size() }

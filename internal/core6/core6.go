@@ -36,6 +36,10 @@ import (
 // engine's).
 type PacketConn = core.PacketConn
 
+// PacketReader is the per-receiver read handle of the sharded receive
+// pipeline (same contract as the IPv4 engine's).
+type PacketReader = core.PacketReader
+
 // Config parameterizes a FlashRoute6 scan.
 type Config struct {
 	// Targets is the candidate list to trace (Yarrp6-style).
@@ -55,6 +59,13 @@ type Config struct {
 	// (the engine's sharded multi-sender mode); <= 0 and 1 both mean the
 	// deterministic single-sender configuration.
 	Senders int
+
+	// Receivers is the number of reply-processing workers (the engine's
+	// sharded receive pipeline); <= 0 and 1 both mean the classic inline
+	// receiver. NewReader supplies the per-worker read handles and is
+	// required when Receivers > 1.
+	Receivers int
+	NewReader func() PacketReader
 
 	// Preprobe enables the one-probe distance measurement phase; with
 	// SamePrefixPrediction, measured distances predict unmeasured targets
@@ -125,6 +136,7 @@ type Result struct {
 
 	MismatchedResponses uint64
 	UnparsedResponses   uint64
+	ReadErrors          uint64
 
 	// RetransmittedProbes / DuplicateResponses report the loss-tolerance
 	// machinery: probes re-issued by preprobe and forward-gap retries,
@@ -227,6 +239,19 @@ func (family6) ParseReply(pkt []byte, scanOffset uint16, now time.Duration) core
 func (family6) FormatAddr(a probe6.Addr) string { return a.String() }
 func (family6) AddrLess(a, b probe6.Addr) bool  { return bytes.Compare(a[:], b[:]) < 0 }
 
+func (family6) HashAddr(a probe6.Addr) uint64 {
+	// Fold the 16 address bytes into two big-endian words, combine, and
+	// run the splitmix64 finalizer for avalanche across the shard pick.
+	var hi, lo uint64
+	for i := 0; i < 8; i++ {
+		hi = hi<<8 | uint64(a[i])
+		lo = lo<<8 | uint64(a[8+i])
+	}
+	z := (hi ^ lo) * 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return z ^ (z >> 31)
+}
+
 // distance6 recovers the target's hop distance from a
 // destination-unreachable response.
 func distance6(fi probe6.Info) uint8 {
@@ -298,6 +323,8 @@ func NewScanner(cfg Config, conn PacketConn, clock simclock.Waiter) (*Scanner, e
 		MaxTTL:                  cfg.MaxTTL,
 		PPS:                     cfg.PPS,
 		Senders:                 cfg.Senders,
+		Receivers:               cfg.Receivers,
+		NewReader:               cfg.NewReader,
 		PreprobeRetries:         cfg.PreprobeRetries,
 		ForwardRetries:          cfg.ForwardRetries,
 		ForwardTimeout:          cfg.ForwardTimeout,
@@ -340,6 +367,7 @@ func (s *Scanner) Run() (*Result, error) {
 		DistancesPredicted:  eres.DistancesPredicted,
 		MismatchedResponses: eres.MismatchedResponses,
 		UnparsedResponses:   eres.UnparsedResponses,
+		ReadErrors:          eres.ReadErrors,
 		RetransmittedProbes: eres.RetransmittedProbes,
 		DuplicateResponses:  eres.DuplicateResponses,
 		store:               eres.Store,

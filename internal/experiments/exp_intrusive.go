@@ -336,3 +336,51 @@ func SenderScaling(s *Scenario, senders []int) ([]SenderRateRow, error) {
 	}
 	return out, nil
 }
+
+// ReceiverRateRow is one receiver-count measurement of ReceiverScaling.
+type ReceiverRateRow struct {
+	Receivers    int
+	MeasuredKpps float64
+	// Interfaces discovered — the sanity check that the sharded receive
+	// pipeline sees the same topology as the inline receiver.
+	Interfaces int
+}
+
+// ReceiverScaling measures the unthrottled probing rate at each
+// receiver-worker count with the sender count held fixed, on the same
+// near-zero-RTT network as SenderScaling. The paper's engine has exactly
+// one receiving thread (§3.2); this quantifies what parallel reply
+// parsing with block-affinity dispatch buys once senders outrun a single
+// receiver.
+func ReceiverScaling(s *Scenario, senders int, receivers []int) ([]ReceiverRateRow, error) {
+	var out []ReceiverRateRow
+	for _, r := range receivers {
+		clock := simclock.NewReal()
+		n := s.newFastNet(clock)
+		cfg := s.FlashConfig()
+		cfg.PPS = 0 // unthrottled
+		cfg.Senders = senders
+		cfg.Receivers = r
+		cfg.MinRoundTime = time.Millisecond
+		cfg.DrainWait = 100 * time.Millisecond
+		conn := n.NewConn()
+		if r > 1 {
+			cfg.NewReader = func() core.PacketReader { return conn.NewReader() }
+		}
+		sc, err := core.NewScanner(cfg, conn, clock)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sc.Run()
+		if err != nil {
+			return nil, err
+		}
+		rate := float64(res.ProbesSent) / res.ScanTime.Seconds()
+		out = append(out, ReceiverRateRow{
+			Receivers:    r,
+			MeasuredKpps: rate / 1000,
+			Interfaces:   res.Store.Interfaces().Len(),
+		})
+	}
+	return out, nil
+}

@@ -259,13 +259,15 @@ type Resilience struct {
 	Reordered           uint64 // responses delayed by the reordering window
 	Retransmitted       uint64 // probes the scanner re-issued (preprobe + forward retries)
 	DuplicatesDiscarded uint64 // replies the scanner dropped as already processed
+	ReadErrors          uint64 // receive-path read errors (distinct from unparsed packets)
 }
 
 // Any reports whether anything at all happened — used to keep the
 // perfect-network report output unchanged.
 func (r *Resilience) Any() bool {
 	return r.ProbesLost != 0 || r.RepliesLost != 0 || r.Duplicates != 0 ||
-		r.Reordered != 0 || r.Retransmitted != 0 || r.DuplicatesDiscarded != 0
+		r.Reordered != 0 || r.Retransmitted != 0 || r.DuplicatesDiscarded != 0 ||
+		r.ReadErrors != 0
 }
 
 // WriteText renders the resilience counters as report lines.
@@ -276,9 +278,10 @@ func (r *Resilience) WriteText(w io.Writer) error {
 			"duplicated packets:   %d\n"+
 			"reordered replies:    %d\n"+
 			"retransmitted probes: %d\n"+
-			"duplicates discarded: %d\n",
+			"duplicates discarded: %d\n"+
+			"read errors:          %d\n",
 		r.ProbesLost, r.RepliesLost, r.Duplicates,
-		r.Reordered, r.Retransmitted, r.DuplicatesDiscarded)
+		r.Reordered, r.Retransmitted, r.DuplicatesDiscarded, r.ReadErrors)
 	return err
 }
 

@@ -281,6 +281,38 @@ func (c *Conn) ReadPacket(buf []byte) (int, error) {
 	return c.materialize(buf, &resp), nil
 }
 
+// Reader is a per-receiver read handle on the Conn: each receive worker of
+// a sharded receive pipeline holds its own Reader so R workers can block
+// on (and drain) the same inbox concurrently under the virtual clock.
+type Reader struct {
+	c  *Conn
+	rd *simnet.Reader[respPayload]
+}
+
+// NewReader opens a read handle. The plain Conn.ReadPacket and any number
+// of Readers may be used on the same Conn, though engines use one or the
+// other.
+func (c *Conn) NewReader() *Reader {
+	return &Reader{c: c, rd: c.inbox.NewReader()}
+}
+
+// ReadPacket is Conn.ReadPacket on this handle, with one addition: it
+// returns (0, nil) when the wait was interrupted by Wake before a response
+// became deliverable, so the caller can service out-of-band work.
+func (r *Reader) ReadPacket(buf []byte) (int, error) {
+	resp, ok, eof := r.rd.Next()
+	if eof {
+		return 0, io.EOF
+	}
+	if !ok {
+		return 0, nil
+	}
+	return r.c.materialize(buf, &resp), nil
+}
+
+// Wake interrupts this handle's blocked (or next) ReadPacket.
+func (r *Reader) Wake() { r.rd.Wake() }
+
 // materialize renders a pending response into wire bytes in buf.
 func (c *Conn) materialize(buf []byte, r *respPayload) int {
 	switch r.kind {

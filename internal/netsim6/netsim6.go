@@ -498,6 +498,35 @@ func (c *Conn) ReadPacket(buf []byte) (int, error) {
 	return c.materialize(buf, &p), nil
 }
 
+// Reader is a per-receiver read handle on the Conn (the IPv6 twin of
+// netsim's): each receive worker of a sharded receive pipeline holds its
+// own Reader so R workers can drain the same inbox concurrently.
+type Reader struct {
+	c  *Conn
+	rd *simnet.Reader[respPayload]
+}
+
+// NewReader opens a read handle.
+func (c *Conn) NewReader() *Reader {
+	return &Reader{c: c, rd: c.inbox.NewReader()}
+}
+
+// ReadPacket is Conn.ReadPacket on this handle; it returns (0, nil) when
+// the wait was interrupted by Wake before a response became deliverable.
+func (r *Reader) ReadPacket(buf []byte) (int, error) {
+	p, ok, eof := r.rd.Next()
+	if eof {
+		return 0, io.EOF
+	}
+	if !ok {
+		return 0, nil
+	}
+	return r.c.materialize(buf, &p), nil
+}
+
+// Wake interrupts this handle's blocked (or next) ReadPacket.
+func (r *Reader) Wake() { r.rd.Wake() }
+
 func (c *Conn) materialize(buf []byte, p *respPayload) int {
 	total := probe6.HeaderLen + probe6.ICMPErrorLen
 	outer := probe6.Header{

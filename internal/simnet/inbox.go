@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/flashroute/flashroute/internal/simclock"
@@ -33,6 +34,12 @@ type Inbox[P any] struct {
 	heap   []Item[P]
 	seq    uint64
 	closed bool
+
+	// readers holds the parkers of all Reader handles (multi-reader mode).
+	// It is an atomic copy-on-write snapshot so the write path can notify
+	// readers without re-taking mu; nil while no Reader exists keeps the
+	// classic single-reader path free of any extra cost.
+	readers atomic.Pointer[[]*simclock.Parker]
 }
 
 // NewInbox creates an inbox on the clock. deliverAt values are relative
@@ -55,8 +62,20 @@ func (in *Inbox[P]) Schedule(payload P, copies int, base time.Duration, extra [2
 		in.seq++
 	}
 	in.mu.Unlock()
-	in.clock.Unpark(in.parker)
+	in.wakeAll()
 	return true
+}
+
+// wakeAll unparks the base reader and every Reader handle. An Unpark on a
+// parker nobody is blocked on is retained for its next park, so spurious
+// wakeups are the only cost of over-notifying.
+func (in *Inbox[P]) wakeAll() {
+	in.clock.Unpark(in.parker)
+	if rs := in.readers.Load(); rs != nil {
+		for _, p := range *rs {
+			in.clock.Unpark(p)
+		}
+	}
 }
 
 // Next blocks until the earliest scheduled item is deliverable at the
@@ -91,7 +110,71 @@ func (in *Inbox[P]) Close() {
 	in.mu.Lock()
 	in.closed = true
 	in.mu.Unlock()
-	in.clock.Unpark(in.parker)
+	in.wakeAll()
+}
+
+// Reader is a per-receiver handle onto an Inbox for concurrent draining: R
+// receive workers each hold their own Reader, so each blocks on its own
+// Parker (a Parker must never be shared by two concurrently parked
+// actors). Pops are serialized by the inbox mutex; delivery order across
+// readers follows the (DeliverAt, Seq) heap order of the pops themselves.
+type Reader[P any] struct {
+	in     *Inbox[P]
+	parker *simclock.Parker
+}
+
+// NewReader registers and returns a new read handle. Readers are
+// registered for the life of the inbox; create them before (or while)
+// draining, not per read.
+func (in *Inbox[P]) NewReader() *Reader[P] {
+	r := &Reader[P]{in: in, parker: in.clock.NewParker()}
+	in.mu.Lock()
+	var rs []*simclock.Parker
+	if old := in.readers.Load(); old != nil {
+		rs = append(rs, *old...)
+	}
+	rs = append(rs, r.parker)
+	in.readers.Store(&rs)
+	in.mu.Unlock()
+	return r
+}
+
+// Next returns the next deliverable payload. eof reports the inbox closed
+// and drained (terminal). When an explicit Wake arrives while the reader
+// is parked and nothing is deliverable yet, Next returns ok=false,
+// eof=false — an interrupted wait, letting the caller service out-of-band
+// work (e.g. replies dispatched to it by a sibling worker) before reading
+// again.
+func (r *Reader[P]) Next() (payload P, ok, eof bool) {
+	in := r.in
+	for {
+		in.mu.Lock()
+		now := in.clock.Now().Sub(in.epoch)
+		if len(in.heap) > 0 && in.heap[0].DeliverAt <= now {
+			it := in.pop()
+			in.mu.Unlock()
+			return it.Payload, true, false
+		}
+		if in.closed && len(in.heap) == 0 {
+			in.mu.Unlock()
+			var zero P
+			return zero, false, true
+		}
+		var deadline time.Time
+		if len(in.heap) > 0 {
+			deadline = in.epoch.Add(in.heap[0].DeliverAt)
+		}
+		in.mu.Unlock()
+		if in.clock.Park(r.parker, deadline) {
+			var zero P
+			return zero, false, false // interrupted by an explicit wake
+		}
+	}
+}
+
+// Wake interrupts this reader's blocked (or next) Next call.
+func (r *Reader[P]) Wake() {
+	r.in.clock.Unpark(r.parker)
 }
 
 // Len returns the number of scheduled, not yet read items.

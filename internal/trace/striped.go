@@ -1,0 +1,60 @@
+package trace
+
+// StripedStoreOf is a result store split into per-writer stripes for the
+// sharded receive pipeline: worker i writes only Stripe(i), so AddHop and
+// SetReached never contend across workers. The engine's block-affinity
+// dispatch guarantees every destination is written by exactly one worker,
+// making the stripes' route maps disjoint by construction; interface sets
+// may overlap (the same router answers probes to destinations owned by
+// different workers) and are unioned at Merge.
+type StripedStoreOf[A comparable] struct {
+	stripes []*StoreOf[A]
+
+	collectRoutes bool
+	format        func(A) string
+	less          func(A, A) bool
+}
+
+// NewStripedStoreOf returns an n-stripe store. routeHint and ifaceHint are
+// capacity hints for the whole scan; each stripe receives its share.
+func NewStripedStoreOf[A comparable](n int, collectRoutes bool, format func(A) string, less func(A, A) bool, routeHint, ifaceHint int) *StripedStoreOf[A] {
+	if n < 1 {
+		n = 1
+	}
+	st := &StripedStoreOf[A]{
+		stripes:       make([]*StoreOf[A], n),
+		collectRoutes: collectRoutes,
+		format:        format,
+		less:          less,
+	}
+	for i := range st.stripes {
+		st.stripes[i] = NewStoreOfSized(collectRoutes, format, less,
+			routeHint/n, ifaceHint/n)
+	}
+	return st
+}
+
+// Stripe returns stripe i, a plain single-writer store.
+func (st *StripedStoreOf[A]) Stripe(i int) *StoreOf[A] { return st.stripes[i] }
+
+// Merge combines all stripes into one store: route entries are moved (the
+// stripes must be destination-disjoint, which block-affinity dispatch
+// guarantees) and interface sets unioned. Call after all writers have
+// stopped; the stripes must not be written afterwards.
+func (st *StripedStoreOf[A]) Merge() *StoreOf[A] {
+	routes, ifaces := 0, 0
+	for _, s := range st.stripes {
+		routes += len(s.routes)
+		ifaces += len(s.interfaces)
+	}
+	out := NewStoreOfSized(st.collectRoutes, st.format, st.less, routes, ifaces)
+	for _, s := range st.stripes {
+		for dst, r := range s.routes {
+			out.routes[dst] = r
+		}
+		for a := range s.interfaces {
+			out.interfaces[a] = struct{}{}
+		}
+	}
+	return out
+}

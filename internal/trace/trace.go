@@ -92,9 +92,18 @@ type StoreOf[A comparable] struct {
 // collectRoutes is false, only the interface set and per-destination
 // reach/length summaries are kept.
 func NewStoreOf[A comparable](collectRoutes bool, format func(A) string, less func(A, A) bool) *StoreOf[A] {
+	return NewStoreOfSized(collectRoutes, format, less, 0, 0)
+}
+
+// NewStoreOfSized is NewStoreOf with capacity hints for the route and
+// interface maps, so a scan over a known universe does not pay
+// incremental map growth on the receive path (a million-target scan
+// rehashes the route map ~20 times from empty). Hints are advisory; 0
+// means no hint.
+func NewStoreOfSized[A comparable](collectRoutes bool, format func(A) string, less func(A, A) bool, routeHint, ifaceHint int) *StoreOf[A] {
 	return &StoreOf[A]{
-		routes:        make(map[A]*RouteOf[A]),
-		interfaces:    make(InterfaceSetOf[A]),
+		routes:        make(map[A]*RouteOf[A], routeHint),
+		interfaces:    make(InterfaceSetOf[A], ifaceHint),
 		collectRoutes: collectRoutes,
 		format:        format,
 		less:          less,

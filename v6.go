@@ -103,6 +103,12 @@ type Config6 struct {
 	// deterministic single-sender configuration.
 	Senders int
 
+	// Receivers is the number of reply-processing workers (same engine
+	// knob as Config.Receivers); 0 and 1 both mean the classic inline
+	// receiver. Simulation-backed scans wire the per-worker read handles
+	// automatically.
+	Receivers int
+
 	// PreprobeRetries and ForwardRetries enable the engine's loss
 	// tolerance for IPv6 scans exactly as for IPv4: extra preprobe passes
 	// over still-unmeasured targets, and rewinds of forward gaps that
@@ -147,6 +153,10 @@ func (r *Result6) RetransmittedProbes() uint64 { return r.inner.RetransmittedPro
 // DuplicateResponses returns how many replies the duplicate guard
 // discarded.
 func (r *Result6) DuplicateResponses() uint64 { return r.inner.DuplicateResponses }
+
+// ReadErrors counts receive-path read errors (transport failures distinct
+// from unparseable packets).
+func (r *Result6) ReadErrors() uint64 { return r.inner.ReadErrors }
 
 // Route6 is a discovered IPv6 route.
 type Route6 struct {
@@ -199,6 +209,7 @@ func (s *Simulation6) Scan(cfg Config6) (*Result6, error) {
 		ic.PPS = cfg.PPS
 	}
 	ic.Senders = cfg.Senders
+	ic.Receivers = cfg.Receivers
 	ic.PreprobeRetries = cfg.PreprobeRetries
 	ic.ForwardRetries = cfg.ForwardRetries
 	ic.ForwardTimeout = cfg.ForwardTimeout
@@ -210,7 +221,11 @@ func (s *Simulation6) Scan(cfg Config6) (*Result6, error) {
 	if ic.Seed == 0 {
 		ic.Seed = s.seed
 	}
-	sc, err := core6.NewScanner(ic, s.net.NewConn(), s.clock)
+	conn := s.net.NewConn()
+	if cfg.Receivers > 1 {
+		ic.NewReader = func() core6.PacketReader { return conn.NewReader() }
+	}
+	sc, err := core6.NewScanner(ic, conn, s.clock)
 	if err != nil {
 		return nil, err
 	}
