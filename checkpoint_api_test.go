@@ -1,0 +1,141 @@
+package flashroute
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPublicCheckpointResume exercises the crash-safety surface end to
+// end through the public API: checkpoint a scan, cancel it, resume the
+// snapshot against a fresh simulation of the same seed, and compare the
+// discovered interface count against an uninterrupted run.
+func TestPublicCheckpointResume(t *testing.T) {
+	const blocks, seed = 512, 7
+	mk := func() *Simulation { return NewSimulation(SimConfig{Blocks: blocks, Seed: seed}) }
+
+	base, err := mk().Scan(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var snap []byte
+	cfg := DefaultConfig()
+	cfg.CheckpointEvery = int(base.Probes() / 2)
+	cfg.CheckpointSink = func(b []byte) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if snap == nil {
+			snap = append([]byte(nil), b...)
+			cancel()
+		}
+		return nil
+	}
+	cfg.CancelGrace = 100 * time.Millisecond
+	part, err := mk().ScanContext(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Interrupted() {
+		t.Fatal("killed scan not marked Interrupted")
+	}
+	if part.CheckpointErrors() != 0 {
+		t.Fatalf("healthy sink reported %d errors", part.CheckpointErrors())
+	}
+	mu.Lock()
+	data := snap
+	mu.Unlock()
+	if data == nil {
+		t.Fatal("no snapshot captured")
+	}
+
+	resumed, err := mk().ResumeScan(DefaultConfig(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Interrupted() {
+		t.Fatal("resumed run should have completed")
+	}
+	// The default simulation has route dynamics and rate limits, so exact
+	// equality is not guaranteed; discovery must land close.
+	lo, hi := base.InterfaceCount()*9/10, base.InterfaceCount()*11/10
+	if n := resumed.InterfaceCount(); n < lo || n > hi {
+		t.Errorf("resumed run found %d interfaces, baseline %d", n, base.InterfaceCount())
+	}
+
+	// A completed snapshot (the resumed run's own final state) refuses to
+	// resume again.
+	var finalSnap []byte
+	cfg2 := DefaultConfig()
+	cfg2.CheckpointSink = func(b []byte) error {
+		finalSnap = append([]byte(nil), b...)
+		return nil
+	}
+	if _, err := mk().Scan(cfg2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mk().ResumeScan(DefaultConfig(), finalSnap); !errors.Is(err, ErrCheckpointComplete) {
+		t.Fatalf("resume of completed scan: %v, want ErrCheckpointComplete", err)
+	}
+}
+
+// TestPublicFaultWindows drives the deterministic fault schedule through
+// SimConfig.Impair and checks the counters surface in SimStats and the
+// Result.
+func TestPublicFaultWindows(t *testing.T) {
+	faults, err := ParseFaultSpec("write:2s+30ms,stall:3020ms+100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulation(SimConfig{Blocks: 256, Seed: 6, Impair: Impairments{Faults: faults}})
+	cfg := DefaultConfig()
+	cfg.SendRetries = 10
+	res, err := sim.Scan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InterfaceCount() == 0 {
+		t.Fatal("scan discovered nothing through the fault schedule")
+	}
+	stats := sim.Stats()
+	if stats.WriteFaults == 0 {
+		t.Error("write-error window never fired")
+	}
+	if stats.FaultStalled == 0 {
+		t.Error("stall window never fired")
+	}
+	if res.SendRetries() == 0 {
+		t.Error("write faults produced no retries")
+	}
+}
+
+// TestParseFaultSpec pins the spec grammar.
+func TestParseFaultSpec(t *testing.T) {
+	got, err := ParseFaultSpec("write:2s+500ms, stall:3s+1s ,flap:4s+200ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FaultWindow{
+		{Start: 2 * time.Second, Duration: 500 * time.Millisecond, Kind: FaultWriteError},
+		{Start: 3 * time.Second, Duration: time.Second, Kind: FaultReadStall},
+		{Start: 4 * time.Second, Duration: 200 * time.Millisecond, Kind: FaultFlap},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d windows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("window %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "write", "write:2s", "burn:1s+1s", "write:x+1s", "write:1s+x", "write:-1s+1s", "write:1s+0s"} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

@@ -14,12 +14,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/flashroute/flashroute"
@@ -64,6 +68,12 @@ func main() {
 		forwardRetries  = flag.Int("forward-retries", 0, "per-destination forward-probing retries after silence")
 		forwardTimeout  = flag.Duration("forward-timeout", 0, "silence before a forward retry fires (default 500ms)")
 
+		checkpoint = flag.String("checkpoint", "", "write crash-safe checkpoints to this file (atomic tmp+rename); SIGINT/SIGTERM also writes a final one")
+		ckptEvery  = flag.Int("checkpoint-every", 100000, "with -checkpoint: snapshot cadence in probes sent")
+		resumeFrom = flag.String("resume", "", "resume a previous scan from this checkpoint file (must use the same seed and topology flags)")
+		faultsSpec = flag.String("faults", "", "deterministic transport fault schedule, e.g. write:2s+500ms,stall:3s+1s,flap:4s+200ms")
+		sendRetry  = flag.Int("send-retries", 0, "retry budget for transient send failures (capped exponential backoff)")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the scan to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile after the scan to this file")
 	)
@@ -92,9 +102,21 @@ func main() {
 		ReorderWindow: *reorderWindow,
 		ExtraJitter:   *extraJitter,
 	}
+	if *faultsSpec != "" {
+		faults, err := flashroute.ParseFaultSpec(*faultsSpec)
+		if err != nil {
+			fatal(err)
+		}
+		impair.Faults = faults
+	}
+
+	// SIGINT/SIGTERM trigger graceful shutdown: stop sending, drain
+	// in-flight replies, emit the partial result and a final checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *ipv6 {
-		scan6(scan6Opts{
+		scan6(ctx, scan6Opts{
 			prefixes:        *prefixes,
 			perPrefix:       *perPrefix,
 			seed:            *seed,
@@ -110,6 +132,10 @@ func main() {
 			forwardRetries:  *forwardRetries,
 			forwardTimeout:  *forwardTimeout,
 			noRedund:        *noRedund,
+			checkpoint:      *checkpoint,
+			ckptEvery:       *ckptEvery,
+			resumeFrom:      *resumeFrom,
+			sendRetries:     *sendRetry,
 		})
 		return
 	}
@@ -175,6 +201,11 @@ func main() {
 	cfg.Exhaustive = *exhaustive
 	cfg.ExtraScans = *extraScans
 	cfg.CollectRoutes = *output != "" || *binOutput != ""
+	cfg.SendRetries = *sendRetry
+	if *checkpoint != "" {
+		cfg.CheckpointSink = checkpointSink(*checkpoint)
+		cfg.CheckpointEvery = *ckptEvery
+	}
 
 	if *targetsF != "" {
 		f, err := os.Open(*targetsF)
@@ -204,10 +235,26 @@ func main() {
 	}
 	cfg.Skip = sim.SkipFor(excl)
 
-	res, err := sim.Scan(cfg)
+	var res *flashroute.Result
+	var err error
+	if *resumeFrom != "" {
+		snap, rerr := os.ReadFile(*resumeFrom)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		fmt.Printf("resuming from checkpoint %s\n", *resumeFrom)
+		res, err = sim.ResumeScanContext(ctx, cfg, snap)
+		if errors.Is(err, flashroute.ErrCheckpointComplete) {
+			fmt.Printf("checkpoint %s is from a completed scan; nothing to resume\n", *resumeFrom)
+			return
+		}
+	} else {
+		res, err = sim.ScanContext(ctx, cfg)
+	}
 	if err != nil {
 		fatal(err)
 	}
+	reportInterrupt(res.Interrupted(), *checkpoint)
 
 	fmt.Printf("scan time:            %v\n", res.ScanTime())
 	fmt.Printf("probes sent:          %d (preprobing: %d)\n", res.Probes(), res.PreprobeProbes())
@@ -225,11 +272,16 @@ func main() {
 		Retransmitted:       res.RetransmittedProbes(),
 		DuplicatesDiscarded: res.DuplicateResponses(),
 		ReadErrors:          res.ReadErrors(),
+		SendErrors:          res.SendErrors(),
+		SendRetries:         res.SendRetries(),
 	}
 	if resil.Any() {
 		if err := resil.WriteText(os.Stdout); err != nil {
 			fatal(err)
 		}
+	}
+	if n := res.CheckpointErrors(); n > 0 {
+		fmt.Fprintf(os.Stderr, "flashroute: %d checkpoint(s) failed to persist\n", n)
 	}
 
 	if *output != "" {
@@ -275,11 +327,16 @@ type scan6Opts struct {
 	forwardRetries      int
 	forwardTimeout      time.Duration
 	noRedund            bool
+	checkpoint          string
+	ckptEvery           int
+	resumeFrom          string
+	sendRetries         int
 }
 
 // scan6 is the -6 path: the same engine knobs (senders, impairments,
-// retries) applied to a FlashRoute6 scan over the sparse IPv6 simulation.
-func scan6(o scan6Opts) {
+// retries, checkpointing) applied to a FlashRoute6 scan over the sparse
+// IPv6 simulation.
+func scan6(ctx context.Context, o scan6Opts) {
 	switch o.preprobe {
 	case "random":
 		// The IPv6 preprobe has no target choice to make — candidate
@@ -299,7 +356,7 @@ func scan6(o scan6Opts) {
 	fmt.Printf("simulated IPv6 Internet: %d targets across %d /48s, seed %d\n",
 		len(targets), o.prefixes, o.seed)
 
-	res, err := sim.Scan(flashroute.Config6{
+	cfg := flashroute.Config6{
 		SplitTTL:                o.split,
 		GapLimit:                o.gap,
 		PPS:                     o.pps,
@@ -310,10 +367,32 @@ func scan6(o scan6Opts) {
 		ForwardRetries:          o.forwardRetries,
 		ForwardTimeout:          o.forwardTimeout,
 		NoRedundancyElimination: o.noRedund,
-	})
+		SendRetries:             o.sendRetries,
+	}
+	if o.checkpoint != "" {
+		cfg.CheckpointSink = checkpointSink(o.checkpoint)
+		cfg.CheckpointEvery = o.ckptEvery
+	}
+	var res *flashroute.Result6
+	var err error
+	if o.resumeFrom != "" {
+		snap, rerr := os.ReadFile(o.resumeFrom)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		fmt.Printf("resuming from checkpoint %s\n", o.resumeFrom)
+		res, err = sim.ResumeScanContext(ctx, cfg, snap)
+		if errors.Is(err, flashroute.ErrCheckpointComplete) {
+			fmt.Printf("checkpoint %s is from a completed scan; nothing to resume\n", o.resumeFrom)
+			return
+		}
+	} else {
+		res, err = sim.ScanContext(ctx, cfg)
+	}
 	if err != nil {
 		fatal(err)
 	}
+	reportInterrupt(res.Interrupted(), o.checkpoint)
 	fmt.Printf("scan time:            %v\n", res.ScanTime())
 	fmt.Printf("probes sent:          %d (%.2f per target)\n",
 		res.Probes(), float64(res.Probes())/float64(len(targets)))
@@ -331,11 +410,42 @@ func scan6(o scan6Opts) {
 		Retransmitted:       res.RetransmittedProbes(),
 		DuplicatesDiscarded: res.DuplicateResponses(),
 		ReadErrors:          res.ReadErrors(),
+		SendErrors:          res.SendErrors(),
+		SendRetries:         res.SendRetries(),
 	}
 	if resil.Any() {
 		if err := resil.WriteText(os.Stdout); err != nil {
 			fatal(err)
 		}
+	}
+	if n := res.CheckpointErrors(); n > 0 {
+		fmt.Fprintf(os.Stderr, "flashroute: %d checkpoint(s) failed to persist\n", n)
+	}
+}
+
+// checkpointSink returns a CheckpointSink that persists snapshots
+// atomically: each one is written to a temp file and renamed over the
+// target, so a crash mid-write never leaves a truncated checkpoint.
+func checkpointSink(path string) func([]byte) error {
+	return func(snapshot []byte) error {
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, snapshot, 0o644); err != nil {
+			return err
+		}
+		return os.Rename(tmp, path)
+	}
+}
+
+// reportInterrupt tells the user a cancelled scan's results are partial
+// and where the final checkpoint went.
+func reportInterrupt(interrupted bool, checkpoint string) {
+	if !interrupted {
+		return
+	}
+	if checkpoint != "" {
+		fmt.Printf("scan interrupted; partial results below, final checkpoint written to %s\n", checkpoint)
+	} else {
+		fmt.Println("scan interrupted; partial results below (use -checkpoint to make runs resumable)")
 	}
 }
 

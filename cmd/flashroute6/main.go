@@ -7,11 +7,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"github.com/flashroute/flashroute"
 	"github.com/flashroute/flashroute/internal/experiments"
@@ -37,6 +41,12 @@ func main() {
 
 		preprobeRetries = flag.Int("preprobe-retries", 0, "extra preprobe passes over still-unmeasured targets")
 		forwardRetries  = flag.Int("forward-retries", 0, "per-target forward-probing retries after silence")
+
+		checkpoint = flag.String("checkpoint", "", "write crash-safe checkpoints to this file (atomic tmp+rename); SIGINT/SIGTERM also writes a final one")
+		ckptEvery  = flag.Int("checkpoint-every", 100000, "with -checkpoint: snapshot cadence in probes sent")
+		resumeFrom = flag.String("resume", "", "resume a previous scan from this checkpoint file (must use the same seed and topology flags)")
+		faultsSpec = flag.String("faults", "", "deterministic transport fault schedule, e.g. write:2s+500ms,stall:3s+1s,flap:4s+200ms")
+		sendRetry  = flag.Int("send-retries", 0, "retry budget for transient send failures (capped exponential backoff)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the scan to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile after the scan to this file")
@@ -67,14 +77,28 @@ func main() {
 		return
 	}
 
+	impair := flashroute.Impairments{
+		LossProb:      *loss,
+		DupProb:       *dup,
+		ReorderProb:   *reorder,
+		ReorderWindow: *reorderWindow,
+	}
+	if *faultsSpec != "" {
+		faults, err := flashroute.ParseFaultSpec(*faultsSpec)
+		if err != nil {
+			fatal(err)
+		}
+		impair.Faults = faults
+	}
+
+	// SIGINT/SIGTERM trigger graceful shutdown: stop sending, drain
+	// in-flight replies, emit the partial result and a final checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	sim := flashroute.NewSimulation6(flashroute.Sim6Config{
 		Prefixes: *prefixes, TargetsPerPrefix: *perPrefix, Seed: *seed,
-		Impair: flashroute.Impairments{
-			LossProb:      *loss,
-			DupProb:       *dup,
-			ReorderProb:   *reorder,
-			ReorderWindow: *reorderWindow,
-		},
+		Impair: impair,
 	})
 	targets := sim.Targets()
 	rate := *pps
@@ -87,7 +111,7 @@ func main() {
 	fmt.Printf("IPv6 candidate list: %d targets across %d /48s (rate %d pps)\n",
 		len(targets), *prefixes, rate)
 
-	res, err := sim.Scan(flashroute.Config6{
+	cfg := flashroute.Config6{
 		SplitTTL:        uint8(*split),
 		GapLimit:        uint8(*gap),
 		PPS:             rate,
@@ -95,9 +119,37 @@ func main() {
 		Receivers:       *receivers,
 		PreprobeRetries: *preprobeRetries,
 		ForwardRetries:  *forwardRetries,
-	})
+		SendRetries:     *sendRetry,
+	}
+	if *checkpoint != "" {
+		cfg.CheckpointSink = checkpointSink(*checkpoint)
+		cfg.CheckpointEvery = *ckptEvery
+	}
+	var res *flashroute.Result6
+	var err error
+	if *resumeFrom != "" {
+		snap, rerr := os.ReadFile(*resumeFrom)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		fmt.Printf("resuming from checkpoint %s\n", *resumeFrom)
+		res, err = sim.ResumeScanContext(ctx, cfg, snap)
+		if errors.Is(err, flashroute.ErrCheckpointComplete) {
+			fmt.Printf("checkpoint %s is from a completed scan; nothing to resume\n", *resumeFrom)
+			return
+		}
+	} else {
+		res, err = sim.ScanContext(ctx, cfg)
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if res.Interrupted() {
+		if *checkpoint != "" {
+			fmt.Printf("scan interrupted; partial results below, final checkpoint written to %s\n", *checkpoint)
+		} else {
+			fmt.Println("scan interrupted; partial results below (use -checkpoint to make runs resumable)")
+		}
 	}
 	fmt.Printf("scan time:            %v\n", res.ScanTime())
 	fmt.Printf("probes sent:          %d (%.2f per target)\n",
@@ -116,11 +168,29 @@ func main() {
 		Retransmitted:       res.RetransmittedProbes(),
 		DuplicatesDiscarded: res.DuplicateResponses(),
 		ReadErrors:          res.ReadErrors(),
+		SendErrors:          res.SendErrors(),
+		SendRetries:         res.SendRetries(),
 	}
 	if resil.Any() {
 		if err := resil.WriteText(os.Stdout); err != nil {
 			fatal(err)
 		}
+	}
+	if n := res.CheckpointErrors(); n > 0 {
+		fmt.Fprintf(os.Stderr, "flashroute6: %d checkpoint(s) failed to persist\n", n)
+	}
+}
+
+// checkpointSink returns a CheckpointSink that persists snapshots
+// atomically: each one is written to a temp file and renamed over the
+// target, so a crash mid-write never leaves a truncated checkpoint.
+func checkpointSink(path string) func([]byte) error {
+	return func(snapshot []byte) error {
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, snapshot, 0o644); err != nil {
+			return err
+		}
+		return os.Rename(tmp, path)
 	}
 }
 

@@ -1,0 +1,61 @@
+package flashroute
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ParseFaultSpec parses a comma-separated transport-fault schedule of the
+// form "kind:start+duration", e.g.
+//
+//	write:2s+500ms,stall:3s+1s,flap:4s+200ms
+//
+// Kinds: "write" (transient WritePacket errors), "stall" (deliveries
+// delayed to the window's end), "flap" (writes fail and deliveries drop).
+// Start is relative to the simulation epoch. Used by the CLIs' -faults
+// flag; the result goes into Impairments.Faults.
+func ParseFaultSpec(spec string) ([]FaultWindow, error) {
+	var out []FaultWindow
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kindStr, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("flashroute: fault %q: want kind:start+duration", part)
+		}
+		var kind FaultKind
+		switch kindStr {
+		case "write":
+			kind = FaultWriteError
+		case "stall":
+			kind = FaultReadStall
+		case "flap":
+			kind = FaultFlap
+		default:
+			return nil, fmt.Errorf("flashroute: fault %q: unknown kind %q (want write, stall or flap)", part, kindStr)
+		}
+		startStr, durStr, ok := strings.Cut(rest, "+")
+		if !ok {
+			return nil, fmt.Errorf("flashroute: fault %q: want kind:start+duration", part)
+		}
+		start, err := time.ParseDuration(startStr)
+		if err != nil {
+			return nil, fmt.Errorf("flashroute: fault %q: bad start: %v", part, err)
+		}
+		dur, err := time.ParseDuration(durStr)
+		if err != nil {
+			return nil, fmt.Errorf("flashroute: fault %q: bad duration: %v", part, err)
+		}
+		if start < 0 || dur <= 0 {
+			return nil, fmt.Errorf("flashroute: fault %q: start must be >= 0 and duration > 0", part)
+		}
+		out = append(out, FaultWindow{Start: start, Duration: dur, Kind: kind})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("flashroute: empty fault spec %q", spec)
+	}
+	return out, nil
+}

@@ -25,6 +25,7 @@
 package flashroute
 
 import (
+	"context"
 	"time"
 
 	"github.com/flashroute/flashroute/internal/core"
@@ -163,6 +164,28 @@ type Config struct {
 	Observer func(dst uint32, ttl uint8, at time.Duration)
 	// Seed keys the probing permutation.
 	Seed int64
+
+	// CheckpointSink arms crash-safe checkpointing: the engine hands it a
+	// versioned, checksummed snapshot of the complete scan state on every
+	// trigger and once more on the way out (cancellation included). Resume
+	// a snapshot with ResumeScanner / Simulation.ResumeScan.
+	CheckpointSink func(snapshot []byte) error
+	// CheckpointEvery snapshots every N probes sent; CheckpointInterval
+	// snapshots when that much scan time has passed since the last one.
+	// Both zero (with a sink set) means only the final snapshot.
+	CheckpointEvery    int
+	CheckpointInterval time.Duration
+
+	// SendRetries bounds the retransmissions of a probe whose WritePacket
+	// failed with a transient (Temporary()) error, with capped exponential
+	// backoff between attempts. 0 means the default of 3; negative
+	// disables retrying. Permanent failures are never retried; they are
+	// counted in Result.SendErrors.
+	SendRetries int
+	// CancelGrace is how long a cancelled scan keeps draining in-flight
+	// replies before returning its partial result (default: the engine's
+	// drain wait).
+	CancelGrace time.Duration
 }
 
 // DefaultConfig returns the paper's recommended FlashRoute-16
@@ -216,6 +239,11 @@ func (c Config) toCore() core.Config {
 	cc.CollectRoutes = c.CollectRoutes
 	cc.Observer = core.ProbeObserver(c.Observer)
 	cc.Seed = c.Seed
+	cc.CheckpointSink = c.CheckpointSink
+	cc.CheckpointEvery = c.CheckpointEvery
+	cc.CheckpointInterval = c.CheckpointInterval
+	cc.SendRetries = c.SendRetries
+	cc.CancelGrace = c.CancelGrace
 	return cc
 }
 
@@ -331,6 +359,23 @@ func (r *Result) DuplicateResponses() uint64 { return r.inner.DuplicateResponses
 // from unparseable packets).
 func (r *Result) ReadErrors() uint64 { return r.inner.ReadErrors }
 
+// SendErrors counts probes abandoned because the transport's WritePacket
+// failed permanently or exhausted Config.SendRetries.
+func (r *Result) SendErrors() uint64 { return r.inner.SendErrors }
+
+// SendRetries counts write attempts re-issued after transient
+// (Temporary()) transport failures.
+func (r *Result) SendRetries() uint64 { return r.inner.SendRetries }
+
+// CheckpointErrors counts snapshots Config.CheckpointSink failed to
+// persist (the scan continues regardless).
+func (r *Result) CheckpointErrors() uint64 { return r.inner.CheckpointErrors }
+
+// Interrupted reports that the scan was cancelled before completion; the
+// result is the valid partial state at cancellation plus the CancelGrace
+// drain.
+func (r *Result) Interrupted() bool { return r.inner.Interrupted }
+
 // WriteCSV writes collected routes as CSV (destination,ttl,hop,rtt_us,
 // reached).
 func (r *Result) WriteCSV(w interface{ Write([]byte) (int, error) }) error {
@@ -357,24 +402,54 @@ type Scanner struct {
 
 // NewScanner validates the configuration and binds it to a transport.
 func NewScanner(cfg Config, conn PacketConn, clock Clock) (*Scanner, error) {
-	cc := cfg.toCore()
-	// Simulation connections know how to hand out per-receiver read
-	// handles; wire them up so Receivers > 1 works out of the box.
-	if cfg.Receivers > 1 {
-		if nc, ok := conn.(*netsim.Conn); ok {
-			cc.NewReader = func() core.PacketReader { return nc.NewReader() }
-		}
-	}
-	sc, err := core.NewScanner(cc, conn, clock)
+	sc, err := core.NewScanner(wireReaders(cfg, conn), conn, clock)
 	if err != nil {
 		return nil, err
 	}
 	return &Scanner{inner: sc}, nil
 }
 
+// ErrCheckpointComplete is returned by the resume entry points when the
+// snapshot records a scan that already ran to completion.
+var ErrCheckpointComplete = core.ErrCheckpointComplete
+
+// ResumeScanner reconstructs a scan mid-flight from a checkpoint snapshot
+// (written by Config.CheckpointSink); Run continues it. The configuration
+// must describe the same scan — same Seed, Blocks and probing geometry —
+// while machinery knobs (Senders, Receivers, PPS, checkpointing) are free
+// to differ.
+func ResumeScanner(cfg Config, conn PacketConn, clock Clock, snapshot []byte) (*Scanner, error) {
+	sc, err := core.ResumeScanner(wireReaders(cfg, conn), conn, clock, snapshot)
+	if err != nil {
+		return nil, err
+	}
+	return &Scanner{inner: sc}, nil
+}
+
+// wireReaders translates the config and hands sharded receive workers
+// their per-worker read handles: simulation connections know how to
+// provide them, so Receivers > 1 works out of the box.
+func wireReaders(cfg Config, conn PacketConn) core.Config {
+	cc := cfg.toCore()
+	if cfg.Receivers > 1 {
+		if nc, ok := conn.(*netsim.Conn); ok {
+			cc.NewReader = func() core.PacketReader { return nc.NewReader() }
+		}
+	}
+	return cc
+}
+
 // Run executes the scan and returns its result.
 func (s *Scanner) Run() (*Result, error) {
-	res, err := s.inner.Run()
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with graceful cancellation: when ctx is cancelled the
+// scan stops sending, drains in-flight replies for Config.CancelGrace,
+// writes a final checkpoint (when checkpointing is armed) and returns the
+// valid partial result with Interrupted set.
+func (s *Scanner) RunContext(ctx context.Context) (*Result, error) {
+	res, err := s.inner.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/snapshot"
+)
+
+// killAndSnapshot runs e's scan with checkpointing armed to fire after
+// `every` probes, cancels the scan the moment the first snapshot lands,
+// and returns that snapshot together with the partial result. The sink
+// keeps only the first snapshot: the kill point is the first checkpoint,
+// and the final snapshot the cancelled run writes on its way out is
+// deliberately ignored (TestCancelResumeEquivalence covers that one).
+func killAndSnapshot(t *testing.T, e *testEnv, senders, receivers, every int) ([]byte, *Result) {
+	t.Helper()
+	e.cfg.Senders = senders
+	e.cfg.Receivers = receivers
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var snap []byte
+	e.cfg.CheckpointEvery = every
+	e.cfg.CheckpointSink = func(b []byte) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if snap == nil {
+			snap = append([]byte(nil), b...)
+			cancel()
+		}
+		return nil
+	}
+	e.cfg.CancelGrace = 100 * time.Millisecond
+	conn := e.net.NewConn()
+	if receivers > 1 {
+		e.cfg.NewReader = func() PacketReader { return conn.NewReader() }
+	}
+	sc, err := NewScanner(e.cfg, conn, e.clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.RunContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if snap == nil {
+		t.Fatalf("no checkpoint captured (every=%d, %d probes sent)", every, res.ProbesSent)
+	}
+	if !res.Interrupted {
+		t.Fatalf("killed scan not marked Interrupted (every=%d)", every)
+	}
+	return snap, res
+}
+
+// resumeFrom resumes a snapshot in the given (fresh) environment and runs
+// the scan to completion.
+func resumeFrom(t *testing.T, e *testEnv, senders, receivers int, snap []byte) *Result {
+	t.Helper()
+	e.cfg.Senders = senders
+	e.cfg.Receivers = receivers
+	conn := e.net.NewConn()
+	if receivers > 1 {
+		e.cfg.NewReader = func() PacketReader { return conn.NewReader() }
+	}
+	sc, err := ResumeScanner(e.cfg, conn, e.clock, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestResumeEquivalenceGrid is the crash-safety property: kill a scan at
+// an arbitrary probe (varied pseudo-randomly per grid point, anywhere in
+// the first three quarters of the run — preprobe snapshots included),
+// resume the snapshot in a fresh environment, and the union of the two
+// runs must discover exactly the interfaces and reach exactly the
+// destinations the uninterrupted scan does. The lockstep environment
+// makes the discovered topology a pure function of the probe set, so the
+// equality is exact across every Senders × Receivers combination.
+func TestResumeEquivalenceGrid(t *testing.T) {
+	const blocks = 512
+	for _, seed := range []int64{1, 7, 21} {
+		for _, senders := range []int{1, 4} {
+			for _, receivers := range []int{1, 4} {
+				baseline := newLockstepEnv(t, blocks, seed).runReceivers(t, senders, receivers)
+				baseFP := fpOf(baseline)
+				if baseline.Store.Interfaces().Len() == 0 {
+					t.Fatalf("seed %d: degenerate baseline", seed)
+				}
+				every := 1 + int(hashOctet(seed, senders*8+receivers)%(baseline.ProbesSent*3/4))
+				snap, part := killAndSnapshot(t, newLockstepEnv(t, blocks, seed), senders, receivers, every)
+				resumed := resumeFrom(t, newLockstepEnv(t, blocks, seed), senders, receivers, snap)
+				if fp := fpOf(resumed); fp != baseFP {
+					t.Errorf("seed=%d senders=%d receivers=%d killed@%d: resumed fingerprint %#x, want %#x (interfaces %d vs %d, reached %d vs %d)",
+						seed, senders, receivers, every, fp, baseFP,
+						resumed.Store.Interfaces().Len(), baseline.Store.Interfaces().Len(),
+						len(reachedSet(resumed)), len(reachedSet(baseline)))
+				}
+				if resumed.ProbesSent < part.ProbesSent {
+					t.Errorf("seed=%d senders=%d receivers=%d: resumed total %d probes < interrupted run's %d",
+						seed, senders, receivers, resumed.ProbesSent, part.ProbesSent)
+				}
+			}
+		}
+	}
+}
+
+// TestCancelResumeEquivalence: cancelling mid-scan must yield a valid
+// partial Result (Interrupted set, discoveries intact) plus a final
+// checkpoint, and resuming that final checkpoint must complete the scan
+// to the uninterrupted topology.
+func TestCancelResumeEquivalence(t *testing.T) {
+	const blocks, seed = 512, 7
+	baseline := newLockstepEnv(t, blocks, seed).runReceivers(t, 1, 1)
+	baseFP := fpOf(baseline)
+
+	e := newLockstepEnv(t, blocks, seed)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stopAt := baseline.ProbesSent / 2
+	var issued atomic.Uint64
+	e.cfg.Observer = func(dst uint32, ttl uint8, at time.Duration) {
+		if issued.Add(1) == stopAt {
+			cancel()
+		}
+	}
+	var mu sync.Mutex
+	var final []byte
+	e.cfg.CheckpointSink = func(b []byte) error {
+		mu.Lock()
+		final = append([]byte(nil), b...)
+		mu.Unlock()
+		return nil
+	}
+	e.cfg.CancelGrace = 200 * time.Millisecond
+	sc, err := NewScanner(e.cfg, e.net.NewConn(), e.clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.RunContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("cancelled scan not marked Interrupted")
+	}
+	if res.ProbesSent >= baseline.ProbesSent {
+		t.Errorf("cancelled scan sent %d probes, uninterrupted needs only %d", res.ProbesSent, baseline.ProbesSent)
+	}
+	if res.Store.Interfaces().Len() == 0 {
+		t.Fatal("partial result lost its discoveries")
+	}
+	mu.Lock()
+	snap := final
+	mu.Unlock()
+	if snap == nil {
+		t.Fatal("cancelled scan wrote no final checkpoint")
+	}
+
+	resumed := resumeFrom(t, newLockstepEnv(t, blocks, seed), 1, 1, snap)
+	if fp := fpOf(resumed); fp != baseFP {
+		t.Errorf("resume after cancel: fingerprint %#x, want %#x (interfaces %d vs %d, reached %d vs %d)",
+			fp, baseFP,
+			resumed.Store.Interfaces().Len(), baseline.Store.Interfaces().Len(),
+			len(reachedSet(resumed)), len(reachedSet(baseline)))
+	}
+}
+
+// TestResumePreprobePhase pins phase-0 resume: a checkpoint taken during
+// preprobing (first trigger well below one probe per block) restores the
+// partial measured[] array, re-probes only what is unmeasured, and the
+// scan still converges to the uninterrupted topology.
+func TestResumePreprobePhase(t *testing.T) {
+	const blocks, seed = 512, 3
+	baseline := newLockstepEnv(t, blocks, seed).runReceivers(t, 1, 1)
+	snap, part := killAndSnapshot(t, newLockstepEnv(t, blocks, seed), 1, 1, 100)
+	if part.ProbesSent >= uint64(blocks) {
+		t.Fatalf("kill landed after the preprobe phase: %d probes for %d blocks", part.ProbesSent, blocks)
+	}
+	resumed := resumeFrom(t, newLockstepEnv(t, blocks, seed), 1, 1, snap)
+	if fp, want := fpOf(resumed), fpOf(baseline); fp != want {
+		t.Errorf("preprobe-phase resume: fingerprint %#x, want %#x", fp, want)
+	}
+	if resumed.PreprobeProbes == 0 {
+		t.Error("resumed run lost preprobe accounting")
+	}
+	if resumed.PreprobeProbes < part.ProbesSent {
+		t.Errorf("resumed PreprobeProbes %d below the interrupted run's %d sent", resumed.PreprobeProbes, part.ProbesSent)
+	}
+}
+
+// TestResumeRejectsCompleteSnapshot: the final snapshot of a scan that
+// ran to completion must refuse to resume with ErrCheckpointComplete.
+func TestResumeRejectsCompleteSnapshot(t *testing.T) {
+	const blocks, seed = 64, 5
+	e := newLockstepEnv(t, blocks, seed)
+	var snap []byte
+	e.cfg.CheckpointSink = func(b []byte) error {
+		snap = append([]byte(nil), b...)
+		return nil
+	}
+	res := e.runReceivers(t, 1, 1)
+	if res.Interrupted {
+		t.Fatal("uncancelled scan marked Interrupted")
+	}
+	if snap == nil {
+		t.Fatal("completed scan wrote no final checkpoint")
+	}
+	e2 := newLockstepEnv(t, blocks, seed)
+	sc, err := ResumeScanner(e2.cfg, e2.net.NewConn(), e2.clock, snap)
+	if !errors.Is(err, ErrCheckpointComplete) {
+		t.Fatalf("resume of a complete snapshot: scanner=%v err=%v, want ErrCheckpointComplete", sc, err)
+	}
+	if sc != nil {
+		t.Fatal("rejected resume still returned a scanner")
+	}
+}
+
+// TestResumeRejectsConfigMismatch: a snapshot must only resume under the
+// configuration that produced it — any drift in the scan geometry is a
+// descriptive refusal, never a silent partial resume.
+func TestResumeRejectsConfigMismatch(t *testing.T) {
+	const blocks, seed = 64, 5
+	snap, _ := killAndSnapshot(t, newLockstepEnv(t, blocks, seed), 1, 1, 40)
+
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"seed", func(c *Config) { c.Seed++ }, "Seed"},
+		{"blocks", func(c *Config) { c.Blocks *= 2 }, "Blocks"},
+		{"splitTTL", func(c *Config) { c.SplitTTL += 3 }, "SplitTTL"},
+		{"gapLimit", func(c *Config) { c.GapLimit++ }, "GapLimit"},
+		{"maxTTL", func(c *Config) { c.MaxTTL-- }, "MaxTTL"},
+	}
+	for _, tc := range cases {
+		e := newLockstepEnv(t, blocks, seed)
+		tc.mut(&e.cfg)
+		sc, err := ResumeScanner(e.cfg, e.net.NewConn(), e.clock, snap)
+		if err == nil || sc != nil {
+			t.Fatalf("%s mismatch accepted: scanner=%v err=%v", tc.name, sc, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s mismatch: error %q does not name %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestResumeRejectsCorruptSnapshot: truncation, bit flips and version
+// skew must all fail loudly — a damaged checkpoint never resumes
+// partially.
+func TestResumeRejectsCorruptSnapshot(t *testing.T) {
+	const blocks, seed = 64, 5
+	snap, _ := killAndSnapshot(t, newLockstepEnv(t, blocks, seed), 1, 1, 40)
+
+	try := func(name string, data []byte) error {
+		t.Helper()
+		e := newLockstepEnv(t, blocks, seed)
+		sc, err := ResumeScanner(e.cfg, e.net.NewConn(), e.clock, data)
+		if err == nil || sc != nil {
+			t.Fatalf("%s: corrupt snapshot accepted (scanner=%v err=%v)", name, sc, err)
+		}
+		return err
+	}
+
+	try("empty", nil)
+	try("under-header", snap[:6])
+	try("truncated", snap[:len(snap)-3])
+	if err := try("half", snap[:len(snap)/2]); !errors.Is(err, snapshot.ErrChecksum) && !errors.Is(err, snapshot.ErrTruncated) {
+		t.Errorf("half-truncated snapshot: %v, want checksum or truncation error", err)
+	}
+
+	flip := func(i int) []byte {
+		b := append([]byte(nil), snap...)
+		b[i] ^= 0x40
+		return b
+	}
+	if err := try("magic", flip(0)); !errors.Is(err, snapshot.ErrBadMagic) {
+		t.Errorf("flipped magic: %v, want ErrBadMagic", err)
+	}
+	for _, i := range []int{6, len(snap) / 3, len(snap) / 2, len(snap) - 5} {
+		if err := try("payload-bit", flip(i)); !errors.Is(err, snapshot.ErrChecksum) {
+			t.Errorf("flipped byte %d: %v, want ErrChecksum", i, err)
+		}
+	}
+
+	// A future format version (with its checksum recomputed so only the
+	// version differs) must be refused as a version error.
+	w := snapshot.NewWriter(checkpointVersion + 1)
+	w.Raw(snap[6 : len(snap)-4])
+	if err := try("version", w.Finish()); !errors.Is(err, snapshot.ErrVersion) {
+		t.Errorf("future version: %v, want ErrVersion", err)
+	}
+}
+
+// TestCheckpointSinkFailure: a sink that cannot persist must not derail
+// the scan — the run completes to the clean fingerprint with the failures
+// counted in CheckpointErrors.
+func TestCheckpointSinkFailure(t *testing.T) {
+	const blocks, seed = 256, 9
+	baseline := newLockstepEnv(t, blocks, seed).runReceivers(t, 1, 1)
+
+	e := newLockstepEnv(t, blocks, seed)
+	e.cfg.CheckpointEvery = 500
+	e.cfg.CheckpointSink = func([]byte) error { return errors.New("disk full") }
+	res := e.runReceivers(t, 1, 1)
+	if fp, want := fpOf(res), fpOf(baseline); fp != want {
+		t.Errorf("scan with failing sink: fingerprint %#x, want %#x", fp, want)
+	}
+	if res.CheckpointErrors == 0 {
+		t.Error("sink failures not surfaced in CheckpointErrors")
+	}
+}
+
+// TestCheckpointIntervalTrigger: with only the time-based cadence armed,
+// snapshots must still flow.
+func TestCheckpointIntervalTrigger(t *testing.T) {
+	const blocks, seed = 256, 9
+	e := newLockstepEnv(t, blocks, seed)
+	var count atomic.Int64
+	e.cfg.CheckpointInterval = 20 * time.Millisecond
+	e.cfg.CheckpointSink = func([]byte) error { count.Add(1); return nil }
+	res := e.runReceivers(t, 1, 1)
+	// At least one interval snapshot plus the final one.
+	if count.Load() < 2 {
+		t.Fatalf("interval cadence produced %d snapshots over %v", count.Load(), res.ScanTime)
+	}
+}

@@ -237,6 +237,39 @@ type ConfigOf[A comparable] struct {
 	// portable choice, default) or LockSpin (the §3.4-suggested atomic
 	// test-and-set spinlock, halving the per-destination lock footprint).
 	LockMode LockMode
+
+	// CheckpointSink, when non-nil, arms crash-safe checkpointing: the
+	// engine periodically serializes its complete probing state (see
+	// checkpoint.go) and hands the snapshot bytes to the sink. The sink
+	// is called from a sender goroutine — it should be fast (write to a
+	// temp file and rename) and must not retain the slice. Sink errors
+	// are counted in Result.CheckpointErrors, never fatal. A final
+	// snapshot is always written when the scan finishes or is cancelled.
+	CheckpointSink func(snapshot []byte) error
+
+	// CheckpointEvery triggers a checkpoint every N probes sent (scan
+	// total, all senders). 0 disables the probe-count trigger.
+	CheckpointEvery int
+
+	// CheckpointInterval triggers a checkpoint when this much scan time
+	// has passed since the last one. 0 disables the time trigger. With
+	// both triggers zero and a sink set, only the final snapshot is
+	// written.
+	CheckpointInterval time.Duration
+
+	// SendRetries bounds the retransmissions of a probe whose
+	// WritePacket failed with a transient (Temporary() == true) error,
+	// with exponential backoff between attempts. 0 means the default of
+	// 3; negative disables retries. Exhausted retries and permanent
+	// errors are counted in Result.SendErrors and the probe is dropped —
+	// the scan continues (a traceroute probe is one datapoint, not a
+	// transaction).
+	SendRetries int
+
+	// CancelGrace is how long a cancelled scan keeps receiving after the
+	// senders stop, so in-flight replies still land in the partial
+	// result. Default DrainWait.
+	CancelGrace time.Duration
 }
 
 // Config is the IPv4 scan configuration.

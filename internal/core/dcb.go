@@ -57,6 +57,13 @@ const (
 	dcbRemoved                 // unlinked from the probing list
 	dcbSplitHigh               // low bits of the split TTL continue in splitLow
 	dcbPreSeen                 // a TTL-exceeded preprobe response was processed
+	// dcbBwStopped marks backward probing terminated by the Doubletree
+	// stop set rather than by reaching TTL 1. Checkpoint resume keys off
+	// it: a stop-set termination must not be rewound (the hop that
+	// triggered it is in the restored stop set, but the respSeen bitmap
+	// alone cannot distinguish "stopped early" from "probes still in
+	// flight").
+	dcbBwStopped
 )
 
 // listOf is the circular doubly linked list threaded through the DCB

@@ -66,6 +66,13 @@ type Family[A comparable] interface {
 	// the receive pipeline). It needs good avalanche over all address
 	// bits, not cryptographic strength.
 	HashAddr(a A) uint64
+	// AddrSize, PutAddr and GetAddr are the address wire codec used by
+	// the checkpoint snapshots: a fixed-width canonical encoding (4 bytes
+	// big-endian for IPv4, the 16 raw bytes for IPv6). PutAddr writes
+	// exactly AddrSize bytes into b; GetAddr reads them back.
+	AddrSize() int
+	PutAddr(b []byte, a A)
+	GetAddr(b []byte) A
 }
 
 // maxProbeBuf is the per-shard probe buffer size, sized for the largest
@@ -126,6 +133,16 @@ func (ipv4Family) HashAddr(a uint32) uint64 {
 	z := uint64(a) * 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	return z ^ (z >> 31)
+}
+
+func (ipv4Family) AddrSize() int { return 4 }
+
+func (ipv4Family) PutAddr(b []byte, a uint32) {
+	b[0], b[1], b[2], b[3] = byte(a>>24), byte(a>>16), byte(a>>8), byte(a)
+}
+
+func (ipv4Family) GetAddr(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
 }
 
 // distanceFrom recovers the destination's hop distance from a

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/netsim"
+)
+
+// Fault-window tests: the deterministic transport faults of
+// simnet.Impairments.Faults, exercised end-to-end through the scanner's
+// retry and loss-tolerance machinery. The windows are pure functions of
+// scan time — no RNG stream — so runs repeat exactly.
+
+// TestFaultWindowDeterminism: the same fault schedule twice ⇒ the same
+// fingerprint, probe counts and fault statistics.
+func TestFaultWindowDeterminism(t *testing.T) {
+	// Probes go out in bursts: the preprobe sweep at t≈0 and one burst per
+	// round (MinRoundTime apart, after the preprobe drain) — so the
+	// write-error window sits on the second-round burst, and the stall and
+	// flap windows sit on later rounds' reply tails.
+	faults := []netsim.FaultWindow{
+		{Start: 2000 * time.Millisecond, Duration: 20 * time.Millisecond, Kind: netsim.FaultWriteError},
+		{Start: 3020 * time.Millisecond, Duration: 100 * time.Millisecond, Kind: netsim.FaultReadStall},
+		{Start: 4020 * time.Millisecond, Duration: 60 * time.Millisecond, Kind: netsim.FaultFlap},
+	}
+	type snap struct {
+		fp                          uint64
+		probes, retries, errs       uint64
+		wfaults, fdropped, fstalled uint64
+	}
+	run := func() snap {
+		e := newEnv(t, 256, 6)
+		e.topo.P.Impair.Faults = faults
+		e.cfg.SendRetries = 8
+		res := e.run(t)
+		return snap{
+			fp: fpOf(res), probes: res.ProbesSent, retries: res.SendRetries, errs: res.SendErrors,
+			wfaults:  e.net.Stats.WriteFaults.Load(),
+			fdropped: e.net.Stats.FaultDropped.Load(),
+			fstalled: e.net.Stats.FaultStalled.Load(),
+		}
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("fault schedule not deterministic:\n  first  %+v\n  second %+v", a, b)
+	}
+	if a.wfaults == 0 && a.fdropped == 0 && a.fstalled == 0 {
+		t.Fatal("fault windows never fired")
+	}
+}
+
+// TestFaultWindowWriteErrorSurvived: a write-error window shorter than
+// the retry backoff budget is ridden out entirely by retries — in the
+// lockstep environment the discovered topology is bit-identical to a
+// clean transport, with the window visible only in the retry counters.
+func TestFaultWindowWriteErrorSurvived(t *testing.T) {
+	const blocks, seed = 256, 4
+	clean := newLockstepEnv(t, blocks, seed).runReceivers(t, 1, 1)
+
+	e := newLockstepEnv(t, blocks, seed)
+	e.topo.P.Impair.Faults = []netsim.FaultWindow{
+		// On the second-round send burst (preprobe drain puts it at ~2 s).
+		{Start: 2000 * time.Millisecond, Duration: 30 * time.Millisecond, Kind: netsim.FaultWriteError},
+	}
+	e.cfg.SendRetries = 10 // backoff budget ~260 ms, outlasts the window
+	res := e.runReceivers(t, 1, 1)
+	if fp, want := fpOf(res), fpOf(clean); fp != want {
+		t.Errorf("write-error window changed the topology: fingerprint %#x, want %#x", fp, want)
+	}
+	if res.SendRetries == 0 {
+		t.Error("window produced no retries")
+	}
+	if res.SendErrors != 0 {
+		t.Errorf("survivable window still abandoned %d probes", res.SendErrors)
+	}
+	if e.net.Stats.WriteFaults.Load() == 0 {
+		t.Error("WriteFaults not counted")
+	}
+}
+
+// TestFaultWindowStall: a reader stall delays in-window replies to the
+// window's end; the scan absorbs the burst and completes.
+func TestFaultWindowStall(t *testing.T) {
+	e := newEnv(t, 256, 6)
+	e.topo.P.Impair.Faults = []netsim.FaultWindow{
+		{Start: 60 * time.Millisecond, Duration: 150 * time.Millisecond, Kind: netsim.FaultReadStall},
+	}
+	res := e.run(t)
+	if e.net.Stats.FaultStalled.Load() == 0 {
+		t.Fatal("stall window never delayed a delivery")
+	}
+	if res.Store.Interfaces().Len() == 0 {
+		t.Fatal("scan discovered nothing through a stall window")
+	}
+}
+
+// TestFaultWindowFlap: a conn flap blackholes both directions — writes
+// error and in-window deliveries vanish. The scan's loss tolerance must
+// carry it to completion with discoveries intact.
+func TestFaultWindowFlap(t *testing.T) {
+	e := newEnv(t, 256, 6)
+	e.topo.P.Impair.Faults = []netsim.FaultWindow{
+		{Start: 2000 * time.Millisecond, Duration: 80 * time.Millisecond, Kind: netsim.FaultFlap},
+	}
+	e.cfg.SendRetries = 10
+	res := e.run(t)
+	if e.net.Stats.WriteFaults.Load() == 0 {
+		t.Error("flap window never rejected a write")
+	}
+	if res.Store.Interfaces().Len() == 0 {
+		t.Fatal("scan discovered nothing through a flap window")
+	}
+}
+
+// TestFaultWindowZeroUnchanged: an empty fault schedule must leave the
+// golden single-sender fingerprints untouched (the fast no-faults path).
+func TestFaultWindowZeroUnchanged(t *testing.T) {
+	e := newEnv(t, 1024, 1)
+	e.topo.P.Impair.Faults = nil
+	res := e.run(t)
+	if fp := fpOf(res); fp != 0xe464436d2a0b477e {
+		t.Fatalf("seed 1 fingerprint drifted with empty fault schedule: %#x", fp)
+	}
+}

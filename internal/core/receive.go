@@ -84,6 +84,20 @@ func (ss *stopSetOf[A]) add(a A) {
 	sh.mu.Unlock()
 }
 
+// forEach visits every member under the shard read locks (checkpoint
+// encoding; safe concurrently with add, though the caller normally holds
+// the checkpoint barrier that quiesces receivers anyway).
+func (ss *stopSetOf[A]) forEach(fn func(A)) {
+	for i := range ss.shards {
+		sh := &ss.shards[i]
+		sh.mu.RLock()
+		for a := range sh.m {
+			fn(a)
+		}
+		sh.mu.RUnlock()
+	}
+}
+
 // size sums the shard cardinalities (post-scan use).
 func (ss *stopSetOf[A]) size() int {
 	n := 0

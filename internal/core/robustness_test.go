@@ -91,7 +91,9 @@ func TestReceiverSurvivesHostileQuotes(t *testing.T) {
 }
 
 // TestScanWithDroppedWrites: an unreliable transport (every write
-// errors) must not wedge the scan — it completes with zero discoveries.
+// errors, permanently) must not wedge the scan — it completes with zero
+// discoveries, every failed send surfaced in SendErrors and none of them
+// miscounted as sent.
 func TestScanWithDroppedWrites(t *testing.T) {
 	e := newEnv(t, 64, 3)
 	conn := &flakyConn{inner: e.net.NewConn()}
@@ -106,10 +108,74 @@ func TestScanWithDroppedWrites(t *testing.T) {
 	if res.Store.Interfaces().Len() != 0 {
 		t.Fatal("discoveries without any delivered probe")
 	}
-	if res.ProbesSent == 0 {
-		t.Fatal("sender should still have attempted probes")
+	if res.ProbesSent != 0 {
+		t.Fatalf("failed writes counted as sent: %d", res.ProbesSent)
+	}
+	if res.SendErrors == 0 {
+		t.Fatal("failed writes not surfaced in SendErrors")
+	}
+	if res.SendRetries != 0 {
+		t.Fatalf("permanent errors must not be retried: %d retries", res.SendRetries)
 	}
 }
+
+// TestScanWithTransientWriteErrors: writes that fail with a Temporary()
+// error are retried with backoff and succeed on the next attempt — the
+// scan discovers exactly what a clean transport does, every retry is
+// surfaced in SendRetries, and nothing lands in SendErrors.
+func TestScanWithTransientWriteErrors(t *testing.T) {
+	clean := newLockstepEnv(t, 256, 4).runReceivers(t, 1, 1)
+
+	e := newLockstepEnv(t, 256, 4)
+	conn := &transientConn{inner: e.net.NewConn()}
+	sc, err := NewScanner(e.cfg, conn, e.clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp, want := fpOf(res), fpOf(clean); fp != want {
+		t.Errorf("transient write errors changed the topology: fingerprint %#x, want %#x", fp, want)
+	}
+	if res.SendRetries == 0 {
+		t.Error("transient failures not retried")
+	}
+	if res.SendErrors != 0 {
+		t.Errorf("recovered sends wrongly surfaced as errors: %d", res.SendErrors)
+	}
+	if res.ProbesSent != clean.ProbesSent {
+		t.Errorf("probe counts diverge: %d with retries, %d clean", res.ProbesSent, clean.ProbesSent)
+	}
+}
+
+// transientConn fails every 50th write attempt with a Temporary() error;
+// the immediate retry (the next attempt) goes through. Single sender, so
+// no synchronization needed on the counter.
+type transientConn struct {
+	inner    PacketConn
+	attempts int
+}
+
+func (c *transientConn) WritePacket(p []byte) error {
+	c.attempts++
+	if c.attempts%50 == 0 {
+		return errTransient
+	}
+	return c.inner.WritePacket(p)
+}
+func (c *transientConn) ReadPacket(buf []byte) (int, error) {
+	return c.inner.ReadPacket(buf)
+}
+func (c *transientConn) Close() error { return c.inner.Close() }
+
+var errTransient = &transientErr{}
+
+type transientErr struct{}
+
+func (*transientErr) Error() string   { return "transient write failure" }
+func (*transientErr) Temporary() bool { return true }
 
 type flakyConn struct {
 	inner PacketConn

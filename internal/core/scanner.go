@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -53,6 +54,19 @@ type ResultOf[A comparable] struct {
 	// UnparsedResponses: a read error is the socket failing, not a packet
 	// we could not interpret.
 	ReadErrors uint64
+	// SendErrors counts probes abandoned because WritePacket failed
+	// permanently or exhausted Config.SendRetries; SendRetries counts the
+	// retry attempts made for transient write errors (each retried probe
+	// contributes one per attempt).
+	SendErrors  uint64
+	SendRetries uint64
+	// CheckpointErrors counts CheckpointSink failures — snapshots the
+	// sink could not persist (the scan continues regardless).
+	CheckpointErrors uint64
+	// Interrupted reports that the scan was cancelled before completing;
+	// the result is the valid partial state at cancellation (plus the
+	// CancelGrace drain).
+	Interrupted bool
 }
 
 // Result is an IPv4 scan result.
@@ -105,6 +119,26 @@ type ScannerOf[A comparable] struct {
 	unparsed     atomic.Uint64
 	dupResponses atomic.Uint64
 	readErrors   atomic.Uint64
+	sendErrors   atomic.Uint64
+	sendRetries  atomic.Uint64
+
+	// Graceful shutdown: ctx is non-nil only for cancellable contexts
+	// (so the paper-faithful Run path costs one atomic load per check);
+	// cancelled latches the first observation of ctx.Err() — polled, not
+	// watched, so cancellation lands at deterministic points.
+	ctx       context.Context
+	cancelled atomic.Bool
+
+	// ckpt is non-nil when checkpointing is armed (CheckpointSink set).
+	ckpt *ckptState
+
+	// resume positions Run mid-scan after a checkpoint restore; base
+	// carries the interrupted run's totals. preprobeProbes is the
+	// preprobing phase's cumulative probe count, fixed at the phase
+	// transition (written before the main phase's senders start).
+	resume         *resumeInfo
+	base           baseCounters
+	preprobeProbes uint64
 
 	// obsMu serializes Config.Observer callbacks when several senders are
 	// probing concurrently, so observers need not be thread-safe.
@@ -173,6 +207,17 @@ func NewScannerOf[A comparable](fam Family[A], cfg ConfigOf[A], conn PacketConn,
 	if cfg.MinRoundTime <= 0 {
 		cfg.MinRoundTime = time.Second
 	}
+	if cfg.SendRetries == 0 {
+		cfg.SendRetries = 3
+	} else if cfg.SendRetries < 0 {
+		cfg.SendRetries = 0
+	}
+	if cfg.CancelGrace <= 0 {
+		cfg.CancelGrace = cfg.DrainWait
+	}
+	if cfg.CheckpointEvery < 0 {
+		cfg.CheckpointEvery = 0
+	}
 	if cfg.Exhaustive {
 		// The Yarrp-simulation mode probes every hop unconditionally; a
 		// stop set would contradict it (§4.2.1).
@@ -201,6 +246,13 @@ func NewScannerOf[A comparable](fam Family[A], cfg ConfigOf[A], conn PacketConn,
 		splits:      make([]uint8, cfg.Blocks),
 		stopSet:     newStopSet(fam, cfg.Receivers, cfg.Blocks),
 		phaseParker: clock.NewParker(),
+	}
+	if cfg.CheckpointSink != nil {
+		s.ckpt = &ckptState{
+			every:    uint64(cfg.CheckpointEvery),
+			interval: cfg.CheckpointInterval,
+			sink:     cfg.CheckpointSink,
+		}
 	}
 	switch cfg.LockMode {
 	case LockMutex:
@@ -307,6 +359,15 @@ func (s *ScannerOf[A]) probesSentTotal() uint64 {
 	return n
 }
 
+// noteRetransmits accounts n retransmitted probes, mirroring the
+// unsynchronized per-shard counter into the armed checkpoint mirror.
+func (sh *senderShardOf[A]) noteRetransmits(n uint64) {
+	sh.retransmits += n
+	if ck := sh.s.ckpt; ck != nil {
+		ck.retrans.Add(n)
+	}
+}
+
 // retransmitsTotal sums the per-shard retransmit counters. Only call
 // between phases (senders quiescent).
 func (s *ScannerOf[A]) retransmitsTotal() uint64 {
@@ -329,7 +390,36 @@ func (s *ScannerOf[A]) fwdTick() uint16 {
 // that is NOT registered as a clock actor; it registers the sender and
 // receiver itself.
 func (s *ScannerOf[A]) Run() (*ResultOf[A], error) {
+	return s.RunContext(context.Background())
+}
+
+// canceled reports whether the scan has been cancelled. The first
+// observation of a cancelled context latches, so later checks cost one
+// atomic load.
+func (s *ScannerOf[A]) canceled() bool {
+	if s.cancelled.Load() {
+		return true
+	}
+	if s.ctx != nil && s.ctx.Err() != nil {
+		s.cancelled.Store(true)
+		return true
+	}
+	return false
+}
+
+// RunContext is Run with graceful cancellation: when ctx is cancelled the
+// senders stop at their next probing step, the receivers keep draining
+// in-flight replies for Config.CancelGrace, and the partial state is
+// returned as a valid Result (Interrupted set) — with a final checkpoint
+// written when checkpointing is armed, so the scan can be resumed.
+func (s *ScannerOf[A]) RunContext(ctx context.Context) (*ResultOf[A], error) {
+	if ctx != nil && ctx.Done() != nil {
+		s.ctx = ctx
+	}
 	s.start = s.clock.Now()
+	if s.ckpt != nil && s.ckpt.interval > 0 {
+		s.ckpt.nextAt.Store(int64(s.ckpt.interval))
+	}
 
 	// The random permutation threading the DCBs (paper §3.2, §3.4).
 	perm := permute.NewFeistel(uint64(s.cfg.Blocks), uint64(s.cfg.Seed)^s.fam.PermSalt())
@@ -378,15 +468,26 @@ func (s *ScannerOf[A]) Run() (*ResultOf[A], error) {
 	}
 
 	usePre := s.cfg.Preprobe != PreprobeOff && !s.cfg.Exhaustive
-	if usePre {
-		s.measured = make([]uint8, s.cfg.Blocks)
-		s.eachShard((*senderShardOf[A]).runPreprobe)
+	resumedMain := s.resume != nil && s.resume.phase == 1
+	if usePre && !resumedMain {
+		if s.measured == nil {
+			s.measured = make([]uint8, s.cfg.Blocks)
+		}
+		if s.resume != nil {
+			// Resuming mid-preprobe: the restored measured[] holds every
+			// distance whose reply was processed before the crash; replies
+			// to the rest were lost with the dead run's socket, so one
+			// retry pass re-probes exactly the unmeasured blocks.
+			s.eachShard((*senderShardOf[A]).runPreprobeRetry)
+		} else {
+			s.eachShard((*senderShardOf[A]).runPreprobe)
+		}
 		s.clock.Sleep(s.cfg.DrainWait)
 		// Preprobe retransmission: blocks still unmeasured after the
 		// drain either genuinely cannot answer or lost a packet; re-probe
 		// them up to PreprobeRetries times so one lost reply does not
 		// silently downgrade the block's split point.
-		for r := 0; r < s.cfg.PreprobeRetries; r++ {
+		for r := 0; r < s.cfg.PreprobeRetries && !s.canceled(); r++ {
 			before := s.retransmitsTotal()
 			s.eachShard((*senderShardOf[A]).runPreprobeRetry)
 			if s.retransmitsTotal() == before {
@@ -401,24 +502,46 @@ func (s *ScannerOf[A]) Run() (*ResultOf[A], error) {
 
 	res := &ResultOf[A]{Store: s.store}
 	if usePre {
-		res.PreprobeProbes = s.probesSentTotal()
+		if resumedMain {
+			res.PreprobeProbes = s.preprobeProbes
+		} else {
+			res.PreprobeProbes = s.base.probes + s.probesSentTotal()
+			s.preprobeProbes = res.PreprobeProbes
+		}
 		res.Measured = s.measured
 		res.Predicted = make([]uint8, s.cfg.Blocks)
 		s.predictDistances(res)
 	}
 
-	s.initDCBs(res)
-	s.runScanPass(0)
-	s.clock.Sleep(s.cfg.DrainWait)
-
-	for extra := 1; extra <= s.cfg.ExtraScans; extra++ {
-		s.scanOffset.Store(uint32(extra))
-		s.resetForExtraScan(extra)
-		s.runScanPass(uint16(extra))
+	startPass := 0
+	if resumedMain {
+		startPass = int(s.resume.pass)
+		s.rewindDCBs(startPass)
+	} else {
+		s.initDCBs(res)
+	}
+	for pass := startPass; pass <= s.cfg.ExtraScans && !s.canceled(); pass++ {
+		if pass > 0 {
+			s.scanOffset.Store(uint32(pass))
+			if !(resumedMain && pass == startPass) {
+				// The resumed pass keeps its restored (rewound) DCB state;
+				// resetForExtraScan would restart the pass from scratch and
+				// clear its reply dedup.
+				s.resetForExtraScan(pass)
+			}
+		}
+		s.runScanPass(uint16(pass))
 		s.clock.Sleep(s.cfg.DrainWait)
 	}
 
-	res.ScanTime = s.clock.Now().Sub(s.start)
+	res.Interrupted = s.cancelled.Load()
+	if res.Interrupted {
+		// Grace drain: the senders have stopped, but replies to the last
+		// probes are still in flight. Keep the receivers fed so the
+		// partial result (and the final checkpoint) includes them.
+		s.clock.Sleep(s.cfg.CancelGrace)
+	}
+	res.ScanTime = s.base.scanTime + s.clock.Now().Sub(s.start)
 	// Close the conn first so the receivers (possibly parked waiting for
 	// packets) wake to their EOF before the sender leaves the clock.
 	s.conn.Close()
@@ -428,17 +551,27 @@ func (s *ScannerOf[A]) Run() (*ResultOf[A], error) {
 		res.Store = s.striped.Merge()
 	}
 
-	res.ProbesSent = s.probesSentTotal()
+	res.ProbesSent = s.base.probes + s.probesSentTotal()
+	res.Rounds = s.base.rounds
 	for _, sh := range s.shards {
-		if sh.rounds > res.Rounds {
-			res.Rounds = sh.rounds
+		if s.base.rounds+sh.rounds > res.Rounds {
+			res.Rounds = s.base.rounds + sh.rounds
 		}
 	}
 	res.MismatchedResponses = s.mismatched.Load()
 	res.UnparsedResponses = s.unparsed.Load()
-	res.RetransmittedProbes = s.retransmitsTotal()
+	res.RetransmittedProbes = s.base.retransmits + s.retransmitsTotal()
 	res.DuplicateResponses = s.dupResponses.Load()
 	res.ReadErrors = s.readErrors.Load()
+	res.SendErrors = s.sendErrors.Load()
+	res.SendRetries = s.sendRetries.Load()
+	if s.ckpt != nil {
+		// Final snapshot: every goroutine has joined, so encode from the
+		// merged result store with no locking. A completed scan's snapshot
+		// is marked complete and refuses to resume.
+		s.writeCheckpoint(true, !res.Interrupted, res.Store)
+		res.CheckpointErrors = s.ckpt.errs.Load()
+	}
 	return res, nil
 }
 
@@ -459,6 +592,9 @@ func (sh *senderShardOf[A]) runPreprobe() {
 	var zero A
 	sh.pacer.reset()
 	for _, b := range sh.order {
+		if s.canceled() {
+			return
+		}
 		dst := targets(int(b))
 		if dst == zero {
 			continue // no preprobe candidate for this block
@@ -479,6 +615,9 @@ func (sh *senderShardOf[A]) runPreprobeRetry() {
 	var zero A
 	sh.pacer.reset()
 	for _, b := range sh.order {
+		if s.canceled() {
+			return
+		}
 		s.distMu.Lock()
 		measured := s.measured[b] != 0
 		s.distMu.Unlock()
@@ -490,7 +629,7 @@ func (sh *senderShardOf[A]) runPreprobeRetry() {
 			continue
 		}
 		sh.sendProbe(dst, s.cfg.MaxTTL, true, 0)
-		sh.retransmits++
+		sh.noteRetransmits(1)
 	}
 }
 
@@ -641,6 +780,9 @@ func (sh *senderShardOf[A]) runRounds(srcPortOffset uint16) {
 		cur := l.head
 		n := l.size
 		for i := 0; i < n && l.size > 0; i++ {
+			if s.canceled() {
+				return
+			}
 			d := &l.dcbs[cur]
 			next := d.next
 
@@ -698,7 +840,7 @@ func (sh *senderShardOf[A]) runRounds(srcPortOffset uint16) {
 				}
 				s.locks.unlock(cur)
 				if retried > 0 {
-					sh.retransmits += uint64(retried)
+					sh.noteRetransmits(uint64(retried))
 				}
 				if done {
 					l.remove(cur)
@@ -714,14 +856,48 @@ func (sh *senderShardOf[A]) runRounds(srcPortOffset uint16) {
 	}
 }
 
-// sendProbe builds, stamps, paces and writes one probe.
+// isTemporary reports whether a send error is transient — the net.Error
+// Temporary convention, matched structurally so the engine needs no
+// transport imports.
+func isTemporary(err error) bool {
+	var t interface{ Temporary() bool }
+	return errors.As(err, &t) && t.Temporary()
+}
+
+// sendProbe builds, stamps, paces and writes one probe. Transient write
+// errors are retried with capped exponential backoff (Config.SendRetries);
+// a probe that still cannot be written is dropped and counted — one lost
+// datapoint, not a failed scan. Only successfully written probes count as
+// sent.
 func (sh *senderShardOf[A]) sendProbe(dst A, ttl uint8, preprobe bool, srcPortOffset uint16) {
 	s := sh.s
 	elapsed := s.clock.Now().Sub(s.start)
 	n := s.fam.BuildProbe(sh.pktBuf[:], s.cfg.Source, dst, ttl, preprobe,
 		elapsed, srcPortOffset)
-	_ = s.conn.WritePacket(sh.pktBuf[:n])
-	sh.probesSent++
+	err := s.conn.WritePacket(sh.pktBuf[:n])
+	for retry := 0; err != nil && retry < s.cfg.SendRetries && isTemporary(err); retry++ {
+		s.sendRetries.Add(1)
+		backoff := time.Millisecond << retry
+		if backoff > 50*time.Millisecond {
+			backoff = 50 * time.Millisecond
+		}
+		s.clock.Sleep(backoff)
+		// Rebuild: the probe's timestamp rides in the packet (§3.1), so a
+		// retried probe must carry its actual send time or the derived RTT
+		// would include the backoff.
+		elapsed = s.clock.Now().Sub(s.start)
+		n = s.fam.BuildProbe(sh.pktBuf[:], s.cfg.Source, dst, ttl, preprobe,
+			elapsed, srcPortOffset)
+		err = s.conn.WritePacket(sh.pktBuf[:n])
+	}
+	if err != nil {
+		s.sendErrors.Add(1)
+	} else {
+		sh.probesSent++
+		if s.ckpt != nil {
+			s.maybeCheckpoint()
+		}
+	}
 	if s.cfg.Observer != nil {
 		if len(s.shards) > 1 {
 			s.obsMu.Lock()
@@ -790,6 +966,13 @@ func (s *ScannerOf[A]) parseResponse(pkt []byte) (int, Reply[A], bool) {
 // only store in single-receiver mode, the owning worker's stripe in
 // sharded mode). All replies of a block go through exactly one goroutine.
 func (s *ScannerOf[A]) processReply(store *trace.StoreOf[A], block int, r *Reply[A]) {
+	if ck := s.ckpt; ck != nil {
+		// Checkpoint write barrier: the encoder takes the write side, so a
+		// snapshot never observes a half-applied reply. Disarmed scans
+		// skip even the read lock.
+		ck.mu.RLock()
+		defer ck.mu.RUnlock()
+	}
 	if r.Preprobe {
 		s.handlePreprobeResponse(store, block, r)
 		return
@@ -818,8 +1001,14 @@ func (s *ScannerOf[A]) processReply(store *trace.StoreOf[A], block int, r *Reply
 		if r.InitTTL <= s.splits[block] {
 			// Backward side: terminate on the vantage point's first hop or
 			// on route convergence with the stop set (§3.2, §3.4).
-			if r.InitTTL == 1 || (seen && !s.cfg.NoRedundancyElimination) {
+			if r.InitTTL == 1 {
 				d.nextBackward = 0
+			} else if seen && !s.cfg.NoRedundancyElimination {
+				d.nextBackward = 0
+				// Mark the termination as a stop-set decision: checkpoint
+				// resume must not rewind past it (TTL-1 terminations need
+				// no mark — their respSeen bit pins the rewind).
+				d.flags |= dcbBwStopped
 			}
 		} else if d.flags&dcbForwardDone == 0 {
 			// Forward side: the farthest responding hop pushes the horizon

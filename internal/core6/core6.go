@@ -22,6 +22,7 @@ package core6
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"sort"
 	"time"
@@ -93,6 +94,19 @@ type Config struct {
 	Seed         int64
 	DrainWait    time.Duration
 	MinRoundTime time.Duration
+
+	// CheckpointSink arms crash-safe checkpointing: it receives every
+	// snapshot the engine writes (see core.ConfigOf). CheckpointEvery and
+	// CheckpointInterval set the probe-count and scan-time cadences.
+	CheckpointSink     func(snapshot []byte) error
+	CheckpointEvery    int
+	CheckpointInterval time.Duration
+
+	// SendRetries bounds retransmissions of probes whose WritePacket
+	// failed transiently (0 = engine default, negative disables);
+	// CancelGrace is the post-cancellation drain window.
+	SendRetries int
+	CancelGrace time.Duration
 }
 
 // DefaultConfig returns FlashRoute6 defaults.
@@ -143,6 +157,15 @@ type Result struct {
 	// and replies discarded by the duplicate guard.
 	RetransmittedProbes uint64
 	DuplicateResponses  uint64
+
+	// SendErrors / SendRetries report the transport fault tolerance:
+	// probes abandoned on permanent write failure and transient-failure
+	// retry attempts. CheckpointErrors counts CheckpointSink failures.
+	// Interrupted reports cancellation before completion.
+	SendErrors       uint64
+	SendRetries      uint64
+	CheckpointErrors uint64
+	Interrupted      bool
 
 	store *trace.StoreOf[probe6.Addr]
 }
@@ -252,6 +275,16 @@ func (family6) HashAddr(a probe6.Addr) uint64 {
 	return z ^ (z >> 31)
 }
 
+func (family6) AddrSize() int { return 16 }
+
+func (family6) PutAddr(b []byte, a probe6.Addr) { copy(b, a[:]) }
+
+func (family6) GetAddr(b []byte) probe6.Addr {
+	var a probe6.Addr
+	copy(a[:], b)
+	return a
+}
+
 // distance6 recovers the target's hop distance from a
 // destination-unreachable response.
 func distance6(fi probe6.Info) uint8 {
@@ -298,14 +331,15 @@ type Scanner struct {
 	inner *core.ScannerOf[probe6.Addr]
 }
 
-// NewScanner validates the configuration.
-func NewScanner(cfg Config, conn PacketConn, clock simclock.Waiter) (*Scanner, error) {
+// buildEngineConfig translates a FlashRoute6 config into the generic
+// engine's, installing the sparse response-to-DCB lookup of §5.4:
+// candidate-list position is the block index, recovered from quoted
+// destinations by hash.
+func buildEngineConfig(cfg Config) (core.ConfigOf[probe6.Addr], error) {
 	if len(cfg.Targets) == 0 {
-		return nil, errors.New("core6: Config.Targets must be non-empty")
+		return core.ConfigOf[probe6.Addr]{}, errors.New("core6: Config.Targets must be non-empty")
 	}
 	targets := cfg.Targets
-	// The sparse response-to-DCB lookup of §5.4: candidate-list position
-	// is the block index, recovered from quoted destinations by hash.
 	index := make(map[probe6.Addr]uint32, len(targets))
 	for i, a := range targets {
 		index[a] = uint32(i)
@@ -333,6 +367,11 @@ func NewScanner(cfg Config, conn PacketConn, clock simclock.Waiter) (*Scanner, e
 		Seed:                    cfg.Seed,
 		DrainWait:               cfg.DrainWait,
 		MinRoundTime:            cfg.MinRoundTime,
+		CheckpointSink:          cfg.CheckpointSink,
+		CheckpointEvery:         cfg.CheckpointEvery,
+		CheckpointInterval:      cfg.CheckpointInterval,
+		SendRetries:             cfg.SendRetries,
+		CancelGrace:             cfg.CancelGrace,
 	}
 	if cfg.Preprobe {
 		ecfg.Preprobe = core.PreprobeRandom
@@ -344,7 +383,31 @@ func NewScanner(cfg Config, conn PacketConn, clock simclock.Waiter) (*Scanner, e
 	} else {
 		ecfg.Preprobe = core.PreprobeOff
 	}
+	return ecfg, nil
+}
+
+// NewScanner validates the configuration.
+func NewScanner(cfg Config, conn PacketConn, clock simclock.Waiter) (*Scanner, error) {
+	ecfg, err := buildEngineConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
 	inner, err := core.NewScannerOf[probe6.Addr](family6{}, ecfg, conn, clock)
+	if err != nil {
+		return nil, err
+	}
+	return &Scanner{inner: inner}, nil
+}
+
+// ResumeScanner reconstructs a FlashRoute6 scan mid-flight from a
+// checkpoint snapshot; Run on the returned scanner continues it. The
+// configuration must describe the same scan (targets, seed, geometry).
+func ResumeScanner(cfg Config, conn PacketConn, clock simclock.Waiter, data []byte) (*Scanner, error) {
+	ecfg, err := buildEngineConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.Resume[probe6.Addr](family6{}, ecfg, conn, clock, data)
 	if err != nil {
 		return nil, err
 	}
@@ -354,7 +417,15 @@ func NewScanner(cfg Config, conn PacketConn, clock simclock.Waiter) (*Scanner, e
 // Run executes the scan (same actor contract as the IPv4 engine: call
 // from a goroutine not registered with the clock).
 func (s *Scanner) Run() (*Result, error) {
-	eres, err := s.inner.Run()
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with graceful cancellation: on ctx cancellation the
+// scan stops sending, drains for CancelGrace, and returns the valid
+// partial result with Interrupted set (writing a final checkpoint when
+// checkpointing is armed).
+func (s *Scanner) RunContext(ctx context.Context) (*Result, error) {
+	eres, err := s.inner.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -370,6 +441,10 @@ func (s *Scanner) Run() (*Result, error) {
 		ReadErrors:          eres.ReadErrors,
 		RetransmittedProbes: eres.RetransmittedProbes,
 		DuplicateResponses:  eres.DuplicateResponses,
+		SendErrors:          eres.SendErrors,
+		SendRetries:         eres.SendRetries,
+		CheckpointErrors:    eres.CheckpointErrors,
+		Interrupted:         eres.Interrupted,
 		store:               eres.Store,
 	}, nil
 }

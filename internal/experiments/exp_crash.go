@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/core"
+	"github.com/flashroute/flashroute/internal/netsim"
+	"github.com/flashroute/flashroute/internal/simclock"
+)
+
+// CrashRow is one kill-and-resume measurement: the scan is killed after
+// KillPct% of the baseline's probes, resumed from its last checkpoint on
+// a fresh network, and compared against the uninterrupted run.
+type CrashRow struct {
+	KillPct        int
+	BaselineProbes uint64
+	PartialProbes  uint64 // probes the killed run got out before dying
+	ResumedProbes  uint64 // cumulative total after the resumed run finished
+	ExtraProbes    uint64 // ResumedProbes - BaselineProbes (re-probe cost)
+	Interfaces     int    // interfaces the resumed run discovered
+	Reached        int    // destinations the resumed run reached
+	Match          bool   // resumed discovery == uninterrupted discovery
+}
+
+// CrashResumeTable reports the cost of crash recovery: how many extra
+// probes a kill-and-resume cycle spends re-confirming unacknowledged
+// state, and that discovery is unchanged.
+type CrashResumeTable struct {
+	BaselineInterfaces int
+	BaselineReached    int
+	Rows               []CrashRow
+}
+
+// WriteText renders the table for EXPERIMENTS.md.
+func (t *CrashResumeTable) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Crash/resume: kill at N%% of baseline probes, resume from last checkpoint (baseline: %d interfaces, %d reached)\n",
+		t.BaselineInterfaces, t.BaselineReached); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%6s %10s %10s %10s %8s %10s %8s %6s\n",
+		"kill", "baseline", "partial", "resumed", "extra", "interfaces", "reached", "match"); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintf(w, "%5d%% %10d %10d %10d %7.2f%% %10d %8d %6v\n",
+			r.KillPct, r.BaselineProbes, r.PartialProbes, r.ResumedProbes,
+			100*float64(r.ExtraProbes)/float64(r.BaselineProbes),
+			r.Interfaces, r.Reached, r.Match); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewLockstepNet is NewNet with every source of response nondeterminism
+// disabled (no ICMP rate limiting, no route dynamics, no RTT jitter), so
+// the topology's answers are a pure function of the probe set and a
+// killed-and-resumed scan must reproduce the uninterrupted one exactly.
+func (s *Scenario) NewLockstepNet() (*netsim.Net, *simclock.Virtual) {
+	lock := *s.Topo // shallow copy shares the immutable structure
+	lock.P.ICMPRateLimitPPS = 0
+	lock.P.DynamicBlockProb = 0
+	lock.P.JitterRTT = 0
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	return netsim.New(&lock, clock), clock
+}
+
+// CrashResume measures the overhead of crash recovery. For each kill
+// fraction it runs the scan until the checkpoint at KillPct% of the
+// baseline's probe count is written, cancels, resumes the snapshot
+// against a fresh network of the same topology, and reports the extra
+// probes the recovery spent re-probing unconfirmed TTLs. On the lockstep
+// network the resumed run must discover exactly the baseline's
+// interfaces and reached destinations. fracs are kill percentages; nil
+// uses 25/50/75.
+func CrashResume(s *Scenario, fracs []int) (*CrashResumeTable, error) {
+	if len(fracs) == 0 {
+		fracs = []int{25, 50, 75}
+	}
+	cfg := s.FlashConfig()
+	// Redundancy elimination couples a destination's probes to its
+	// neighbors' replies, which depend on receive timing; lockstep
+	// equivalence needs the probe set to be timing-independent.
+	cfg.NoRedundancyElimination = true
+	// Unthrottled: each round's probes go out as one burst and every
+	// reply is processed during the round sleep. At the scaled rate a
+	// round's sends overlap its replies, which makes the forward-probing
+	// horizon (and so the probe set) depend on where in the round the
+	// scan was killed — burst mode removes that coupling, so resumed
+	// discovery is comparable probe-for-probe with the baseline.
+	cfg.PPS = 0
+	return crashResumeCfg(s, fracs, cfg)
+}
+
+func crashResumeCfg(s *Scenario, fracs []int, cfg core.Config) (*CrashResumeTable, error) {
+	base, err := s.runLockstep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &CrashResumeTable{
+		BaselineInterfaces: base.Store.Interfaces().Len(),
+		BaselineReached:    reachedCount(base.Store),
+	}
+
+	for _, pct := range fracs {
+		kill := int(base.ProbesSent) * pct / 100
+		if kill < 1 {
+			kill = 1
+		}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		var snap []byte
+		kcfg := cfg
+		kcfg.CheckpointEvery = kill
+		kcfg.CheckpointSink = func(b []byte) error {
+			if snap == nil {
+				snap = append([]byte(nil), b...)
+				cancel()
+			}
+			return nil
+		}
+		kcfg.CancelGrace = 100 * time.Millisecond
+		n, clock := s.NewLockstepNet()
+		sc, err := core.NewScanner(kcfg, n.NewConn(), clock)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		part, err := sc.RunContext(ctx)
+		cancel()
+		if err != nil {
+			return nil, err
+		}
+		if snap == nil {
+			return nil, fmt.Errorf("crash at %d%%: no checkpoint captured", pct)
+		}
+
+		n2, clock2 := s.NewLockstepNet()
+		rsc, err := core.ResumeScanner(cfg, n2.NewConn(), clock2, snap)
+		if err != nil {
+			return nil, err
+		}
+		res, err := rsc.Run()
+		if err != nil {
+			return nil, err
+		}
+
+		t.Rows = append(t.Rows, CrashRow{
+			KillPct:        pct,
+			BaselineProbes: base.ProbesSent,
+			PartialProbes:  part.ProbesSent,
+			ResumedProbes:  res.ProbesSent,
+			ExtraProbes:    res.ProbesSent - base.ProbesSent,
+			Interfaces:     res.Store.Interfaces().Len(),
+			Reached:        reachedCount(res.Store),
+			Match: res.Store.Interfaces().Len() == t.BaselineInterfaces &&
+				reachedCount(res.Store) == t.BaselineReached,
+		})
+	}
+	return t, nil
+}
+
+func (s *Scenario) runLockstep(cfg core.Config) (*core.Result, error) {
+	n, clock := s.NewLockstepNet()
+	sc, err := core.NewScanner(cfg, n.NewConn(), clock)
+	if err != nil {
+		return nil, err
+	}
+	return sc.Run()
+}

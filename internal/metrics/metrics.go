@@ -260,6 +260,8 @@ type Resilience struct {
 	Retransmitted       uint64 // probes the scanner re-issued (preprobe + forward retries)
 	DuplicatesDiscarded uint64 // replies the scanner dropped as already processed
 	ReadErrors          uint64 // receive-path read errors (distinct from unparsed packets)
+	SendErrors          uint64 // probes abandoned after WritePacket failed permanently
+	SendRetries         uint64 // transient write failures recovered by retrying
 }
 
 // Any reports whether anything at all happened — used to keep the
@@ -267,7 +269,7 @@ type Resilience struct {
 func (r *Resilience) Any() bool {
 	return r.ProbesLost != 0 || r.RepliesLost != 0 || r.Duplicates != 0 ||
 		r.Reordered != 0 || r.Retransmitted != 0 || r.DuplicatesDiscarded != 0 ||
-		r.ReadErrors != 0
+		r.ReadErrors != 0 || r.SendErrors != 0 || r.SendRetries != 0
 }
 
 // WriteText renders the resilience counters as report lines.
@@ -279,9 +281,12 @@ func (r *Resilience) WriteText(w io.Writer) error {
 			"reordered replies:    %d\n"+
 			"retransmitted probes: %d\n"+
 			"duplicates discarded: %d\n"+
-			"read errors:          %d\n",
+			"read errors:          %d\n"+
+			"send errors:          %d\n"+
+			"send retries:         %d\n",
 		r.ProbesLost, r.RepliesLost, r.Duplicates,
-		r.Reordered, r.Retransmitted, r.DuplicatesDiscarded, r.ReadErrors)
+		r.Reordered, r.Retransmitted, r.DuplicatesDiscarded, r.ReadErrors,
+		r.SendErrors, r.SendRetries)
 	return err
 }
 

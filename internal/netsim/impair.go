@@ -8,3 +8,16 @@ import "github.com/flashroute/flashroute/internal/simnet"
 // per-connection draw stream — lives in the family-independent simnet
 // package, where netsim6 picks it up too.
 type Impairments = simnet.Impairments
+
+// FaultWindow and FaultKind describe the deterministic transport-fault
+// windows (Impairments.Faults), aliased for the same reason.
+type (
+	FaultWindow = simnet.FaultWindow
+	FaultKind   = simnet.FaultKind
+)
+
+const (
+	FaultWriteError = simnet.FaultWriteError
+	FaultReadStall  = simnet.FaultReadStall
+	FaultFlap       = simnet.FaultFlap
+)

@@ -137,6 +137,15 @@ func (n *Net) NewConn() *Conn {
 // delivery after the modeled RTT.
 func (c *Conn) WritePacket(pkt []byte) error {
 	n := c.net
+
+	// Transport-fault windows: a faulted write fails before the probe
+	// enters the network at all — not counted as sent, no impairment
+	// draws consumed, so zero-fault runs are bit-identical.
+	if im := &n.topo.P.Impair; im.HasFaults() && im.WriteFault(n.Elapsed()) {
+		n.Stats.WriteFaults.Add(1)
+		return &simnet.TransientError{Op: "write"}
+	}
+
 	n.Stats.ProbesSent.Add(1)
 
 	var hdr probe.IPv4
@@ -263,6 +272,17 @@ func (c *Conn) WritePacket(pkt []byte) error {
 // jitter) when enabled. With impairments off it is exactly the
 // pre-impairment scheduling path.
 func (c *Conn) deliver(resp respPayload, at time.Duration) error {
+	if im := &c.net.topo.P.Impair; im.HasFaults() {
+		adj, dropped := im.DeliveryFault(at)
+		if dropped {
+			c.net.Stats.FaultDropped.Add(1)
+			return nil
+		}
+		if adj != at {
+			c.net.Stats.FaultStalled.Add(1)
+			at = adj
+		}
+	}
 	if !simnet.ScheduleResponse(c.inbox, c.imp, &c.net.topo.P.Impair,
 		&c.net.Stats.DeliveryStats, resp, at) {
 		return ErrClosed

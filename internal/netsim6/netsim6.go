@@ -26,6 +26,19 @@ import (
 // call sites read netsim6.Impairments; see simnet.Impairments.
 type Impairments = simnet.Impairments
 
+// FaultWindow and FaultKind describe the deterministic transport-fault
+// windows (Impairments.Faults), aliased for the same reason.
+type (
+	FaultWindow = simnet.FaultWindow
+	FaultKind   = simnet.FaultKind
+)
+
+const (
+	FaultWriteError = simnet.FaultWriteError
+	FaultReadStall  = simnet.FaultReadStall
+	FaultFlap       = simnet.FaultFlap
+)
+
 // Params shape the synthetic IPv6 Internet.
 type Params struct {
 	Seed int64
@@ -417,6 +430,15 @@ const MaxResponseLen = probe6.HeaderLen + probe6.ICMPErrorLen
 // WritePacket injects a serialized IPv6 probe.
 func (c *Conn) WritePacket(pkt []byte) error {
 	n := c.net
+
+	// Transport-fault windows: a faulted write fails before the probe
+	// enters the network at all — not counted as sent, no impairment
+	// draws consumed, so zero-fault runs are bit-identical.
+	if im := &n.topo.P.Impair; im.HasFaults() && im.WriteFault(n.Elapsed()) {
+		n.Stats.WriteFaults.Add(1)
+		return &simnet.TransientError{Op: "write"}
+	}
+
 	n.Stats.ProbesSent.Add(1)
 	var hdr probe6.Header
 	if err := hdr.Unmarshal(pkt); err != nil || len(pkt) < probe6.HeaderLen+8 {
@@ -482,6 +504,17 @@ func (c *Conn) WritePacket(pkt []byte) error {
 // applying inbound impairments when enabled. With impairments off it is
 // exactly the pre-impairment scheduling path.
 func (c *Conn) deliver(resp respPayload, at time.Duration) error {
+	if im := &c.net.topo.P.Impair; im.HasFaults() {
+		adj, dropped := im.DeliveryFault(at)
+		if dropped {
+			c.net.Stats.FaultDropped.Add(1)
+			return nil
+		}
+		if adj != at {
+			c.net.Stats.FaultStalled.Add(1)
+			at = adj
+		}
+	}
 	if !simnet.ScheduleResponse(c.inbox, c.imp, &c.net.topo.P.Impair,
 		&c.net.Stats.DeliveryStats, resp, at) {
 		return ErrClosed

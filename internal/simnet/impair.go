@@ -60,7 +60,98 @@ type Impairments struct {
 	// JitterRTT models path RTT variance; this models measurement-host
 	// and queueing noise).
 	ExtraJitter time.Duration
+
+	// Faults are deterministic transport-fault windows: intervals of
+	// network time during which the vantage point's connection itself
+	// misbehaves — writes fail transiently, the reader stalls, or the
+	// whole conn "flaps" (see FaultKind). Unlike the probabilistic
+	// impairments above, fault windows are purely time-driven and draw
+	// nothing from the impairment RNG stream, so adding a fault window
+	// never perturbs which packets the probabilistic layer drops.
+	Faults []FaultWindow
 }
+
+// FaultKind classifies one transport-fault window.
+type FaultKind uint8
+
+const (
+	// FaultWriteError makes WritePacket fail with a transient
+	// (Temporary) error for the window's duration; the probe is not
+	// injected and not counted as sent.
+	FaultWriteError FaultKind = iota
+	// FaultReadStall delays every response whose delivery falls inside
+	// the window until the window ends — the receiver sees a silent gap
+	// followed by a burst, as when a socket's read side wedges.
+	FaultReadStall
+	// FaultFlap models the connection dropping entirely: writes fail
+	// transiently AND responses that would be delivered during the
+	// window are lost.
+	FaultFlap
+)
+
+// FaultWindow is one fault interval, relative to the network epoch.
+type FaultWindow struct {
+	Start    time.Duration
+	Duration time.Duration
+	Kind     FaultKind
+}
+
+// contains reports whether t falls inside the window.
+func (f *FaultWindow) contains(t time.Duration) bool {
+	return t >= f.Start && t < f.Start+f.Duration
+}
+
+// HasFaults reports whether any fault windows are configured. Kept
+// separate from Enabled so that fault-only configurations do not create
+// an ImpairState (whose draws would change probabilistic behavior).
+func (im *Impairments) HasFaults() bool { return len(im.Faults) > 0 }
+
+// WriteFault reports whether a write at network time now fails
+// transiently (write-error and flap windows).
+func (im *Impairments) WriteFault(now time.Duration) bool {
+	for i := range im.Faults {
+		f := &im.Faults[i]
+		if (f.Kind == FaultWriteError || f.Kind == FaultFlap) && f.contains(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// DeliveryFault adjusts a response's delivery time at for the fault
+// windows: a read stall pushes delivery to the end of its window, a flap
+// drops the response. Windows are checked in order; the first that
+// applies wins.
+func (im *Impairments) DeliveryFault(at time.Duration) (adjusted time.Duration, dropped bool) {
+	for i := range im.Faults {
+		f := &im.Faults[i]
+		if !f.contains(at) {
+			continue
+		}
+		switch f.Kind {
+		case FaultReadStall:
+			return f.Start + f.Duration, false
+		case FaultFlap:
+			return at, true
+		}
+	}
+	return at, false
+}
+
+// TransientError is the transport error fault windows surface from
+// WritePacket: it reports Temporary() == true, signaling the sender that
+// a retry with backoff may succeed.
+type TransientError struct {
+	Op string
+}
+
+func (e *TransientError) Error() string {
+	return "simnet: transient " + e.Op + " fault"
+}
+
+// Temporary marks the error retryable (the net.Error convention the
+// engine's send path keys off).
+func (e *TransientError) Temporary() bool { return true }
 
 // Enabled reports whether any impairment is active. When false the
 // network takes the exact pre-impairment fast path: no draws, no locks.

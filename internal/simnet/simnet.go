@@ -25,4 +25,9 @@ type DeliveryStats struct {
 	RepliesLost atomic.Uint64 // responses dropped after the responder sent them
 	Duplicates  atomic.Uint64 // packets (either direction) delivered twice
 	Reordered   atomic.Uint64 // response copies delayed by the reordering window
+
+	// Fault-window counters (all zero without configured Faults).
+	WriteFaults  atomic.Uint64 // writes rejected with a transient error
+	FaultDropped atomic.Uint64 // responses lost to a connection flap window
+	FaultStalled atomic.Uint64 // responses delayed by a read-stall window
 }

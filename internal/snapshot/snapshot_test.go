@@ -1,0 +1,143 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// seal writes a representative field mix and returns the sealed bytes.
+func seal(version uint16) []byte {
+	w := NewWriter(version)
+	w.U8(7)
+	w.Bool(true)
+	w.U16(0xbeef)
+	w.U32(0xdeadbeef)
+	w.U64(0x0123456789abcdef)
+	w.I64(-42)
+	w.Bytes([]byte("hello"))
+	w.Raw([]byte{1, 2, 3, 4})
+	return w.Finish()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := seal(3)
+	r, err := NewReader(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if !r.Bool() {
+		t.Error("Bool = false")
+	}
+	if got := r.U16(); got != 0xbeef {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 0x0123456789abcdef {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("Bytes = %q", got)
+	}
+	if got := r.Raw(4); !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Errorf("Raw = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("Err after full read: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+}
+
+// TestTruncated: chopping the snapshot anywhere must be rejected at
+// NewReader — either as too short or as a checksum mismatch — never
+// accepted.
+func TestTruncated(t *testing.T) {
+	data := seal(1)
+	for cut := 0; cut < len(data); cut++ {
+		_, err := NewReader(data[:cut], 1)
+		if err == nil {
+			t.Fatalf("truncation to %d/%d bytes accepted", cut, len(data))
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrChecksum) &&
+			!errors.Is(err, ErrBadMagic) {
+			t.Fatalf("truncation to %d bytes: unexpected error %v", cut, err)
+		}
+	}
+}
+
+// TestBitFlip: flipping any single bit must fail the checksum (or the
+// magic, for flips in the first four bytes).
+func TestBitFlip(t *testing.T) {
+	data := seal(1)
+	for i := range data {
+		corrupt := append([]byte(nil), data...)
+		corrupt[i] ^= 0x10
+		_, err := NewReader(corrupt, 1)
+		if err == nil {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+	}
+}
+
+func TestWrongVersion(t *testing.T) {
+	data := seal(2)
+	if _, err := NewReader(data, 3); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version 2 read as 3: %v", err)
+	}
+	if _, err := NewReader(data, 2); err != nil {
+		t.Fatalf("matching version rejected: %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := seal(1)
+	data[0] = 'X'
+	if _, err := NewReader(data, 1); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+}
+
+// TestOverrunSticky: reading past the payload sets a sticky error and
+// returns zero values rather than panicking.
+func TestOverrunSticky(t *testing.T) {
+	w := NewWriter(1)
+	w.U8(5)
+	r, err := NewReader(w.Finish(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.U8(); got != 5 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if got := r.U64(); got != 0 {
+		t.Fatalf("overrun U64 = %d, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("Err = %v, want ErrTruncated", r.Err())
+	}
+	// Error stays sticky; further reads keep returning zeros.
+	if got := r.U32(); got != 0 {
+		t.Fatalf("post-error U32 = %d", got)
+	}
+}
+
+// TestEmptyPayload: a header+trailer-only snapshot is valid and empty.
+func TestEmptyPayload(t *testing.T) {
+	r, err := NewReader(NewWriter(9).Finish(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+}

@@ -171,6 +171,17 @@ func (st *StoreOf[A]) SetReached(dst A, ttl uint8, addr A, rtt time.Duration) {
 // Interfaces returns the set of unique responding interfaces.
 func (st *StoreOf[A]) Interfaces() InterfaceSetOf[A] { return st.interfaces }
 
+// RestoreRoute installs a fully-formed route record, replacing any
+// existing entry for its destination — the checkpoint-resume path, which
+// must NOT replay hops through AddHop (that would re-insert hop addresses
+// into the interface set with fresh dedup state). Interface-set contents
+// are restored separately via AddInterface.
+func (st *StoreOf[A]) RestoreRoute(r *RouteOf[A]) { st.routes[r.Dst] = r }
+
+// AddInterface inserts one address into the interface set without any
+// route bookkeeping (checkpoint-resume path).
+func (st *StoreOf[A]) AddInterface(a A) { st.interfaces[a] = struct{}{} }
+
 // Route returns the route to dst with hops sorted by TTL, or nil if no
 // response involving dst was recorded.
 func (st *StoreOf[A]) Route(dst A) *RouteOf[A] {

@@ -1,6 +1,7 @@
 package flashroute
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -61,10 +62,44 @@ type Impairments struct {
 	ReorderWindow time.Duration
 	// ExtraJitter adds uniform [0, ExtraJitter) latency to every response.
 	ExtraJitter time.Duration
+	// Faults are deterministic transport-fault windows: time intervals
+	// (relative to the simulation epoch) during which writes fail with a
+	// transient error, deliveries stall to the window's end, or the whole
+	// connection flaps. Unlike the probabilistic impairments above they
+	// draw no randomness, so a fault schedule is exactly reproducible —
+	// and an empty schedule leaves scans bit-identical.
+	Faults []FaultWindow
+}
+
+// FaultKind classifies a transport-fault window.
+type FaultKind = netsim.FaultKind
+
+// Fault kinds for FaultWindow.Kind.
+const (
+	// FaultWriteError makes every WritePacket during the window fail with
+	// a transient (Temporary()) error — exercising the scanner's send
+	// retries.
+	FaultWriteError = netsim.FaultWriteError
+	// FaultReadStall delays every delivery scheduled inside the window to
+	// the window's end (a stalled reader draining in one burst).
+	FaultReadStall = netsim.FaultReadStall
+	// FaultFlap blackholes the connection: writes fail and in-window
+	// deliveries are dropped.
+	FaultFlap = netsim.FaultFlap
+)
+
+// FaultWindow is one transport-fault interval.
+type FaultWindow struct {
+	// Start is when the fault begins, relative to the simulation epoch.
+	Start time.Duration
+	// Duration is how long it lasts.
+	Duration time.Duration
+	// Kind selects the failure mode.
+	Kind FaultKind
 }
 
 func (im Impairments) toNetsim() netsim.Impairments {
-	return netsim.Impairments{
+	out := netsim.Impairments{
 		LossProb:      im.LossProb,
 		GEGoodToBad:   im.BurstToBad,
 		GEBadToGood:   im.BurstToGood,
@@ -74,6 +109,12 @@ func (im Impairments) toNetsim() netsim.Impairments {
 		ReorderWindow: im.ReorderWindow,
 		ExtraJitter:   im.ExtraJitter,
 	}
+	for _, f := range im.Faults {
+		out.Faults = append(out.Faults, netsim.FaultWindow{
+			Start: f.Start, Duration: f.Duration, Kind: f.Kind,
+		})
+	}
+	return out
 }
 
 // Simulation is a synthetic Internet bound to a clock — the substrate all
@@ -194,20 +235,23 @@ func (s *Simulation) TrueDistance(addr uint32) uint8 {
 // Stats reports the network-side counters accumulated so far.
 func (s *Simulation) Stats() SimStats {
 	return SimStats{
-		ProbesSeen:  s.net.Stats.ProbesSent.Load(),
-		Responses:   s.net.Stats.Responses.Load(),
-		RateLimited: s.net.Stats.RateLimited.Load(),
-		SilentHops:  s.net.Stats.SilentHops.Load(),
-		NoRoute:     s.net.Stats.NoRoute.Load(),
-		ProbesLost:  s.net.Stats.ProbesLost.Load(),
-		RepliesLost: s.net.Stats.RepliesLost.Load(),
-		Duplicates:  s.net.Stats.Duplicates.Load(),
-		Reordered:   s.net.Stats.Reordered.Load(),
+		ProbesSeen:   s.net.Stats.ProbesSent.Load(),
+		Responses:    s.net.Stats.Responses.Load(),
+		RateLimited:  s.net.Stats.RateLimited.Load(),
+		SilentHops:   s.net.Stats.SilentHops.Load(),
+		NoRoute:      s.net.Stats.NoRoute.Load(),
+		ProbesLost:   s.net.Stats.ProbesLost.Load(),
+		RepliesLost:  s.net.Stats.RepliesLost.Load(),
+		Duplicates:   s.net.Stats.Duplicates.Load(),
+		Reordered:    s.net.Stats.Reordered.Load(),
+		WriteFaults:  s.net.Stats.WriteFaults.Load(),
+		FaultDropped: s.net.Stats.FaultDropped.Load(),
+		FaultStalled: s.net.Stats.FaultStalled.Load(),
 	}
 }
 
-// SimStats are network-side counters of a simulation. The last four are
-// the impairment layer's accounting and stay zero on a perfect network.
+// SimStats are network-side counters of a simulation. The impairment and
+// fault-window counters stay zero on a perfect network.
 type SimStats struct {
 	ProbesSeen  uint64
 	Responses   uint64
@@ -218,6 +262,12 @@ type SimStats struct {
 	RepliesLost uint64
 	Duplicates  uint64
 	Reordered   uint64
+	// WriteFaults counts writes rejected by fault windows; FaultDropped
+	// and FaultStalled count deliveries a flap window discarded and a
+	// stall window delayed.
+	WriteFaults  uint64
+	FaultDropped uint64
+	FaultStalled uint64
 }
 
 // Scan runs a FlashRoute scan against this simulation, filling in the
@@ -226,12 +276,34 @@ type SimStats struct {
 // the virtual clock but give up deterministic probe interleaving; pin
 // Senders to 1 (the default) when reproducing paper tables.
 func (s *Simulation) Scan(cfg Config) (*Result, error) {
+	return s.ScanContext(context.Background(), cfg)
+}
+
+// ScanContext is Scan with graceful cancellation (see
+// Scanner.RunContext).
+func (s *Simulation) ScanContext(ctx context.Context, cfg Config) (*Result, error) {
 	s.fill(&cfg)
 	sc, err := NewScanner(cfg, s.Conn(), s.clock)
 	if err != nil {
 		return nil, err
 	}
-	return sc.Run()
+	return sc.RunContext(ctx)
+}
+
+// ResumeScan continues a checkpointed scan against this simulation (see
+// ResumeScanner for the configuration contract).
+func (s *Simulation) ResumeScan(cfg Config, snapshot []byte) (*Result, error) {
+	return s.ResumeScanContext(context.Background(), cfg, snapshot)
+}
+
+// ResumeScanContext is ResumeScan with graceful cancellation.
+func (s *Simulation) ResumeScanContext(ctx context.Context, cfg Config, snapshot []byte) (*Result, error) {
+	s.fill(&cfg)
+	sc, err := ResumeScanner(cfg, s.Conn(), s.clock, snapshot)
+	if err != nil {
+		return nil, err
+	}
+	return sc.RunContext(ctx)
 }
 
 func (s *Simulation) fill(cfg *Config) {

@@ -1,6 +1,7 @@
 package flashroute
 
 import (
+	"context"
 	"time"
 
 	"github.com/flashroute/flashroute/internal/core6"
@@ -75,15 +76,18 @@ func (s *Simulation6) TrueDistance(a Addr6) uint8 { return s.topo.DistanceNow(a)
 // per-interface ICMP budget drops, SilentHops unanswering routers).
 func (s *Simulation6) Stats() SimStats {
 	return SimStats{
-		ProbesSeen:  s.net.Stats.ProbesSent.Load(),
-		Responses:   s.net.Stats.Responses.Load(),
-		RateLimited: s.net.Stats.RateLimited.Load(),
-		SilentHops:  s.net.Stats.Silent.Load(),
-		NoRoute:     s.net.Stats.NoRoute.Load(),
-		ProbesLost:  s.net.Stats.ProbesLost.Load(),
-		RepliesLost: s.net.Stats.RepliesLost.Load(),
-		Duplicates:  s.net.Stats.Duplicates.Load(),
-		Reordered:   s.net.Stats.Reordered.Load(),
+		ProbesSeen:   s.net.Stats.ProbesSent.Load(),
+		Responses:    s.net.Stats.Responses.Load(),
+		RateLimited:  s.net.Stats.RateLimited.Load(),
+		SilentHops:   s.net.Stats.Silent.Load(),
+		NoRoute:      s.net.Stats.NoRoute.Load(),
+		ProbesLost:   s.net.Stats.ProbesLost.Load(),
+		RepliesLost:  s.net.Stats.RepliesLost.Load(),
+		Duplicates:   s.net.Stats.Duplicates.Load(),
+		Reordered:    s.net.Stats.Reordered.Load(),
+		WriteFaults:  s.net.Stats.WriteFaults.Load(),
+		FaultDropped: s.net.Stats.FaultDropped.Load(),
+		FaultStalled: s.net.Stats.FaultStalled.Load(),
 	}
 }
 
@@ -123,6 +127,18 @@ type Config6 struct {
 	NoRedundancyElimination bool
 	CollectRoutes           bool
 	Seed                    int64
+
+	// CheckpointSink, CheckpointEvery and CheckpointInterval arm
+	// crash-safe checkpointing exactly as Config's fields of the same
+	// names; resume a snapshot with Simulation6.ResumeScan.
+	CheckpointSink     func(snapshot []byte) error
+	CheckpointEvery    int
+	CheckpointInterval time.Duration
+
+	// SendRetries and CancelGrace configure transient-write-error retrying
+	// and the post-cancellation drain, as in Config.
+	SendRetries int
+	CancelGrace time.Duration
 }
 
 // Result6 is what an IPv6 scan produced.
@@ -158,6 +174,17 @@ func (r *Result6) DuplicateResponses() uint64 { return r.inner.DuplicateResponse
 // from unparseable packets).
 func (r *Result6) ReadErrors() uint64 { return r.inner.ReadErrors }
 
+// SendErrors counts probes abandoned on permanent write failure;
+// SendRetries counts transient-failure retry attempts.
+func (r *Result6) SendErrors() uint64  { return r.inner.SendErrors }
+func (r *Result6) SendRetries() uint64 { return r.inner.SendRetries }
+
+// CheckpointErrors counts snapshots the sink failed to persist.
+func (r *Result6) CheckpointErrors() uint64 { return r.inner.CheckpointErrors }
+
+// Interrupted reports that the scan was cancelled before completion.
+func (r *Result6) Interrupted() bool { return r.inner.Interrupted }
+
 // Route6 is a discovered IPv6 route.
 type Route6 struct {
 	Dst     Addr6
@@ -186,9 +213,10 @@ func (r *Result6) Route(a Addr6) *Route6 {
 	return out
 }
 
-// Scan runs a FlashRoute6 scan against this simulation, filling in
-// universe-dependent fields when unset.
-func (s *Simulation6) Scan(cfg Config6) (*Result6, error) {
+// toCore6 translates the public IPv6 config to the engine's, filling in
+// universe-dependent fields when unset and wiring the per-worker read
+// handles of the conn it returns.
+func (s *Simulation6) toCore6(cfg Config6) (core6.Config, PacketConn) {
 	ic := core6.DefaultConfig()
 	ic.Targets = cfg.Targets
 	if ic.Targets == nil {
@@ -221,15 +249,54 @@ func (s *Simulation6) Scan(cfg Config6) (*Result6, error) {
 	if ic.Seed == 0 {
 		ic.Seed = s.seed
 	}
+	ic.CheckpointSink = cfg.CheckpointSink
+	ic.CheckpointEvery = cfg.CheckpointEvery
+	ic.CheckpointInterval = cfg.CheckpointInterval
+	ic.SendRetries = cfg.SendRetries
+	ic.CancelGrace = cfg.CancelGrace
 	conn := s.net.NewConn()
 	if cfg.Receivers > 1 {
 		ic.NewReader = func() core6.PacketReader { return conn.NewReader() }
 	}
+	return ic, conn
+}
+
+// Scan runs a FlashRoute6 scan against this simulation, filling in
+// universe-dependent fields when unset.
+func (s *Simulation6) Scan(cfg Config6) (*Result6, error) {
+	return s.ScanContext(context.Background(), cfg)
+}
+
+// ScanContext is Scan with graceful cancellation (see Scanner.RunContext).
+func (s *Simulation6) ScanContext(ctx context.Context, cfg Config6) (*Result6, error) {
+	ic, conn := s.toCore6(cfg)
 	sc, err := core6.NewScanner(ic, conn, s.clock)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sc.Run()
+	res, err := sc.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result6{inner: res}, nil
+}
+
+// ResumeScan continues a checkpointed IPv6 scan against this simulation
+// (same configuration contract as ResumeScanner).
+func (s *Simulation6) ResumeScan(cfg Config6, snapshot []byte) (*Result6, error) {
+	return s.ResumeScanContext(context.Background(), cfg, snapshot)
+}
+
+// ResumeScanContext is ResumeScan with graceful cancellation (see
+// Scanner.RunContext): the resumed run can itself be checkpointed and
+// interrupted again.
+func (s *Simulation6) ResumeScanContext(ctx context.Context, cfg Config6, snapshot []byte) (*Result6, error) {
+	ic, conn := s.toCore6(cfg)
+	sc, err := core6.ResumeScanner(ic, conn, s.clock, snapshot)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sc.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
