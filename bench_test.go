@@ -16,6 +16,8 @@ import (
 	"testing"
 
 	"github.com/flashroute/flashroute/internal/experiments"
+	"github.com/flashroute/flashroute/internal/netsim"
+	"github.com/flashroute/flashroute/internal/probe"
 )
 
 // benchBlocks is the universe size for benchmark runs: large enough for
@@ -276,6 +278,109 @@ func BenchmarkAblationProximitySpan(b *testing.B) {
 		}
 		b.ReportMetric(100*r.Rows[1].WithinOne, "%within1-span5")
 		b.ReportMetric(float64(r.Rows[1].Predicted), "predicted-span5")
+	}
+}
+
+// benchBatchSim builds a real-clock simulation whose responses are
+// immediately deliverable (zero RTT, no ICMP rate limiting) and
+// prebuilds one probe packet per block. Per-packet simulation work is
+// identical at every batch size, so ns/op differences between the batch
+// benchmarks are exactly the per-transport-call costs batching amortizes
+// (clock reads, inbox locking, reader wakeups).
+func benchBatchSim(blocks int) (*Simulation, *netsim.Conn, [][]byte) {
+	sim := NewSimulation(SimConfig{
+		Blocks:   blocks,
+		Seed:     1,
+		RealTime: true,
+		Mutate: func(p *netsim.Params) {
+			p.BaseRTT, p.PerHopRTT, p.JitterRTT = 0, 0, 0
+			p.ICMPRateLimitPPS = 0
+		},
+	})
+	conn := sim.Conn().(*netsim.Conn)
+	targets := sim.RandomTargets()
+	const stride = 64
+	arena := make([]byte, blocks*stride)
+	pkts := make([][]byte, blocks)
+	for i := 0; i < blocks; i++ {
+		buf := arena[i*stride : (i+1)*stride]
+		n := probe.BuildFlashProbe(buf, sim.Vantage(), targets(i), 6, false, 0, 0, 33434)
+		pkts[i] = buf[:n]
+	}
+	return sim, conn, pkts
+}
+
+// benchBatchCycle pushes packets through one write+drain cycle at the
+// given batch size (size 1 uses the classic WritePacket/ReadPacket
+// calls) and is shared by BenchmarkBatchWrite and the size sweep.
+func benchBatchCycle(b *testing.B, conn *netsim.Conn, batch [][]byte, bufs [][]byte, sizes []int) {
+	if len(batch) == 1 && len(bufs) == 1 {
+		if err := conn.WritePacket(batch[0]); err != nil {
+			b.Fatal(err)
+		}
+		for conn.Pending() > 0 {
+			if _, err := conn.ReadPacket(bufs[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return
+	}
+	written := 0
+	for written < len(batch) {
+		w, err := conn.WriteBatch(batch[written:])
+		if err != nil {
+			b.Fatal(err)
+		}
+		written += w
+	}
+	for conn.Pending() > 0 {
+		if _, err := conn.ReadBatch(bufs, sizes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runBatchBench is the timed loop: ns/op is per packet, so batch sizes
+// compare directly. One warmup cycle before the timer sizes the reused
+// scratch (send staging, read scratch, inbox) so the steady state stays
+// allocation-free.
+func runBatchBench(b *testing.B, size int) {
+	_, conn, pkts := benchBatchSim(4096)
+	defer conn.Close()
+	nbuf := size
+	if nbuf < 1 {
+		nbuf = 1
+	}
+	bufs := make([][]byte, nbuf)
+	for i := range bufs {
+		bufs[i] = make([]byte, 2048)
+	}
+	sizes := make([]int, nbuf)
+	benchBatchCycle(b, conn, pkts[:size], bufs, sizes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	i := 0
+	for n := 0; n < b.N; n += size {
+		if i+size > len(pkts) {
+			i = 0
+		}
+		benchBatchCycle(b, conn, pkts[i:i+size], bufs, sizes)
+		i += size
+	}
+}
+
+// BenchmarkBatchWrite measures the batched send+drain data path at the
+// engine's default arena granularity (32 packets per transport call).
+// ns/op is per packet and the steady state must stay at 0 allocs/op.
+func BenchmarkBatchWrite(b *testing.B) { runBatchBench(b, 32) }
+
+// BenchmarkBatchSizeSweep compares per-packet data-path cost across
+// batch sizes; size 1 is the classic one-packet-per-call path the
+// batched sizes are measured against (the win at ≥32 is the headline
+// number of the wire-speed data path work).
+func BenchmarkBatchSizeSweep(b *testing.B) {
+	for _, size := range []int{1, 8, 32, 128} {
+		b.Run(fmt.Sprintf("size-%d", size), func(b *testing.B) { runBatchBench(b, size) })
 	}
 }
 

@@ -43,6 +43,9 @@ func main() {
 		pps        = flag.Int("pps", 100000, "probing rate in packets per second (0 = unthrottled)")
 		senders    = flag.Int("senders", 1, "number of sending goroutines (1 = deterministic paper-faithful mode)")
 		receivers  = flag.Int("receivers", 1, "number of reply-processing workers (1 = paper-faithful inline receiver)")
+		batch      = flag.Int("batch", 0, "packets per transport call on the send and receive paths (sendmmsg/recvmmsg-style batching; 0 or 1 = classic one-packet-per-call)")
+		transport  = flag.String("transport", "sim", "transport backend: sim (bundled Internet simulation) or raw (Linux raw sockets; needs CAP_NET_RAW, -source and -cidrs)")
+		source     = flag.String("source", "", "with -transport raw: the vantage point's source IPv4 address")
 		preprobe   = flag.String("preprobe", "random", "preprobing mode: off, random, hitlist")
 		span       = flag.Int("span", 5, "proximity span for distance prediction")
 		noRedund   = flag.Bool("no-redundancy", false, "disable backward-probing redundancy elimination")
@@ -115,6 +118,42 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	switch *transport {
+	case "sim":
+	case "raw":
+		if *ipv6 {
+			fatal(errors.New("-transport raw is IPv4-only (the raw-socket backend has no IPv6 path yet)"))
+		}
+		scanRaw(ctx, rawOpts{
+			cidrs:           *cidrs,
+			source:          *source,
+			seed:            *seed,
+			split:           *split,
+			gap:             *gap,
+			pps:             *pps,
+			senders:         *senders,
+			receivers:       *receivers,
+			batch:           *batch,
+			preprobe:        *preprobe,
+			span:            *span,
+			preprobeRetries: *preprobeRetries,
+			forwardRetries:  *forwardRetries,
+			forwardTimeout:  *forwardTimeout,
+			noRedund:        *noRedund,
+			exhaustive:      *exhaustive,
+			sendRetries:     *sendRetry,
+			checkpoint:      *checkpoint,
+			ckptEvery:       *ckptEvery,
+			resumeFrom:      *resumeFrom,
+			excludeF:        *excludeF,
+			output:          *output,
+			binOutput:       *binOutput,
+		})
+		return
+	default:
+		fatal(fmt.Errorf("unknown -transport %q (sim or raw)", *transport))
+	}
+
 	if *ipv6 {
 		scan6(ctx, scan6Opts{
 			prefixes:        *prefixes,
@@ -127,6 +166,7 @@ func main() {
 			pps:             *pps,
 			senders:         *senders,
 			receivers:       *receivers,
+			batch:           *batch,
 			preprobe:        *preprobe,
 			preprobeRetries: *preprobeRetries,
 			forwardRetries:  *forwardRetries,
@@ -182,6 +222,7 @@ func main() {
 	}
 	cfg.Senders = *senders
 	cfg.Receivers = *receivers
+	cfg.Batch = *batch
 	switch *preprobe {
 	case "off":
 		cfg.Preprobe = flashroute.PreprobeOff
@@ -322,6 +363,7 @@ type scan6Opts struct {
 	pps                 int
 	senders             int
 	receivers           int
+	batch               int
 	preprobe            string
 	preprobeRetries     int
 	forwardRetries      int
@@ -362,6 +404,7 @@ func scan6(ctx context.Context, o scan6Opts) {
 		PPS:                     o.pps,
 		Senders:                 o.senders,
 		Receivers:               o.receivers,
+		Batch:                   o.batch,
 		PreprobeOff:             o.preprobe == "off",
 		PreprobeRetries:         o.preprobeRetries,
 		ForwardRetries:          o.forwardRetries,

@@ -32,6 +32,7 @@ func main() {
 		pps       = flag.Int("pps", 0, "probing rate (default: scaled to list size)")
 		senders   = flag.Int("senders", 1, "number of sending goroutines (1 = deterministic mode)")
 		receivers = flag.Int("receivers", 1, "number of reply-processing workers (1 = inline receiver)")
+		batch     = flag.Int("batch", 0, "packets per transport call on the send and receive paths (0 or 1 = classic one-packet-per-call)")
 		compare   = flag.Bool("compare-yarrp6", false, "also run the Yarrp6 baseline and compare")
 
 		loss          = flag.Float64("loss", 0, "independent packet loss probability (0..1)")
@@ -117,6 +118,7 @@ func main() {
 		PPS:             rate,
 		Senders:         *senders,
 		Receivers:       *receivers,
+		Batch:           *batch,
 		PreprobeRetries: *preprobeRetries,
 		ForwardRetries:  *forwardRetries,
 		SendRetries:     *sendRetry,

@@ -1,0 +1,180 @@
+// Command frbench runs the repository's performance benchmark suite and
+// records the results as a JSON trajectory point (BENCH_<date>.json),
+// so data-path regressions show up as a diff rather than an anecdote.
+//
+// It shells out to `go test -bench` (the benchmarks themselves live in
+// the root package's bench_test.go), parses the standard benchmark
+// output — including custom b.ReportMetric metrics like fr16-kpps —
+// and emits one self-describing JSON document:
+//
+//	frbench                          # full perf suite -> BENCH_<today>.json
+//	frbench -bench BenchmarkBatch    # subset
+//	frbench -benchtime 1x -out -     # smoke run, JSON to stdout
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// perfSuite is the default benchmark set: the paper-scale rate table,
+// the sender/receiver scaling curves, and the batched data-path pair
+// introduced with the wire-speed transport work.
+const perfSuite = "^(BenchmarkTable5MaxRate|BenchmarkSenderScaling|BenchmarkReceiverScaling|BenchmarkBatchWrite|BenchmarkBatchSizeSweep)$"
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp *float64           `json:"bytes_per_op,omitempty"`
+	AllocsOp   *float64           `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the emitted trajectory point.
+type Document struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPU        string   `json:"cpu,omitempty"`
+	Bench      string   `json:"bench_regexp"`
+	BenchTime  string   `json:"benchtime"`
+	Package    string   `json:"package"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		benchRE   = flag.String("bench", perfSuite, "benchmark regexp passed to go test -bench")
+		benchTime = flag.String("benchtime", "1s", "go test -benchtime value (use 1x for a smoke run)")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		out       = flag.String("out", "", "output file (default BENCH_<date>.json; - for stdout)")
+		date      = flag.String("date", "", "date stamp for the document and default filename (default today)")
+	)
+	flag.Parse()
+
+	day := *date
+	if day == "" {
+		day = time.Now().Format("2006-01-02")
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + day + ".json"
+	}
+
+	args := []string{"test", "-run", "^$", "-bench", *benchRE, "-benchmem",
+		"-benchtime", *benchTime, *pkg}
+	fmt.Fprintf(os.Stderr, "frbench: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fatal(fmt.Errorf("go test -bench: %w", err))
+	}
+	os.Stderr.Write(buf.Bytes())
+
+	doc := Document{
+		Date:      day,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Bench:     *benchRE,
+		BenchTime: *benchTime,
+		Package:   *pkg,
+	}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if r, ok := parseBenchLine(line, runtime.GOMAXPROCS(0)); ok {
+			doc.Benchmarks = append(doc.Benchmarks, r)
+		} else if strings.HasPrefix(line, "cpu:") {
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines matched %q", *benchRE))
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if path == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "frbench: %d benchmarks written to %s\n", len(doc.Benchmarks), path)
+}
+
+// parseBenchLine parses one standard benchmark result line:
+//
+//	BenchmarkName-8  123  456.7 ns/op  0 B/op  0 allocs/op  89.1 fr16-kpps
+//
+// Value/unit pairs beyond the standard three land in Metrics. procs is
+// the GOMAXPROCS the run used: go test appends "-<procs>" to benchmark
+// names only when procs > 1, and only that exact suffix is stripped (a
+// trailing "-8" in a sub-benchmark's own name must survive).
+func parseBenchLine(line string, procs int) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	name := fields[0]
+	if procs > 1 {
+		name = strings.TrimSuffix(name, "-"+strconv.Itoa(procs))
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsOp = &a
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "frbench:", err)
+	os.Exit(1)
+}

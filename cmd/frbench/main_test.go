@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkBatchSizeSweep/size-32-8   \t 1477059\t       176.0 ns/op\t       0 B/op\t       0 allocs/op", 8)
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Name != "BenchmarkBatchSizeSweep/size-32" {
+		t.Errorf("name %q (GOMAXPROCS suffix must be stripped)", r.Name)
+	}
+	// GOMAXPROCS=1 runs carry no suffix; a trailing numeric component is
+	// part of the benchmark's own name and must survive.
+	if r1, ok := parseBenchLine("BenchmarkBatchSizeSweep/size-8 \t 99 \t 180.0 ns/op", 1); !ok || r1.Name != "BenchmarkBatchSizeSweep/size-8" {
+		t.Errorf("procs=1: name %q, want size-8 intact", r1.Name)
+	}
+	if r.Iterations != 1477059 || r.NsPerOp != 176.0 {
+		t.Errorf("iters/ns = %d/%v", r.Iterations, r.NsPerOp)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 0 || r.AllocsOp == nil || *r.AllocsOp != 0 {
+		t.Errorf("benchmem fields not parsed: %+v", r)
+	}
+
+	r, ok = parseBenchLine("BenchmarkTable5MaxRate-8   3   400123456 ns/op   98.5 fr16-kpps   33.1 yarrp32-kpps", 8)
+	if !ok {
+		t.Fatal("metric line did not parse")
+	}
+	if r.Metrics["fr16-kpps"] != 98.5 || r.Metrics["yarrp32-kpps"] != 33.1 {
+		t.Errorf("custom metrics not captured: %v", r.Metrics)
+	}
+
+	for _, bad := range []string{
+		"PASS",
+		"goos: linux",
+		"BenchmarkHalf-8 123",
+		"Benchmark-x notanumber ns/op",
+	} {
+		if _, ok := parseBenchLine(bad, 8); ok {
+			t.Errorf("%q should not parse", bad)
+		}
+	}
+}

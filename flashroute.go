@@ -32,14 +32,19 @@ import (
 	"github.com/flashroute/flashroute/internal/netsim"
 	"github.com/flashroute/flashroute/internal/output"
 	"github.com/flashroute/flashroute/internal/probe"
+	"github.com/flashroute/flashroute/internal/rawsock"
 	"github.com/flashroute/flashroute/internal/simclock"
 	"github.com/flashroute/flashroute/internal/trace"
 )
 
 // PacketConn is the raw network access the scanners need: write whole
 // IPv4 probe packets and read whole response packets. The bundled
-// Simulation provides one; production deployments back it with a raw
-// socket (outside this repository's scope, which is stdlib-only).
+// Simulation provides one; live scanning uses the Linux raw-socket
+// transport in internal/rawsock (cmd/flashroute's -transport raw).
+// Transports may additionally implement the engine's optional
+// BatchWriter/BatchReader capabilities (see Config.Batch) to amortize
+// per-packet transport overhead; the engine detects them by interface
+// assertion, so plain PacketConns keep working unchanged.
 type PacketConn interface {
 	WritePacket(pkt []byte) error
 	ReadPacket(buf []byte) (int, error)
@@ -112,6 +117,15 @@ type Config struct {
 	// read handles automatically; custom transports must implement
 	// NewReader on their PacketConn (see core.PacketReader).
 	Receivers int
+	// Batch is the maximum number of packets moved per transport call on
+	// both the send and receive paths, when the transport supports batch
+	// I/O (core.BatchWriter / core.BatchReader — the simulation and the
+	// raw-socket backend both do). Senders accumulate probes in per-shard
+	// packet arenas and flush before every blocking point, so results are
+	// identical to unbatched operation; receivers pull up to Batch
+	// responses per call into per-worker arenas. 0 and 1 both mean the
+	// classic one-packet-per-call data path.
+	Batch int
 
 	// Preprobe selects the preprobing mode (default PreprobeRandom);
 	// PreprobeTargets supplies hitlist addresses for PreprobeHitlist.
@@ -224,6 +238,7 @@ func (c Config) toCore() core.Config {
 	}
 	cc.Senders = c.Senders
 	cc.Receivers = c.Receivers
+	cc.Batch = c.Batch
 	cc.Preprobe = core.PreprobeMode(c.Preprobe)
 	cc.PreprobeTargets = core.TargetFunc(c.PreprobeTargets)
 	cc.ProximitySpan = c.ProximitySpan
@@ -426,14 +441,34 @@ func ResumeScanner(cfg Config, conn PacketConn, clock Clock, snapshot []byte) (*
 	return &Scanner{inner: sc}, nil
 }
 
+// ErrRawUnsupported is returned by DialRaw on platforms without the
+// raw-socket transport (anything but linux/amd64 and linux/arm64).
+var ErrRawUnsupported = rawsock.ErrUnsupported
+
+// DialRaw opens the Linux raw-socket transport: an IPPROTO_RAW send
+// socket plus an IPPROTO_ICMP receive socket, with batch I/O mapped onto
+// sendmmsg(2)/recvmmsg(2) when Config.Batch > 1. Requires CAP_NET_RAW
+// (typically root). The returned PacketConn plugs directly into
+// NewScanner; Receivers > 1 and Batch work out of the box.
+func DialRaw() (PacketConn, error) {
+	c, err := rawsock.Dial()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
 // wireReaders translates the config and hands sharded receive workers
-// their per-worker read handles: simulation connections know how to
-// provide them, so Receivers > 1 works out of the box.
+// their per-worker read handles: simulation and raw-socket connections
+// know how to provide them, so Receivers > 1 works out of the box.
 func wireReaders(cfg Config, conn PacketConn) core.Config {
 	cc := cfg.toCore()
 	if cfg.Receivers > 1 {
-		if nc, ok := conn.(*netsim.Conn); ok {
-			cc.NewReader = func() core.PacketReader { return nc.NewReader() }
+		switch c := conn.(type) {
+		case *netsim.Conn:
+			cc.NewReader = func() core.PacketReader { return c.NewReader() }
+		case *rawsock.Conn:
+			cc.NewReader = func() core.PacketReader { return c.NewReader() }
 		}
 	}
 	return cc

@@ -85,12 +85,14 @@ type baseCounters struct {
 	rounds      int
 }
 
-// maybeCheckpoint runs the probe-count and interval triggers; called for
-// every successfully sent probe while armed.
-func (s *ScannerOf[A]) maybeCheckpoint() {
+// maybeCheckpoint runs the probe-count and interval triggers after k
+// probes were successfully sent while armed (k > 1 when a batch flush
+// accounts a whole arena at once; a crossed CheckpointEvery boundary
+// anywhere inside the batch triggers).
+func (s *ScannerOf[A]) maybeCheckpoint(k uint64) {
 	ck := s.ckpt
-	n := ck.probes.Add(1)
-	if ck.every > 0 && n%ck.every == 0 {
+	n := ck.probes.Add(k)
+	if ck.every > 0 && n/ck.every != (n-k)/ck.every {
 		s.writeCheckpoint(false, false, nil)
 		return
 	}

@@ -56,6 +56,31 @@ type PacketReader interface {
 	Wake()
 }
 
+// BatchWriter is an optional capability of a PacketConn (the sendmmsg
+// shape): WriteBatch writes pkts in order and returns how many were
+// consumed. A non-nil error with n < len(pkts) means pkts[n] failed —
+// per-packet fault semantics — and the packets after it were not
+// attempted; the caller handles pkts[n] (retry or drop) and resubmits the
+// rest. n == len(pkts) with a non-nil error is a connection-level failure
+// after every packet was consumed. The engine detects the capability by
+// interface assertion when Config.Batch > 1, so plain PacketConns keep
+// working unchanged.
+type BatchWriter interface {
+	WriteBatch(pkts [][]byte) (int, error)
+}
+
+// BatchReader is an optional capability of a PacketConn or PacketReader
+// (the recvmmsg shape): ReadBatch blocks like ReadPacket until at least
+// one packet is available, then opportunistically fills additional
+// already-available packets without blocking, setting sizes[i] for each
+// bufs[i] filled. It returns (0, io.EOF) at end of stream; a PacketReader
+// implementation may additionally return (0, nil) for a Wake interrupt —
+// and so may polling transports with nothing ready, which callers must
+// treat as "try again".
+type BatchReader interface {
+	ReadBatch(bufs [][]byte, sizes []int) (int, error)
+}
+
 // TargetFunc supplies the representative address probed for a block
 // (IPv4 form; the generic ConfigOf uses the equivalent raw func type).
 type TargetFunc func(block int) uint32
@@ -143,6 +168,20 @@ type ConfigOf[A comparable] struct {
 	// a handle safe to use concurrently with its siblings), ignored
 	// otherwise.
 	NewReader func() PacketReader
+
+	// Batch is the maximum number of packets moved per transport call on
+	// both data paths: senders accumulate built probes in a per-shard
+	// arena and flush them through BatchWriter.WriteBatch; receivers pull
+	// responses through BatchReader.ReadBatch into per-worker buffer
+	// arenas. <= 1 disables batching (the classic per-packet path). Each
+	// capability is detected independently by interface assertion, so a
+	// transport may batch one direction only; a transport with neither
+	// runs exactly as before. Arenas are preallocated, keeping the
+	// steady state allocation-free. Batching never distorts pacing or
+	// results: shards flush before every pacer sleep, round gap and phase
+	// end, so the set of written probes at every blocking point is
+	// identical to the unbatched engine's.
+	Batch int
 
 	// Preprobe selects the preprobing mode; PreprobeTargets supplies
 	// hitlist addresses when PreprobeHitlist is used (ignored otherwise).

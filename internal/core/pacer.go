@@ -44,7 +44,15 @@ func (p *pacer) reset() { p.next = time.Time{} }
 
 // pace accounts one sent probe and, when the batch is full, sleeps until
 // the batch's absolute deadline.
-func (p *pacer) pace() {
+func (p *pacer) pace() { p.paceFlush(nil) }
+
+// paceFlush is pace with a pre-sleep hook: flush (if non-nil) runs after
+// the sleep decision but before the sleep itself, so a batching sender
+// can write out its arena before blocking. The deadline is computed
+// before flush runs and the sleep targets that absolute instant, so time
+// spent flushing is absorbed by the sleep — batch boundaries do not
+// distort pacing.
+func (p *pacer) paceFlush(flush func()) {
 	if p.batch == 0 {
 		return
 	}
@@ -59,6 +67,9 @@ func (p *pacer) pace() {
 	}
 	p.next = p.next.Add(p.interval)
 	if d := p.next.Sub(now); d > 0 {
+		if flush != nil {
+			flush()
+		}
 		p.clock.Sleep(d)
 	} else {
 		// The sender cannot keep up with the target rate; re-anchor at the

@@ -178,6 +178,13 @@ type recvWorkerOf[A comparable] struct {
 	ring    replyRing[A]
 	scratch []dispatchedReply[A]
 	buf     [4096]byte
+
+	// Batched reads (Config.Batch > 1 on a BatchReader handle): ReadBatch
+	// fills the worker's preallocated buffer arena bufs and the per-packet
+	// lengths in sizes. All nil when unbatched.
+	batch BatchReader
+	bufs  [][]byte
+	sizes []int
 }
 
 // wake releases the owner wherever it is blocked: inside its reader
@@ -204,23 +211,28 @@ func (w *recvWorkerOf[A]) loop() {
 	s := w.s
 	for {
 		w.drain()
-		n, err := w.reader.ReadPacket(w.buf[:])
+		var err error
+		if w.batch != nil {
+			var k int
+			k, err = w.batch.ReadBatch(w.bufs, w.sizes)
+			for i := 0; i < k; i++ {
+				w.handlePacket(w.bufs[i][:w.sizes[i]])
+			}
+			// k == 0 with a nil err is a wake interrupt (or a polling
+			// transport with nothing ready); the top-of-loop drain picks
+			// up whatever the wake dispatched.
+		} else {
+			var n int
+			n, err = w.reader.ReadPacket(w.buf[:])
+			if n > 0 {
+				w.handlePacket(w.buf[:n])
+			}
+		}
 		if err != nil {
 			if err != io.EOF {
 				s.readErrors.Add(1)
 			}
 			break
-		}
-		if n == 0 {
-			continue // interrupted by wake; drain picks up the dispatches
-		}
-		if block, r, ok := s.parseResponse(w.buf[:n]); ok {
-			if owner := s.recvWorkers[block%len(s.recvWorkers)]; owner != w {
-				owner.ring.push(dispatchedReply[A]{block: block, reply: r})
-				owner.wake()
-			} else {
-				s.processReply(w.store, block, &r)
-			}
 		}
 	}
 
@@ -237,4 +249,19 @@ func (w *recvWorkerOf[A]) loop() {
 		s.clock.Park(w.parker, time.Time{})
 	}
 	w.drain()
+}
+
+// handlePacket parses one raw response and applies block-affinity
+// dispatch: replies for blocks this worker owns are processed inline,
+// the rest are pushed to the owner's ring.
+func (w *recvWorkerOf[A]) handlePacket(pkt []byte) {
+	s := w.s
+	if block, r, ok := s.parseResponse(pkt); ok {
+		if owner := s.recvWorkers[block%len(s.recvWorkers)]; owner != w {
+			owner.ring.push(dispatchedReply[A]{block: block, reply: r})
+			owner.wake()
+		} else {
+			s.processReply(w.store, block, &r)
+		}
+	}
 }

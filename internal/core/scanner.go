@@ -170,6 +170,28 @@ type senderShardOf[A comparable] struct {
 	rounds      int
 	pacer       pacer
 	pktBuf      [maxProbeBuf]byte
+
+	// Batched-write state (Config.Batch > 1 on a BatchWriter transport;
+	// see batch.go): built probes accumulate in the preallocated arena —
+	// pkts[i] views slot i, metas[i] remembers how to rebuild it with a
+	// fresh timestamp — and are written Config.Batch at a time, or earlier
+	// at every point the shard would block. All nil/zero when unbatched.
+	bw      BatchWriter
+	arena   []byte
+	pkts    [][]byte
+	metas   []probeMeta[A]
+	nbuf    int
+	flushFn func() // bound sh.flush, allocated once (paceFlush hook)
+}
+
+// probeMeta is the recipe for rebuilding an arena slot's probe: retries
+// after a backoff sleep must re-stamp the packet's embedded send time
+// (§3.1) or derived RTTs would include the backoff.
+type probeMeta[A comparable] struct {
+	dst      A
+	ttl      uint8
+	preprobe bool
+	off      uint16
 }
 
 // NewScanner validates the configuration and prepares an IPv4 scanner.
@@ -217,6 +239,12 @@ func NewScannerOf[A comparable](fam Family[A], cfg ConfigOf[A], conn PacketConn,
 	}
 	if cfg.CheckpointEvery < 0 {
 		cfg.CheckpointEvery = 0
+	}
+	if cfg.Batch < 0 {
+		cfg.Batch = 0
+	}
+	if cfg.Batch > maxBatch {
+		cfg.Batch = maxBatch
 	}
 	if cfg.Exhaustive {
 		// The Yarrp-simulation mode probes every hop unconditionally; a
@@ -269,7 +297,7 @@ func NewScannerOf[A comparable](fam Family[A], cfg ConfigOf[A], conn PacketConn,
 			fam.FormatAddr, fam.AddrLess, routeHint, ifaceHint)
 		s.recvWorkers = make([]*recvWorkerOf[A], r)
 		for i := range s.recvWorkers {
-			s.recvWorkers[i] = &recvWorkerOf[A]{
+			w := &recvWorkerOf[A]{
 				s:       s,
 				idx:     i,
 				reader:  cfg.NewReader(),
@@ -277,6 +305,13 @@ func NewScannerOf[A comparable](fam Family[A], cfg ConfigOf[A], conn PacketConn,
 				store:   s.striped.Stripe(i),
 				scratch: make([]dispatchedReply[A], 0, 64),
 			}
+			if cfg.Batch > 1 {
+				if br, ok := w.reader.(BatchReader); ok {
+					w.batch = br
+					w.bufs, w.sizes = makeRecvArena(cfg.Batch)
+				}
+			}
+			s.recvWorkers[i] = w
 		}
 	}
 	return s, nil
@@ -294,6 +329,12 @@ func (s *ScannerOf[A]) makeShards() {
 		k = 1
 	}
 	s.shards = make([]*senderShardOf[A], k)
+	var bw BatchWriter
+	if s.cfg.Batch > 1 {
+		if w, ok := s.conn.(BatchWriter); ok {
+			bw = w
+		}
+	}
 	chunk := (len(s.order) + k - 1) / k
 	base, rem := 0, 0
 	if s.cfg.PPS > 0 {
@@ -312,11 +353,19 @@ func (s *ScannerOf[A]) makeShards() {
 		if s.cfg.PPS > 0 && pps == 0 {
 			pps = 1 // more senders than packets per second: floor at 1
 		}
-		s.shards[i] = &senderShardOf[A]{
+		sh := &senderShardOf[A]{
 			s:     s,
 			order: s.order[lo:hi],
 			pacer: newPacer(s.clock, pps),
 		}
+		if bw != nil {
+			sh.bw = bw
+			sh.arena = make([]byte, s.cfg.Batch*maxProbeBuf)
+			sh.pkts = make([][]byte, s.cfg.Batch)
+			sh.metas = make([]probeMeta[A], s.cfg.Batch)
+			sh.flushFn = sh.flush
+		}
+		s.shards[i] = sh
 	}
 }
 
@@ -591,6 +640,7 @@ func (sh *senderShardOf[A]) runPreprobe() {
 	}
 	var zero A
 	sh.pacer.reset()
+	defer sh.flush() // phase end or cancel: no probe stays buffered
 	for _, b := range sh.order {
 		if s.canceled() {
 			return
@@ -614,6 +664,7 @@ func (sh *senderShardOf[A]) runPreprobeRetry() {
 	}
 	var zero A
 	sh.pacer.reset()
+	defer sh.flush()
 	for _, b := range sh.order {
 		if s.canceled() {
 			return
@@ -775,6 +826,7 @@ func (sh *senderShardOf[A]) runRounds(srcPortOffset uint16) {
 	s := sh.s
 	l := buildList(s.dcbs, sh.order)
 	sh.pacer.reset()
+	defer sh.flush()
 	for l.size > 0 {
 		roundStart := s.clock.Now()
 		cur := l.head
@@ -850,6 +902,7 @@ func (sh *senderShardOf[A]) runRounds(srcPortOffset uint16) {
 		}
 		sh.rounds++
 		if rem := s.cfg.MinRoundTime - s.clock.Now().Sub(roundStart); rem > 0 {
+			sh.flush() // round gap: write out before blocking
 			s.clock.Sleep(rem)
 			sh.pacer.reset()
 		}
@@ -871,6 +924,10 @@ func isTemporary(err error) bool {
 // sent.
 func (sh *senderShardOf[A]) sendProbe(dst A, ttl uint8, preprobe bool, srcPortOffset uint16) {
 	s := sh.s
+	if sh.bw != nil {
+		sh.sendProbeBatched(dst, ttl, preprobe, srcPortOffset)
+		return
+	}
 	elapsed := s.clock.Now().Sub(s.start)
 	n := s.fam.BuildProbe(sh.pktBuf[:], s.cfg.Source, dst, ttl, preprobe,
 		elapsed, srcPortOffset)
@@ -895,7 +952,7 @@ func (sh *senderShardOf[A]) sendProbe(dst A, ttl uint8, preprobe bool, srcPortOf
 	} else {
 		sh.probesSent++
 		if s.ckpt != nil {
-			s.maybeCheckpoint()
+			s.maybeCheckpoint(1)
 		}
 	}
 	if s.cfg.Observer != nil {
@@ -915,6 +972,12 @@ func (sh *senderShardOf[A]) sendProbe(dst A, ttl uint8, preprobe bool, srcPortOf
 // the corresponding DCB. The sharded mode's per-worker loop lives in
 // receive.go.
 func (s *ScannerOf[A]) receiveLoop() {
+	if s.cfg.Batch > 1 {
+		if br, ok := s.conn.(BatchReader); ok {
+			s.receiveLoopBatch(br)
+			return
+		}
+	}
 	var buf [4096]byte
 	for {
 		n, err := s.conn.ReadPacket(buf[:])

@@ -37,6 +37,13 @@ import (
 // engine's).
 type PacketConn = core.PacketConn
 
+// BatchWriter and BatchReader are the optional batch-I/O capabilities a
+// transport may implement (same contracts as the IPv4 engine's).
+type (
+	BatchWriter = core.BatchWriter
+	BatchReader = core.BatchReader
+)
+
 // PacketReader is the per-receiver read handle of the sharded receive
 // pipeline (same contract as the IPv4 engine's).
 type PacketReader = core.PacketReader
@@ -67,6 +74,11 @@ type Config struct {
 	// required when Receivers > 1.
 	Receivers int
 	NewReader func() PacketReader
+
+	// Batch is the maximum number of packets per transport call on both
+	// data paths (the engine's batched I/O mode; core.ConfigOf.Batch).
+	// <= 1 means one packet per call.
+	Batch int
 
 	// Preprobe enables the one-probe distance measurement phase; with
 	// SamePrefixPrediction, measured distances predict unmeasured targets
@@ -359,6 +371,7 @@ func buildEngineConfig(cfg Config) (core.ConfigOf[probe6.Addr], error) {
 		Senders:                 cfg.Senders,
 		Receivers:               cfg.Receivers,
 		NewReader:               cfg.NewReader,
+		Batch:                   cfg.Batch,
 		PreprobeRetries:         cfg.PreprobeRetries,
 		ForwardRetries:          cfg.ForwardRetries,
 		ForwardTimeout:          cfg.ForwardTimeout,

@@ -384,3 +384,70 @@ func ReceiverScaling(s *Scenario, senders int, receivers []int) ([]ReceiverRateR
 	}
 	return out, nil
 }
+
+// BatchRateRow is one batch-size measurement of BatchSweep.
+type BatchRateRow struct {
+	Batch        int
+	MeasuredKpps float64
+	// Interfaces discovered — the sanity check that the batched transport
+	// still discovers a comparable topology (exact equivalence is proven
+	// on the virtual clock by the core golden-grid tests; real-clock
+	// unthrottled runs vary with timing like the other rate experiments).
+	Interfaces int
+}
+
+// BatchSweepResult carries the batch-size sweep.
+type BatchSweepResult struct {
+	Rows []BatchRateRow
+}
+
+// WriteText renders the sweep.
+func (r *BatchSweepResult) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Batch sweep: unthrottled scan rate vs packets per transport call\n%-8s %14s %12s\n",
+		"batch", "measured kpps", "interfaces"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%-8d %14.1f %12d\n",
+			row.Batch, row.MeasuredKpps, row.Interfaces); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BatchSweep measures the unthrottled probing rate at each batch size on
+// the near-zero-RTT Table 5 network — the end-to-end view of what the
+// batched data path (arena-fed WriteBatch sends, ReadBatch receive
+// workers) buys over one-transport-call-per-packet. Batch 1 is the
+// classic path.
+func BatchSweep(s *Scenario, batches []int) (*BatchSweepResult, error) {
+	if len(batches) == 0 {
+		batches = []int{1, 8, 32, 128}
+	}
+	out := &BatchSweepResult{}
+	for _, k := range batches {
+		clock := simclock.NewReal()
+		n := s.newFastNet(clock)
+		cfg := s.FlashConfig()
+		cfg.PPS = 0 // unthrottled
+		cfg.Batch = k
+		cfg.MinRoundTime = time.Millisecond
+		cfg.DrainWait = 100 * time.Millisecond
+		sc, err := core.NewScanner(cfg, n.NewConn(), clock)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sc.Run()
+		if err != nil {
+			return nil, err
+		}
+		rate := float64(res.ProbesSent) / res.ScanTime.Seconds()
+		out.Rows = append(out.Rows, BatchRateRow{
+			Batch:        k,
+			MeasuredKpps: rate / 1000,
+			Interfaces:   res.Store.Interfaces().Len(),
+		})
+	}
+	return out, nil
+}

@@ -3,6 +3,7 @@ package netsim
 import (
 	"errors"
 	"io"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -117,6 +118,15 @@ type Conn struct {
 	src   uint32
 	imp   *simnet.ImpairState // nil unless Params.Impair is enabled
 	inbox *simnet.Inbox[respPayload]
+
+	// Batch-path scratch, reused across calls so the steady state stays
+	// allocation-free. wrMu serializes WriteBatch callers (several sender
+	// shards may batch-write the same Conn; single-packet writers never
+	// take it); rdScratch belongs to the Conn-level reader, of which the
+	// contract allows exactly one.
+	wrMu      sync.Mutex
+	wrStage   []simnet.Pending[respPayload]
+	rdScratch []respPayload
 }
 
 // NewConn opens a connection sourced at the vantage point.
@@ -136,12 +146,55 @@ func (n *Net) NewConn() *Conn {
 // The write itself never blocks; the response (if any) is scheduled for
 // delivery after the modeled RTT.
 func (c *Conn) WritePacket(pkt []byte) error {
+	return c.write1(pkt, c.net.Elapsed(), nil)
+}
+
+// WriteBatch injects pkts in order (sendmmsg shape). It returns the
+// number of packets consumed; a non-nil error with n < len(pkts) means
+// pkts[n] failed — per-packet fault semantics, exactly as the equivalent
+// WritePacket would have failed — and packets after it were not
+// attempted. All responses elicited by the batch are committed to the
+// inbox under a single lock with a single reader wakeup; per-packet
+// impairment and fault draws happen in write order, so a batched write
+// sequence consumes the RNG identically to the unbatched one.
+func (c *Conn) WriteBatch(pkts [][]byte) (int, error) {
+	n := c.net
+	c.wrMu.Lock()
+	defer c.wrMu.Unlock()
+	// One clock read covers the whole batch: on the virtual clock no time
+	// can pass while the writer runs, and fault windows — the only
+	// behavior where sub-batch timing matters — re-read the clock below.
+	now := n.Elapsed()
+	faults := n.topo.P.Impair.HasFaults()
+	c.wrStage = c.wrStage[:0]
+	for i, pkt := range pkts {
+		pktNow := now
+		if faults {
+			pktNow = n.Elapsed() // a window edge may split the batch on a real clock
+		}
+		if err := c.write1(pkt, pktNow, &c.wrStage); err != nil {
+			if !simnet.ScheduleAllResponses(c.inbox, &n.Stats.DeliveryStats, c.wrStage) {
+				return i, ErrClosed
+			}
+			return i, err
+		}
+	}
+	if !simnet.ScheduleAllResponses(c.inbox, &n.Stats.DeliveryStats, c.wrStage) {
+		return len(pkts), ErrClosed
+	}
+	return len(pkts), nil
+}
+
+// write1 is the full per-packet write path at instant now. Responses are
+// delivered straight to the inbox (stage nil, the WritePacket path) or
+// appended to *stage for one batched commit.
+func (c *Conn) write1(pkt []byte, now time.Duration, stage *[]simnet.Pending[respPayload]) error {
 	n := c.net
 
 	// Transport-fault windows: a faulted write fails before the probe
 	// enters the network at all — not counted as sent, no impairment
 	// draws consumed, so zero-fault runs are bit-identical.
-	if im := &n.topo.P.Impair; im.HasFaults() && im.WriteFault(n.Elapsed()) {
+	if im := &n.topo.P.Impair; im.HasFaults() && im.WriteFault(now) {
 		n.Stats.WriteFaults.Add(1)
 		return &simnet.TransientError{Op: "write"}
 	}
@@ -183,8 +236,6 @@ func (c *Conn) WritePacket(pkt []byte) error {
 	srcPort := uint16(transport[0])<<8 | uint16(transport[1])
 	dstPort := uint16(transport[2])<<8 | uint16(transport[3])
 
-	now := n.Elapsed()
-
 	// ICMP echo requests (the census hitlist's probe type, §5.1): answered
 	// by ping-responsive entities, subject to the same ICMP rate limits.
 	if hdr.Protocol == probe.ProtoICMP {
@@ -211,7 +262,7 @@ func (c *Conn) WritePacket(pkt []byte) error {
 				n.Stats.RateLimited.Add(1)
 				continue
 			}
-			if err := c.deliver(resp, at); err != nil {
+			if err := c.deliver(resp, at, stage); err != nil {
 				return err
 			}
 		}
@@ -260,7 +311,7 @@ func (c *Conn) WritePacket(pkt []byte) error {
 			n.Stats.RateLimited.Add(1)
 			continue
 		}
-		if err := c.deliver(resp, at); err != nil {
+		if err := c.deliver(resp, at, stage); err != nil {
 			return err
 		}
 	}
@@ -270,8 +321,10 @@ func (c *Conn) WritePacket(pkt []byte) error {
 // deliver schedules one emitted response for delivery to the inbox,
 // applying inbound impairments (loss, duplication, reordering, extra
 // jitter) when enabled. With impairments off it is exactly the
-// pre-impairment scheduling path.
-func (c *Conn) deliver(resp respPayload, at time.Duration) error {
+// pre-impairment scheduling path. With stage non-nil the surviving
+// response is appended there instead — same fault and impairment draws,
+// commit deferred to the caller's ScheduleAllResponses.
+func (c *Conn) deliver(resp respPayload, at time.Duration, stage *[]simnet.Pending[respPayload]) error {
 	if im := &c.net.topo.P.Impair; im.HasFaults() {
 		adj, dropped := im.DeliveryFault(at)
 		if dropped {
@@ -282,6 +335,13 @@ func (c *Conn) deliver(resp respPayload, at time.Duration) error {
 			c.net.Stats.FaultStalled.Add(1)
 			at = adj
 		}
+	}
+	if stage != nil {
+		if p, ok := simnet.StageResponse(c.imp, &c.net.topo.P.Impair,
+			&c.net.Stats.DeliveryStats, resp, at); ok {
+			*stage = append(*stage, p)
+		}
+		return nil
 	}
 	if !simnet.ScheduleResponse(c.inbox, c.imp, &c.net.topo.P.Impair,
 		&c.net.Stats.DeliveryStats, resp, at) {
@@ -301,12 +361,33 @@ func (c *Conn) ReadPacket(buf []byte) (int, error) {
 	return c.materialize(buf, &resp), nil
 }
 
+// ReadBatch is the batch form of ReadPacket (recvmmsg shape): it blocks
+// until a response is deliverable, then fills bufs[i]/sizes[i] with every
+// response already deliverable at that instant — in the exact (delivery
+// time, sequence) order consecutive ReadPacket calls would observe — up
+// to len(bufs). It returns (0, io.EOF) once the connection is closed and
+// drained. Like ReadPacket, at most one goroutine may use it.
+func (c *Conn) ReadBatch(bufs [][]byte, sizes []int) (int, error) {
+	if len(c.rdScratch) < len(bufs) {
+		c.rdScratch = make([]respPayload, len(bufs))
+	}
+	k, ok := c.inbox.NextBatch(c.rdScratch[:len(bufs)])
+	if !ok {
+		return 0, io.EOF
+	}
+	for i := 0; i < k; i++ {
+		sizes[i] = c.materialize(bufs[i], &c.rdScratch[i])
+	}
+	return k, nil
+}
+
 // Reader is a per-receiver read handle on the Conn: each receive worker of
 // a sharded receive pipeline holds its own Reader so R workers can block
 // on (and drain) the same inbox concurrently under the virtual clock.
 type Reader struct {
-	c  *Conn
-	rd *simnet.Reader[respPayload]
+	c       *Conn
+	rd      *simnet.Reader[respPayload]
+	scratch []respPayload // ReadBatch staging, owned by this handle's worker
 }
 
 // NewReader opens a read handle. The plain Conn.ReadPacket and any number
@@ -328,6 +409,23 @@ func (r *Reader) ReadPacket(buf []byte) (int, error) {
 		return 0, nil
 	}
 	return r.c.materialize(buf, &resp), nil
+}
+
+// ReadBatch is Conn.ReadBatch on this handle, with the Reader extension:
+// it returns (0, nil) when the wait was interrupted by Wake before any
+// response became deliverable.
+func (r *Reader) ReadBatch(bufs [][]byte, sizes []int) (int, error) {
+	if len(r.scratch) < len(bufs) {
+		r.scratch = make([]respPayload, len(bufs))
+	}
+	k, eof := r.rd.NextBatch(r.scratch[:len(bufs)])
+	if eof {
+		return 0, io.EOF
+	}
+	for i := 0; i < k; i++ {
+		sizes[i] = r.c.materialize(bufs[i], &r.scratch[i])
+	}
+	return k, nil
 }
 
 // Wake interrupts this handle's blocked (or next) ReadPacket.

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"io"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -413,6 +414,14 @@ type Conn struct {
 	net   *Net
 	imp   *simnet.ImpairState // nil unless Params.Impair is enabled
 	inbox *simnet.Inbox[respPayload]
+
+	// Batch-path scratch, reused across calls so the steady state stays
+	// allocation-free. wrMu serializes WriteBatch callers (several sender
+	// shards may batch-write the same Conn); rdScratch belongs to the
+	// Conn-level reader, of which the contract allows exactly one.
+	wrMu      sync.Mutex
+	wrStage   []simnet.Pending[respPayload]
+	rdScratch []respPayload
 }
 
 // NewConn opens a connection from the vantage point.
@@ -429,12 +438,52 @@ const MaxResponseLen = probe6.HeaderLen + probe6.ICMPErrorLen
 
 // WritePacket injects a serialized IPv6 probe.
 func (c *Conn) WritePacket(pkt []byte) error {
+	return c.write1(pkt, c.net.Elapsed(), nil)
+}
+
+// WriteBatch injects pkts in order (sendmmsg shape). It returns the
+// number of packets consumed; a non-nil error with n < len(pkts) means
+// pkts[n] failed and packets after it were not attempted. Responses
+// elicited by the batch are committed to the inbox under one lock with
+// one reader wakeup, with per-packet impairment and fault draws in write
+// order — the RNG stream is identical to the unbatched path's.
+func (c *Conn) WriteBatch(pkts [][]byte) (int, error) {
+	n := c.net
+	c.wrMu.Lock()
+	defer c.wrMu.Unlock()
+	// One clock read covers the whole batch: on the virtual clock no time
+	// can pass while the writer runs; fault windows re-read below.
+	now := n.Elapsed()
+	faults := n.topo.P.Impair.HasFaults()
+	c.wrStage = c.wrStage[:0]
+	for i, pkt := range pkts {
+		pktNow := now
+		if faults {
+			pktNow = n.Elapsed() // a window edge may split the batch on a real clock
+		}
+		if err := c.write1(pkt, pktNow, &c.wrStage); err != nil {
+			if !simnet.ScheduleAllResponses(c.inbox, &n.Stats.DeliveryStats, c.wrStage) {
+				return i, ErrClosed
+			}
+			return i, err
+		}
+	}
+	if !simnet.ScheduleAllResponses(c.inbox, &n.Stats.DeliveryStats, c.wrStage) {
+		return len(pkts), ErrClosed
+	}
+	return len(pkts), nil
+}
+
+// write1 is the full per-packet write path at instant now. Responses are
+// delivered straight to the inbox (stage nil) or appended to *stage for
+// one batched commit.
+func (c *Conn) write1(pkt []byte, now time.Duration, stage *[]simnet.Pending[respPayload]) error {
 	n := c.net
 
 	// Transport-fault windows: a faulted write fails before the probe
 	// enters the network at all — not counted as sent, no impairment
 	// draws consumed, so zero-fault runs are bit-identical.
-	if im := &n.topo.P.Impair; im.HasFaults() && im.WriteFault(n.Elapsed()) {
+	if im := &n.topo.P.Impair; im.HasFaults() && im.WriteFault(now) {
 		n.Stats.WriteFaults.Add(1)
 		return &simnet.TransientError{Op: "write"}
 	}
@@ -465,7 +514,6 @@ func (c *Conn) WritePacket(pkt []byte) error {
 		}
 	}
 
-	now := n.Elapsed()
 	hop := n.topo.Resolve(hdr.Dst, hdr.HopLimit)
 	switch hop.Kind {
 	case HopNone:
@@ -493,7 +541,7 @@ func (c *Conn) WritePacket(pkt []byte) error {
 			n.Stats.RateLimited.Add(1)
 			continue
 		}
-		if err := c.deliver(resp, at); err != nil {
+		if err := c.deliver(resp, at, stage); err != nil {
 			return err
 		}
 	}
@@ -502,8 +550,10 @@ func (c *Conn) WritePacket(pkt []byte) error {
 
 // deliver schedules one emitted response for delivery to the inbox,
 // applying inbound impairments when enabled. With impairments off it is
-// exactly the pre-impairment scheduling path.
-func (c *Conn) deliver(resp respPayload, at time.Duration) error {
+// exactly the pre-impairment scheduling path. With stage non-nil the
+// surviving response is appended there instead — same fault and
+// impairment draws, commit deferred to the caller.
+func (c *Conn) deliver(resp respPayload, at time.Duration, stage *[]simnet.Pending[respPayload]) error {
 	if im := &c.net.topo.P.Impair; im.HasFaults() {
 		adj, dropped := im.DeliveryFault(at)
 		if dropped {
@@ -514,6 +564,13 @@ func (c *Conn) deliver(resp respPayload, at time.Duration) error {
 			c.net.Stats.FaultStalled.Add(1)
 			at = adj
 		}
+	}
+	if stage != nil {
+		if p, ok := simnet.StageResponse(c.imp, &c.net.topo.P.Impair,
+			&c.net.Stats.DeliveryStats, resp, at); ok {
+			*stage = append(*stage, p)
+		}
+		return nil
 	}
 	if !simnet.ScheduleResponse(c.inbox, c.imp, &c.net.topo.P.Impair,
 		&c.net.Stats.DeliveryStats, resp, at) {
@@ -531,12 +588,31 @@ func (c *Conn) ReadPacket(buf []byte) (int, error) {
 	return c.materialize(buf, &p), nil
 }
 
+// ReadBatch is the batch form of ReadPacket (recvmmsg shape): it blocks
+// until a response is deliverable, then fills bufs[i]/sizes[i] with every
+// response already deliverable at that instant, in ReadPacket order, up
+// to len(bufs). (0, io.EOF) once closed and drained; one reader only.
+func (c *Conn) ReadBatch(bufs [][]byte, sizes []int) (int, error) {
+	if len(c.rdScratch) < len(bufs) {
+		c.rdScratch = make([]respPayload, len(bufs))
+	}
+	k, ok := c.inbox.NextBatch(c.rdScratch[:len(bufs)])
+	if !ok {
+		return 0, io.EOF
+	}
+	for i := 0; i < k; i++ {
+		sizes[i] = c.materialize(bufs[i], &c.rdScratch[i])
+	}
+	return k, nil
+}
+
 // Reader is a per-receiver read handle on the Conn (the IPv6 twin of
 // netsim's): each receive worker of a sharded receive pipeline holds its
 // own Reader so R workers can drain the same inbox concurrently.
 type Reader struct {
-	c  *Conn
-	rd *simnet.Reader[respPayload]
+	c       *Conn
+	rd      *simnet.Reader[respPayload]
+	scratch []respPayload // ReadBatch staging, owned by this handle's worker
 }
 
 // NewReader opens a read handle.
@@ -555,6 +631,23 @@ func (r *Reader) ReadPacket(buf []byte) (int, error) {
 		return 0, nil
 	}
 	return r.c.materialize(buf, &p), nil
+}
+
+// ReadBatch is Conn.ReadBatch on this handle, with the Reader extension:
+// it returns (0, nil) when the wait was interrupted by Wake before any
+// response became deliverable.
+func (r *Reader) ReadBatch(bufs [][]byte, sizes []int) (int, error) {
+	if len(r.scratch) < len(bufs) {
+		r.scratch = make([]respPayload, len(bufs))
+	}
+	k, eof := r.rd.NextBatch(r.scratch[:len(bufs)])
+	if eof {
+		return 0, io.EOF
+	}
+	for i := 0; i < k; i++ {
+		sizes[i] = r.c.materialize(bufs[i], &r.scratch[i])
+	}
+	return k, nil
 }
 
 // Wake interrupts this handle's blocked (or next) ReadPacket.

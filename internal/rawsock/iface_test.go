@@ -1,0 +1,14 @@
+package rawsock
+
+import "github.com/flashroute/flashroute/internal/core"
+
+// Compile-time checks that both the Linux implementation and the stub
+// satisfy the engine's transport contracts (this file carries no build
+// tag on purpose).
+var (
+	_ core.PacketConn   = (*Conn)(nil)
+	_ core.BatchWriter  = (*Conn)(nil)
+	_ core.BatchReader  = (*Conn)(nil)
+	_ core.PacketReader = (*Reader)(nil)
+	_ core.BatchReader  = (*Reader)(nil)
+)

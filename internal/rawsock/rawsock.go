@@ -1,0 +1,20 @@
+// Package rawsock is the Linux raw-socket transport: a PacketConn (plus
+// the engine's optional BatchWriter/BatchReader capabilities) backed by
+// two raw sockets — an IPPROTO_RAW socket for sending the scanners'
+// self-built IPv4 probe packets (IP_HDRINCL is implied, the destination
+// is lifted from each packet's header) and an IPPROTO_ICMP socket for
+// receiving responses as complete IPv4 packets, exactly the shape
+// probe.ParseResponse expects.
+//
+// Batch I/O maps directly onto sendmmsg(2)/recvmmsg(2), so a scan
+// configured with Config.Batch crosses the kernel once per arena instead
+// of once per packet. Readers poll with a short SO_RCVTIMEO so Close and
+// Wake are honored within one poll interval without goroutine-unsafe fd
+// tricks.
+//
+// Opening raw sockets requires CAP_NET_RAW (typically root); Dial
+// returns a descriptive error otherwise. On platforms without the
+// implementation (anything but linux/amd64 and linux/arm64) Dial returns
+// ErrUnsupported and the types are inert stubs, so callers can link and
+// gate on Dial unconditionally.
+package rawsock

@@ -1,0 +1,279 @@
+//go:build linux && (amd64 || arm64)
+
+package rawsock
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// ErrUnsupported is returned by Dial on platforms without the raw-socket
+// implementation; on this platform it exists only so callers can test
+// errors.Is uniformly.
+var ErrUnsupported = errors.New("rawsock: raw-socket transport not supported on this platform")
+
+// errClosed is returned for operations on a closed connection (reads
+// translate it to io.EOF, matching the engine's transport contract).
+var errClosed = errors.New("rawsock: connection closed")
+
+const (
+	ipv4HeaderLen = 20
+	// pollTimeout bounds how long a read blocks in the kernel before
+	// re-checking the closed and wake flags: Close and Wake are honored
+	// within one interval.
+	pollTimeout = 100 * time.Millisecond
+)
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the kernel-filled
+// per-message byte count. On 64-bit targets the trailing uint32 pads the
+// struct to 64 bytes, matching the C layout (the build tag excludes
+// 32-bit targets, whose msghdr field types differ).
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	len uint32
+	_   [4]byte
+}
+
+// Conn is the raw-socket transport. It implements the engine's
+// PacketConn, BatchWriter and BatchReader contracts; NewReader hands out
+// additional read handles (sharing the receive socket — the kernel
+// delivers each packet to exactly one concurrent reader) for the sharded
+// receive pipeline.
+type Conn struct {
+	sendFD int
+	recvFD int
+	closed atomic.Bool
+
+	// wrMu serializes WriteBatch callers over the shared scratch below
+	// (several sender shards may flush concurrently; sendmmsg on one
+	// socket is kernel-serialized anyway).
+	wrMu  sync.Mutex
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	addrs []syscall.RawSockaddrInet4
+
+	// rd is the connection's own read state (the single-receiver path).
+	rd Reader
+}
+
+// Reader is one read handle onto the shared receive socket.
+type Reader struct {
+	c     *Conn
+	woken atomic.Bool
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+}
+
+// Dial opens the send and receive raw sockets. Requires CAP_NET_RAW.
+func Dial() (*Conn, error) {
+	send, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_RAW|syscall.SOCK_CLOEXEC, syscall.IPPROTO_RAW)
+	if err != nil {
+		return nil, fmt.Errorf("rawsock: opening send socket (raw sockets need CAP_NET_RAW): %w", err)
+	}
+	recv, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_RAW|syscall.SOCK_CLOEXEC, syscall.IPPROTO_ICMP)
+	if err != nil {
+		syscall.Close(send)
+		return nil, fmt.Errorf("rawsock: opening receive socket: %w", err)
+	}
+	tv := syscall.NsecToTimeval(pollTimeout.Nanoseconds())
+	if err := syscall.SetsockoptTimeval(recv, syscall.SOL_SOCKET, syscall.SO_RCVTIMEO, &tv); err != nil {
+		syscall.Close(send)
+		syscall.Close(recv)
+		return nil, fmt.Errorf("rawsock: SO_RCVTIMEO: %w", err)
+	}
+	// Deep buffers ride out reply bursts and send spikes; best effort —
+	// the kernel clamps to its rmem/wmem ceilings.
+	syscall.SetsockoptInt(recv, syscall.SOL_SOCKET, syscall.SO_RCVBUF, 4<<20)
+	syscall.SetsockoptInt(send, syscall.SOL_SOCKET, syscall.SO_SNDBUF, 4<<20)
+	c := &Conn{sendFD: send, recvFD: recv}
+	c.rd.c = c
+	return c, nil
+}
+
+// Close marks the connection closed and closes both sockets; blocked
+// readers observe the flag within one poll interval and return io.EOF.
+func (c *Conn) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	err1 := syscall.Close(c.sendFD)
+	err2 := syscall.Close(c.recvFD)
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// NewReader returns an additional read handle for a receive worker.
+func (c *Conn) NewReader() *Reader { return &Reader{c: c} }
+
+// WritePacket sends one complete IPv4 packet to the destination in its
+// header.
+func (c *Conn) WritePacket(pkt []byte) error {
+	if c.closed.Load() {
+		return errClosed
+	}
+	if len(pkt) < ipv4HeaderLen {
+		return fmt.Errorf("rawsock: packet too short for an IPv4 header: %d bytes", len(pkt))
+	}
+	var sa syscall.SockaddrInet4
+	copy(sa.Addr[:], pkt[16:20])
+	if err := syscall.Sendto(c.sendFD, pkt, 0, &sa); err != nil {
+		return fmt.Errorf("rawsock: sendto: %w", err)
+	}
+	return nil
+}
+
+// growSend sizes the sendmmsg scratch to n messages. Caller holds wrMu.
+func (c *Conn) growSend(n int) {
+	if cap(c.hdrs) < n {
+		c.hdrs = make([]mmsghdr, n)
+		c.iovs = make([]syscall.Iovec, n)
+		c.addrs = make([]syscall.RawSockaddrInet4, n)
+	}
+	c.hdrs = c.hdrs[:n]
+	c.iovs = c.iovs[:n]
+	c.addrs = c.addrs[:n]
+}
+
+// WriteBatch sends pkts with one sendmmsg call, honoring the engine's
+// partial-write contract: the returned count is how many packets the
+// kernel consumed; a short count with a non-nil error singles out the
+// packet that failed (the caller retries it and resubmits the rest). A
+// short count with a nil error means the kernel stopped early — the
+// caller resubmits the remainder and the failure, if any, surfaces on
+// that call's first packet.
+func (c *Conn) WriteBatch(pkts [][]byte) (int, error) {
+	if len(pkts) == 0 {
+		return 0, nil
+	}
+	c.wrMu.Lock()
+	defer c.wrMu.Unlock()
+	if c.closed.Load() {
+		return 0, errClosed
+	}
+	c.growSend(len(pkts))
+	for i, p := range pkts {
+		if len(p) < ipv4HeaderLen {
+			return i, fmt.Errorf("rawsock: packet too short for an IPv4 header: %d bytes", len(p))
+		}
+		a := &c.addrs[i]
+		*a = syscall.RawSockaddrInet4{Family: syscall.AF_INET}
+		copy(a.Addr[:], p[16:20])
+		c.iovs[i] = syscall.Iovec{Base: &p[0], Len: uint64(len(p))}
+		c.hdrs[i] = mmsghdr{hdr: syscall.Msghdr{
+			Name:    (*byte)(unsafe.Pointer(a)),
+			Namelen: syscall.SizeofSockaddrInet4,
+			Iov:     &c.iovs[i],
+			Iovlen:  1,
+		}}
+	}
+	n, _, errno := syscall.Syscall6(sysSendmmsg,
+		uintptr(c.sendFD), uintptr(unsafe.Pointer(&c.hdrs[0])), uintptr(len(pkts)), 0, 0, 0)
+	if errno != 0 {
+		// Nothing was sent and the error refers to pkts[0] — per-packet
+		// semantics (syscall.Errno carries Temporary for the engine's
+		// transient-retry machinery).
+		return 0, fmt.Errorf("rawsock: sendmmsg: %w", errno)
+	}
+	return int(n), nil
+}
+
+// readPacket is the shared single-packet receive: polls the socket,
+// honoring close (io.EOF) and — when woken is non-nil — Wake (0, nil).
+func (c *Conn) readPacket(buf []byte, woken *atomic.Bool) (int, error) {
+	for {
+		if c.closed.Load() {
+			return 0, io.EOF
+		}
+		if woken != nil && woken.Swap(false) {
+			return 0, nil
+		}
+		n, _, err := syscall.Recvfrom(c.recvFD, buf, 0)
+		if err == nil {
+			return n, nil
+		}
+		if err == syscall.EAGAIN || err == syscall.EWOULDBLOCK || err == syscall.EINTR {
+			continue
+		}
+		if c.closed.Load() {
+			return 0, io.EOF // racing Close: the socket went away under us
+		}
+		return 0, fmt.Errorf("rawsock: recvfrom: %w", err)
+	}
+}
+
+// readBatch is the shared recvmmsg receive into bufs: blocks for the
+// first packet (MSG_WAITFORONE), then takes whatever else is already
+// queued, up to len(bufs). Returns (0, nil) on a poll timeout or Wake so
+// the caller can service its queue; io.EOF once closed.
+func (c *Conn) readBatch(bufs [][]byte, sizes []int, hdrs *[]mmsghdr, iovs *[]syscall.Iovec, woken *atomic.Bool) (int, error) {
+	k := len(bufs)
+	if len(sizes) < k {
+		k = len(sizes)
+	}
+	if k == 0 {
+		return 0, nil
+	}
+	if cap(*hdrs) < k {
+		*hdrs = make([]mmsghdr, k)
+		*iovs = make([]syscall.Iovec, k)
+	}
+	h, v := (*hdrs)[:k], (*iovs)[:k]
+	for i := 0; i < k; i++ {
+		v[i] = syscall.Iovec{Base: &bufs[i][0], Len: uint64(len(bufs[i]))}
+		h[i] = mmsghdr{hdr: syscall.Msghdr{Iov: &v[i], Iovlen: 1}}
+	}
+	for {
+		if c.closed.Load() {
+			return 0, io.EOF
+		}
+		if woken != nil && woken.Swap(false) {
+			return 0, nil
+		}
+		n, _, errno := syscall.Syscall6(sysRecvmmsg,
+			uintptr(c.recvFD), uintptr(unsafe.Pointer(&h[0])), uintptr(k),
+			uintptr(syscall.MSG_WAITFORONE), 0, 0)
+		if errno == 0 {
+			for i := 0; i < int(n); i++ {
+				sizes[i] = int(h[i].len)
+			}
+			return int(n), nil
+		}
+		if errno == syscall.EAGAIN || errno == syscall.EWOULDBLOCK || errno == syscall.EINTR {
+			// Poll timeout: let the caller notice closes/wakes promptly.
+			return 0, nil
+		}
+		if c.closed.Load() {
+			return 0, io.EOF
+		}
+		return 0, fmt.Errorf("rawsock: recvmmsg: %w", errno)
+	}
+}
+
+// ReadPacket receives one complete IPv4 response packet.
+func (c *Conn) ReadPacket(buf []byte) (int, error) { return c.readPacket(buf, nil) }
+
+// ReadBatch receives up to len(bufs) response packets with one recvmmsg
+// call (after blocking for the first).
+func (c *Conn) ReadBatch(bufs [][]byte, sizes []int) (int, error) {
+	return c.readBatch(bufs, sizes, &c.rd.hdrs, &c.rd.iovs, nil)
+}
+
+// ReadPacket receives one packet; (0, nil) reports a Wake interrupt.
+func (r *Reader) ReadPacket(buf []byte) (int, error) { return r.c.readPacket(buf, &r.woken) }
+
+// ReadBatch receives up to len(bufs) packets; (0, nil) reports a Wake
+// interrupt or an empty poll.
+func (r *Reader) ReadBatch(bufs [][]byte, sizes []int) (int, error) {
+	return r.c.readBatch(bufs, sizes, &r.hdrs, &r.iovs, &r.woken)
+}
+
+// Wake releases a blocked ReadPacket/ReadBatch within one poll interval.
+func (r *Reader) Wake() { r.woken.Store(true) }

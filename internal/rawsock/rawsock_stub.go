@@ -1,0 +1,28 @@
+//go:build !(linux && (amd64 || arm64))
+
+package rawsock
+
+import "errors"
+
+// ErrUnsupported is returned by Dial on platforms without the raw-socket
+// implementation.
+var ErrUnsupported = errors.New("rawsock: raw-socket transport requires linux/amd64 or linux/arm64")
+
+// Conn is an inert stub on this platform; Dial never returns one.
+type Conn struct{}
+
+// Reader is an inert stub on this platform.
+type Reader struct{}
+
+// Dial reports that the platform has no raw-socket implementation.
+func Dial() (*Conn, error) { return nil, ErrUnsupported }
+
+func (*Conn) WritePacket([]byte) error                 { return ErrUnsupported }
+func (*Conn) WriteBatch([][]byte) (int, error)         { return 0, ErrUnsupported }
+func (*Conn) ReadPacket([]byte) (int, error)           { return 0, ErrUnsupported }
+func (*Conn) ReadBatch([][]byte, []int) (int, error)   { return 0, ErrUnsupported }
+func (*Conn) Close() error                             { return nil }
+func (*Conn) NewReader() *Reader                       { return &Reader{} }
+func (*Reader) ReadPacket([]byte) (int, error)         { return 0, ErrUnsupported }
+func (*Reader) ReadBatch([][]byte, []int) (int, error) { return 0, ErrUnsupported }
+func (*Reader) Wake()                                  {}

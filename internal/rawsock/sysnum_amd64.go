@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package rawsock
+
+// Syscall numbers the stdlib syscall package does not export on every
+// architecture (sendmmsg postdates the frozen tables).
+const (
+	sysSendmmsg = 307
+	sysRecvmmsg = 299
+)

@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package rawsock
+
+// Syscall numbers the stdlib syscall package does not export on every
+// architecture (sendmmsg postdates the frozen tables).
+const (
+	sysSendmmsg = 269
+	sysRecvmmsg = 243
+)

@@ -66,6 +66,74 @@ func (in *Inbox[P]) Schedule(payload P, copies int, base time.Duration, extra [2
 	return true
 }
 
+// Pending is one staged response awaiting batch scheduling: the payload
+// with its impairment-resolved copy count and delivery offsets. Staging
+// (StageResponse) and committing (ScheduleAllResponses) split the work of
+// ScheduleResponse so a whole write batch pays for the inbox lock and the
+// reader wakeup once instead of once per response.
+type Pending[P any] struct {
+	Payload P
+	Copies  int
+	Base    time.Duration
+	Extra   [2]time.Duration
+}
+
+// ScheduleAll pushes a staged batch under one lock acquisition and wakes
+// the readers once. Sequence numbers are assigned in batch order, exactly
+// as the equivalent sequence of Schedule calls would have. It reports
+// false — scheduling nothing — once the inbox is closed.
+func (in *Inbox[P]) ScheduleAll(batch []Pending[P]) bool {
+	if len(batch) == 0 {
+		return true
+	}
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return false
+	}
+	for i := range batch {
+		p := &batch[i]
+		for c := 0; c < p.Copies; c++ {
+			in.push(Item[P]{DeliverAt: p.Base + p.Extra[c], Seq: in.seq, Payload: p.Payload})
+			in.seq++
+		}
+	}
+	in.mu.Unlock()
+	in.wakeAll()
+	return true
+}
+
+// NextBatch blocks like Next until the earliest scheduled item is
+// deliverable, then greedily pops every already-deliverable item (heap
+// order, same as consecutive Next calls at one instant) up to len(out).
+// It returns the count filled, reporting ok=false once the inbox is
+// closed and drained.
+func (in *Inbox[P]) NextBatch(out []P) (int, bool) {
+	for {
+		in.mu.Lock()
+		now := in.clock.Now().Sub(in.epoch)
+		k := 0
+		for k < len(out) && len(in.heap) > 0 && in.heap[0].DeliverAt <= now {
+			out[k] = in.pop().Payload
+			k++
+		}
+		if k > 0 {
+			in.mu.Unlock()
+			return k, true
+		}
+		if in.closed && len(in.heap) == 0 {
+			in.mu.Unlock()
+			return 0, false
+		}
+		var deadline time.Time
+		if len(in.heap) > 0 {
+			deadline = in.epoch.Add(in.heap[0].DeliverAt)
+		}
+		in.mu.Unlock()
+		in.clock.Park(in.parker, deadline)
+	}
+}
+
 // wakeAll unparks the base reader and every Reader handle. An Unpark on a
 // parker nobody is blocked on is retained for its next park, so spurious
 // wakeups are the only cost of over-notifying.
@@ -172,6 +240,39 @@ func (r *Reader[P]) Next() (payload P, ok, eof bool) {
 	}
 }
 
+// NextBatch is the batch form of Next: it fills out with every
+// already-deliverable payload (up to len(out)) once at least one is
+// deliverable. n == 0 with eof false is an interrupted wait (explicit
+// Wake); eof reports the inbox closed and drained.
+func (r *Reader[P]) NextBatch(out []P) (n int, eof bool) {
+	in := r.in
+	for {
+		in.mu.Lock()
+		now := in.clock.Now().Sub(in.epoch)
+		k := 0
+		for k < len(out) && len(in.heap) > 0 && in.heap[0].DeliverAt <= now {
+			out[k] = in.pop().Payload
+			k++
+		}
+		if k > 0 {
+			in.mu.Unlock()
+			return k, false
+		}
+		if in.closed && len(in.heap) == 0 {
+			in.mu.Unlock()
+			return 0, true
+		}
+		var deadline time.Time
+		if len(in.heap) > 0 {
+			deadline = in.epoch.Add(in.heap[0].DeliverAt)
+		}
+		in.mu.Unlock()
+		if in.clock.Park(r.parker, deadline) {
+			return 0, false // interrupted by an explicit wake
+		}
+	}
+}
+
 // Wake interrupts this reader's blocked (or next) Next call.
 func (r *Reader[P]) Wake() {
 	r.in.clock.Unpark(r.parker)
@@ -259,5 +360,48 @@ func ScheduleResponse[P any](in *Inbox[P], st *ImpairState, im *Impairments, sta
 		return false
 	}
 	stats.Responses.Add(uint64(copies))
+	return true
+}
+
+// StageResponse is the staging half of ScheduleResponse for batched
+// writes: it applies inbound impairments to one emitted response —
+// consuming exactly the RNG draws ScheduleResponse would, in the same
+// order — and returns the surviving Pending for a later ScheduleAll
+// commit. ok=false means the response was lost (accounted, nothing to
+// stage).
+func StageResponse[P any](st *ImpairState, im *Impairments, stats *DeliveryStats, payload P, base time.Duration) (Pending[P], bool) {
+	p := Pending[P]{Payload: payload, Copies: 1, Base: base}
+	if st != nil {
+		var reordered int
+		p.Copies, p.Extra, reordered = st.ResponseFate(im)
+		if p.Copies == 0 {
+			stats.RepliesLost.Add(1)
+			return Pending[P]{}, false
+		}
+		if p.Copies == 2 {
+			stats.Duplicates.Add(1)
+		}
+		if reordered > 0 {
+			stats.Reordered.Add(uint64(reordered))
+		}
+	}
+	return p, true
+}
+
+// ScheduleAllResponses commits a staged batch: one inbox lock, one reader
+// wakeup, and the same Responses accounting the per-response path does.
+// It reports false — scheduling nothing — once the inbox is closed.
+func ScheduleAllResponses[P any](in *Inbox[P], stats *DeliveryStats, batch []Pending[P]) bool {
+	if len(batch) == 0 {
+		return true
+	}
+	if !in.ScheduleAll(batch) {
+		return false
+	}
+	total := 0
+	for i := range batch {
+		total += batch[i].Copies
+	}
+	stats.Responses.Add(uint64(total))
 	return true
 }

@@ -1,0 +1,65 @@
+package flashroute
+
+import (
+	"github.com/flashroute/flashroute/internal/netsim"
+)
+
+// Universe maps a live scan's target address space — given as CIDR
+// ranges — to the dense /24 block index FlashRoute's control structure
+// is built on (paper §3.4, Figure 5). It supplies the Targets/BlockOf
+// pair a non-simulated Config needs, the same mapping Simulation wires
+// automatically.
+//
+// Typical live-scan setup (see cmd/flashroute's -transport raw):
+//
+//	u, _ := flashroute.ParseTargetCIDRs([]string{"203.0.113.0/24"})
+//	cfg := flashroute.DefaultConfig()
+//	cfg.Blocks = u.NumBlocks()
+//	cfg.Targets = u.RandomTargets(seed)
+//	cfg.BlockOf = u.BlockOf
+//	cfg.Skip = u.SkipFor(flashroute.ReservedExclusions())
+//	conn, _ := flashroute.DialRaw()
+//	sc, _ := flashroute.NewScanner(cfg, conn, flashroute.RealClock())
+type Universe struct {
+	inner *netsim.Universe
+}
+
+// ParseTargetCIDRs builds a universe from CIDR strings like
+// "10.0.0.0/8". Prefix lengths longer than /24 are rejected; blocks are
+// deduplicated and ordered by address.
+func ParseTargetCIDRs(cidrs []string) (*Universe, error) {
+	u, err := netsim.ParseUniverse(cidrs)
+	if err != nil {
+		return nil, err
+	}
+	return &Universe{inner: u}, nil
+}
+
+// NumBlocks returns the number of /24 blocks in the universe.
+func (u *Universe) NumBlocks() int { return u.inner.NumBlocks() }
+
+// BlockAddr returns the base address (host octet zero) of block i.
+func (u *Universe) BlockAddr(i int) uint32 { return u.inner.BlockAddr(i) }
+
+// BlockOf maps an address to its block index; ready for Config.BlockOf.
+func (u *Universe) BlockOf(addr uint32) (int, bool) { return u.inner.BlockIndex(addr) }
+
+// RandomTargets returns a seeded per-block random representative
+// function (one address per /24, host octet 1..254) ready for
+// Config.Targets — the same derivation Simulation.RandomTargets uses.
+func (u *Universe) RandomTargets(seed int64) func(block int) uint32 {
+	inner := u.inner
+	s := uint64(seed)
+	return func(block int) uint32 {
+		z := s*0x9e3779b97f4a7c15 + uint64(block)*0xd6e8feb86659fd93 + 0x1234
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z ^= z >> 31
+		return inner.BlockAddr(block) | uint32(1+z%254)
+	}
+}
+
+// SkipFor adapts an exclusion list to Config.Skip for this universe
+// (whole /24 blocks are excluded, as in the paper §3.4).
+func (u *Universe) SkipFor(e *ExclusionList) func(block int) bool {
+	return e.inner.SkipFunc(u.inner.BlockAddr)
+}

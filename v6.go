@@ -113,6 +113,11 @@ type Config6 struct {
 	// automatically.
 	Receivers int
 
+	// Batch is the maximum number of packets per transport call on both
+	// data paths (same engine knob as Config.Batch); 0 and 1 both mean
+	// one packet per call.
+	Batch int
+
 	// PreprobeRetries and ForwardRetries enable the engine's loss
 	// tolerance for IPv6 scans exactly as for IPv4: extra preprobe passes
 	// over still-unmeasured targets, and rewinds of forward gaps that
@@ -238,6 +243,7 @@ func (s *Simulation6) toCore6(cfg Config6) (core6.Config, PacketConn) {
 	}
 	ic.Senders = cfg.Senders
 	ic.Receivers = cfg.Receivers
+	ic.Batch = cfg.Batch
 	ic.PreprobeRetries = cfg.PreprobeRetries
 	ic.ForwardRetries = cfg.ForwardRetries
 	ic.ForwardTimeout = cfg.ForwardTimeout
