@@ -1,0 +1,76 @@
+// Command frserved is the FlashRoute scan service: a long-running daemon
+// with an HTTP/JSON API to submit scan jobs, poll live progress, stream
+// NDJSON results, cancel, and list jobs. Jobs run against the bundled
+// deterministic Internet simulation; a bounded queue gates admission, a
+// per-tenant budget scheduler divides the global probing rate across
+// concurrent jobs, and checkpoint-backed persistence makes every
+// in-flight job survive a daemon restart (see DESIGN.md §12).
+//
+// Example:
+//
+//	frserved -addr :8080 -state /var/lib/frserved
+//	curl -s localhost:8080/v1/jobs -d '{"blocks":4096,"seed":7}'
+//	curl -s localhost:8080/v1/jobs/job-000000
+//	curl -s localhost:8080/v1/jobs/job-000000/results
+//	curl -s -X DELETE localhost:8080/v1/jobs/job-000000
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/flashroute/flashroute/internal/served"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		state     = flag.String("state", "frserved-state", "state directory (job table, checkpoints, results)")
+		globalPPS = flag.Int("global-pps", 100_000, "global probing-rate ceiling divided across running jobs")
+		maxActive = flag.Int("max-active", 4, "maximum concurrently running jobs")
+		maxQueued = flag.Int("max-queued", 64, "maximum queued jobs before submissions get 429")
+		ckptEvery = flag.Int("checkpoint-every", 10_000, "default per-job checkpoint cadence in probes")
+	)
+	flag.Parse()
+
+	srv, err := served.New(served.Config{
+		StateDir:        *state,
+		GlobalPPS:       *globalPPS,
+		MaxActive:       *maxActive,
+		MaxQueued:       *maxQueued,
+		CheckpointEvery: *ckptEvery,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "frserved:", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "frserved:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "frserved: shutting down (jobs stay resumable)")
+		ln.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "frserved: listening on %s, state in %s\n", ln.Addr(), *state)
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed && !errors.Is(err, net.ErrClosed) {
+		fmt.Fprintln(os.Stderr, "frserved:", err)
+	}
+	// Graceful stop: running jobs write their final checkpoints and the
+	// job table stays resumable by the next start against -state.
+	srv.Stop()
+}

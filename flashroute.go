@@ -190,6 +190,13 @@ type Config struct {
 	CheckpointEvery    int
 	CheckpointInterval time.Duration
 
+	// DrainWait is how long to keep receiving after the last probe of a
+	// phase (default 2s); MinRoundTime is the minimum duration of a main
+	// probing round (default 1s). The defaults fit live scanning; tests
+	// and services running many short real-clock scans shrink them.
+	DrainWait    time.Duration
+	MinRoundTime time.Duration
+
 	// SendRetries bounds the retransmissions of a probe whose WritePacket
 	// failed with a transient (Temporary()) error, with capped exponential
 	// backoff between attempts. 0 means the default of 3; negative
@@ -257,6 +264,12 @@ func (c Config) toCore() core.Config {
 	cc.CheckpointSink = c.CheckpointSink
 	cc.CheckpointEvery = c.CheckpointEvery
 	cc.CheckpointInterval = c.CheckpointInterval
+	if c.DrainWait != 0 {
+		cc.DrainWait = c.DrainWait
+	}
+	if c.MinRoundTime != 0 {
+		cc.MinRoundTime = c.MinRoundTime
+	}
 	cc.SendRetries = c.SendRetries
 	cc.CancelGrace = c.CancelGrace
 	return cc
@@ -478,6 +491,13 @@ func wireReaders(cfg Config, conn PacketConn) core.Config {
 func (s *Scanner) Run() (*Result, error) {
 	return s.RunContext(context.Background())
 }
+
+// SetRate retargets the aggregate probing rate, mid-scan included: the
+// new rate is re-split across the sender shards exactly as Config.PPS
+// was at startup, each shard adopting its new share at its next probe.
+// Safe to call from any goroutine at any time. Rates below 1 pps are
+// clamped to 1 — SetRate reshapes pacing, it cannot remove it.
+func (s *Scanner) SetRate(pps int) { s.inner.SetRate(pps) }
 
 // RunContext is Run with graceful cancellation: when ctx is cancelled the
 // scan stops sending, drains in-flight replies for Config.CancelGrace,

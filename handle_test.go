@@ -1,0 +1,190 @@
+package flashroute
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+)
+
+// ifaceSet collects the discovered interface set in sorted order — the
+// public-API fingerprint used by the handle tests.
+func ifaceSet(r *Result) []uint32 {
+	var out []uint32
+	r.ForEachInterface(func(a uint32) { out = append(out, a) })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalSets(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestScanHandleLifecycle: a StartScan handle must report monotone
+// progress, complete, and produce exactly what a synchronous Scan of the
+// same seed produces.
+func TestScanHandleLifecycle(t *testing.T) {
+	const blocks, seed = 512, 7
+	direct, err := NewSimulation(SimConfig{Blocks: blocks, Seed: seed}).Scan(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sim := NewSimulation(SimConfig{Blocks: blocks, Seed: seed})
+	h, err := sim.StartScan(context.Background(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for {
+		n := h.Probes()
+		if n < last {
+			t.Fatalf("progress went backwards: %d after %d", n, last)
+		}
+		last = n
+		select {
+		case <-h.Done():
+		default:
+			continue
+		}
+		break
+	}
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interrupted() {
+		t.Fatal("uncancelled scan marked Interrupted")
+	}
+	if h.Probes() != res.Probes() {
+		t.Fatalf("handle counted %d probes, result has %d", h.Probes(), res.Probes())
+	}
+	if !equalSets(ifaceSet(res), ifaceSet(direct)) {
+		t.Fatalf("handle scan found %d interfaces, direct scan %d",
+			res.InterfaceCount(), direct.InterfaceCount())
+	}
+}
+
+// TestScanHandleCancel: cancelling a handle mid-scan yields a valid
+// partial result with Interrupted set.
+func TestScanHandleCancel(t *testing.T) {
+	sim := NewSimulation(SimConfig{Blocks: 2048, Seed: 3, RealTime: true})
+	cfg := DefaultConfig()
+	cfg.PPS = 2_000 // slow enough that cancellation lands mid-scan
+	cfg.CancelGrace = 50 * time.Millisecond
+	h, err := sim.StartScan(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h.Probes() < 500 {
+		time.Sleep(time.Millisecond)
+	}
+	h.Cancel()
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted() {
+		t.Fatal("cancelled scan not marked Interrupted")
+	}
+	if res.Probes() == 0 {
+		t.Fatal("partial result has no probes")
+	}
+}
+
+// TestScanHandleSetRate: retargeting the rate through a handle mid-scan
+// must not change what a lockstep-environment scan discovers.
+func TestScanHandleSetRate(t *testing.T) {
+	const blocks, seed = 512, 7
+	mk := func() *Simulation {
+		return NewSimulation(SimConfig{Blocks: blocks, Seed: seed, Lockstep: true})
+	}
+	cfg := DefaultConfig()
+	cfg.NoRedundancyElimination = true
+	direct, err := mk().Scan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := mk().StartScan(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h.Probes() < direct.Probes()/4 {
+		select {
+		case <-h.Done():
+		default:
+			continue
+		}
+		break
+	}
+	h.SetRate(cfg.PPS / 100)
+	h.SetRate(100_000)
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(ifaceSet(res), ifaceSet(direct)) {
+		t.Fatalf("rate retarget changed discovery: %d interfaces, want %d",
+			res.InterfaceCount(), direct.InterfaceCount())
+	}
+}
+
+// TestNewSimulationCIDRs: user-supplied ranges must surface parse errors
+// as errors (NewSimulation keeps its documented panic).
+func TestNewSimulationCIDRs(t *testing.T) {
+	sim, err := NewSimulationCIDRs(SimConfig{CIDRs: []string{"10.0.0.0/16", "10.1.0.0/16"}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Blocks() != 512 {
+		t.Fatalf("blocks=%d want 512", sim.Blocks())
+	}
+	for _, bad := range []string{"10.0.0.0/8x", "bogus", "10.0.0.0/28"} {
+		if _, err := NewSimulationCIDRs(SimConfig{CIDRs: []string{bad}}); err == nil {
+			t.Errorf("NewSimulationCIDRs(%q) accepted, want error", bad)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSimulation with a bad CIDR must panic")
+		}
+	}()
+	NewSimulation(SimConfig{CIDRs: []string{"10.0.0.0/8x"}})
+}
+
+// TestScanHandle6Lifecycle: the IPv6 handle mirrors the IPv4 contract —
+// monotone progress and a result identical to the synchronous scan.
+func TestScanHandle6Lifecycle(t *testing.T) {
+	mk := func() *Simulation6 {
+		return NewSimulation6(Sim6Config{Prefixes: 64, TargetsPerPrefix: 16, Seed: 5})
+	}
+	direct, err := mk().Scan(Config6{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := mk().StartScan(context.Background(), Config6{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Probes() != res.Probes() {
+		t.Fatalf("handle counted %d probes, result has %d", h.Probes(), res.Probes())
+	}
+	if res.InterfaceCount() != direct.InterfaceCount() || res.ReachedCount() != direct.ReachedCount() {
+		t.Fatalf("handle scan: %d interfaces / %d reached, direct: %d / %d",
+			res.InterfaceCount(), res.ReachedCount(),
+			direct.InterfaceCount(), direct.ReachedCount())
+	}
+}

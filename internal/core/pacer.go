@@ -36,6 +36,15 @@ func newPacer(clock simclock.Clock, pps int) pacer {
 	return p
 }
 
+// setRate retargets the pacer to a new rate mid-scan: batch size and
+// interval are recomputed exactly as newPacer would, the in-batch count
+// is cleared and the deadline anchor dropped, so the next batch paces at
+// the new rate with no sending debt (or credit) carried across the
+// change.
+func (p *pacer) setRate(pps int) {
+	*p = newPacer(p.clock, pps)
+}
+
 // reset drops the deadline anchor (the in-batch probe count is kept).
 // Called at phase starts and after non-pacing sleeps — round gaps, drain
 // waits — so idle time is not treated as banked sending budget that would

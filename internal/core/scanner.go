@@ -144,6 +144,15 @@ type ScannerOf[A comparable] struct {
 	// probing concurrently, so observers need not be thread-safe.
 	obsMu sync.Mutex
 
+	// Live rate control (SetRate): ratePPS holds the current aggregate
+	// rate and rateGen its generation; each sender shard re-derives its
+	// pacer share when it observes a generation it has not seen. At
+	// generation zero Config.PPS is authoritative (see currentPPS), so
+	// fixed-rate scans behave bit-identically to the engine before this
+	// knob existed.
+	ratePPS atomic.Int64
+	rateGen atomic.Uint32
+
 	// phaseParker and phaseDone coordinate the join at the end of each
 	// sending phase when Senders > 1: finished senders unpark the Run
 	// goroutine, which parks (staying visible to the virtual clock)
@@ -163,12 +172,14 @@ type Scanner = ScannerOf[uint32]
 // overlay built over a shard's order is traversed by that shard alone.
 type senderShardOf[A comparable] struct {
 	s     *ScannerOf[A]
+	idx   int      // shard index, for the live-rate re-split
 	order []uint32 // contiguous slice of the scan-order permutation
 
 	probesSent  uint64
 	retransmits uint64
 	rounds      int
 	pacer       pacer
+	rateSeen    uint32 // last rateGen this shard's pacer was derived from
 	pktBuf      [maxProbeBuf]byte
 
 	// Batched-write state (Config.Batch > 1 on a BatchWriter transport;
@@ -336,9 +347,10 @@ func (s *ScannerOf[A]) makeShards() {
 		}
 	}
 	chunk := (len(s.order) + k - 1) / k
+	total := s.currentPPS()
 	base, rem := 0, 0
-	if s.cfg.PPS > 0 {
-		base, rem = s.cfg.PPS/k, s.cfg.PPS%k
+	if total > 0 {
+		base, rem = total/k, total%k
 	}
 	for i := range s.shards {
 		lo := i * chunk
@@ -350,13 +362,15 @@ func (s *ScannerOf[A]) makeShards() {
 		if i < rem {
 			pps++
 		}
-		if s.cfg.PPS > 0 && pps == 0 {
+		if total > 0 && pps == 0 {
 			pps = 1 // more senders than packets per second: floor at 1
 		}
 		sh := &senderShardOf[A]{
-			s:     s,
-			order: s.order[lo:hi],
-			pacer: newPacer(s.clock, pps),
+			s:        s,
+			idx:      i,
+			order:    s.order[lo:hi],
+			pacer:    newPacer(s.clock, pps),
+			rateSeen: s.rateGen.Load(),
 		}
 		if bw != nil {
 			sh.bw = bw
@@ -366,6 +380,56 @@ func (s *ScannerOf[A]) makeShards() {
 			sh.flushFn = sh.flush
 		}
 		s.shards[i] = sh
+	}
+}
+
+// SetRate retargets the aggregate probing rate, mid-scan included: the
+// new rate is re-split across the sender shards exactly as Config.PPS
+// was at startup, each shard adopting its new share at its next probe.
+// Safe to call from any goroutine at any time (before Run included).
+// pps < 1 is clamped to 1 — SetRate reshapes pacing, it cannot remove it
+// (on a virtual clock an unthrottled sender would never yield), and a
+// floor of one probe per second is an effective pause for any real scan.
+func (s *ScannerOf[A]) SetRate(pps int) {
+	if pps < 1 {
+		pps = 1
+	}
+	s.ratePPS.Store(int64(pps))
+	s.rateGen.Add(1)
+}
+
+// currentPPS is the aggregate rate in effect: Config.PPS until the first
+// SetRate, the last SetRate value after. The generation check keeps
+// zero-value-constructed scanners (tests build them without NewScannerOf,
+// so ratePPS was never seeded) on their configured rate.
+func (s *ScannerOf[A]) currentPPS() int {
+	if s.rateGen.Load() == 0 {
+		return s.cfg.PPS
+	}
+	return int(s.ratePPS.Load())
+}
+
+// shardPPS is shard idx's share of the current aggregate rate — the same
+// base/remainder split makeShards applies, recomputed live.
+func (s *ScannerOf[A]) shardPPS(idx int) int {
+	pps := s.currentPPS()
+	k := len(s.shards)
+	out := pps / k
+	if idx < pps%k {
+		out++
+	}
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// pollRate adopts a pending SetRate: one predictable atomic load per
+// probe, rebuilding the shard's pacer only when the generation moved.
+func (sh *senderShardOf[A]) pollRate() {
+	if gen := sh.s.rateGen.Load(); gen != sh.rateSeen {
+		sh.rateSeen = gen
+		sh.pacer.setRate(sh.s.shardPPS(sh.idx))
 	}
 }
 
@@ -924,6 +988,7 @@ func isTemporary(err error) bool {
 // sent.
 func (sh *senderShardOf[A]) sendProbe(dst A, ttl uint8, preprobe bool, srcPortOffset uint16) {
 	s := sh.s
+	sh.pollRate()
 	if sh.bw != nil {
 		sh.sendProbeBatched(dst, ttl, preprobe, srcPortOffset)
 		return

@@ -24,6 +24,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
 	"sort"
 	"time"
 
@@ -102,6 +103,11 @@ type Config struct {
 
 	// CollectRoutes keeps per-target hop lists.
 	CollectRoutes bool
+
+	// Observer, if non-nil, sees every probe issuance (same contract as
+	// the IPv4 engine's Config.Observer: serialized across senders, so it
+	// need not be thread-safe).
+	Observer func(dst probe6.Addr, ttl uint8, at time.Duration)
 
 	Seed         int64
 	DrainWait    time.Duration
@@ -215,6 +221,23 @@ func (r *Result) Route(a probe6.Addr) *Route {
 	}
 	return out
 }
+
+// ForEachRoute visits every target with at least one response, hops
+// sorted by TTL.
+func (r *Result) ForEachRoute(fn func(*Route)) {
+	r.store.ForEachRoute(func(rt *trace.RouteOf[probe6.Addr]) {
+		out := &Route{Dst: rt.Dst, Reached: rt.Reached, Length: rt.Length}
+		for _, h := range rt.Hops {
+			out.Hops = append(out.Hops, Hop{TTL: h.TTL, Addr: h.Addr, RTT: h.RTT})
+		}
+		sort.Slice(out.Hops, func(i, j int) bool { return out.Hops[i].TTL < out.Hops[j].TTL })
+		fn(out)
+	})
+}
+
+// WriteJSONL writes the stored routes as one JSON object per line, in
+// ascending destination order (hop lists require Config.CollectRoutes).
+func (r *Result) WriteJSONL(w io.Writer) error { return r.store.WriteJSONL(w) }
 
 // ReachedCount returns how many targets answered.
 func (r *Result) ReachedCount() int {
@@ -377,6 +400,7 @@ func buildEngineConfig(cfg Config) (core.ConfigOf[probe6.Addr], error) {
 		ForwardTimeout:          cfg.ForwardTimeout,
 		NoRedundancyElimination: cfg.NoRedundancyElimination,
 		CollectRoutes:           cfg.CollectRoutes,
+		Observer:                cfg.Observer,
 		Seed:                    cfg.Seed,
 		DrainWait:               cfg.DrainWait,
 		MinRoundTime:            cfg.MinRoundTime,
@@ -426,6 +450,11 @@ func ResumeScanner(cfg Config, conn PacketConn, clock simclock.Waiter, data []by
 	}
 	return &Scanner{inner: inner}, nil
 }
+
+// SetRate retargets the aggregate probing rate, mid-scan included (see
+// the generic engine's SetRate: re-split across shards, adopted at each
+// shard's next probe; pps < 1 clamps to 1).
+func (s *Scanner) SetRate(pps int) { s.inner.SetRate(pps) }
 
 // Run executes the scan (same actor contract as the IPv4 engine: call
 // from a goroutine not registered with the clock).

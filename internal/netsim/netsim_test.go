@@ -61,6 +61,45 @@ func TestUniverseParse(t *testing.T) {
 	}
 }
 
+// TestUniverseParseStrict: regression for the Sscanf-era parser, which
+// accepted trailing garbage ("10.0.0.0/8x" scanned as /8) and signed or
+// padded numerals. Every malformed string must be an error — these now
+// arrive from a network API, where a silently mis-parsed range means
+// scanning the wrong universe.
+func TestUniverseParseStrict(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"10.0.0.0",      // no prefix length
+		"10.0.0.0/",     // empty prefix length
+		"10.0.0.0/8x",   // trailing garbage after the length
+		"10.0.0.0/8 ",   // trailing space
+		" 10.0.0.0/8",   // leading space
+		"10.0.0.0/+8",   // signed length
+		"10.0.0.0/-8",   // negative length
+		"10.0.0.0/33",   // length out of range
+		"10.0.0.0/8/8",  // second slash
+		"10.0.0/8",      // three octets
+		"10.0.0.0.0/8",  // five octets
+		"10.0.0.x/8",    // non-numeric octet
+		"256.0.0.0/8",   // octet out of range
+		"-1.0.0.0/8",    // signed octet
+		"10.0.0.1e1/8",  // exponent notation
+		"10.0.0.0/24\n", // trailing newline
+		"0x0a.0.0.0/8",  // hex octet
+		"1000.0.0.0/8",  // four-digit octet
+		"10..0.0/8",     // empty octet
+	} {
+		if _, err := ParseUniverse([]string{bad}); err == nil {
+			t.Errorf("ParseUniverse(%q) accepted, want error", bad)
+		}
+	}
+	for _, good := range []string{"0.0.0.0/0", "10.0.0.0/8", "192.168.5.0/24", "4.0.0.0/16"} {
+		if _, err := ParseUniverse([]string{good}); err != nil {
+			t.Errorf("ParseUniverse(%q): %v", good, err)
+		}
+	}
+}
+
 func TestUniverseIndexRoundTripProperty(t *testing.T) {
 	u, err := ParseUniverse([]string{"10.0.0.0/12", "172.16.0.0/14"})
 	if err != nil {

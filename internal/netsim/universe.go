@@ -25,6 +25,7 @@ package netsim
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Universe is the set of /24 blocks a scan covers, with a dense index.
@@ -67,19 +68,13 @@ func ParseUniverse(cidrs []string) (*Universe, error) {
 	type span struct{ first, last uint32 } // prefix space, inclusive
 	var spans []span
 	for _, c := range cidrs {
-		var a, b, cc, d, plen int
-		if _, err := fmt.Sscanf(c, "%d.%d.%d.%d/%d", &a, &b, &cc, &d, &plen); err != nil {
-			return nil, fmt.Errorf("netsim: bad CIDR %q: %w", c, err)
+		addr, plen, err := parseCIDR(c)
+		if err != nil {
+			return nil, err
 		}
-		if plen < 0 || plen > 24 {
+		if plen > 24 {
 			return nil, fmt.Errorf("netsim: CIDR %q: prefix length must be 0..24", c)
 		}
-		for _, v := range []int{a, b, cc, d} {
-			if v < 0 || v > 255 {
-				return nil, fmt.Errorf("netsim: bad CIDR %q", c)
-			}
-		}
-		addr := uint32(a)<<24 | uint32(b)<<16 | uint32(cc)<<8 | uint32(d)
 		mask := uint32(0xffffffff) << (32 - plen)
 		if plen == 0 {
 			mask = 0
@@ -111,6 +106,52 @@ func ParseUniverse(cidrs []string) (*Universe, error) {
 		return nil, fmt.Errorf("netsim: empty universe")
 	}
 	return u, nil
+}
+
+// parseCIDR strictly parses "a.b.c.d/len": four decimal octets, a slash,
+// a decimal prefix length, nothing else. The previous fmt.Sscanf-based
+// parse silently accepted trailing garbage ("10.0.0.0/8x" parsed as /8),
+// which matters now that user-supplied ranges reach this code through a
+// network API: every malformed input must be an error, not a scan of the
+// wrong universe.
+func parseCIDR(c string) (addr uint32, plen int, err error) {
+	ipStr, plStr, ok := strings.Cut(c, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("netsim: bad CIDR %q: missing prefix length", c)
+	}
+	octets := strings.Split(ipStr, ".")
+	if len(octets) != 4 {
+		return 0, 0, fmt.Errorf("netsim: bad CIDR %q: address must be four octets", c)
+	}
+	for _, o := range octets {
+		v, ok := parseDec(o, 255)
+		if !ok {
+			return 0, 0, fmt.Errorf("netsim: bad CIDR %q: octet %q out of range", c, o)
+		}
+		addr = addr<<8 | uint32(v)
+	}
+	plen, ok = parseDec(plStr, 32)
+	if !ok {
+		return 0, 0, fmt.Errorf("netsim: bad CIDR %q: bad prefix length %q", c, plStr)
+	}
+	return addr, plen, nil
+}
+
+// parseDec parses an unsigned decimal with no sign, no spaces and no
+// leftovers, bounded by max.
+func parseDec(s string, max int) (int, bool) {
+	if s == "" || len(s) > 3 {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		d := s[i]
+		if d < '0' || d > '9' {
+			return 0, false
+		}
+		n = n*10 + int(d-'0')
+	}
+	return n, n <= max
 }
 
 // NumBlocks returns the number of /24 blocks in the universe.

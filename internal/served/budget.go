@@ -1,0 +1,109 @@
+package served
+
+import "sync"
+
+// Budget divides a global probing-rate ceiling across running jobs: the
+// ceiling is split equally among tenants with at least one running job,
+// each tenant's share equally among that tenant's jobs, and every job is
+// additionally capped by the rate it asked for. All divisions floor, so
+// the invariant the race tests pin — the sum of granted rates never
+// exceeds the ceiling — holds across every add/remove transition by
+// construction (unused per-job remainders are not redistributed).
+//
+// Every transition recomputes all grants and pushes changed ones to the
+// jobs' apply callbacks (Scanner.SetRate downstream) while the lock is
+// held, so no interleaving of two transitions can ever leave the applied
+// rates summing above the ceiling.
+type Budget struct {
+	mu     sync.Mutex
+	global int
+	jobs   map[string]*grant
+
+	// onChange, when set, observes every recomputation under the lock:
+	// the granted rates by job ID, after they have been applied. Test
+	// hook for the sum-never-exceeds-ceiling invariant.
+	onChange func(rates map[string]int)
+}
+
+type grant struct {
+	tenant string
+	want   int // requested rate; <=0 means "no request, take the share"
+	rate   int // currently granted
+	apply  func(pps int)
+}
+
+// NewBudget builds a scheduler for a global ceiling in packets per
+// second. A non-positive ceiling panics: an unthrottled service would
+// let every job send unpaced.
+func NewBudget(globalPPS int) *Budget {
+	if globalPPS <= 0 {
+		panic("served: global PPS ceiling must be positive")
+	}
+	return &Budget{global: globalPPS, jobs: make(map[string]*grant)}
+}
+
+// Add registers a running job and returns its initial granted rate.
+// apply is invoked — under the budget lock — every time a later
+// transition changes this job's grant.
+func (b *Budget) Add(id, tenant string, want int, apply func(pps int)) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.jobs[id] = &grant{tenant: tenant, want: want, apply: apply}
+	b.recompute()
+	return b.jobs[id].rate
+}
+
+// Remove drops a finished job and re-splits the ceiling among the rest.
+func (b *Budget) Remove(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.jobs[id]; !ok {
+		return
+	}
+	delete(b.jobs, id)
+	b.recompute()
+}
+
+// Rate returns the current grant of a job (0 if unknown).
+func (b *Budget) Rate(id string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if g, ok := b.jobs[id]; ok {
+		return g.rate
+	}
+	return 0
+}
+
+// recompute re-derives every grant. Caller holds b.mu.
+func (b *Budget) recompute() {
+	perTenant := make(map[string]int)
+	for _, g := range b.jobs {
+		perTenant[g.tenant]++
+	}
+	if len(perTenant) > 0 {
+		tenantShare := b.global / len(perTenant)
+		for _, g := range b.jobs {
+			share := tenantShare / perTenant[g.tenant]
+			if share < 1 {
+				share = 1 // floor: a job must be able to make progress
+			}
+			rate := share
+			if g.want > 0 && g.want < rate {
+				rate = g.want
+			}
+			if rate != g.rate {
+				g.rate = rate
+				if g.apply != nil {
+					g.apply(rate)
+				}
+			}
+		}
+	}
+	if b.onChange != nil {
+		rates := make(map[string]int, len(b.jobs))
+		for id, g := range b.jobs {
+			rates[id] = g.rate
+		}
+		b.onChange(rates)
+	}
+}

@@ -1,0 +1,189 @@
+package served
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBudgetDivision pins the scheduler's arithmetic: equal split across
+// tenants, equal split within a tenant, per-job caps honored, floors
+// never starve a job.
+func TestBudgetDivision(t *testing.T) {
+	b := NewBudget(90_000)
+	rate := func(id string) int { return b.Rate(id) }
+
+	if got := b.Add("a1", "alice", 0, nil); got != 90_000 {
+		t.Fatalf("sole job granted %d, want 90000", got)
+	}
+	b.Add("b1", "bob", 0, nil)
+	if rate("a1") != 45_000 || rate("b1") != 45_000 {
+		t.Fatalf("two tenants: %d/%d, want 45000 each", rate("a1"), rate("b1"))
+	}
+	b.Add("b2", "bob", 0, nil)
+	if rate("a1") != 45_000 || rate("b1") != 22_500 || rate("b2") != 22_500 {
+		t.Fatalf("intra-tenant split: a1=%d b1=%d b2=%d", rate("a1"), rate("b1"), rate("b2"))
+	}
+	b.Add("c1", "carol", 1_000, nil) // asks for less than its share
+	if rate("c1") != 1_000 {
+		t.Fatalf("capped job granted %d, want its requested 1000", rate("c1"))
+	}
+	if rate("a1") != 30_000 {
+		t.Fatalf("three tenants: a1=%d, want 30000", rate("a1"))
+	}
+	b.Remove("b1")
+	b.Remove("b2")
+	b.Remove("c1")
+	if rate("a1") != 90_000 {
+		t.Fatalf("last job standing granted %d, want the full ceiling", rate("a1"))
+	}
+}
+
+// TestBudgetInvariantUnderChurn: across randomized concurrent add/remove
+// transitions, the sum of granted rates observed at every recomputation
+// must never exceed the global ceiling.
+func TestBudgetInvariantUnderChurn(t *testing.T) {
+	const global = 120_000
+	b := NewBudget(global)
+	var worst int
+	b.onChange = func(rates map[string]int) {
+		sum := 0
+		for _, r := range rates {
+			sum += r
+		}
+		if sum > worst {
+			worst = sum // under b.mu: no torn reads
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", g%3)
+			for i := 0; i < 50; i++ {
+				id := fmt.Sprintf("g%d-j%d", g, i)
+				want := 0
+				if i%2 == 0 {
+					want = 1_000 * (i + 1)
+				}
+				b.Add(id, tenant, want, func(int) {})
+				if i%3 != 0 {
+					b.Remove(id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if worst > global {
+		t.Fatalf("granted rates summed to %d, ceiling %d", worst, global)
+	}
+	if worst == 0 {
+		t.Fatal("invariant hook never observed a recomputation")
+	}
+}
+
+// TestServerConcurrentTenants: N tenants submitting concurrently; every
+// job completes, and the sum of active granted rates never exceeds the
+// global ceiling across all start/finish transitions (checked by the
+// budget's recomputation hook, which fires inside every transition).
+func TestServerConcurrentTenants(t *testing.T) {
+	const global = 100_000
+	srv, ts := newTestServer(t, Config{GlobalPPS: global, MaxActive: 4, MaxQueued: 64})
+
+	var mu sync.Mutex
+	worst := 0
+	srv.budget.onChange = func(rates map[string]int) {
+		sum := 0
+		for _, r := range rates {
+			sum += r
+		}
+		mu.Lock()
+		if sum > worst {
+			worst = sum
+		}
+		mu.Unlock()
+	}
+
+	const tenants, jobsPer = 5, 2
+	ids := make(chan string, tenants*jobsPer)
+	var wg sync.WaitGroup
+	for tn := 0; tn < tenants; tn++ {
+		wg.Add(1)
+		go func(tn int) {
+			defer wg.Done()
+			for j := 0; j < jobsPer; j++ {
+				ids <- submit(t, ts, JobSpec{
+					Tenant: fmt.Sprintf("tenant-%d", tn),
+					Blocks: 256, Seed: int64(100 + tn*10 + j),
+					Lockstep: true,
+				})
+			}
+		}(tn)
+	}
+	wg.Wait()
+	close(ids)
+	for id := range ids {
+		st := pollStatus(t, ts, id, 60*time.Second, terminal)
+		if st.State != StateDone {
+			t.Fatalf("job %s ended %s (%s)", id, st.State, st.Error)
+		}
+		if st.Probes == 0 {
+			t.Fatalf("job %s reports zero probes", id)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if worst > global {
+		t.Fatalf("active rates summed to %d, ceiling %d", worst, global)
+	}
+	if worst == 0 {
+		t.Fatal("budget hook never fired")
+	}
+}
+
+// TestQueueBound: the admission queue never accepts beyond its bound —
+// the excess submission is rejected with a structured 429, and capacity
+// freed by cancellation is reusable.
+func TestQueueBound(t *testing.T) {
+	_, ts := newTestServer(t, Config{GlobalPPS: 100_000, MaxActive: 1, MaxQueued: 2})
+
+	// One slow real-clock job occupies the single active slot...
+	running := submit(t, ts, JobSpec{
+		Blocks: 4096, Seed: 9, RealTime: true, PPS: 500,
+		DrainWaitMS: 20, MinRoundTimeMS: 1,
+	})
+	pollStatus(t, ts, running, 30*time.Second, func(st *JobStatus) bool {
+		return st.State == StateRunning
+	})
+	// ...two more fill the queue...
+	q1 := submit(t, ts, JobSpec{Blocks: 64, Seed: 1, Lockstep: true})
+	q2 := submit(t, ts, JobSpec{Blocks: 64, Seed: 2, Lockstep: true})
+	// ...and the next submission must be refused with 429/queue_full.
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", JobSpec{Blocks: 64, Seed: 3})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-bound submit: %d %s, want 429", resp.StatusCode, body)
+	}
+
+	// Cancelling a queued job frees a slot; the next submission fits.
+	if resp, body := del(t, ts.URL+"/v1/jobs/"+q2); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel queued: %d %s", resp.StatusCode, body)
+	}
+	q3 := submit(t, ts, JobSpec{Blocks: 64, Seed: 4, Lockstep: true})
+
+	// Unblock the worker and let the queue drain.
+	if resp, body := del(t, ts.URL+"/v1/jobs/"+running); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel running: %d %s", resp.StatusCode, body)
+	}
+	for _, id := range []string{q1, q3} {
+		st := pollStatus(t, ts, id, 60*time.Second, terminal)
+		if st.State != StateDone {
+			t.Fatalf("queued job %s ended %s (%s)", id, st.State, st.Error)
+		}
+	}
+	if st := pollStatus(t, ts, q2, 10*time.Second, terminal); st.State != StateCanceled {
+		t.Fatalf("cancelled queued job ended %s", st.State)
+	}
+}

@@ -1,0 +1,300 @@
+package served
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	flashroute "github.com/flashroute/flashroute"
+)
+
+// newTestServer builds a daemon over a fresh state dir and an httptest
+// front end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.StateDir == "" {
+		cfg.StateDir = t.TempDir()
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Stop() })
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func del(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// submit posts a spec and returns the accepted job ID.
+func submit(t *testing.T, ts *httptest.Server, spec JobSpec) string {
+	t.Helper()
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", resp.StatusCode, body)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil || out.ID == "" {
+		t.Fatalf("submit: bad body %s (%v)", body, err)
+	}
+	return out.ID
+}
+
+// pollStatus GETs a job's status until pred holds or the deadline
+// passes, asserting the probe counter never goes backwards.
+func pollStatus(t *testing.T, ts *httptest.Server, id string, deadline time.Duration, pred func(*JobStatus) bool) *JobStatus {
+	t.Helper()
+	var last uint64
+	end := time.Now().Add(deadline)
+	for {
+		resp, body := get(t, ts.URL+"/v1/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %s: %d %s", id, resp.StatusCode, body)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("status %s: %v in %s", id, err, body)
+		}
+		if st.State == StateRunning || st.State == StateDone {
+			if st.Probes < last {
+				t.Fatalf("progress went backwards: %d after %d", st.Probes, last)
+			}
+			last = st.Probes
+		}
+		if pred(&st) {
+			return &st
+		}
+		if time.Now().After(end) {
+			t.Fatalf("job %s: deadline waiting (state %s, %d probes)", id, st.State, st.Probes)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func terminal(st *JobStatus) bool {
+	return st.State == StateDone || st.State == StateFailed || st.State == StateCanceled
+}
+
+// TestAPISubmitProgressResults: the e2e happy path — submit, watch
+// monotone progress, stream results, and get byte-for-byte what a direct
+// library Scan of the same spec produces.
+func TestAPISubmitProgressResults(t *testing.T) {
+	spec := JobSpec{Blocks: 512, Seed: 7, Lockstep: true, NoRedundancyElimination: true}
+	_, ts := newTestServer(t, Config{GlobalPPS: 100_000})
+
+	id := submit(t, ts, spec)
+	st := pollStatus(t, ts, id, 30*time.Second, terminal)
+	if st.State != StateDone {
+		t.Fatalf("job ended %s (%s)", st.State, st.Error)
+	}
+	if st.Probes == 0 || st.Interfaces == 0 {
+		t.Fatalf("done job reports %d probes, %d interfaces", st.Probes, st.Interfaces)
+	}
+
+	resp, got := get(t, ts.URL+"/v1/jobs/"+id+"/results")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results: %d %s", resp.StatusCode, got)
+	}
+
+	// Direct library run of the same spec: the daemon's stream must be
+	// byte-for-byte identical (virtual clock, lockstep environment, same
+	// seed and configuration — the granted rate equals the default).
+	sim, err := flashroute.NewSimulationCIDRs(spec.SimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Scan(spec.ScanConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := res.WriteJSONL(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("streamed results differ from direct scan: %d vs %d bytes", len(got), want.Len())
+	}
+	if res.Probes() != st.Probes {
+		t.Errorf("API reports %d probes, direct scan %d", st.Probes, res.Probes())
+	}
+
+	// The job list includes it.
+	respL, bodyL := get(t, ts.URL+"/v1/jobs")
+	if respL.StatusCode != http.StatusOK || !strings.Contains(string(bodyL), id) {
+		t.Fatalf("list: %d %s", respL.StatusCode, bodyL)
+	}
+}
+
+// TestAPICancelPartial: cancelling mid-scan yields state "canceled" and
+// a valid partial NDJSON result.
+func TestAPICancelPartial(t *testing.T) {
+	_, ts := newTestServer(t, Config{GlobalPPS: 100_000})
+	id := submit(t, ts, JobSpec{
+		Blocks: 2048, Seed: 3, RealTime: true, PPS: 2_000,
+		DrainWaitMS: 30, MinRoundTimeMS: 1,
+	})
+	pollStatus(t, ts, id, 30*time.Second, func(st *JobStatus) bool {
+		return st.State == StateRunning && st.Probes > 500
+	})
+	resp, body := del(t, ts.URL+"/v1/jobs/"+id)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: %d %s", resp.StatusCode, body)
+	}
+	st := pollStatus(t, ts, id, 30*time.Second, terminal)
+	if st.State != StateCanceled {
+		t.Fatalf("job ended %s, want canceled", st.State)
+	}
+	resp, got := get(t, ts.URL+"/v1/jobs/"+id+"/results")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial results: %d %s", resp.StatusCode, got)
+	}
+	lines := bytes.Split(bytes.TrimSpace(got), []byte("\n"))
+	if len(lines) == 0 || len(lines[0]) == 0 {
+		t.Fatal("cancelled job produced no partial routes")
+	}
+	for i, line := range lines {
+		var route struct {
+			Dst  string `json:"dst"`
+			Hops []struct {
+				TTL  uint8  `json:"ttl"`
+				Addr string `json:"addr"`
+			} `json:"hops"`
+		}
+		if err := json.Unmarshal(line, &route); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+		if route.Dst == "" {
+			t.Fatalf("line %d has no destination", i)
+		}
+	}
+	// Cancelling a finished job is a structured conflict.
+	resp, body = del(t, ts.URL+"/v1/jobs/"+id)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("re-cancel: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestAPIMalformedSubmissions: every malformed submission maps to a 4xx
+// with a structured {"error":{code,message,field}} body — never a panic
+// or a silently wrong scan.
+func TestAPIMalformedSubmissions(t *testing.T) {
+	_, ts := newTestServer(t, Config{GlobalPPS: 100_000})
+	cases := []struct {
+		name      string
+		body      string
+		wantCode  string
+		wantField string
+	}{
+		{"bad json", `{`, "bad_json", ""},
+		{"unknown field", `{"blocks":16,"bogus":1}`, "bad_json", ""},
+		{"no universe", `{"seed":1}`, "bad_spec", "blocks"},
+		{"both universes", `{"blocks":16,"cidrs":["10.0.0.0/24"]}`, "bad_spec", "cidrs"},
+		{"trailing garbage cidr", `{"cidrs":["10.0.0.0/8x"]}`, "bad_spec", "cidrs"},
+		{"long prefix", `{"cidrs":["10.0.0.0/28"]}`, "bad_spec", "cidrs"},
+		{"junk cidr", `{"cidrs":["bogus"]}`, "bad_spec", "cidrs"},
+		{"bad family", `{"family":"ipv5","blocks":16}`, "bad_spec", "family"},
+		{"v6 fields on v4", `{"blocks":16,"prefixes":4}`, "bad_spec", "prefixes"},
+		{"v4 fields on v6", `{"family":"ipv6","blocks":16}`, "bad_spec", "cidrs"},
+		{"negative pps", `{"blocks":16,"pps":-5}`, "bad_spec", "pps"},
+		{"bad protocol", `{"blocks":16,"protocol":"gre"}`, "bad_spec", "protocol"},
+		{"unimplemented protocol", `{"blocks":16,"protocol":"tcp"}`, "bad_spec", "protocol"},
+		{"bad loss", `{"blocks":16,"loss_prob":1.5}`, "bad_spec", "loss_prob"},
+		{"oversized blocks", fmt.Sprintf(`{"blocks":%d}`, 1<<23), "bad_spec", "blocks"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400 (%s)", resp.StatusCode, buf.Bytes())
+			}
+			var out struct {
+				Error APIError `json:"error"`
+			}
+			if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+				t.Fatalf("unstructured error body %s", buf.Bytes())
+			}
+			if out.Error.Code != tc.wantCode {
+				t.Errorf("code %q, want %q", out.Error.Code, tc.wantCode)
+			}
+			if tc.wantField != "" && out.Error.Field != tc.wantField {
+				t.Errorf("field %q, want %q", out.Error.Field, tc.wantField)
+			}
+			if out.Error.Message == "" {
+				t.Error("empty error message")
+			}
+		})
+	}
+
+	// Unknown job IDs are structured 404s; results of an unfinished job
+	// a structured 409.
+	if resp, _ := get(t, ts.URL+"/v1/jobs/job-999999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := del(t, ts.URL+"/v1/jobs/job-999999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("cancel unknown: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHealthz: the liveness endpoint CI smokes.
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(body), "ok") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+}

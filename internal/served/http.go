@@ -1,0 +1,116 @@
+package served
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/jobs            submit a JobSpec            → 202 {"id":...}
+//	GET    /v1/jobs            list jobs                   → 200 [JobStatus]
+//	GET    /v1/jobs/{id}       one job's live status       → 200 JobStatus
+//	GET    /v1/jobs/{id}/results  finished job's NDJSON    → 200 stream
+//	DELETE /v1/jobs/{id}       cancel (graceful)           → 202
+//	GET    /healthz            liveness                    → 200 "ok"
+//
+// Every error response carries {"error": {"code","message","field"}}.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			s.handleSubmit(w, r)
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, s.List())
+		default:
+			writeAPIError(w, &APIError{Code: "method_not_allowed", Message: r.Method + " not allowed"})
+		}
+	})
+	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+		id, sub, _ := strings.Cut(rest, "/")
+		if id == "" {
+			writeAPIError(w, &APIError{Code: "not_found", Message: "no such job"})
+			return
+		}
+		switch {
+		case sub == "" && r.Method == http.MethodGet:
+			st, apiErr := s.Status(id)
+			if apiErr != nil {
+				writeAPIError(w, apiErr)
+				return
+			}
+			writeJSON(w, http.StatusOK, st)
+		case sub == "" && r.Method == http.MethodDelete:
+			if apiErr := s.Cancel(id); apiErr != nil {
+				writeAPIError(w, apiErr)
+				return
+			}
+			writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": "canceling"})
+		case sub == "results" && r.Method == http.MethodGet:
+			data, apiErr := s.Results(id)
+			if apiErr != nil {
+				writeAPIError(w, apiErr)
+				return
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Write(data)
+		default:
+			writeAPIError(w, &APIError{Code: "method_not_allowed", Message: r.Method + " " + r.URL.Path + " not allowed"})
+		}
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeAPIError(w, &APIError{Code: "bad_json", Message: err.Error()})
+		return
+	}
+	id, apiErr := s.Submit(spec)
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": StateQueued})
+}
+
+// statusOf maps structured error codes to HTTP statuses.
+func statusOf(e *APIError) int {
+	switch e.Code {
+	case "bad_spec", "bad_json":
+		return http.StatusBadRequest
+	case "not_found":
+		return http.StatusNotFound
+	case "queue_full":
+		return http.StatusTooManyRequests
+	case "finished", "not_finished", "failed", "no_results":
+		return http.StatusConflict
+	case "shutting_down":
+		return http.StatusServiceUnavailable
+	case "method_not_allowed":
+		return http.StatusMethodNotAllowed
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeAPIError(w http.ResponseWriter, e *APIError) {
+	writeJSON(w, statusOf(e), map[string]*APIError{"error": e})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

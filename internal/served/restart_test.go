@@ -1,0 +1,167 @@
+package served
+
+import (
+	"bytes"
+	"hash/fnv"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"testing"
+	"time"
+
+	flashroute "github.com/flashroute/flashroute"
+)
+
+// newHTTP fronts a server whose lifetime the test manages itself (the
+// restart test stops and re-opens daemons explicitly).
+func newHTTP(t *testing.T, srv *Server) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(srv.Handler())
+}
+
+var rttRe = regexp.MustCompile(`"rtt_us":-?\d+`)
+
+// discoveryFP fingerprints an NDJSON result stream by its discoveries
+// alone: destinations, hop TTLs and addresses, reachability — with the
+// RTT fields zeroed, since wall-clock RTTs differ between a real-time
+// daemon run and its virtual-clock golden while the lockstep
+// environment keeps everything else identical.
+func discoveryFP(ndjson []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(rttRe.ReplaceAll(ndjson, []byte(`"rtt_us":0`)))
+	return h.Sum64()
+}
+
+// golden computes a spec's uninterrupted discovery fingerprint with a
+// direct virtual-clock library run — the lockstep environment makes it
+// rate- and timing-invariant, so it is THE answer the daemon's
+// interrupted-and-resumed real-time run must reproduce.
+func golden(t *testing.T, spec JobSpec) uint64 {
+	t.Helper()
+	spec.RealTime = false
+	var buf bytes.Buffer
+	if spec.Family == FamilyV6 {
+		res, err := flashroute.NewSimulation6(spec.Sim6Config()).Scan(spec.Scan6Config())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		sim, err := flashroute.NewSimulationCIDRs(spec.SimConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Scan(spec.ScanConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return discoveryFP(buf.Bytes())
+}
+
+// TestDaemonRestartResume is the tentpole's acceptance test: kill the
+// daemon with three jobs (two IPv4, one IPv6) in flight, restart it
+// against the same state directory, and require every job to resume and
+// finish with a discovery fingerprint identical to an uninterrupted
+// run — the service-level replay of TestResumeEquivalenceGrid's
+// lockstep-environment guarantee.
+func TestDaemonRestartResume(t *testing.T) {
+	state := t.TempDir()
+	fast := JobSpec{
+		RealTime: true, Lockstep: true, NoRedundancyElimination: true,
+		PPS: 3_000, MinRoundTimeMS: 1, DrainWaitMS: 25, CheckpointEvery: 500,
+	}
+	specs := map[string]JobSpec{}
+	j1 := fast
+	j1.Tenant, j1.Blocks, j1.Seed = "alice", 512, 7
+	j2 := fast
+	j2.Tenant, j2.Blocks, j2.Seed = "bob", 512, 11
+	j3 := fast
+	j3.Tenant, j3.Family, j3.Prefixes, j3.TargetsPerPrefix, j3.Seed = "carol", FamilyV6, 64, 16, 5
+
+	goldens := map[string]uint64{}
+
+	// Phase 1: run the daemon, get all three jobs probing past their
+	// first checkpoints, then stop it mid-scan.
+	srv1, err := New(Config{StateDir: state, GlobalPPS: 100_000, MaxActive: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := newHTTP(t, srv1)
+	for _, spec := range []JobSpec{j1, j2, j3} {
+		id := submit(t, ts1, spec)
+		specs[id] = spec
+		goldens[id] = golden(t, spec)
+	}
+	for id := range specs {
+		pollStatus(t, ts1, id, 30*time.Second, func(st *JobStatus) bool {
+			if terminal(st) {
+				t.Fatalf("job %s finished before the daemon stop (state %s)", id, st.State)
+			}
+			if st.State != StateRunning || st.Probes < 1_000 {
+				return false
+			}
+			_, err := os.Stat(srv1.store.CheckpointPath(id))
+			return err == nil
+		})
+	}
+	ts1.Close()
+	srv1.Stop()
+
+	// The persisted job table still lists every job as running — the
+	// restart cue — and each has a checkpoint (the engine writes a final
+	// one on the way out).
+	recs, err := srv1.store.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("job table lists %d jobs, want 3", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.State != StateRunning {
+			t.Fatalf("job %s persisted as %q, want running", rec.ID, rec.State)
+		}
+		if _, ok, _ := srv1.store.Checkpoint(rec.ID); !ok {
+			t.Fatalf("job %s has no checkpoint to resume from", rec.ID)
+		}
+	}
+
+	// Phase 2: a fresh daemon over the same state dir must re-list the
+	// table, resume every in-flight job, and land on the goldens.
+	srv2, err := New(Config{StateDir: state, GlobalPPS: 100_000, MaxActive: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := newHTTP(t, srv2)
+	defer func() { ts2.Close(); srv2.Stop() }()
+	for id := range specs {
+		j := srv2.JobForTest(id)
+		if j == nil {
+			t.Fatalf("restarted daemon lost job %s", id)
+		}
+		if !j.resume {
+			t.Fatalf("job %s was not marked for resume", id)
+		}
+	}
+	for id := range specs {
+		st := pollStatus(t, ts2, id, 120*time.Second, terminal)
+		if st.State != StateDone {
+			t.Fatalf("resumed job %s ended %s (%s)", id, st.State, st.Error)
+		}
+		resp, got := get(t, ts2.URL+"/v1/jobs/"+id+"/results")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("results %s: %d %s", id, resp.StatusCode, got)
+		}
+		if fp := discoveryFP(got); fp != goldens[id] {
+			t.Errorf("job %s (family %q): resumed fingerprint %#x, uninterrupted golden %#x",
+				id, specs[id].Family, fp, goldens[id])
+		}
+	}
+}

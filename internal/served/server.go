@@ -1,0 +1,575 @@
+package served
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	flashroute "github.com/flashroute/flashroute"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// StateDir is where the job table, checkpoints and results persist.
+	StateDir string
+	// GlobalPPS is the probing-rate ceiling divided across running jobs
+	// (default 100,000).
+	GlobalPPS int
+	// MaxActive bounds concurrently running jobs (default 4); MaxQueued
+	// bounds jobs waiting behind them (default 64) — submissions beyond
+	// it are rejected with 429.
+	MaxActive int
+	MaxQueued int
+	// CheckpointEvery is the default per-job snapshot cadence in probes
+	// (default 10,000); a job spec may override it.
+	CheckpointEvery int
+	// Now supplies record timestamps (default time.Now); tests pin it.
+	Now func() time.Time
+}
+
+// liveScan is the family-independent face of a running scan handle;
+// both flashroute.ScanHandle and ScanHandle6 satisfy it.
+type liveScan interface {
+	Probes() uint64
+	SetRate(pps int)
+	Cancel()
+}
+
+// Job is one submitted scan. Mutable fields are guarded by the server
+// lock except the atomics, which the HTTP handlers read live.
+type Job struct {
+	ID        string
+	Tenant    string
+	Spec      JobSpec
+	Submitted time.Time
+
+	state      string
+	errMsg     string
+	probes     uint64 // final count once terminal
+	interfaces int    // final count once terminal
+
+	resume       bool   // restart path: continue from snapshot
+	snapshot     []byte // loaded checkpoint (nil: start fresh)
+	userCanceled atomic.Bool
+	cancel       context.CancelFunc
+	rate         atomic.Int64
+	handle       atomic.Value // liveScan
+	done         chan struct{}
+}
+
+// liveHandle returns the running scan handle, nil before the scan
+// starts or after the job goroutine exits.
+func (j *Job) liveHandle() liveScan {
+	if h, ok := j.handle.Load().(liveScan); ok {
+		return h
+	}
+	return nil
+}
+
+// applyRate is the budget's push callback: remember the grant and, when
+// the scan is already running, retarget its pacers immediately.
+func (j *Job) applyRate(pps int) {
+	j.rate.Store(int64(pps))
+	if h := j.liveHandle(); h != nil {
+		h.SetRate(pps)
+	}
+}
+
+// Server is the scan-as-a-service daemon core: admission, scheduling,
+// budget division, persistence and restart-resume. The HTTP layer in
+// http.go is a thin translation over it.
+type Server struct {
+	cfg    Config
+	store  *Store
+	budget *Budget
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // submission order, for listing
+	queue   []*Job
+	active  int
+	nextID  int
+	stopped bool
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// New opens (or re-opens) a server over a state directory. Re-opening
+// re-lists the persisted job table: terminal jobs are kept for listing,
+// queued jobs re-enter the queue, and jobs that were running when the
+// previous daemon stopped are re-queued to resume from their latest
+// checkpoint — fingerprint-identical to an uninterrupted run.
+func New(cfg Config) (*Server, error) {
+	if cfg.GlobalPPS == 0 {
+		cfg.GlobalPPS = 100_000
+	}
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = 4
+	}
+	if cfg.MaxQueued <= 0 {
+		cfg.MaxQueued = 64
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 10_000
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	store, err := OpenStore(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		store:   store,
+		budget:  NewBudget(cfg.GlobalPPS),
+		jobs:    make(map[string]*Job),
+		baseCtx: ctx,
+		stop:    stop,
+	}
+	recs, err := store.LoadAll()
+	if err != nil {
+		stop()
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range recs {
+		j := &Job{
+			ID:         rec.ID,
+			Tenant:     rec.Tenant,
+			Spec:       rec.Spec,
+			Submitted:  rec.Submitted,
+			state:      rec.State,
+			errMsg:     rec.Error,
+			probes:     rec.Probes,
+			interfaces: rec.Interfaces,
+			done:       make(chan struct{}),
+		}
+		var n int
+		if _, err := fmt.Sscanf(rec.ID, "job-%06d", &n); err == nil && n >= s.nextID {
+			s.nextID = n + 1
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		switch rec.State {
+		case StateQueued:
+			s.queue = append(s.queue, j)
+		case StateRunning:
+			// In flight when the previous daemon stopped: resume from the
+			// latest snapshot (none yet means the scan barely started —
+			// re-run it fresh, which in sim mode is the same scan).
+			snap, ok, err := store.Checkpoint(j.ID)
+			if err != nil {
+				stop()
+				return nil, err
+			}
+			j.resume = ok
+			j.snapshot = snap
+			j.state = StateQueued
+			s.queue = append(s.queue, j)
+		default:
+			close(j.done) // terminal: listing only
+		}
+	}
+	s.admitLocked()
+	return s, nil
+}
+
+// Submit validates and enqueues a job, returning its ID. Admission
+// errors are structured: bad specs map to 4xx, a full queue to 429.
+func (s *Server) Submit(spec JobSpec) (string, *APIError) {
+	if apiErr := spec.Validate(); apiErr != nil {
+		return "", apiErr
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return "", &APIError{Code: "shutting_down", Message: "server is shutting down"}
+	}
+	if len(s.queue) >= s.cfg.MaxQueued {
+		return "", &APIError{Code: "queue_full",
+			Message: fmt.Sprintf("job queue is full (%d queued)", len(s.queue))}
+	}
+	id := fmt.Sprintf("job-%06d", s.nextID)
+	s.nextID++
+	j := &Job{
+		ID:        id,
+		Tenant:    spec.Tenant,
+		Spec:      spec,
+		Submitted: s.cfg.Now(),
+		state:     StateQueued,
+		done:      make(chan struct{}),
+	}
+	if err := s.store.PutRecord(s.recordLocked(j)); err != nil {
+		return "", &APIError{Code: "store_error", Message: err.Error()}
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.queue = append(s.queue, j)
+	s.admitLocked()
+	return id, nil
+}
+
+// recordLocked snapshots a job into its durable record form. Caller
+// holds s.mu.
+func (s *Server) recordLocked(j *Job) *JobRecord {
+	return &JobRecord{
+		ID:         j.ID,
+		Tenant:     j.Tenant,
+		State:      j.state,
+		Spec:       j.Spec,
+		Submitted:  j.Submitted,
+		Error:      j.errMsg,
+		Probes:     j.probes,
+		Interfaces: j.interfaces,
+	}
+}
+
+// admitLocked starts queued jobs while the active bound allows. Caller
+// holds s.mu.
+func (s *Server) admitLocked() {
+	for s.active < s.cfg.MaxActive && len(s.queue) > 0 && !s.stopped {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		j.state = StateRunning
+		// Persist the transition before probing starts: if the daemon
+		// dies any time after this line, the restart sees "running" and
+		// resumes (or re-runs) the job.
+		if err := s.store.PutRecord(s.recordLocked(j)); err != nil {
+			j.state = StateFailed
+			j.errMsg = err.Error()
+			close(j.done)
+			continue
+		}
+		s.active++
+		s.wg.Add(1)
+		go s.runJob(j)
+	}
+}
+
+// runJob owns one job from start to terminal state (or to the daemon's
+// stop, which leaves it resumable).
+func (s *Server) runJob(j *Job) {
+	defer s.wg.Done()
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	s.mu.Lock()
+	j.cancel = cancel
+	canceledEarly := j.userCanceled.Load()
+	s.mu.Unlock()
+	if canceledEarly {
+		// Cancel raced admission: finish without probing.
+		s.finishJob(j, StateCanceled, "", nil)
+		return
+	}
+
+	rate := s.budget.Add(j.ID, j.Tenant, j.Spec.PPS, j.applyRate)
+	defer s.budget.Remove(j.ID)
+
+	every := j.Spec.CheckpointEvery
+	if every == 0 {
+		every = s.cfg.CheckpointEvery
+	}
+	sink := func(snapshot []byte) error { return s.store.PutCheckpoint(j.ID, snapshot) }
+
+	if j.Spec.Family == FamilyV6 {
+		s.runV6(ctx, j, rate, every, sink)
+	} else {
+		s.runV4(ctx, j, rate, every, sink)
+	}
+}
+
+func (s *Server) runV4(ctx context.Context, j *Job, rate, every int, sink func([]byte) error) {
+	sim, err := flashroute.NewSimulationCIDRs(j.Spec.SimConfig())
+	if err != nil {
+		s.finishJob(j, StateFailed, err.Error(), nil)
+		return
+	}
+	cfg := j.Spec.ScanConfig()
+	cfg.PPS = rate
+	cfg.CheckpointEvery = every
+	cfg.CheckpointSink = sink
+	var h *flashroute.ScanHandle
+	if j.resume {
+		h, err = sim.StartResumeScan(ctx, cfg, j.snapshot)
+		if errors.Is(err, flashroute.ErrCheckpointComplete) {
+			// The previous daemon died between the scan's final snapshot
+			// and its results write: the scan is done but its output was
+			// lost. Sim-mode scans are deterministic, so a fresh run
+			// regenerates the identical result.
+			h, err = sim.StartScan(ctx, cfg)
+		}
+	} else {
+		h, err = sim.StartScan(ctx, cfg)
+	}
+	if err != nil {
+		s.finishJob(j, StateFailed, err.Error(), nil)
+		return
+	}
+	j.handle.Store(liveScan(h))
+	h.SetRate(int(j.rate.Load())) // adopt any grant change that raced the start
+	res, err := h.Wait()
+	if err != nil {
+		s.finishJob(j, StateFailed, err.Error(), nil)
+		return
+	}
+	final := func(state string) {
+		var buf bytes.Buffer
+		if err := res.WriteJSONL(&buf); err != nil {
+			s.finishJob(j, StateFailed, err.Error(), nil)
+			return
+		}
+		s.finishJob(j, state, "", &scanSummary{
+			probes: res.Probes(), interfaces: res.InterfaceCount(), ndjson: buf.Bytes(),
+		})
+	}
+	switch {
+	case res.Interrupted() && j.userCanceled.Load():
+		final(StateCanceled) // valid partial result
+	case res.Interrupted():
+		s.releaseInterrupted(j) // daemon stop: stays resumable
+	default:
+		final(StateDone)
+	}
+}
+
+func (s *Server) runV6(ctx context.Context, j *Job, rate, every int, sink func([]byte) error) {
+	sim := flashroute.NewSimulation6(j.Spec.Sim6Config())
+	cfg := j.Spec.Scan6Config()
+	cfg.PPS = rate
+	cfg.CheckpointEvery = every
+	cfg.CheckpointSink = sink
+	var h *flashroute.ScanHandle6
+	var err error
+	if j.resume {
+		h, err = sim.StartResumeScan(ctx, cfg, j.snapshot)
+		if errors.Is(err, flashroute.ErrCheckpointComplete) {
+			h, err = sim.StartScan(ctx, cfg)
+		}
+	} else {
+		h, err = sim.StartScan(ctx, cfg)
+	}
+	if err != nil {
+		s.finishJob(j, StateFailed, err.Error(), nil)
+		return
+	}
+	j.handle.Store(liveScan(h))
+	h.SetRate(int(j.rate.Load()))
+	res, err := h.Wait()
+	if err != nil {
+		s.finishJob(j, StateFailed, err.Error(), nil)
+		return
+	}
+	final := func(state string) {
+		var buf bytes.Buffer
+		if err := res.WriteJSONL(&buf); err != nil {
+			s.finishJob(j, StateFailed, err.Error(), nil)
+			return
+		}
+		s.finishJob(j, state, "", &scanSummary{
+			probes: res.Probes(), interfaces: res.InterfaceCount(), ndjson: buf.Bytes(),
+		})
+	}
+	switch {
+	case res.Interrupted() && j.userCanceled.Load():
+		final(StateCanceled)
+	case res.Interrupted():
+		s.releaseInterrupted(j)
+	default:
+		final(StateDone)
+	}
+}
+
+type scanSummary struct {
+	probes     uint64
+	interfaces int
+	ndjson     []byte
+}
+
+// finishJob moves a job to a terminal state, persists its record (and
+// results, when it produced any) and frees its scheduler slot.
+func (s *Server) finishJob(j *Job, state, errMsg string, sum *scanSummary) {
+	if sum != nil {
+		if err := s.store.PutResults(j.ID, sum.ndjson); err != nil && state != StateFailed {
+			state, errMsg = StateFailed, err.Error()
+		}
+	}
+	s.mu.Lock()
+	j.state = state
+	j.errMsg = errMsg
+	if sum != nil {
+		j.probes = sum.probes
+		j.interfaces = sum.interfaces
+	}
+	rec := s.recordLocked(j)
+	s.active--
+	close(j.done)
+	s.admitLocked()
+	s.mu.Unlock()
+	// Persisting outside the lock: the in-memory transition is already
+	// visible; a write failure here only costs durability of a terminal
+	// state, which a restart re-derives by re-running the job.
+	_ = s.store.PutRecord(rec)
+}
+
+// releaseInterrupted ends the goroutine of a job the daemon's own stop
+// interrupted: its record stays "running" on disk (the restart cue to
+// resume it) and its final checkpoint — written by the engine on the way
+// out — carries the exact probing state.
+func (s *Server) releaseInterrupted(j *Job) {
+	s.mu.Lock()
+	s.active--
+	close(j.done)
+	s.mu.Unlock()
+}
+
+// Cancel requests cancellation: queued jobs are dropped immediately,
+// running jobs stop gracefully and keep their partial results.
+func (s *Server) Cancel(id string) *APIError {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return &APIError{Code: "not_found", Message: "no such job"}
+	}
+	switch j.state {
+	case StateQueued:
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		j.state = StateCanceled
+		j.userCanceled.Store(true)
+		rec := s.recordLocked(j)
+		close(j.done)
+		s.mu.Unlock()
+		_ = s.store.PutRecord(rec)
+		return nil
+	case StateRunning:
+		j.userCanceled.Store(true)
+		cancel := j.cancel
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return nil
+	default:
+		s.mu.Unlock()
+		return &APIError{Code: "finished", Message: "job already " + j.state}
+	}
+}
+
+// JobStatus is the live view of one job.
+type JobStatus struct {
+	ID         string    `json:"id"`
+	Tenant     string    `json:"tenant,omitempty"`
+	State      string    `json:"state"`
+	Probes     uint64    `json:"probes"`
+	RatePPS    int       `json:"rate_pps,omitempty"`
+	Interfaces int       `json:"interfaces,omitempty"`
+	Submitted  time.Time `json:"submitted"`
+	Error      string    `json:"error,omitempty"`
+}
+
+// Status reports a job's live state; running jobs expose their monotone
+// probe counter and currently granted rate.
+func (s *Server) Status(id string) (*JobStatus, *APIError) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, &APIError{Code: "not_found", Message: "no such job"}
+	}
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	return st, nil
+}
+
+func (s *Server) statusLocked(j *Job) *JobStatus {
+	st := &JobStatus{
+		ID:         j.ID,
+		Tenant:     j.Tenant,
+		State:      j.state,
+		Probes:     j.probes,
+		Interfaces: j.interfaces,
+		Submitted:  j.Submitted,
+		Error:      j.errMsg,
+	}
+	if j.state == StateRunning {
+		if h := j.liveHandle(); h != nil {
+			st.Probes = h.Probes()
+		}
+		st.RatePPS = int(j.rate.Load())
+	}
+	return st
+}
+
+// List returns every known job in submission order.
+func (s *Server) List() []*JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.jobs[id]))
+	}
+	return out
+}
+
+// Results returns the NDJSON results of a finished job.
+func (s *Server) Results(id string) ([]byte, *APIError) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var state string
+	if ok {
+		state = j.state
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, &APIError{Code: "not_found", Message: "no such job"}
+	}
+	switch state {
+	case StateDone, StateCanceled:
+		data, err := s.store.ReadResults(id)
+		if err != nil {
+			return nil, &APIError{Code: "no_results", Message: err.Error()}
+		}
+		return data, nil
+	case StateFailed:
+		return nil, &APIError{Code: "failed", Message: "job failed; no results"}
+	default:
+		return nil, &APIError{Code: "not_finished", Message: "job is " + state}
+	}
+}
+
+// Stop shuts the server down gracefully: no new submissions, every
+// running job is interrupted (writing its final checkpoint on the way
+// out) and left resumable, queued jobs stay queued. Returns when all
+// job goroutines have exited.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	s.stop()
+	s.wg.Wait()
+}
+
+// Wait blocks until the job reaches a terminal state or the daemon's
+// stop releases it; test helper.
+func (j *Job) Wait() { <-j.done }
+
+// JobForTest exposes a job by ID for the test suites.
+func (s *Server) JobForTest(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}

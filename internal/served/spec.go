@@ -1,0 +1,226 @@
+// Package served is the scan-as-a-service layer behind cmd/frserved: an
+// HTTP/JSON job API over the flashroute library, with a bounded admission
+// queue, per-tenant division of a global probing budget, and
+// checkpoint-backed job persistence so a daemon restart resumes every
+// in-flight scan exactly where it stopped (see DESIGN.md §12).
+package served
+
+import (
+	"fmt"
+	"time"
+
+	flashroute "github.com/flashroute/flashroute"
+	"github.com/flashroute/flashroute/internal/netsim"
+)
+
+// Families accepted in JobSpec.Family.
+const (
+	FamilyV4 = "ipv4"
+	FamilyV6 = "ipv6"
+)
+
+// JobSpec is the wire-format description of one scan job. The universe
+// fields select sim-mode targets (the daemon's deterministic backend):
+// CIDRs or Blocks for IPv4, Prefixes/TargetsPerPrefix for IPv6.
+type JobSpec struct {
+	// Tenant identifies the budget owner; empty means the default tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Family is "ipv4" (default) or "ipv6".
+	Family string `json:"family,omitempty"`
+
+	// CIDRs or Blocks define the IPv4 universe (exactly one of them).
+	CIDRs  []string `json:"cidrs,omitempty"`
+	Blocks int      `json:"blocks,omitempty"`
+	// Prefixes and TargetsPerPrefix define the IPv6 universe.
+	Prefixes         int `json:"prefixes,omitempty"`
+	TargetsPerPrefix int `json:"targets_per_prefix,omitempty"`
+
+	// Seed keys topology generation and the probing permutation.
+	Seed int64 `json:"seed,omitempty"`
+	// PPS is the requested probing rate; the scheduler caps the granted
+	// rate by the tenant's share of the global budget. 0 means "whatever
+	// the budget grants".
+	PPS int `json:"pps,omitempty"`
+
+	SplitTTL  uint8 `json:"split_ttl,omitempty"`
+	GapLimit  uint8 `json:"gap_limit,omitempty"`
+	Senders   int   `json:"senders,omitempty"`
+	Receivers int   `json:"receivers,omitempty"`
+
+	// Protocol selects the probe protocol; "udp" (the default) is the
+	// only one the engine implements (the paper's probing mode), so
+	// anything else is rejected with a structured error.
+	Protocol string `json:"protocol,omitempty"`
+
+	// RealTime runs the job's simulation on the wall clock (virtual time
+	// is the default: jobs complete in milliseconds).
+	RealTime bool `json:"real_time,omitempty"`
+	// Lockstep removes timing-dependent topology behavior (see
+	// SimConfig.Lockstep) — the deterministic test environment.
+	Lockstep                bool `json:"lockstep,omitempty"`
+	NoRedundancyElimination bool `json:"no_redundancy_elimination,omitempty"`
+
+	// Impairments for sim mode (a useful subset of
+	// flashroute.Impairments).
+	LossProb      float64 `json:"loss_prob,omitempty"`
+	DupProb       float64 `json:"dup_prob,omitempty"`
+	ExtraJitterMS int     `json:"extra_jitter_ms,omitempty"`
+
+	// DrainWaitMS / MinRoundTimeMS shrink the engine's drain and
+	// minimum-round durations for short real-clock jobs (0 = defaults).
+	DrainWaitMS    int `json:"drain_wait_ms,omitempty"`
+	MinRoundTimeMS int `json:"min_round_time_ms,omitempty"`
+
+	// CheckpointEvery snapshots the job every N probes (0 means the
+	// server default), feeding the persistence that makes restart-resume
+	// possible.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// APIError is the structured error body every 4xx/5xx response carries:
+// {"error":{"code":"...","message":"...","field":"..."}}.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Field   string `json:"field,omitempty"`
+}
+
+func (e *APIError) Error() string { return e.Code + ": " + e.Message }
+
+func badSpec(field, format string, args ...any) *APIError {
+	return &APIError{Code: "bad_spec", Message: fmt.Sprintf(format, args...), Field: field}
+}
+
+// Validate checks a spec the way the API admits it: every malformed
+// field — the CIDR list included — is a structured error, never a panic
+// or a silently empty universe downstream.
+func (s *JobSpec) Validate() *APIError {
+	switch s.Family {
+	case "", FamilyV4:
+		if len(s.CIDRs) > 0 && s.Blocks > 0 {
+			return badSpec("cidrs", "give cidrs or blocks, not both")
+		}
+		if len(s.CIDRs) == 0 && s.Blocks <= 0 {
+			return badSpec("blocks", "an ipv4 job needs cidrs or a positive blocks count")
+		}
+		if s.Blocks > 1<<22 {
+			return badSpec("blocks", "blocks %d out of range (max %d)", s.Blocks, 1<<22)
+		}
+		if len(s.CIDRs) > 0 {
+			if _, err := netsim.ParseUniverse(s.CIDRs); err != nil {
+				return badSpec("cidrs", "%v", err)
+			}
+		}
+		if s.Prefixes != 0 || s.TargetsPerPrefix != 0 {
+			return badSpec("prefixes", "prefixes/targets_per_prefix are ipv6 fields")
+		}
+	case FamilyV6:
+		if len(s.CIDRs) > 0 || s.Blocks != 0 {
+			return badSpec("cidrs", "cidrs/blocks are ipv4 fields")
+		}
+		if s.Prefixes < 0 || s.TargetsPerPrefix < 0 {
+			return badSpec("prefixes", "prefixes and targets_per_prefix must be non-negative")
+		}
+	default:
+		return badSpec("family", "unknown family %q (want %q or %q)", s.Family, FamilyV4, FamilyV6)
+	}
+	switch s.Protocol {
+	case "", "udp":
+	case "icmp", "tcp":
+		return badSpec("protocol", "protocol %q not implemented (only udp probing)", s.Protocol)
+	default:
+		return badSpec("protocol", "unknown protocol %q", s.Protocol)
+	}
+	if s.PPS < 0 {
+		return badSpec("pps", "pps must be non-negative")
+	}
+	if s.Senders < 0 || s.Receivers < 0 {
+		return badSpec("senders", "senders and receivers must be non-negative")
+	}
+	if s.LossProb < 0 || s.LossProb >= 1 || s.DupProb < 0 || s.DupProb >= 1 {
+		return badSpec("loss_prob", "probabilities must be in [0,1)")
+	}
+	if s.DrainWaitMS < 0 || s.MinRoundTimeMS < 0 || s.ExtraJitterMS < 0 {
+		return badSpec("drain_wait_ms", "durations must be non-negative")
+	}
+	if s.CheckpointEvery < 0 {
+		return badSpec("checkpoint_every", "checkpoint_every must be non-negative")
+	}
+	return nil
+}
+
+func (s *JobSpec) impairments() flashroute.Impairments {
+	return flashroute.Impairments{
+		LossProb:    s.LossProb,
+		DupProb:     s.DupProb,
+		ExtraJitter: time.Duration(s.ExtraJitterMS) * time.Millisecond,
+	}
+}
+
+// SimConfig translates the spec's universe and environment fields. Only
+// valid for IPv4 specs.
+func (s *JobSpec) SimConfig() flashroute.SimConfig {
+	return flashroute.SimConfig{
+		Blocks:   s.Blocks,
+		CIDRs:    s.CIDRs,
+		Seed:     s.Seed,
+		RealTime: s.RealTime,
+		Lockstep: s.Lockstep,
+		Impair:   s.impairments(),
+	}
+}
+
+// Sim6Config translates the spec for IPv6 jobs.
+func (s *JobSpec) Sim6Config() flashroute.Sim6Config {
+	return flashroute.Sim6Config{
+		Prefixes:         s.Prefixes,
+		TargetsPerPrefix: s.TargetsPerPrefix,
+		Seed:             s.Seed,
+		RealTime:         s.RealTime,
+		Lockstep:         s.Lockstep,
+		Impair:           s.impairments(),
+	}
+}
+
+// ScanConfig translates the spec's probing fields to a scan
+// configuration. Routes are always collected — the results endpoint
+// streams them.
+func (s *JobSpec) ScanConfig() flashroute.Config {
+	cfg := flashroute.DefaultConfig()
+	if s.SplitTTL != 0 {
+		cfg.SplitTTL = s.SplitTTL
+	}
+	if s.GapLimit != 0 {
+		cfg.GapLimit = s.GapLimit
+	}
+	if s.PPS > 0 {
+		cfg.PPS = s.PPS
+	}
+	cfg.Senders = s.Senders
+	cfg.Receivers = s.Receivers
+	cfg.NoRedundancyElimination = s.NoRedundancyElimination
+	cfg.CollectRoutes = true
+	cfg.Seed = s.Seed
+	cfg.DrainWait = time.Duration(s.DrainWaitMS) * time.Millisecond
+	cfg.MinRoundTime = time.Duration(s.MinRoundTimeMS) * time.Millisecond
+	return cfg
+}
+
+// Scan6Config is ScanConfig for IPv6 jobs.
+func (s *JobSpec) Scan6Config() flashroute.Config6 {
+	cfg := flashroute.Config6{
+		SplitTTL:                s.SplitTTL,
+		GapLimit:                s.GapLimit,
+		Senders:                 s.Senders,
+		Receivers:               s.Receivers,
+		NoRedundancyElimination: s.NoRedundancyElimination,
+		CollectRoutes:           true,
+		Seed:                    s.Seed,
+		DrainWait:               time.Duration(s.DrainWaitMS) * time.Millisecond,
+		MinRoundTime:            time.Duration(s.MinRoundTimeMS) * time.Millisecond,
+	}
+	if s.PPS > 0 {
+		cfg.PPS = s.PPS
+	}
+	return cfg
+}

@@ -1,0 +1,138 @@
+package served
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Job states as persisted and served.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateCanceled = "canceled"
+	StateFailed   = "failed"
+)
+
+// JobRecord is the durable row of the job table: everything needed to
+// re-list the job after a restart and to decide whether it must resume.
+type JobRecord struct {
+	ID        string    `json:"id"`
+	Tenant    string    `json:"tenant"`
+	State     string    `json:"state"`
+	Spec      JobSpec   `json:"spec"`
+	Submitted time.Time `json:"submitted"`
+	// Error is set for failed jobs.
+	Error string `json:"error,omitempty"`
+	// Probes is the final probe count of a finished job.
+	Probes uint64 `json:"probes,omitempty"`
+	// Interfaces is the discovered interface count of a finished job.
+	Interfaces int `json:"interfaces,omitempty"`
+}
+
+// Store is the daemon's state directory: one JSON record, one checkpoint
+// snapshot and one NDJSON result file per job, under <dir>/jobs. All
+// writes go through an atomic temp-file rename, so a crash never leaves
+// a half-written record to resume from.
+type Store struct {
+	dir string
+}
+
+// OpenStore creates (if needed) and opens a state directory.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("served: state dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+func (st *Store) recordPath(id string) string {
+	return filepath.Join(st.dir, "jobs", id+".json")
+}
+
+// CheckpointPath is where a job's latest snapshot lives.
+func (st *Store) CheckpointPath(id string) string {
+	return filepath.Join(st.dir, "jobs", id+".ckpt")
+}
+
+// ResultsPath is where a finished job's NDJSON results live.
+func (st *Store) ResultsPath(id string) string {
+	return filepath.Join(st.dir, "jobs", id+".ndjson")
+}
+
+// atomicWrite writes data to path via a temp file and rename.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// PutRecord persists a job record atomically.
+func (st *Store) PutRecord(r *JobRecord) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	return atomicWrite(st.recordPath(r.ID), data)
+}
+
+// PutCheckpoint persists a job's latest snapshot atomically.
+func (st *Store) PutCheckpoint(id string, snapshot []byte) error {
+	return atomicWrite(st.CheckpointPath(id), snapshot)
+}
+
+// Checkpoint loads a job's snapshot; ok is false when none was written.
+func (st *Store) Checkpoint(id string) (snapshot []byte, ok bool, err error) {
+	data, err := os.ReadFile(st.CheckpointPath(id))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// PutResults persists a job's NDJSON results atomically.
+func (st *Store) PutResults(id string, ndjson []byte) error {
+	return atomicWrite(st.ResultsPath(id), ndjson)
+}
+
+// ReadResults loads a finished job's NDJSON results.
+func (st *Store) ReadResults(id string) ([]byte, error) {
+	return os.ReadFile(st.ResultsPath(id))
+}
+
+// LoadAll reads every persisted job record, ordered by ID — the job
+// table a restarting daemon resumes from.
+func (st *Store) LoadAll() ([]*JobRecord, error) {
+	entries, err := os.ReadDir(filepath.Join(st.dir, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	var out []*JobRecord
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(st.dir, "jobs", name))
+		if err != nil {
+			return nil, err
+		}
+		var r JobRecord
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("served: corrupt job record %s: %w", name, err)
+		}
+		out = append(out, &r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}

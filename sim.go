@@ -25,6 +25,15 @@ type SimConfig struct {
 	// time (virtual time is the default: scans complete in milliseconds
 	// of real time while reporting faithful scan durations).
 	RealTime bool
+	// Lockstep removes every timing-dependent topology behavior — ICMP
+	// rate limiting, dynamic route flaps, RTT jitter — so discovery
+	// becomes a pure function of the probe set, independent of pacing,
+	// interleaving and clock mode. Combined with
+	// Config.NoRedundancyElimination this is the environment of the
+	// engine's equivalence test suites: an interrupted-and-resumed (or
+	// rate-retargeted) scan finds exactly what an uninterrupted one does.
+	// Applied before Mutate, which may override it.
+	Lockstep bool
 	// Impair layers packet-level pathologies (loss, burst loss,
 	// duplication, reordering, jitter) over the network. The zero value is
 	// the perfect network; see Impairments.
@@ -129,20 +138,38 @@ type Simulation struct {
 
 // NewSimulation generates the Internet. It panics on invalid
 // configuration (synthetic sizes out of range); use NewSimulationCIDRs
-// errors for user-supplied ranges.
+// for user-supplied ranges, which returns their parse errors instead.
 func NewSimulation(cfg SimConfig) *Simulation {
+	s, err := NewSimulationCIDRs(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("flashroute: bad SimConfig.CIDRs: %v", err))
+	}
+	return s
+}
+
+// NewSimulationCIDRs generates the Internet like NewSimulation but
+// returns an error for invalid SimConfig.CIDRs instead of panicking —
+// the constructor for universes that arrive from user input (CLI flags,
+// API requests). Synthetic sizing errors (Blocks out of range with no
+// CIDRs given) still panic, as they are programmer mistakes.
+func NewSimulationCIDRs(cfg SimConfig) (*Simulation, error) {
 	var u *netsim.Universe
 	if len(cfg.CIDRs) > 0 {
 		var err error
 		u, err = netsim.ParseUniverse(cfg.CIDRs)
 		if err != nil {
-			panic(fmt.Sprintf("flashroute: bad SimConfig.CIDRs: %v", err))
+			return nil, err
 		}
 	} else {
 		u = netsim.NewSyntheticUniverse(cfg.Blocks)
 	}
 	params := netsim.DefaultParams(cfg.Seed)
 	params.Impair = cfg.Impair.toNetsim()
+	if cfg.Lockstep {
+		params.ICMPRateLimitPPS = 0
+		params.DynamicBlockProb = 0
+		params.JitterRTT = 0
+	}
 	if cfg.Mutate != nil {
 		cfg.Mutate(&params)
 	}
@@ -158,7 +185,7 @@ func NewSimulation(cfg SimConfig) *Simulation {
 		net:   netsim.New(topo, clock),
 		clock: clock,
 		seed:  cfg.Seed,
-	}
+	}, nil
 }
 
 // Blocks returns the number of /24 blocks in the simulated universe.

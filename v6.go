@@ -22,6 +22,11 @@ type Sim6Config struct {
 	TargetsPerPrefix int
 	Seed             int64
 	RealTime         bool
+	// Lockstep removes the timing-dependent topology behaviors (ICMP
+	// rate limiting, RTT jitter) exactly as SimConfig.Lockstep does for
+	// IPv4, making discovery a pure function of the probe set. Applied
+	// before Mutate.
+	Lockstep bool
 	// Impair layers the shared packet-level pathologies (loss, burst
 	// loss, duplication, reordering, jitter) over the IPv6 network — the
 	// same model, knobs and determinism guarantees as SimConfig.Impair.
@@ -49,6 +54,10 @@ func NewSimulation6(cfg Sim6Config) *Simulation6 {
 		p.TargetsPerPrefix = cfg.TargetsPerPrefix
 	}
 	p.Impair = cfg.Impair.toNetsim()
+	if cfg.Lockstep {
+		p.ICMPRateLimitPPS = 0
+		p.JitterRTT = 0
+	}
 	if cfg.Mutate != nil {
 		cfg.Mutate(&p)
 	}
@@ -131,7 +140,10 @@ type Config6 struct {
 	NoSamePrefixPrediction  bool
 	NoRedundancyElimination bool
 	CollectRoutes           bool
-	Seed                    int64
+	// Observer, when set, sees every probe issued (same contract as
+	// Config.Observer: serialized across senders).
+	Observer func(dst Addr6, ttl uint8, at time.Duration)
+	Seed     int64
 
 	// CheckpointSink, CheckpointEvery and CheckpointInterval arm
 	// crash-safe checkpointing exactly as Config's fields of the same
@@ -139,6 +151,11 @@ type Config6 struct {
 	CheckpointSink     func(snapshot []byte) error
 	CheckpointEvery    int
 	CheckpointInterval time.Duration
+
+	// DrainWait and MinRoundTime shrink the engine's phase-drain and
+	// minimum-round durations, as in Config (0 means the defaults).
+	DrainWait    time.Duration
+	MinRoundTime time.Duration
 
 	// SendRetries and CancelGrace configure transient-write-error retrying
 	// and the post-cancellation drain, as in Config.
@@ -218,6 +235,24 @@ func (r *Result6) Route(a Addr6) *Route6 {
 	return out
 }
 
+// ForEachRoute visits every route with responses (hop lists populated
+// when Config6.CollectRoutes was set), ordered by destination.
+func (r *Result6) ForEachRoute(fn func(*Route6)) {
+	r.inner.ForEachRoute(func(rt *core6.Route) {
+		out := &Route6{Dst: rt.Dst, Reached: rt.Reached, Length: rt.Length}
+		for _, h := range rt.Hops {
+			out.Hops = append(out.Hops, Hop6{TTL: h.TTL, Addr: h.Addr, RTT: h.RTT})
+		}
+		fn(out)
+	})
+}
+
+// WriteJSONL writes collected routes as one JSON object per line (the
+// same deterministic destination-ordered format as Result.WriteJSONL).
+func (r *Result6) WriteJSONL(w interface{ Write([]byte) (int, error) }) error {
+	return r.inner.WriteJSONL(w)
+}
+
 // toCore6 translates the public IPv6 config to the engine's, filling in
 // universe-dependent fields when unset and wiring the per-worker read
 // handles of the conn it returns.
@@ -251,6 +286,7 @@ func (s *Simulation6) toCore6(cfg Config6) (core6.Config, PacketConn) {
 	ic.SamePrefixPrediction = !cfg.NoSamePrefixPrediction
 	ic.NoRedundancyElimination = cfg.NoRedundancyElimination
 	ic.CollectRoutes = cfg.CollectRoutes
+	ic.Observer = cfg.Observer
 	ic.Seed = cfg.Seed
 	if ic.Seed == 0 {
 		ic.Seed = s.seed
@@ -258,6 +294,12 @@ func (s *Simulation6) toCore6(cfg Config6) (core6.Config, PacketConn) {
 	ic.CheckpointSink = cfg.CheckpointSink
 	ic.CheckpointEvery = cfg.CheckpointEvery
 	ic.CheckpointInterval = cfg.CheckpointInterval
+	if cfg.DrainWait != 0 {
+		ic.DrainWait = cfg.DrainWait
+	}
+	if cfg.MinRoundTime != 0 {
+		ic.MinRoundTime = cfg.MinRoundTime
+	}
 	ic.SendRetries = cfg.SendRetries
 	ic.CancelGrace = cfg.CancelGrace
 	conn := s.net.NewConn()
