@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"testing"
 
+	"github.com/flashroute/flashroute/internal/cluster"
+	"github.com/flashroute/flashroute/internal/core"
 	"github.com/flashroute/flashroute/internal/experiments"
 	"github.com/flashroute/flashroute/internal/netsim"
 	"github.com/flashroute/flashroute/internal/probe"
@@ -402,4 +404,41 @@ func BenchmarkAblationDCBLocking(b *testing.B) {
 		probes += res.Probes()
 	}
 	b.ReportMetric(float64(probes)/float64(b.N), "probes/scan")
+}
+
+// BenchmarkClusterStopSet measures the global stop set's two hot paths.
+// "local-hit" is the per-probe backward-probing check when the address is
+// already in the worker's own tier — the cluster refactor's contract is
+// that this read allocates nothing and never touches the hub.
+// "publish-adopt" is the batched cross-worker cycle: one worker
+// publishing fresh entries, a peer draining the merge log.
+func BenchmarkClusterStopSet(b *testing.B) {
+	fam := core.IPv4Family()
+	newLocal := func() core.StopSet[uint32] { return core.NewLocalStopSet(fam, 1, 1024) }
+	b.Run("local-hit", func(b *testing.B) {
+		ws := cluster.NewWorkerSet(cluster.NewHub[uint32](), 0, newLocal(), 64)
+		for i := uint32(0); i < 1024; i++ {
+			ws.Add(i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !ws.Has(uint32(i) & 1023) {
+				b.Fatal("lost entry")
+			}
+		}
+	})
+	b.Run("publish-adopt", func(b *testing.B) {
+		hub := cluster.NewHub[uint32]()
+		pub := cluster.NewWorkerSet(hub, 0, newLocal(), 64)
+		sub := cluster.NewWorkerSet(hub, 1, newLocal(), 64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pub.Add(uint32(i))
+			if i&63 == 0 {
+				sub.Has(uint32(i)) // forces a merge-log drain
+			}
+		}
+	})
 }

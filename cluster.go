@@ -1,0 +1,352 @@
+package flashroute
+
+import (
+	"context"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/cluster"
+	"github.com/flashroute/flashroute/internal/core"
+	"github.com/flashroute/flashroute/internal/core6"
+	"github.com/flashroute/flashroute/internal/trace"
+)
+
+// ClusterOptions parameterizes a distributed multi-vantage scan (see
+// DESIGN.md §13): the destination universe is carved into Workers
+// contiguous shards of the probing permutation, each driven by its own
+// engine instance probing from its own vantage, all sharing one global
+// stop set so one worker's discoveries suppress another's redundant
+// backward probing.
+type ClusterOptions struct {
+	// Workers is the worker/shard/vantage count K. <= 1 means one
+	// worker, which is bit-identical to the corresponding plain scan.
+	Workers int
+	// Independent detaches the workers' stop sets from each other: K
+	// genuinely independent scans over the same shards — the baseline
+	// the probe-savings experiment (frexperiments -exp C2) compares
+	// against.
+	Independent bool
+}
+
+// ClusterWorkerStats describes one worker loop of a finished cluster
+// scan.
+type ClusterWorkerStats = cluster.WorkerStats
+
+// ClusterMultiPath is a multi-path observation surfaced by the IPv4
+// merge: two probing contexts saw different interfaces at the same
+// (destination, TTL).
+type ClusterMultiPath = cluster.MultiPath[uint32]
+
+// ClusterMultiPath6 is ClusterMultiPath for IPv6 scans.
+type ClusterMultiPath6 = cluster.MultiPath[Addr6]
+
+// ClusterResult is the merged outcome of an IPv4 cluster scan: the
+// conflict-aware union of every worker's traces plus per-worker and
+// stop-set-exchange statistics.
+type ClusterResult struct {
+	inner *cluster.Result[uint32]
+}
+
+// Probes returns the total probe count across all workers.
+func (r *ClusterResult) Probes() uint64 { return r.inner.ProbesSent }
+
+// PreprobeProbes returns the probes spent preprobing, summed across
+// workers.
+func (r *ClusterResult) PreprobeProbes() uint64 { return r.inner.PreprobeProbes }
+
+// ScanTime returns the wall (clock) duration of the whole cluster scan.
+func (r *ClusterResult) ScanTime() time.Duration { return r.inner.ScanTime }
+
+// InterfaceCount returns the unique interfaces across the merged union.
+func (r *ClusterResult) InterfaceCount() int { return r.inner.Store.Interfaces().Len() }
+
+// HasInterface reports whether addr appears in the merged union.
+func (r *ClusterResult) HasInterface(addr uint32) bool {
+	return r.inner.Store.Interfaces().Has(addr)
+}
+
+// ForEachInterface visits every discovered interface address.
+func (r *ClusterResult) ForEachInterface(fn func(addr uint32)) {
+	for a := range r.inner.Store.Interfaces() {
+		fn(a)
+	}
+}
+
+// Route returns the merged route to dst (nil if nothing was observed).
+func (r *ClusterResult) Route(dst uint32) *Route {
+	rt := r.inner.Store.Route(dst)
+	if rt == nil {
+		return nil
+	}
+	out := &Route{Dst: rt.Dst, Reached: rt.Reached, Length: rt.Length}
+	for _, h := range rt.Hops {
+		out.Hops = append(out.Hops, Hop{TTL: h.TTL, Addr: h.Addr, RTT: h.RTT})
+	}
+	return out
+}
+
+// NumRoutes returns the number of destinations with at least one
+// response in the union.
+func (r *ClusterResult) NumRoutes() int { return r.inner.Store.NumRoutes() }
+
+// ForEachRoute visits every merged route.
+func (r *ClusterResult) ForEachRoute(fn func(*Route)) {
+	r.inner.Store.ForEachRoute(func(rt *trace.Route) {
+		out := &Route{Dst: rt.Dst, Reached: rt.Reached, Length: rt.Length}
+		for _, h := range rt.Hops {
+			out.Hops = append(out.Hops, Hop{TTL: h.TTL, Addr: h.Addr, RTT: h.RTT})
+		}
+		fn(out)
+	})
+}
+
+// MultiPaths returns the merge's multi-path observations, sorted by
+// (destination, TTL).
+func (r *ClusterResult) MultiPaths() []ClusterMultiPath { return r.inner.MultiPaths }
+
+// Workers returns per-worker-loop statistics (a migrated shard has one
+// entry per attempt).
+func (r *ClusterResult) Workers() []ClusterWorkerStats { return r.inner.Workers }
+
+// Migrations returns how many shard handoffs happened mid-scan.
+func (r *ClusterResult) Migrations() int { return r.inner.Migrations }
+
+// StopPublished and StopReceived report the global stop-set exchange:
+// entries published to the merge log, and remote entries adopted by
+// workers (both zero when ClusterOptions.Independent).
+func (r *ClusterResult) StopPublished() uint64 { return r.inner.StopPublished }
+func (r *ClusterResult) StopReceived() uint64  { return r.inner.StopReceived }
+
+// Interrupted reports the scan was cancelled; the result is the valid
+// partial merge.
+func (r *ClusterResult) Interrupted() bool { return r.inner.Interrupted }
+
+// WriteCSV writes the merged routes as CSV.
+func (r *ClusterResult) WriteCSV(w interface{ Write([]byte) (int, error) }) error {
+	return r.inner.Store.WriteCSV(w)
+}
+
+// WriteJSONL writes the merged routes as one JSON object per line.
+func (r *ClusterResult) WriteJSONL(w interface{ Write([]byte) (int, error) }) error {
+	return r.inner.Store.WriteJSONL(w)
+}
+
+// ClusterHandle is a running IPv4 cluster scan (StartClusterScan): poll
+// Probes, retarget the rate with SetRate, Cancel for a graceful partial
+// merge, KillWorker to exercise shard migration, Wait for completion.
+type ClusterHandle struct {
+	run *cluster.Run[uint32]
+}
+
+// Probes returns the live probe count summed across worker loops.
+func (h *ClusterHandle) Probes() uint64 { return h.run.Probes() }
+
+// SetRate retargets the aggregate probing rate (split across workers).
+func (h *ClusterHandle) SetRate(pps int) { h.run.SetRate(pps) }
+
+// Cancel requests graceful cancellation of every worker.
+func (h *ClusterHandle) Cancel() { h.run.Cancel() }
+
+// KillWorker cancels the loop probing the given shard and migrates the
+// shard's remaining work to a peer vantage via its final checkpoint.
+// Reports whether a live loop was killed.
+func (h *ClusterHandle) KillWorker(shard int) bool { return h.run.KillWorker(shard) }
+
+// Wait blocks until the cluster scan completes.
+func (h *ClusterHandle) Wait() (*ClusterResult, error) {
+	res, err := h.run.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterResult{inner: res}, nil
+}
+
+// StartClusterScan begins a distributed multi-vantage scan against this
+// simulation. Each of the opt.Workers workers probes its contiguous
+// shard of the probing permutation from its own vantage (distinct
+// first-hop ingress), publishing stop-set discoveries to the shared
+// merge log. With opt.Workers <= 1 the scan is bit-identical to
+// StartScan over the same Config.
+func (s *Simulation) StartClusterScan(ctx context.Context, cfg Config, opt ClusterOptions) (*ClusterHandle, error) {
+	s.fill(&cfg)
+	receivers := cfg.Receivers
+	env := cluster.Env[uint32]{
+		Fam:   core.IPv4Family(),
+		Base:  cfg.toCore(),
+		Clock: s.clock,
+		NewConn: func(v int) (core.PacketConn, func() core.PacketReader, error) {
+			c := s.net.NewVantageConn(v)
+			var nr func() core.PacketReader
+			if receivers > 1 {
+				nr = func() core.PacketReader { return c.NewReader() }
+			}
+			return c, nr, nil
+		},
+	}
+	run, err := cluster.Start(ctx, env, cluster.Options{
+		Workers:     opt.Workers,
+		Independent: opt.Independent,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterHandle{run: run}, nil
+}
+
+// ScanCluster is StartClusterScan + Wait: the blocking form.
+func (s *Simulation) ScanCluster(cfg Config, opt ClusterOptions) (*ClusterResult, error) {
+	return s.ScanClusterContext(context.Background(), cfg, opt)
+}
+
+// ScanClusterContext is ScanCluster with graceful cancellation.
+func (s *Simulation) ScanClusterContext(ctx context.Context, cfg Config, opt ClusterOptions) (*ClusterResult, error) {
+	h, err := s.StartClusterScan(ctx, cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	return h.Wait()
+}
+
+// ClusterResult6 is the merged outcome of an IPv6 cluster scan.
+type ClusterResult6 struct {
+	inner *cluster.Result[Addr6]
+}
+
+// Probes returns the total probe count across all workers.
+func (r *ClusterResult6) Probes() uint64 { return r.inner.ProbesSent }
+
+// ScanTime returns the clock duration of the whole cluster scan.
+func (r *ClusterResult6) ScanTime() time.Duration { return r.inner.ScanTime }
+
+// InterfaceCount returns the unique interfaces across the merged union.
+func (r *ClusterResult6) InterfaceCount() int { return r.inner.Store.Interfaces().Len() }
+
+// HasInterface reports whether a appears in the merged union.
+func (r *ClusterResult6) HasInterface(a Addr6) bool { return r.inner.Store.Interfaces().Has(a) }
+
+// ReachedCount returns how many targets answered.
+func (r *ClusterResult6) ReachedCount() int {
+	n := 0
+	r.inner.Store.ForEachRoute(func(rt *trace.RouteOf[Addr6]) {
+		if rt.Reached {
+			n++
+		}
+	})
+	return n
+}
+
+// Route returns the merged route to a target (nil if nothing observed).
+func (r *ClusterResult6) Route(a Addr6) *Route6 {
+	rt := r.inner.Store.Route(a)
+	if rt == nil {
+		return nil
+	}
+	out := &Route6{Dst: rt.Dst, Reached: rt.Reached, Length: rt.Length}
+	for _, h := range rt.Hops {
+		out.Hops = append(out.Hops, Hop6{TTL: h.TTL, Addr: h.Addr, RTT: h.RTT})
+	}
+	return out
+}
+
+// ForEachRoute visits every merged route.
+func (r *ClusterResult6) ForEachRoute(fn func(*Route6)) {
+	r.inner.Store.ForEachRoute(func(rt *trace.RouteOf[Addr6]) {
+		out := &Route6{Dst: rt.Dst, Reached: rt.Reached, Length: rt.Length}
+		for _, h := range rt.Hops {
+			out.Hops = append(out.Hops, Hop6{TTL: h.TTL, Addr: h.Addr, RTT: h.RTT})
+		}
+		fn(out)
+	})
+}
+
+// MultiPaths returns the merge's multi-path observations.
+func (r *ClusterResult6) MultiPaths() []ClusterMultiPath6 { return r.inner.MultiPaths }
+
+// Workers returns per-worker-loop statistics.
+func (r *ClusterResult6) Workers() []ClusterWorkerStats { return r.inner.Workers }
+
+// Migrations returns how many shard handoffs happened mid-scan.
+func (r *ClusterResult6) Migrations() int { return r.inner.Migrations }
+
+// StopPublished and StopReceived report the global stop-set exchange.
+func (r *ClusterResult6) StopPublished() uint64 { return r.inner.StopPublished }
+func (r *ClusterResult6) StopReceived() uint64  { return r.inner.StopReceived }
+
+// Interrupted reports the scan was cancelled before completion.
+func (r *ClusterResult6) Interrupted() bool { return r.inner.Interrupted }
+
+// WriteJSONL writes the merged routes as one JSON object per line.
+func (r *ClusterResult6) WriteJSONL(w interface{ Write([]byte) (int, error) }) error {
+	return r.inner.Store.WriteJSONL(w)
+}
+
+// ClusterHandle6 is a running IPv6 cluster scan (StartClusterScan).
+type ClusterHandle6 struct {
+	run *cluster.Run[Addr6]
+}
+
+// Probes returns the live probe count summed across worker loops.
+func (h *ClusterHandle6) Probes() uint64 { return h.run.Probes() }
+
+// SetRate retargets the aggregate probing rate (split across workers).
+func (h *ClusterHandle6) SetRate(pps int) { h.run.SetRate(pps) }
+
+// Cancel requests graceful cancellation of every worker.
+func (h *ClusterHandle6) Cancel() { h.run.Cancel() }
+
+// KillWorker cancels the loop probing the given shard and migrates its
+// remaining work to a peer vantage. Reports whether a loop was killed.
+func (h *ClusterHandle6) KillWorker(shard int) bool { return h.run.KillWorker(shard) }
+
+// Wait blocks until the cluster scan completes.
+func (h *ClusterHandle6) Wait() (*ClusterResult6, error) {
+	res, err := h.run.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterResult6{inner: res}, nil
+}
+
+// StartClusterScan begins a distributed multi-vantage IPv6 scan; same
+// contract as Simulation.StartClusterScan.
+func (s *Simulation6) StartClusterScan(ctx context.Context, cfg Config6, opt ClusterOptions) (*ClusterHandle6, error) {
+	ecfg, err := core6.EngineConfig(s.toConfig6(cfg))
+	if err != nil {
+		return nil, err
+	}
+	receivers := cfg.Receivers
+	env := cluster.Env[Addr6]{
+		Fam:   core6.Family(),
+		Base:  ecfg,
+		Clock: s.clock,
+		NewConn: func(v int) (core.PacketConn, func() core.PacketReader, error) {
+			c := s.net.NewVantageConn(v)
+			var nr func() core.PacketReader
+			if receivers > 1 {
+				nr = func() core.PacketReader { return c.NewReader() }
+			}
+			return c, nr, nil
+		},
+	}
+	run, err := cluster.Start(ctx, env, cluster.Options{
+		Workers:     opt.Workers,
+		Independent: opt.Independent,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterHandle6{run: run}, nil
+}
+
+// ScanCluster is StartClusterScan + Wait for IPv6.
+func (s *Simulation6) ScanCluster(cfg Config6, opt ClusterOptions) (*ClusterResult6, error) {
+	return s.ScanClusterContext(context.Background(), cfg, opt)
+}
+
+// ScanClusterContext is ScanCluster with graceful cancellation.
+func (s *Simulation6) ScanClusterContext(ctx context.Context, cfg Config6, opt ClusterOptions) (*ClusterResult6, error) {
+	h, err := s.StartClusterScan(ctx, cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	return h.Wait()
+}

@@ -43,6 +43,7 @@ func main() {
 		pps        = flag.Int("pps", 100000, "probing rate in packets per second (0 = unthrottled)")
 		senders    = flag.Int("senders", 1, "number of sending goroutines (1 = deterministic paper-faithful mode)")
 		receivers  = flag.Int("receivers", 1, "number of reply-processing workers (1 = paper-faithful inline receiver)")
+		workers    = flag.Int("workers", 1, "distributed scanning: run K worker loops over distinct vantage ingresses sharing one stop set (sim transport, IPv4 only)")
 		batch      = flag.Int("batch", 0, "packets per transport call on the send and receive paths (sendmmsg/recvmmsg-style batching; 0 or 1 = classic one-packet-per-call)")
 		transport  = flag.String("transport", "sim", "transport backend: sim (bundled Internet simulation) or raw (Linux raw sockets; needs CAP_NET_RAW, -source and -cidrs)")
 		source     = flag.String("source", "", "with -transport raw: the vantage point's source IPv4 address")
@@ -124,6 +125,9 @@ func main() {
 		if *ipv6 {
 			fatal(errors.New("-transport raw is IPv4-only (the raw-socket backend has no IPv6 path yet)"))
 		}
+		if *workers > 1 {
+			fatal(errors.New("-workers needs the sim transport (the raw backend has a single vantage)"))
+		}
 		scanRaw(ctx, rawOpts{
 			cidrs:           *cidrs,
 			source:          *source,
@@ -155,6 +159,9 @@ func main() {
 	}
 
 	if *ipv6 {
+		if *workers > 1 {
+			fatal(errors.New("-workers is IPv4-only on the CLI (use the frserved cluster job type for IPv6)"))
+		}
 		scan6(ctx, scan6Opts{
 			prefixes:        *prefixes,
 			perPrefix:       *perPrefix,
@@ -276,6 +283,17 @@ func main() {
 	}
 	cfg.Skip = sim.SkipFor(excl)
 
+	if *workers > 1 {
+		if *checkpoint != "" || *resumeFrom != "" {
+			fatal(errors.New("-workers does not compose with -checkpoint/-resume (the coordinator hands shards off internally)"))
+		}
+		if *binOutput != "" {
+			fatal(errors.New("-binary-output is not supported with -workers (use -output)"))
+		}
+		scanCluster(ctx, sim, cfg, *workers, *output)
+		return
+	}
+
 	var res *flashroute.Result
 	var err error
 	if *resumeFrom != "" {
@@ -351,6 +369,47 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("%d binary records written to %s\n", n, *binOutput)
+	}
+}
+
+// scanCluster runs the distributed coordinator: K in-process worker
+// loops over distinct vantage ingresses, one shared stop set, merged
+// conflict-aware results (DESIGN.md §13).
+func scanCluster(ctx context.Context, sim *flashroute.Simulation, cfg flashroute.Config, workers int, output string) {
+	cfg.CollectRoutes = cfg.CollectRoutes || output != ""
+	res, err := sim.ScanClusterContext(ctx, cfg, flashroute.ClusterOptions{Workers: workers})
+	if err != nil {
+		fatal(err)
+	}
+	if res.Interrupted() {
+		fmt.Println("scan interrupted; partial merged result follows")
+	}
+	fmt.Printf("scan time:            %v\n", res.ScanTime())
+	fmt.Printf("probes sent:          %d (preprobing: %d)\n", res.Probes(), res.PreprobeProbes())
+	fmt.Printf("interfaces found:     %d\n", res.InterfaceCount())
+	fmt.Printf("worker loops:         %d (migrations: %d)\n", len(res.Workers()), res.Migrations())
+	fmt.Printf("stop-set exchange:    %d published, %d adopted\n", res.StopPublished(), res.StopReceived())
+	fmt.Printf("multi-path conflicts: %d (kept as multi-path observations)\n", len(res.MultiPaths()))
+	for _, w := range res.Workers() {
+		resumed := ""
+		if w.Resumed {
+			resumed = " (resumed shard)"
+		}
+		fmt.Printf("  worker shard %d @ vantage %d: %d blocks, %d probes, %d remote stops%s\n",
+			w.Shard, w.Vantage, w.Blocks, w.ProbesSent, w.StopReceived, resumed)
+	}
+	if output != "" {
+		f, err := os.Create(output)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("merged routes written to %s\n", output)
 	}
 }
 

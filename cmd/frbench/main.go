@@ -29,7 +29,7 @@ import (
 // perfSuite is the default benchmark set: the paper-scale rate table,
 // the sender/receiver scaling curves, and the batched data-path pair
 // introduced with the wire-speed transport work.
-const perfSuite = "^(BenchmarkTable5MaxRate|BenchmarkSenderScaling|BenchmarkReceiverScaling|BenchmarkBatchWrite|BenchmarkBatchSizeSweep)$"
+const perfSuite = "^(BenchmarkTable5MaxRate|BenchmarkSenderScaling|BenchmarkReceiverScaling|BenchmarkBatchWrite|BenchmarkBatchSizeSweep|BenchmarkClusterStopSet)$"
 
 // Result is one parsed benchmark line.
 type Result struct {

@@ -161,6 +161,35 @@ func TestNewSimulationCIDRs(t *testing.T) {
 	NewSimulation(SimConfig{CIDRs: []string{"10.0.0.0/8x"}})
 }
 
+// TestScanHandle6Cancel: Wait after Cancel on the IPv6 handle returns a
+// valid partial result with Interrupted set, mirroring the IPv4 contract
+// pinned by TestScanHandleCancel.
+func TestScanHandle6Cancel(t *testing.T) {
+	sim := NewSimulation6(Sim6Config{Prefixes: 512, TargetsPerPrefix: 16, Seed: 3, RealTime: true})
+	cfg := Config6{PPS: 2_000, CancelGrace: 50 * time.Millisecond}
+	h, err := sim.StartScan(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h.Probes() < 500 {
+		time.Sleep(time.Millisecond)
+	}
+	h.Cancel()
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("Wait after Cancel returned nil result")
+	}
+	if !res.Interrupted() {
+		t.Fatal("cancelled scan not marked Interrupted")
+	}
+	if res.Probes() == 0 {
+		t.Fatal("partial result has no probes")
+	}
+}
+
 // TestScanHandle6Lifecycle: the IPv6 handle mirrors the IPv4 contract —
 // monotone progress and a result identical to the synchronous scan.
 func TestScanHandle6Lifecycle(t *testing.T) {

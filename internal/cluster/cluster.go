@@ -1,0 +1,462 @@
+// Package cluster implements distributed multi-vantage scanning: a
+// coordinator that carves the permuted destination universe into
+// per-worker shards, K worker loops driving real core.ScannerOf
+// instances — each over its own network vantage with a distinct
+// first-hop path — a globally shared stop set with batched async
+// publish/subscribe (stopset.go), and a conflict-aware union of the
+// per-worker traces (merge.go). A killed worker's shard migrates to a
+// peer mid-scan: its final checkpoint (the internal/snapshot codec) is
+// the work-handoff wire format, and the peer resumes it through the
+// engine's confirmed-vs-sent rewind. See DESIGN.md §13.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/core"
+	"github.com/flashroute/flashroute/internal/simclock"
+	"github.com/flashroute/flashroute/internal/trace"
+)
+
+// Env binds a cluster scan to its environment: the address family, the
+// complete engine configuration every worker derives its shard config
+// from, the shared clock, and a vantage-indexed connection factory.
+type Env[A comparable] struct {
+	Fam core.Family[A]
+	// Base is the scan configuration a single-process run would use.
+	// The coordinator copies it per worker, composing Skip with the
+	// shard predicate and injecting the shared stop set; Base itself is
+	// never mutated. Base.CheckpointSink is ignored — cluster workers
+	// checkpoint into coordinator memory, where the snapshot serves as
+	// the shard-migration payload.
+	Base core.ConfigOf[A]
+	// Clock is shared by every worker loop (each engine registers its
+	// own actors on it; the coordinator itself is not an actor and
+	// never holds up virtual time).
+	Clock simclock.Waiter
+	// NewConn opens a connection entering the topology at the given
+	// vantage, plus a per-receiver reader factory for Base.Receivers > 1
+	// (the factory may be nil when Base.Receivers <= 1).
+	NewConn func(vantage int) (core.PacketConn, func() core.PacketReader, error)
+}
+
+// Options parameterizes the cluster run.
+type Options struct {
+	// Workers is the shard/worker count K; <= 1 means one worker, which
+	// reproduces the single-process scan bit-identically.
+	Workers int
+	// Independent detaches the workers' stop sets from the hub — K
+	// truly independent scans over the same shards, the baseline the
+	// probe-savings experiment compares against.
+	Independent bool
+	// PublishBatch is the stop-set publication batch (default 64).
+	PublishBatch int
+}
+
+// WorkerStats describes one worker loop's share of the scan.
+type WorkerStats struct {
+	Shard        int    // shard index this loop probed
+	Vantage      int    // network vantage it probed from
+	Blocks       int    // permuted positions in the shard
+	ProbesSent   uint64 // probes this loop issued
+	StopReceived uint64 // remote stop-set entries it adopted
+	Resumed      bool   // this loop resumed a migrated shard
+	Interrupted  bool   // this loop ended by cancellation
+}
+
+// Result is the merged outcome of a cluster scan.
+type Result[A comparable] struct {
+	// Store is the conflict-aware union of every worker's trace store.
+	Store *trace.StoreOf[A]
+	// MultiPaths lists (dst, TTL) observations where the union saw more
+	// than one interface — multi-path evidence, kept, never overwritten.
+	MultiPaths []MultiPath[A]
+
+	ProbesSent          uint64
+	PreprobeProbes      uint64
+	RetransmittedProbes uint64
+	DuplicateResponses  uint64
+	MismatchedResponses uint64
+	UnparsedResponses   uint64
+	ReadErrors          uint64
+	SendErrors          uint64
+	ScanTime            time.Duration
+
+	// Workers has one entry per worker loop in completion order (a
+	// migrated shard contributes one entry per attempt).
+	Workers []WorkerStats
+	// Migrations counts shard handoffs (KillWorker → peer resume).
+	Migrations int
+	// StopPublished is the merge-log length; StopReceived the total
+	// remote adoptions across workers. Both zero for Independent runs.
+	StopPublished uint64
+	StopReceived  uint64
+	// Interrupted reports at least one shard did not run to completion
+	// (cancellation); the result is the valid partial merge.
+	Interrupted bool
+}
+
+// workerDone is one worker loop's completion report.
+type workerDone[A comparable] struct {
+	shard   int
+	vantage int
+	resumed bool
+	res     *core.ResultOf[A]
+	err     error
+	snap    []byte
+	ws      *WorkerSet[A]
+}
+
+// Run is a cluster scan in flight (Start).
+type Run[A comparable] struct {
+	env    Env[A]
+	opt    Options
+	hub    *Hub[A]
+	shards []Shard
+	pos    []uint32
+
+	events chan workerDone[A]
+	done   chan struct{}
+	res    *Result[A]
+	err    error
+
+	probes atomic.Uint64 // live probe counter across all loops
+	obsMu  sync.Mutex    // serializes Base.Observer across loops
+
+	mu            sync.Mutex
+	cancels       map[int]context.CancelFunc // shard -> active loop cancel
+	scanners      map[int]*core.ScannerOf[A] // shard -> active scanner
+	killRequested map[int]bool
+	migrations    int
+	canceled      bool
+
+	start time.Time
+}
+
+// Start validates the environment and launches the cluster scan. ctx
+// cancels the whole run (gracefully: every worker drains in-flight
+// replies and the partial merge is returned with Interrupted set).
+func Start[A comparable](ctx context.Context, env Env[A], opt Options) (*Run[A], error) {
+	if opt.Workers <= 0 {
+		opt.Workers = 1
+	}
+	if env.Fam == nil {
+		return nil, errors.New("cluster: Env.Fam is required")
+	}
+	if env.Clock == nil {
+		return nil, errors.New("cluster: Env.Clock is required")
+	}
+	if env.NewConn == nil {
+		return nil, errors.New("cluster: Env.NewConn is required")
+	}
+	if env.Base.Blocks <= 0 {
+		return nil, errors.New("cluster: Base.Blocks must be positive")
+	}
+	shards := Assign(env.Base.Blocks, opt.Workers)
+	r := &Run[A]{
+		env:           env,
+		opt:           opt,
+		shards:        shards,
+		events:        make(chan workerDone[A], len(shards)),
+		done:          make(chan struct{}),
+		cancels:       make(map[int]context.CancelFunc),
+		scanners:      make(map[int]*core.ScannerOf[A]),
+		killRequested: make(map[int]bool),
+		start:         env.Clock.Now(),
+	}
+	if !opt.Independent {
+		r.hub = NewHub[A]()
+	}
+	if len(shards) > 1 {
+		r.pos = positionsOf(env.Fam, env.Base.Blocks, env.Base.Seed)
+	}
+	for w := range shards {
+		if err := r.launch(ctx, w, w, nil, false); err != nil {
+			// Abandon loops already launched; they drain into the
+			// buffered events channel and exit.
+			r.cancelAll()
+			return nil, err
+		}
+	}
+	go r.coordinate(ctx)
+	return r, nil
+}
+
+// share splits the aggregate pps across the worker count the way the
+// engine splits it across sender shards: base rate plus one for the
+// first rem workers. pps <= 0 (unthrottled) passes through.
+func share(pps, workers, w int) int {
+	if pps <= 0 {
+		return pps
+	}
+	s := pps / workers
+	if w < pps%workers {
+		s++
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// shardHint sizes a worker's local stop set for its share of the
+// universe (with a floor so tiny shards still start useful).
+func shardHint(blocks, workers int) int {
+	h := blocks / workers
+	if h < 64 {
+		h = 64
+	}
+	return h
+}
+
+// launch starts one worker loop for a shard: a fresh scan when snap is
+// nil, a migration resume otherwise.
+func (r *Run[A]) launch(ctx context.Context, shard, vantage int, snap []byte, resumed bool) error {
+	cfg := r.env.Base
+	// The single-worker run keeps Base.Skip untouched: the whole config
+	// is then field-for-field what core.NewScannerOf would have seen,
+	// which is what makes K=1 bit-identical to the classic engine.
+	if len(r.shards) > 1 {
+		cfg.Skip = shardSkip(r.pos, r.shards[shard], r.env.Base.Skip)
+	}
+	local := core.NewLocalStopSet(r.env.Fam, max(cfg.Receivers, 1), shardHint(cfg.Blocks, len(r.shards)))
+	ws := NewWorkerSet(r.hub, shard, local, r.opt.PublishBatch)
+	cfg.StopSet = ws
+	cfg.PPS = share(r.env.Base.PPS, len(r.shards), shard)
+
+	// The handoff sink: every snapshot (cadenced and final) lands in
+	// coordinator memory; on a kill, the latest one is the migration
+	// payload.
+	var snapMu sync.Mutex
+	var latest []byte
+	cfg.CheckpointSink = func(b []byte) error {
+		snapMu.Lock()
+		latest = append(latest[:0], b...)
+		snapMu.Unlock()
+		return nil
+	}
+
+	baseObs := r.env.Base.Observer
+	cfg.Observer = func(dst A, ttl uint8, at time.Duration) {
+		r.probes.Add(1)
+		if baseObs != nil {
+			r.obsMu.Lock()
+			baseObs(dst, ttl, at)
+			r.obsMu.Unlock()
+		}
+	}
+
+	conn, newReader, err := r.env.NewConn(vantage)
+	if err != nil {
+		return fmt.Errorf("cluster: open vantage %d: %w", vantage, err)
+	}
+	if newReader != nil {
+		cfg.NewReader = newReader
+	}
+
+	var sc *core.ScannerOf[A]
+	if snap == nil {
+		sc, err = core.NewScannerOf(r.env.Fam, cfg, conn, r.env.Clock)
+	} else {
+		sc, err = core.Resume(r.env.Fam, cfg, conn, r.env.Clock, snap)
+	}
+	if err != nil {
+		conn.Close()
+		return err
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	r.mu.Lock()
+	r.cancels[shard] = cancel
+	r.scanners[shard] = sc
+	r.mu.Unlock()
+
+	go func() {
+		res, runErr := sc.RunContext(wctx)
+		ws.Flush()
+		cancel()
+		r.mu.Lock()
+		delete(r.cancels, shard)
+		delete(r.scanners, shard)
+		r.mu.Unlock()
+		snapMu.Lock()
+		final := append([]byte(nil), latest...)
+		snapMu.Unlock()
+		r.events <- workerDone[A]{shard: shard, vantage: vantage,
+			resumed: resumed, res: res, err: runErr, snap: final, ws: ws}
+	}()
+	return nil
+}
+
+// coordinate collects worker completions, migrates killed shards, and
+// merges when the last loop reports. It runs off-clock: it only ever
+// reacts to completion events, so it cannot stall virtual time.
+func (r *Run[A]) coordinate(ctx context.Context) {
+	defer close(r.done)
+	var order []workerDone[A]
+	complete := make(map[int]bool, len(r.shards))
+	outstanding := len(r.shards)
+	var firstErr error
+	for outstanding > 0 {
+		ev := <-r.events
+		outstanding--
+		if ev.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: shard %d (vantage %d): %w", ev.shard, ev.vantage, ev.err)
+			}
+			r.cancelAll()
+			continue
+		}
+		order = append(order, ev)
+		if !ev.res.Interrupted {
+			complete[ev.shard] = true
+			continue
+		}
+		r.mu.Lock()
+		migrate := r.killRequested[ev.shard] && !r.canceled
+		r.killRequested[ev.shard] = false
+		r.mu.Unlock()
+		if !migrate || firstErr != nil {
+			continue
+		}
+		// The shard's work hands off to a peer vantage: the killed
+		// worker's final checkpoint resumes there through the engine's
+		// confirmed-vs-sent rewind.
+		adopt := (ev.vantage + 1) % len(r.shards)
+		err := r.launch(ctx, ev.shard, adopt, ev.snap, true)
+		if errors.Is(err, core.ErrCheckpointComplete) {
+			// The kill raced scan completion: the "partial" result is
+			// the whole shard.
+			complete[ev.shard] = true
+			continue
+		}
+		if err != nil {
+			firstErr = fmt.Errorf("cluster: migrate shard %d to vantage %d: %w", ev.shard, adopt, err)
+			r.cancelAll()
+			continue
+		}
+		r.mu.Lock()
+		r.migrations++
+		r.mu.Unlock()
+		outstanding++
+	}
+	if firstErr != nil {
+		r.err = firstErr
+		return
+	}
+	r.res = r.merge(order, complete)
+}
+
+// merge folds the completed loops into the cluster result.
+func (r *Run[A]) merge(order []workerDone[A], complete map[int]bool) *Result[A] {
+	out := &Result[A]{}
+	stores := make([]*trace.StoreOf[A], 0, len(order))
+	for _, ev := range order {
+		res, ws := ev.res, ev.ws
+		stores = append(stores, res.Store)
+		out.ProbesSent += res.ProbesSent
+		out.PreprobeProbes += res.PreprobeProbes
+		out.RetransmittedProbes += res.RetransmittedProbes
+		out.DuplicateResponses += res.DuplicateResponses
+		out.MismatchedResponses += res.MismatchedResponses
+		out.UnparsedResponses += res.UnparsedResponses
+		out.ReadErrors += res.ReadErrors
+		out.SendErrors += res.SendErrors
+		st := WorkerStats{
+			Shard:        ev.shard,
+			Vantage:      ev.vantage,
+			Blocks:       r.shards[ev.shard].Blocks(),
+			ProbesSent:   res.ProbesSent,
+			StopReceived: ws.Received(),
+			Resumed:      ev.resumed,
+			Interrupted:  res.Interrupted,
+		}
+		out.StopReceived += st.StopReceived
+		out.Workers = append(out.Workers, st)
+	}
+	for w := range r.shards {
+		if !complete[w] {
+			out.Interrupted = true
+		}
+	}
+	if r.hub != nil {
+		out.StopPublished = r.hub.Published()
+	}
+	r.mu.Lock()
+	out.Migrations = r.migrations
+	r.mu.Unlock()
+	out.Store, out.MultiPaths = mergeStores(r.env.Fam, r.env.Base.CollectRoutes, stores)
+	out.ScanTime = r.env.Clock.Now().Sub(r.start)
+	return out
+}
+
+// Wait blocks until the cluster scan completes and returns the merged
+// result (a valid partial merge with Interrupted set after Cancel).
+func (r *Run[A]) Wait() (*Result[A], error) {
+	<-r.done
+	return r.res, r.err
+}
+
+// Probes reports the live probe count across all worker loops.
+func (r *Run[A]) Probes() uint64 { return r.probes.Load() }
+
+// SetRate retargets the aggregate probing rate, split across the worker
+// loops the way the initial rate was (each engine then re-splits its
+// share across its senders).
+func (r *Run[A]) SetRate(pps int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for shard, sc := range r.scanners {
+		sc.SetRate(share(pps, len(r.shards), shard))
+	}
+}
+
+// Cancel requests a graceful stop of every worker loop.
+func (r *Run[A]) Cancel() {
+	r.mu.Lock()
+	r.canceled = true
+	r.mu.Unlock()
+	r.cancelAll()
+}
+
+func (r *Run[A]) cancelAll() {
+	r.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(r.cancels))
+	for _, c := range r.cancels {
+		cancels = append(cancels, c)
+	}
+	r.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// KillWorker cancels the loop currently probing the given shard and
+// marks it for migration: the coordinator resumes the shard's final
+// checkpoint on a peer vantage. Reports whether a loop was killed.
+func (r *Run[A]) KillWorker(shard int) bool {
+	r.mu.Lock()
+	cancel, ok := r.cancels[shard]
+	if !ok || r.canceled || r.killRequested[shard] {
+		r.mu.Unlock()
+		return false
+	}
+	r.killRequested[shard] = true
+	r.mu.Unlock()
+	cancel()
+	return true
+}
+
+// Scan is Start + Wait: the blocking form.
+func Scan[A comparable](ctx context.Context, env Env[A], opt Options) (*Result[A], error) {
+	run, err := Start(ctx, env, opt)
+	if err != nil {
+		return nil, err
+	}
+	return run.Wait()
+}

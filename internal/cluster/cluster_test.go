@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/flashroute/flashroute/internal/core"
+)
+
+func TestAssignPartitions(t *testing.T) {
+	cases := []struct{ blocks, workers int }{
+		{10, 1}, {10, 2}, {10, 3}, {10, 4}, {7, 7}, {3, 8}, {1000, 6},
+	}
+	for _, c := range cases {
+		shards := Assign(c.blocks, c.workers)
+		want := c.workers
+		if want > c.blocks {
+			want = c.blocks
+		}
+		if len(shards) != want {
+			t.Fatalf("Assign(%d,%d): %d shards, want %d", c.blocks, c.workers, len(shards), want)
+		}
+		pos := 0
+		for i, sh := range shards {
+			if sh.Start != pos {
+				t.Fatalf("Assign(%d,%d): shard %d starts at %d, want %d",
+					c.blocks, c.workers, i, sh.Start, pos)
+			}
+			if sh.Blocks() <= 0 {
+				t.Fatalf("Assign(%d,%d): shard %d empty", c.blocks, c.workers, i)
+			}
+			pos = sh.End
+		}
+		if pos != c.blocks {
+			t.Fatalf("Assign(%d,%d): shards cover %d positions, want %d",
+				c.blocks, c.workers, pos, c.blocks)
+		}
+		// Near-equal: sizes differ by at most one.
+		min, max := shards[0].Blocks(), shards[0].Blocks()
+		for _, sh := range shards {
+			if n := sh.Blocks(); n < min {
+				min = n
+			} else if n > max {
+				max = n
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("Assign(%d,%d): shard sizes range %d..%d", c.blocks, c.workers, min, max)
+		}
+	}
+}
+
+func TestShardSkipPartition(t *testing.T) {
+	fam := core.IPv4Family()
+	const blocks = 257
+	shards := Assign(blocks, 4)
+	pos := positionsOf(fam, blocks, 42)
+	owners := make([]int, blocks)
+	for b := range owners {
+		owners[b] = -1
+	}
+	for w, sh := range shards {
+		skip := shardSkip(pos, sh, nil)
+		for b := 0; b < blocks; b++ {
+			if !skip(b) {
+				if owners[b] != -1 {
+					t.Fatalf("block %d owned by shards %d and %d", b, owners[b], w)
+				}
+				owners[b] = w
+			}
+		}
+	}
+	for b, w := range owners {
+		if w == -1 {
+			t.Fatalf("block %d owned by no shard", b)
+		}
+	}
+	// The base skip still applies inside shards.
+	base := func(b int) bool { return b == 7 }
+	for _, sh := range shards {
+		if !shardSkip(pos, sh, base)(7) {
+			t.Fatal("base Skip not honored")
+		}
+	}
+}
+
+func newLocal() core.StopSet[uint32] {
+	return core.NewLocalStopSet(core.IPv4Family(), 1, 16)
+}
+
+func TestWorkerSetLocalFirst(t *testing.T) {
+	hub := NewHub[uint32]()
+	a := NewWorkerSet(hub, 0, newLocal(), 4)
+	b := NewWorkerSet(hub, 1, newLocal(), 4)
+
+	a.Add(10)
+	a.Add(20)
+	if !a.Has(10) || !a.Has(20) {
+		t.Fatal("local entries missing")
+	}
+	// Below the batch threshold nothing is published yet.
+	if b.Has(10) {
+		t.Fatal("entry visible before publish")
+	}
+	a.Flush()
+	if !b.Has(10) || !b.Has(20) {
+		t.Fatal("published entries not visible after flush")
+	}
+	if b.Received() != 2 {
+		t.Fatalf("Received = %d, want 2", b.Received())
+	}
+	// A worker never re-adopts its own entries.
+	a2 := a.Received()
+	if a.Has(999) { // force a drain attempt
+		t.Fatal("phantom entry")
+	}
+	if a.Received() != a2 {
+		t.Fatal("worker adopted its own published entries")
+	}
+}
+
+func TestWorkerSetBatchPublish(t *testing.T) {
+	hub := NewHub[uint32]()
+	a := NewWorkerSet(hub, 0, newLocal(), 3)
+	a.Add(1)
+	a.Add(2)
+	if hub.Published() != 0 {
+		t.Fatalf("published %d entries before batch filled", hub.Published())
+	}
+	a.Add(3) // fills the batch
+	if hub.Published() != 3 {
+		t.Fatalf("published %d entries after batch, want 3", hub.Published())
+	}
+	// Repeats of known entries publish nothing.
+	a.Add(1)
+	a.Add(2)
+	a.Flush()
+	if hub.Published() != 3 {
+		t.Fatalf("repeats were re-published: log length %d", hub.Published())
+	}
+}
+
+func TestWorkerSetRemoteSuppressOnly(t *testing.T) {
+	hub := NewHub[uint32]()
+	a := NewWorkerSet(hub, 0, newLocal(), 1)
+	b := NewWorkerSet(hub, 1, newLocal(), 1)
+	a.Add(77) // batch 1: publishes immediately
+	if !b.Has(77) {
+		t.Fatal("remote entry not adopted")
+	}
+	// Remote entries count in Size/ForEach but never disappear.
+	if b.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", b.Size())
+	}
+	seen := map[uint32]bool{}
+	b.ForEach(func(x uint32) { seen[x] = true })
+	if !seen[77] {
+		t.Fatal("ForEach skipped remote entry")
+	}
+	// Adding an address already known remotely does not republish it.
+	pub := hub.Published()
+	b.Add(77)
+	b.Flush()
+	if hub.Published() != pub {
+		t.Fatal("remote-known entry republished")
+	}
+	if b.Size() != 1 {
+		t.Fatalf("Size after local add = %d, want 1", b.Size())
+	}
+}
+
+func TestWorkerSetDetached(t *testing.T) {
+	a := NewWorkerSet[uint32](nil, 0, newLocal(), 4)
+	a.Add(5)
+	if !a.Has(5) || a.Has(6) {
+		t.Fatal("detached set misbehaves")
+	}
+	a.Flush() // must not panic
+	if a.Size() != 1 || a.Received() != 0 {
+		t.Fatal("detached set stats wrong")
+	}
+}
+
+// TestWorkerSetLocalHitAllocs pins the hot path: a Has that hits the
+// local tier allocates nothing, cluster or not.
+func TestWorkerSetLocalHitAllocs(t *testing.T) {
+	hub := NewHub[uint32]()
+	a := NewWorkerSet(hub, 0, newLocal(), 64)
+	a.Add(42)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if !a.Has(42) {
+			t.Fatal("lost entry")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("local-hit Has allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestWorkerSetDeterministicGivenLog pins the determinism contract: two
+// workers replaying the same merge log prefix answer Has identically.
+func TestWorkerSetDeterministicGivenLog(t *testing.T) {
+	hub := NewHub[uint32]()
+	pub := NewWorkerSet(hub, 0, newLocal(), 1)
+	for i := uint32(0); i < 100; i++ {
+		pub.Add(i)
+	}
+	x := NewWorkerSet(hub, 1, newLocal(), 1)
+	y := NewWorkerSet(hub, 2, newLocal(), 1)
+	for i := uint32(0); i < 200; i++ {
+		if x.Has(i) != y.Has(i) {
+			t.Fatalf("workers disagree on %d", i)
+		}
+	}
+	if x.Received() != 100 || y.Received() != 100 {
+		t.Fatalf("received %d/%d, want 100/100", x.Received(), y.Received())
+	}
+}

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"sort"
+
+	"github.com/flashroute/flashroute/internal/core"
+	"github.com/flashroute/flashroute/internal/trace"
+)
+
+// MultiPath records a merge conflict that is really an observation: two
+// probing contexts (a migrated shard's before/after halves, or route
+// dynamics between them) saw DIFFERENT interfaces for the same
+// (destination, TTL). The union keeps every address — a multi-path
+// observation, never an overwrite — and surfaces the conflict here.
+type MultiPath[A comparable] struct {
+	Dst   A
+	TTL   uint8
+	Addrs []A // every interface observed at this TTL, AddrLess-sorted
+}
+
+// mergeStores unions per-worker trace stores into one topology.
+//
+// Rules (DESIGN.md §13):
+//   - interface sets union directly;
+//   - a destination's hop list is the union of its hop lists across
+//     stores, deduplicated by (TTL, address) — the first observation's
+//     RTT wins, in worker order;
+//   - the same TTL with differing addresses keeps all of them and emits
+//     a MultiPath record;
+//   - Reached is the OR across stores; Length comes from a reached
+//     store when any reached (the measured distance), else the maximum;
+//   - iteration is position-independent: destinations and hops are
+//     sorted with the family's address order, so the merged store is
+//     deterministic regardless of worker completion order.
+func mergeStores[A comparable](fam core.Family[A], collectRoutes bool,
+	stores []*trace.StoreOf[A]) (*trace.StoreOf[A], []MultiPath[A]) {
+
+	type hopKey struct {
+		ttl  uint8
+		addr A
+	}
+	routes := make(map[A][]*trace.RouteOf[A])
+	var dsts []A
+	totalIfaces := 0
+	for _, st := range stores {
+		st.ForEachRoute(func(r *trace.RouteOf[A]) {
+			if len(routes[r.Dst]) == 0 {
+				dsts = append(dsts, r.Dst)
+			}
+			routes[r.Dst] = append(routes[r.Dst], r)
+		})
+		totalIfaces += st.Interfaces().Len()
+	}
+	sort.Slice(dsts, func(i, j int) bool { return fam.AddrLess(dsts[i], dsts[j]) })
+
+	merged := trace.NewStoreOfSized[A](collectRoutes, fam.FormatAddr, fam.AddrLess,
+		len(dsts), totalIfaces)
+	for _, st := range stores {
+		for a := range st.Interfaces() {
+			merged.AddInterface(a)
+		}
+	}
+
+	var conflicts []MultiPath[A]
+	for _, dst := range dsts {
+		parts := routes[dst]
+		out := &trace.RouteOf[A]{Dst: dst}
+		seen := make(map[hopKey]struct{})
+		byTTL := make(map[uint8][]A)
+		for _, r := range parts {
+			if r.Reached {
+				out.Reached = true
+				if r.Length > 0 && (out.Length == 0 || r.Length < out.Length) {
+					// Reached lengths should agree; a migrated shard's
+					// halves can differ when only one saw the
+					// unreachable — keep the measured (smallest) one.
+					out.Length = r.Length
+				}
+			}
+			for _, h := range r.Hops {
+				k := hopKey{ttl: h.TTL, addr: h.Addr}
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				out.Hops = append(out.Hops, h)
+				byTTL[h.TTL] = append(byTTL[h.TTL], h.Addr)
+			}
+		}
+		if !out.Reached {
+			for _, r := range parts {
+				if r.Length > out.Length {
+					out.Length = r.Length
+				}
+			}
+		}
+		sort.SliceStable(out.Hops, func(i, j int) bool {
+			if out.Hops[i].TTL != out.Hops[j].TTL {
+				return out.Hops[i].TTL < out.Hops[j].TTL
+			}
+			return fam.AddrLess(out.Hops[i].Addr, out.Hops[j].Addr)
+		})
+		for ttl, addrs := range byTTL {
+			if len(addrs) > 1 {
+				sort.Slice(addrs, func(i, j int) bool { return fam.AddrLess(addrs[i], addrs[j]) })
+				conflicts = append(conflicts, MultiPath[A]{Dst: dst, TTL: ttl, Addrs: addrs})
+			}
+		}
+		merged.RestoreRoute(out)
+	}
+	sort.Slice(conflicts, func(i, j int) bool {
+		if conflicts[i].Dst != conflicts[j].Dst {
+			return fam.AddrLess(conflicts[i].Dst, conflicts[j].Dst)
+		}
+		return conflicts[i].TTL < conflicts[j].TTL
+	})
+	return merged, conflicts
+}

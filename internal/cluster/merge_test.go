@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/core"
+	"github.com/flashroute/flashroute/internal/trace"
+)
+
+func newStore() *trace.StoreOf[uint32] {
+	fam := core.IPv4Family()
+	return trace.NewStoreOfSized[uint32](true, fam.FormatAddr, fam.AddrLess, 8, 8)
+}
+
+func TestMergeStoresConflictKeepsBoth(t *testing.T) {
+	fam := core.IPv4Family()
+	const dst = uint32(0x0B000001)
+
+	a := newStore()
+	a.AddHop(dst, 3, 0xF0000001, 10*time.Microsecond)
+	a.AddHop(dst, 2, 0xF0000002, 8*time.Microsecond)
+
+	b := newStore()
+	b.AddHop(dst, 3, 0xF0000009, 99*time.Microsecond) // conflicting TTL-3 view
+	b.SetReached(dst, 5, dst, 50*time.Microsecond)
+
+	merged, conflicts := mergeStores(fam, true, []*trace.StoreOf[uint32]{a, b})
+	rt := merged.Route(dst)
+	if rt == nil {
+		t.Fatal("merged route missing")
+	}
+	if !rt.Reached || rt.Length != 5 {
+		t.Fatalf("Reached=%v Length=%d, want true/5", rt.Reached, rt.Length)
+	}
+	// Both TTL-3 interfaces survive: multi-path, not overwrite.
+	var at3 []uint32
+	for _, h := range rt.Hops {
+		if h.TTL == 3 {
+			at3 = append(at3, h.Addr)
+		}
+	}
+	if len(at3) != 2 {
+		t.Fatalf("TTL-3 hops = %v, want both interfaces kept", at3)
+	}
+	if len(conflicts) != 1 || conflicts[0].Dst != dst || conflicts[0].TTL != 3 {
+		t.Fatalf("conflicts = %+v, want one at (dst, 3)", conflicts)
+	}
+	if len(conflicts[0].Addrs) != 2 || conflicts[0].Addrs[0] != 0xF0000001 || conflicts[0].Addrs[1] != 0xF0000009 {
+		t.Fatalf("conflict addrs = %v, want sorted pair", conflicts[0].Addrs)
+	}
+	// Interface sets union.
+	for _, a := range []uint32{0xF0000001, 0xF0000002, 0xF0000009} {
+		if !merged.Interfaces().Has(a) {
+			t.Fatalf("interface %x missing from union", a)
+		}
+	}
+}
+
+func TestMergeStoresDedupAndLength(t *testing.T) {
+	fam := core.IPv4Family()
+	const dst = uint32(0x0B000002)
+
+	a := newStore()
+	a.AddHop(dst, 4, 0xF0000011, 11*time.Microsecond)
+
+	b := newStore()
+	b.AddHop(dst, 4, 0xF0000011, 77*time.Microsecond) // same observation, later RTT
+	b.AddHop(dst, 6, 0xF0000012, 12*time.Microsecond)
+
+	merged, conflicts := mergeStores(fam, true, []*trace.StoreOf[uint32]{a, b})
+	if len(conflicts) != 0 {
+		t.Fatalf("agreeing observations reported as conflicts: %+v", conflicts)
+	}
+	rt := merged.Route(dst)
+	if len(rt.Hops) != 2 {
+		t.Fatalf("hops = %+v, want deduplicated pair", rt.Hops)
+	}
+	if rt.Hops[0].RTT != 11*time.Microsecond {
+		t.Fatalf("dedup kept RTT %v, want first observation's 11µs", rt.Hops[0].RTT)
+	}
+	// No store reached the destination: Length is the max observed.
+	if rt.Reached || rt.Length != 6 {
+		t.Fatalf("Reached=%v Length=%d, want false/6", rt.Reached, rt.Length)
+	}
+}
+
+func TestMergeStoresDeterministicOrder(t *testing.T) {
+	fam := core.IPv4Family()
+	a := newStore()
+	b := newStore()
+	for i := uint32(0); i < 50; i++ {
+		a.AddHop(0x0B000100+i, 3, 0xF0001000+i, time.Microsecond)
+		b.AddHop(0x0B000100+i, 2, 0xF0002000+i, time.Microsecond)
+	}
+	m1, _ := mergeStores(fam, true, []*trace.StoreOf[uint32]{a, b})
+	m2, _ := mergeStores(fam, true, []*trace.StoreOf[uint32]{a, b})
+	var s1, s2 []uint32
+	m1.ForEachRoute(func(r *trace.RouteOf[uint32]) { s1 = append(s1, r.Dst) })
+	m2.ForEachRoute(func(r *trace.RouteOf[uint32]) { s2 = append(s2, r.Dst) })
+	if len(s1) != 50 || len(s2) != 50 {
+		t.Fatalf("route counts %d/%d, want 50/50", len(s1), len(s2))
+	}
+}

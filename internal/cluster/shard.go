@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"github.com/flashroute/flashroute/internal/core"
+	"github.com/flashroute/flashroute/internal/permute"
+)
+
+// Shard is one worker's slice of the scan: the half-open range
+// [Start, End) of PERMUTED positions in the destination sequence. Shards
+// partition the permuted universe, not the block index space, so each
+// worker probes a contiguous run of the exact sequence a single-process
+// scan would walk — worker count 1 is the whole sequence, bit-identical
+// to the classic engine.
+type Shard struct {
+	Start, End int
+}
+
+// Blocks returns the number of permuted positions in the shard.
+func (s Shard) Blocks() int { return s.End - s.Start }
+
+// Assign carves the permuted destination universe of a scan into
+// `workers` near-equal contiguous shards. blocks and seed must match the
+// engine config the shards will run under (the engine derives its
+// probing permutation from exactly these plus the family's PermSalt).
+func Assign(blocks, workers int) []Shard {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > blocks {
+		workers = blocks
+	}
+	shards := make([]Shard, workers)
+	base, rem := blocks/workers, blocks%workers
+	pos := 0
+	for w := range shards {
+		n := base
+		if w < rem {
+			n++
+		}
+		shards[w] = Shard{Start: pos, End: pos + n}
+		pos += n
+	}
+	return shards
+}
+
+// positionsOf inverts the engine's destination permutation: pos[b] is
+// the permuted position of block b, so a shard's Skip predicate is one
+// array lookup per block. The permutation is the engine's own (Feistel
+// over the block count, keyed by seed XOR the family's salt — see
+// ScannerOf.RunContext), which is what makes "contiguous permuted
+// range" and "the prefix the single-process scan would probe first"
+// the same thing.
+func positionsOf[A comparable](fam core.Family[A], blocks int, seed int64) []uint32 {
+	perm := permute.NewFeistel(uint64(blocks), uint64(seed)^fam.PermSalt())
+	pos := make([]uint32, blocks)
+	for i := 0; i < blocks; i++ {
+		pos[perm.Map(uint64(i))] = uint32(i)
+	}
+	return pos
+}
+
+// shardSkip composes a shard's membership test with the scan's own Skip
+// (exclusion lists still apply inside every shard).
+func shardSkip(pos []uint32, sh Shard, base func(int) bool) func(int) bool {
+	return func(block int) bool {
+		if base != nil && base(block) {
+			return true
+		}
+		p := int(pos[block])
+		return p < sh.Start || p >= sh.End
+	}
+}

@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/flashroute/flashroute/internal/core"
+)
+
+// This file implements the cluster's globally shared stop set: the
+// Doubletree redundancy elimination of the paper (§3.2), extended past
+// the process boundary the way Yarrp's distributed probing frames it.
+//
+// The design is publish/subscribe over an append-only merge log:
+//
+//   - every worker owns a private two-tier core.StopSet: the local tier
+//     is the engine's default sharded set (everything this worker
+//     discovered itself), the remote tier is a map of entries other
+//     workers published;
+//   - Has is local-first: a local hit costs exactly what the
+//     single-process engine pays (one map read, zero allocations); only
+//     a local miss consults the hub, draining any log suffix published
+//     since the last look;
+//   - Add inserts locally and batches the address for async publication
+//     (PublishBatch entries per hub append, so K workers do not contend
+//     on the hub mutex per reply);
+//   - remote entries only ever SUPPRESS backward probing — they are
+//     never removed and never force probing that local knowledge would
+//     have skipped — so a worker's probing decisions are a
+//     deterministic function of its own replies plus the prefix of the
+//     merge log it has observed.
+
+// hubEntry is one published discovery: the address plus the worker that
+// published it, so subscribers can skip their own entries on drain.
+type hubEntry[A comparable] struct {
+	worker int
+	addr   A
+}
+
+// Hub is the coordinator's stop-set exchange: an append-only log of
+// (worker, interface) discoveries with a generation counter subscribers
+// compare against their drain cursor. One Hub is shared by all workers
+// of a cluster scan.
+type Hub[A comparable] struct {
+	mu  sync.Mutex
+	log []hubEntry[A]
+
+	// gen is the published log length, advanced after the entries are
+	// visible under mu. Subscribers read it lock-free in Has: equal to
+	// their drain cursor means nothing new, so the common no-news path
+	// costs one atomic load.
+	gen atomic.Uint64
+}
+
+// NewHub creates an empty exchange.
+func NewHub[A comparable]() *Hub[A] { return &Hub[A]{} }
+
+// publish appends addrs to the merge log on behalf of worker w.
+func (h *Hub[A]) publish(w int, addrs []A) {
+	if len(addrs) == 0 {
+		return
+	}
+	h.mu.Lock()
+	for _, a := range addrs {
+		h.log = append(h.log, hubEntry[A]{worker: w, addr: a})
+	}
+	n := uint64(len(h.log))
+	h.mu.Unlock()
+	h.gen.Store(n)
+}
+
+// Published reports the total number of log entries (post-scan stats).
+func (h *Hub[A]) Published() uint64 { return h.gen.Load() }
+
+// defaultPublishBatch is how many locally discovered interfaces a worker
+// accumulates before one hub append.
+const defaultPublishBatch = 64
+
+// WorkerSet is one worker's view of the shared stop set: the pluggable
+// core.StopSet the coordinator injects into each engine instance via
+// ConfigOf.StopSet. See the file comment for the two-tier design.
+type WorkerSet[A comparable] struct {
+	hub    *Hub[A] // nil: detached (independent-scan baseline)
+	worker int
+	local  core.StopSet[A]
+	batch  int
+
+	// pubMu guards the publication batch. Engine Add calls may arrive
+	// concurrently from R receive workers.
+	pubMu   sync.Mutex
+	pending []A
+
+	// remMu guards the remote tier and the drain cursor; drained mirrors
+	// the cursor as an atomic so Has can skip the lock when there is
+	// nothing new to drain.
+	remMu    sync.RWMutex
+	remote   map[A]struct{}
+	cursor   int
+	drained  atomic.Uint64
+	received uint64 // remote entries adopted (stats, under remMu)
+}
+
+// NewWorkerSet builds worker w's view over the hub. local becomes the
+// worker's private tier (use core.NewLocalStopSet with the worker's
+// receiver count); batch <= 0 uses the default publication batch. A nil
+// hub detaches the worker — the independent-scan baseline the probe
+// savings experiment compares against.
+func NewWorkerSet[A comparable](hub *Hub[A], w int, local core.StopSet[A], batch int) *WorkerSet[A] {
+	if batch <= 0 {
+		batch = defaultPublishBatch
+	}
+	return &WorkerSet[A]{
+		hub:    hub,
+		worker: w,
+		local:  local,
+		batch:  batch,
+		remote: make(map[A]struct{}),
+	}
+}
+
+// Has reports membership: local tier first (the zero-allocation hot
+// path), then — only on a miss — the remote tier, after draining any
+// merge-log suffix published since the last drain.
+func (w *WorkerSet[A]) Has(a A) bool {
+	if w.local.Has(a) {
+		return true
+	}
+	if w.hub == nil {
+		return false
+	}
+	if w.hub.gen.Load() != w.drained.Load() {
+		w.drain()
+	}
+	w.remMu.RLock()
+	_, ok := w.remote[a]
+	w.remMu.RUnlock()
+	return ok
+}
+
+// drain adopts the unread merge-log suffix into the remote tier,
+// skipping this worker's own entries (they are already local).
+func (w *WorkerSet[A]) drain() {
+	w.remMu.Lock()
+	h := w.hub
+	h.mu.Lock()
+	tail := h.log[w.cursor:]
+	w.cursor = len(h.log)
+	gen := uint64(len(h.log))
+	for _, e := range tail {
+		if e.worker != w.worker {
+			w.remote[e.addr] = struct{}{}
+			w.received++
+		}
+	}
+	h.mu.Unlock()
+	w.drained.Store(gen)
+	w.remMu.Unlock()
+}
+
+// Add inserts a discovered interface locally and queues it for
+// publication. The engine calls Add once per reply, so repeats of an
+// already-known interface are the common case — they publish nothing.
+func (w *WorkerSet[A]) Add(a A) {
+	if w.local.Has(a) {
+		return
+	}
+	w.local.Add(a)
+	if w.hub == nil {
+		return
+	}
+	w.remMu.RLock()
+	_, known := w.remote[a]
+	w.remMu.RUnlock()
+	if known {
+		return // another worker already published it
+	}
+	w.pubMu.Lock()
+	w.pending = append(w.pending, a)
+	if len(w.pending) >= w.batch {
+		w.hub.publish(w.worker, w.pending)
+		w.pending = w.pending[:0]
+	}
+	w.pubMu.Unlock()
+}
+
+// Flush publishes any partial batch (phase ends and scan exit).
+func (w *WorkerSet[A]) Flush() {
+	if w.hub == nil {
+		return
+	}
+	w.pubMu.Lock()
+	if len(w.pending) > 0 {
+		w.hub.publish(w.worker, w.pending)
+		w.pending = w.pending[:0]
+	}
+	w.pubMu.Unlock()
+}
+
+// ForEach visits the local tier, then remote entries not already local
+// (checkpoint encoding: a migrated shard resumes with at least as much
+// suppression as it died with).
+func (w *WorkerSet[A]) ForEach(fn func(A)) {
+	w.local.ForEach(fn)
+	w.remMu.RLock()
+	for a := range w.remote {
+		if !w.local.Has(a) {
+			fn(a)
+		}
+	}
+	w.remMu.RUnlock()
+}
+
+// Size counts distinct entries across both tiers.
+func (w *WorkerSet[A]) Size() int {
+	n := w.local.Size()
+	w.remMu.RLock()
+	for a := range w.remote {
+		if !w.local.Has(a) {
+			n++
+		}
+	}
+	w.remMu.RUnlock()
+	return n
+}
+
+// Received reports how many remote entries this worker adopted.
+func (w *WorkerSet[A]) Received() uint64 {
+	w.remMu.RLock()
+	defer w.remMu.RUnlock()
+	return w.received
+}

@@ -202,7 +202,7 @@ func (s *ScannerOf[A]) encodeCheckpoint(final, complete bool, merged *trace.Stor
 
 	// Stop set, sorted for deterministic bytes.
 	var stops []A
-	s.stopSet.forEach(func(a A) { stops = append(stops, a) })
+	s.stopSet.ForEach(func(a A) { stops = append(stops, a) })
 	sort.Slice(stops, func(i, j int) bool { return s.fam.AddrLess(stops[i], stops[j]) })
 	w.U32(uint32(len(stops)))
 	for _, a := range stops {
@@ -432,7 +432,7 @@ func (s *ScannerOf[A]) restore(data []byte) error {
 		s.dcbs[entries[i].block] = entries[i].d
 	}
 	for _, a := range stops {
-		s.stopSet.add(a)
+		s.stopSet.Add(a)
 	}
 	restoreTo := func(dst A) *trace.StoreOf[A] {
 		if s.striped == nil {

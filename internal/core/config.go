@@ -247,8 +247,22 @@ type ConfigOf[A comparable] struct {
 	ExtraScanTargets func(block, scan int) A
 
 	// Skip excludes blocks from the scan (the exclusion list and
-	// reserved/private space of §3.4); nil scans everything.
+	// reserved/private space of §3.4); nil scans everything. The cluster
+	// coordinator also uses it to carve the permuted destination universe
+	// into per-worker shards.
 	Skip func(block int) bool
+
+	// StopSet substitutes the engine's Doubletree stop set; nil uses the
+	// default in-process sharded implementation (fingerprint-identical to
+	// the engine before this knob existed). The cluster layer injects its
+	// globally shared, suppress-only set here.
+	StopSet StopSet[A]
+
+	// TraceSink, when non-nil, observes every discovery event (hop
+	// appends and destination arrivals) as the engine records it into its
+	// trace store — a tee, never a replacement; results and checkpoints
+	// are unaffected.
+	TraceSink TraceSink[A]
 
 	// CollectRoutes keeps full per-destination hop lists in the result
 	// (needed by route-level analyses; costs memory on huge universes).

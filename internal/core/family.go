@@ -79,6 +79,11 @@ type Family[A comparable] interface {
 // probe either family builds (IPv6 header + UDP + payload with margin).
 const maxProbeBuf = 160
 
+// IPv4Family returns the uint32/IPv4 family, for callers outside the
+// package that drive the generic engine directly (the cluster
+// coordinator's shard carving and merge ordering).
+func IPv4Family() Family[uint32] { return ipv4Family{} }
+
 // ipv4Family is the uint32/IPv4 instantiation of the engine: FlashRoute
 // exactly as the paper describes it.
 type ipv4Family struct{}

@@ -58,9 +58,9 @@ func (ss *stopSetOf[A]) shardOf(a A) *stopShard[A] {
 	return &ss.shards[ss.fam.HashAddr(a)%uint64(len(ss.shards))]
 }
 
-// has reports membership. Reads dominate (one per TTL-exceeded reply), so
+// Has reports membership. Reads dominate (one per TTL-exceeded reply), so
 // sharded mode takes only the read side of the shard lock.
-func (ss *stopSetOf[A]) has(a A) bool {
+func (ss *stopSetOf[A]) Has(a A) bool {
 	if len(ss.shards) == 1 {
 		_, ok := ss.shards[0].m[a]
 		return ok
@@ -72,8 +72,8 @@ func (ss *stopSetOf[A]) has(a A) bool {
 	return ok
 }
 
-// add inserts a into its home shard.
-func (ss *stopSetOf[A]) add(a A) {
+// Add inserts a into its home shard.
+func (ss *stopSetOf[A]) Add(a A) {
 	if len(ss.shards) == 1 {
 		ss.shards[0].m[a] = struct{}{}
 		return
@@ -84,10 +84,10 @@ func (ss *stopSetOf[A]) add(a A) {
 	sh.mu.Unlock()
 }
 
-// forEach visits every member under the shard read locks (checkpoint
-// encoding; safe concurrently with add, though the caller normally holds
+// ForEach visits every member under the shard read locks (checkpoint
+// encoding; safe concurrently with Add, though the caller normally holds
 // the checkpoint barrier that quiesces receivers anyway).
-func (ss *stopSetOf[A]) forEach(fn func(A)) {
+func (ss *stopSetOf[A]) ForEach(fn func(A)) {
 	for i := range ss.shards {
 		sh := &ss.shards[i]
 		sh.mu.RLock()
@@ -98,8 +98,8 @@ func (ss *stopSetOf[A]) forEach(fn func(A)) {
 	}
 }
 
-// size sums the shard cardinalities (post-scan use).
-func (ss *stopSetOf[A]) size() int {
+// Size sums the shard cardinalities (post-scan use).
+func (ss *stopSetOf[A]) Size() int {
 	n := 0
 	for i := range ss.shards {
 		sh := &ss.shards[i]

@@ -95,10 +95,12 @@ type ScannerOf[A comparable] struct {
 	shards []*senderShardOf[A]
 
 	// stop set: interfaces already discovered; backward probing
-	// terminates upon encountering one (§3.2). With one receiver it is a
-	// single unlocked map owned by the receiver thread; with Receivers > 1
-	// it is sharded by address hash (see receive.go).
-	stopSet *stopSetOf[A]
+	// terminates upon encountering one (§3.2). The default is the local
+	// sharded implementation (receive.go): a single unlocked map owned by
+	// the receiver thread at Receivers == 1, sharded by address hash
+	// above that. Config.StopSet substitutes a custom implementation
+	// (the cluster's globally shared set).
+	stopSet StopSet[A]
 
 	distMu   sync.Mutex
 	measured []uint8
@@ -276,6 +278,10 @@ func NewScannerOf[A comparable](fam Family[A], cfg ConfigOf[A], conn PacketConn,
 	// one route per block and, empirically, around one interface per two
 	// blocks; the stop set additionally holds reached destinations.
 	routeHint, ifaceHint := cfg.Blocks, cfg.Blocks/2
+	stopSet := cfg.StopSet
+	if stopSet == nil {
+		stopSet = newStopSet(fam, cfg.Receivers, cfg.Blocks)
+	}
 	s := &ScannerOf[A]{
 		cfg:         cfg,
 		fam:         fam,
@@ -283,7 +289,7 @@ func NewScannerOf[A comparable](fam Family[A], cfg ConfigOf[A], conn PacketConn,
 		clock:       clock,
 		dcbs:        make([]dcbOf[A], cfg.Blocks),
 		splits:      make([]uint8, cfg.Blocks),
-		stopSet:     newStopSet(fam, cfg.Receivers, cfg.Blocks),
+		stopSet:     stopSet,
 		phaseParker: clock.NewParker(),
 	}
 	if cfg.CheckpointSink != nil {
@@ -1122,7 +1128,7 @@ func (s *ScannerOf[A]) processReply(store *trace.StoreOf[A], block int, r *Reply
 			return
 		}
 		d.respSeen |= bit
-		seen := s.stopSet.has(r.Hop)
+		seen := s.stopSet.Has(r.Hop)
 		if r.InitTTL > d.routeLen && d.flags&dcbForwardDone == 0 {
 			d.routeLen = r.InitTTL
 		}
@@ -1151,7 +1157,10 @@ func (s *ScannerOf[A]) processReply(store *trace.StoreOf[A], block int, r *Reply
 		}
 		s.locks.unlock(uint32(block))
 		store.AddHop(r.Dst, r.InitTTL, r.Hop, r.RTT)
-		s.stopSet.add(r.Hop)
+		s.stopSet.Add(r.Hop)
+		if sink := s.cfg.TraceSink; sink != nil {
+			sink.HopDiscovered(r.Dst, r.InitTTL, r.Hop)
+		}
 
 	case ReplyUnreachable:
 		// Destination answers need no duplicate guard: every step here is
@@ -1161,7 +1170,10 @@ func (s *ScannerOf[A]) processReply(store *trace.StoreOf[A], block int, r *Reply
 		// Probes past the destination legitimately elicit one unreachable
 		// each, so repeats are not necessarily network duplicates.
 		store.SetReached(r.Dst, r.Dist, r.Hop, r.RTT)
-		s.stopSet.add(r.Hop)
+		s.stopSet.Add(r.Hop)
+		if sink := s.cfg.TraceSink; sink != nil {
+			sink.DestReached(r.Dst, r.Dist)
+		}
 		s.locks.lock(uint32(block))
 		d.flags |= dcbForwardDone
 		d.routeLen = r.Dist
@@ -1179,7 +1191,10 @@ func (s *ScannerOf[A]) processReply(store *trace.StoreOf[A], block int, r *Reply
 func (s *ScannerOf[A]) handlePreprobeResponse(store *trace.StoreOf[A], block int, r *Reply[A]) {
 	if r.Kind == ReplyUnreachable {
 		store.SetReached(r.Dst, r.Dist, r.Hop, r.RTT)
-		s.stopSet.add(r.Hop)
+		s.stopSet.Add(r.Hop)
+		if sink := s.cfg.TraceSink; sink != nil {
+			sink.DestReached(r.Dst, r.Dist)
+		}
 		if r.Dist >= 1 && r.Dist <= s.cfg.MaxTTL {
 			s.distMu.Lock()
 			if s.phase.Load() == 0 && s.measured != nil {
@@ -1203,10 +1218,13 @@ func (s *ScannerOf[A]) handlePreprobeResponse(store *trace.StoreOf[A], block int
 			return
 		}
 		store.AddHop(r.Dst, r.InitTTL, r.Hop, r.RTT)
-		s.stopSet.add(r.Hop)
+		s.stopSet.Add(r.Hop)
+		if sink := s.cfg.TraceSink; sink != nil {
+			sink.HopDiscovered(r.Dst, r.InitTTL, r.Hop)
+		}
 	}
 }
 
 // StopSetSize reports the number of interfaces in the stop set (after the
 // scan; used by tests and the discovery-mode analysis).
-func (s *ScannerOf[A]) StopSetSize() int { return s.stopSet.size() }
+func (s *ScannerOf[A]) StopSetSize() int { return s.stopSet.Size() }

@@ -101,6 +101,16 @@ type Config struct {
 	// NoRedundancyElimination disables stop-set termination.
 	NoRedundancyElimination bool
 
+	// Skip excludes candidate-list entries from the scan; the cluster
+	// coordinator uses it to carve per-worker shards. nil scans all.
+	Skip func(block int) bool
+
+	// StopSet substitutes the engine's Doubletree stop set (nil = the
+	// default in-process implementation); TraceSink tees discovery
+	// events. See the generic core.ConfigOf fields of the same names.
+	StopSet   core.StopSet[probe6.Addr]
+	TraceSink core.TraceSink[probe6.Addr]
+
 	// CollectRoutes keeps per-target hop lists.
 	CollectRoutes bool
 
@@ -399,6 +409,9 @@ func buildEngineConfig(cfg Config) (core.ConfigOf[probe6.Addr], error) {
 		ForwardRetries:          cfg.ForwardRetries,
 		ForwardTimeout:          cfg.ForwardTimeout,
 		NoRedundancyElimination: cfg.NoRedundancyElimination,
+		Skip:                    cfg.Skip,
+		StopSet:                 cfg.StopSet,
+		TraceSink:               cfg.TraceSink,
 		CollectRoutes:           cfg.CollectRoutes,
 		Observer:                cfg.Observer,
 		Seed:                    cfg.Seed,
@@ -421,6 +434,17 @@ func buildEngineConfig(cfg Config) (core.ConfigOf[probe6.Addr], error) {
 		ecfg.Preprobe = core.PreprobeOff
 	}
 	return ecfg, nil
+}
+
+// Family returns the probe6.Addr family, for callers that drive the
+// generic engine directly (the cluster coordinator).
+func Family() core.Family[probe6.Addr] { return family6{} }
+
+// EngineConfig translates a FlashRoute6 config into the generic engine's
+// form — the same translation NewScanner performs — so the cluster
+// coordinator can derive per-worker engine configs from one v6 spec.
+func EngineConfig(cfg Config) (core.ConfigOf[probe6.Addr], error) {
+	return buildEngineConfig(cfg)
 }
 
 // NewScanner validates the configuration.

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/cluster"
+	"github.com/flashroute/flashroute/internal/core"
+	"github.com/flashroute/flashroute/internal/netsim"
+	"github.com/flashroute/flashroute/internal/simclock"
+	"github.com/flashroute/flashroute/internal/trace"
+)
+
+// ClusterRow is one worker-count measurement: the same destination
+// universe scanned by K worker loops with the shared global stop set,
+// against the control of K loops probing their shards independently.
+type ClusterRow struct {
+	Workers      int
+	SharedProbes uint64  // total probes with the global stop set
+	IndepProbes  uint64  // total probes with per-worker stop sets only
+	SavingsPct   float64 // 1 - shared/indep
+	Interfaces   int     // merged interface count (shared run)
+	Reached      int     // merged reached count (shared run)
+	Match        bool    // merged discovery == single-worker discovery
+}
+
+// ClusterTable reports what the distributed coordinator buys: the shared
+// stop set suppresses the backward probing that multiple vantages would
+// each spend re-discovering the same core interfaces (Doubletree's
+// global stop set, applied across the cluster), without losing coverage.
+type ClusterTable struct {
+	BaselineProbes     uint64
+	BaselineInterfaces int
+	BaselineReached    int
+	Rows               []ClusterRow
+}
+
+// WriteText renders the table for EXPERIMENTS.md.
+func (t *ClusterTable) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Cluster probe savings: shared global stop set vs independent workers (K=1 baseline: %d probes, %d interfaces, %d reached)\n",
+		t.BaselineProbes, t.BaselineInterfaces, t.BaselineReached); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%8s %12s %12s %9s %10s %8s %6s\n",
+		"workers", "shared", "independent", "savings", "interfaces", "reached", "match"); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintf(w, "%8d %12d %12d %8.2f%% %10d %8d %6v\n",
+			r.Workers, r.SharedProbes, r.IndepProbes, 100*r.SavingsPct,
+			r.Interfaces, r.Reached, r.Match); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// newTreeScenario rebuilds the scenario's universe over a strictly
+// hierarchical topology: every probabilistic structure that lets one
+// (interface, TTL) pair front different sub-paths — diamonds, loops,
+// middleboxes, per-block appliances, balanced pairs — is disabled, along
+// with the timing nondeterminism of NewLockstepNet. On a tree,
+// Doubletree's same-interface⇒same-path-below closure holds exactly, so
+// merged discovery across any worker count must equal the single-worker
+// run and the Match column is a strict invariant rather than a
+// statistical one.
+func newTreeScenario(blocks int, seed int64) *Scenario {
+	u := netsim.NewSyntheticUniverse(blocks)
+	p := netsim.DefaultParams(seed)
+	p.ICMPRateLimitPPS = 0
+	p.DynamicBlockProb = 0
+	p.JitterRTT = 0
+	p.DiamondProb = 0
+	p.RegionDiamondProb = 0
+	p.LoopStubProb = 0
+	p.MiddleboxTTLResetProb = 0
+	p.AddrRewriteStubProb = 0
+	p.ApplianceProb = 0
+	p.BalancedHopProb = 0
+	return &Scenario{Blocks: blocks, Seed: seed, Topo: netsim.NewTopology(u, p)}
+}
+
+// runCluster runs one coordinated scan over a fresh network of the tree
+// topology. Preprobing stays off: distance prediction couples blocks
+// across shard boundaries, which would make probe counts depend on the
+// sharding rather than on what the experiment measures.
+func runCluster(s *Scenario, workers int, independent bool) (*cluster.Result[uint32], error) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	net := netsim.New(s.Topo, clock)
+	base := core.DefaultConfig()
+	base.Blocks = s.Blocks
+	base.Seed = s.Seed
+	base.Source = s.Topo.Vantage()
+	base.Targets = s.RandomTargets()
+	base.BlockOf = s.BlockOf()
+	base.PPS = s.ScaledPPS(PaperPPS)
+	base.Preprobe = core.PreprobeOff
+	base.CollectRoutes = true
+	env := cluster.Env[uint32]{
+		Fam:   core.IPv4Family(),
+		Base:  base,
+		Clock: clock,
+		NewConn: func(vantage int) (core.PacketConn, func() core.PacketReader, error) {
+			return net.NewVantageConn(vantage), nil, nil
+		},
+	}
+	return cluster.Scan(context.Background(), env, cluster.Options{
+		Workers: workers, Independent: independent,
+	})
+}
+
+// clusterSets extracts the comparable discovery: reached destinations
+// and the interfaces seen at depth ≥ 2. Depth-1 hops are each vantage's
+// private attachment link — workers 1..K-1 see their synthetic ingress
+// and only vantage 0 can see the real first hop, so TTL-1 interfaces
+// are legitimately vantage-dependent and excluded from the invariant.
+func clusterSets(st *trace.StoreOf[uint32]) (ifaces map[uint32]bool, reached int) {
+	ifaces = make(map[uint32]bool)
+	st.ForEachRoute(func(r *trace.RouteOf[uint32]) {
+		if r.Reached {
+			reached++
+		}
+		for _, h := range r.Hops {
+			if h.TTL >= 2 && h.Addr != r.Dst {
+				ifaces[h.Addr] = true
+			}
+		}
+	})
+	return ifaces, reached
+}
+
+// ClusterSavings measures the probe cost of distributing a scan over K
+// vantages (experiment C2). For each K it runs the coordinator twice
+// over identical fresh networks — once with the shared global stop set,
+// once with each worker's stop set private — and reports the savings the
+// shared set buys, plus whether the merged discovery still equals the
+// single-worker scan's. workerCounts nil means 2/4/8.
+func ClusterSavings(s *Scenario, workerCounts []int) (*ClusterTable, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{2, 4, 8}
+	}
+	tree := newTreeScenario(s.Blocks, s.Seed)
+
+	baseRes, err := runCluster(tree, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	baseIfaces, baseReached := clusterSets(baseRes.Store)
+	t := &ClusterTable{
+		BaselineProbes:     baseRes.ProbesSent,
+		BaselineInterfaces: len(baseIfaces),
+		BaselineReached:    baseReached,
+	}
+
+	for _, k := range workerCounts {
+		shared, err := runCluster(tree, k, false)
+		if err != nil {
+			return nil, err
+		}
+		indep, err := runCluster(tree, k, true)
+		if err != nil {
+			return nil, err
+		}
+		ifaces, reached := clusterSets(shared.Store)
+		match := reached == baseReached && len(ifaces) == len(baseIfaces)
+		for a := range ifaces {
+			if !baseIfaces[a] {
+				match = false
+				break
+			}
+		}
+		t.Rows = append(t.Rows, ClusterRow{
+			Workers:      k,
+			SharedProbes: shared.ProbesSent,
+			IndepProbes:  indep.ProbesSent,
+			SavingsPct:   1 - float64(shared.ProbesSent)/float64(indep.ProbesSent),
+			Interfaces:   len(ifaces),
+			Reached:      reached,
+			Match:        match,
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+// TestClusterSavingsShape asserts C2's qualitative shape at reduced
+// scale: the shared global stop set never probes more than independent
+// workers, the gap grows with K, and merged discovery matches the
+// single-worker scan exactly in the tree environment.
+func TestClusterSavingsShape(t *testing.T) {
+	r, err := ClusterSavings(scen(t, 8192), []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Rows))
+	}
+	prev := 0.0
+	for _, row := range r.Rows {
+		if !row.Match {
+			t.Errorf("K=%d: merged discovery diverged from the K=1 baseline", row.Workers)
+		}
+		if row.SharedProbes > row.IndepProbes {
+			t.Errorf("K=%d: shared stop set probed more than independent (%d > %d)",
+				row.Workers, row.SharedProbes, row.IndepProbes)
+		}
+		if row.SavingsPct < prev {
+			t.Errorf("K=%d: savings %.3f%% shrank from the smaller K's %.3f%%",
+				row.Workers, 100*row.SavingsPct, 100*prev)
+		}
+		prev = row.SavingsPct
+	}
+}

@@ -114,10 +114,17 @@ type respPayload struct {
 // simulated network. One goroutine may write while another reads — the
 // decoupled sender/receiver design of the paper (§3.2).
 type Conn struct {
-	net   *Net
-	src   uint32
-	imp   *simnet.ImpairState // nil unless Params.Impair is enabled
-	inbox *simnet.Inbox[respPayload]
+	net *Net
+	src uint32
+	// vantage selects the ingress path probes take into the topology
+	// (Topology.ResolveFrom): 0 is the classic vantage point, higher
+	// values are cluster workers with a private first hop. The source
+	// address stays the vantage point's for every value — replies route
+	// back by connection, and keeping the 5-tuple identical keeps
+	// per-flow load-balancer decisions invariant across vantages.
+	vantage int
+	imp     *simnet.ImpairState // nil unless Params.Impair is enabled
+	inbox   *simnet.Inbox[respPayload]
 
 	// Batch-path scratch, reused across calls so the steady state stays
 	// allocation-free. wrMu serializes WriteBatch callers (several sender
@@ -131,10 +138,20 @@ type Conn struct {
 
 // NewConn opens a connection sourced at the vantage point.
 func (n *Net) NewConn() *Conn {
+	return n.NewVantageConn(0)
+}
+
+// NewVantageConn opens a connection entering the topology at vantage v:
+// v == 0 is NewConn exactly; v > 0 routes the connection's probes over a
+// private ingress link whose first hop is IngressIface(v). One Net
+// supports any number of concurrently probing connections (stats are
+// atomic, rate-limit buckets sharded, inboxes per connection).
+func (n *Net) NewVantageConn(v int) *Conn {
 	c := &Conn{
-		net:   n,
-		src:   n.topo.Vantage(),
-		inbox: simnet.NewInbox[respPayload](n.clock, n.epoch),
+		net:     n,
+		src:     n.topo.Vantage(),
+		vantage: v,
+		inbox:   simnet.NewInbox[respPayload](n.clock, n.epoch),
 	}
 	if n.topo.P.Impair.Enabled() {
 		c.imp = simnet.NewImpairState(n.topo.P.Seed)
@@ -269,7 +286,7 @@ func (c *Conn) write1(pkt []byte, now time.Duration, stage *[]simnet.Pending[res
 		return nil
 	}
 	flow := flowHash(hdr.Src, hdr.Dst, srcPort, dstPort, hdr.Protocol)
-	hop := n.topo.Resolve(hdr.Dst, hdr.TTL, flow, now, hdr.Protocol)
+	hop := n.topo.ResolveFrom(c.vantage, hdr.Dst, hdr.TTL, flow, now, hdr.Protocol)
 
 	var kind uint8
 	switch hop.Kind {

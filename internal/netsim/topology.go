@@ -316,11 +316,28 @@ func (t *Topology) chance(h uint64, p float64) bool {
 	return float64(h>>11)/float64(1<<53) < p
 }
 
+// ingressBase is the address space of per-vantage ingress interfaces:
+// vantage v > 0 reaches the shared core through its own first-hop link
+// whose interface is IngressIface(v). The range sits above the infra
+// minting base, so it can never collide with generated router
+// interfaces or universe addresses.
+const ingressBase uint32 = 0xFFFF0000
+
+// IngressIface returns the first-hop interface address seen by probes
+// sourced at vantage v (v > 0; vantage 0 uses the classic core path).
+func IngressIface(v int) uint32 { return ingressBase | uint32(v) }
+
+// IsIngressIface reports whether addr is a per-vantage ingress
+// interface — used by the cluster merge to compare discovery sets
+// modulo each worker's private first hop.
+func IsIngressIface(addr uint32) bool { return addr&0xFFFF0000 == ingressBase }
+
 // silentRouter reports whether an infrastructure interface is persistently
 // unresponsive. The first core hop always answers: a vantage point whose
-// own gateway were silent could not traceroute at all.
+// own gateway were silent could not traceroute at all — and the same
+// holds for every per-vantage ingress interface.
 func (t *Topology) silentRouter(addr uint32) bool {
-	if addr == t.core[0] {
+	if addr == t.core[0] || IsIngressIface(addr) {
 		return false
 	}
 	return t.chance(t.hash64(uint64(addr), tagRouterSilent, 0), t.P.SilentRouterProb)
@@ -409,9 +426,23 @@ func (t *Topology) dynamicExtra(block int, now time.Duration) bool {
 // (derived from the 5-tuple by the Net), now the send time (for route
 // dynamics), proto the transport protocol number.
 func (t *Topology) Resolve(dst uint32, ttl uint8, flow uint32, now time.Duration, proto uint8) Hop {
+	return t.ResolveFrom(0, dst, ttl, flow, now, proto)
+}
+
+// ResolveFrom is Resolve for a probe entering at vantage v: vantage 0 is
+// the classic path, any other vantage reaches the same core through a
+// private one-hop ingress link, so its first hop resolves to
+// IngressIface(v) instead of the shared first core router. Everything
+// past depth 1 — and all reply semantics — is identical across
+// vantages, which is what lets a cluster of workers merge their
+// discoveries into one topology.
+func (t *Topology) ResolveFrom(v int, dst uint32, ttl uint8, flow uint32, now time.Duration, proto uint8) Hop {
 	block, ok := t.U.BlockIndex(dst)
 	if !ok {
 		return Hop{Kind: HopNone, QuotedDst: dst}
+	}
+	if v > 0 && ttl == 1 {
+		return t.routerHop(IngressIface(v), ttl, dst, false, proto)
 	}
 	s := &t.stubs[t.blockStub[block]]
 	pr := &t.providers[s.provider]

@@ -240,11 +240,22 @@ func addrWord(a probe6.Addr) uint64 {
 }
 
 func (t *Topology) silent(a probe6.Addr) bool {
-	if a == t.core[0] {
+	if a == t.core[0] || IsIngressIface(a) {
 		return false
 	}
 	return t.chance(t.hash(addrWord(a), 0x51, 0), t.P.SilentRouterProb)
 }
+
+// ingressTier is the infraAddr tier minting per-vantage ingress
+// interfaces; generated routers use the low tiers, so no collision.
+const ingressTier = 0xfe
+
+// IngressIface returns the first-hop interface address seen by probes
+// sourced at vantage v (v > 0; vantage 0 uses the classic core path).
+func IngressIface(v int) probe6.Addr { return infraAddr(ingressTier, uint32(v)) }
+
+// IsIngressIface reports whether a is a per-vantage ingress interface.
+func IsIngressIface(a probe6.Addr) bool { return a[0] == 0x2a && a[1] == ingressTier }
 
 // Vantage returns the scanning source address.
 func (t *Topology) Vantage() probe6.Addr { return t.vantage }
@@ -284,9 +295,19 @@ func (t *Topology) DistanceNow(a probe6.Addr) uint8 {
 
 // Resolve determines what a probe encounters.
 func (t *Topology) Resolve(dst probe6.Addr, hopLimit uint8) Hop {
+	return t.ResolveFrom(0, dst, hopLimit)
+}
+
+// ResolveFrom is Resolve for a probe entering at vantage v: vantage 0 is
+// the classic path, any other vantage reaches the same core through a
+// private one-hop ingress link resolving to IngressIface(v) at depth 1.
+func (t *Topology) ResolveFrom(v int, dst probe6.Addr, hopLimit uint8) Hop {
 	i, ok := t.prefixOf(dst)
 	if !ok {
 		return Hop{Kind: HopNone}
+	}
+	if v > 0 && hopLimit == 1 {
+		return t.routerHop(IngressIface(v), hopLimit)
 	}
 	pref := &t.prefixes[i]
 	pr := int(pref.provider)
@@ -411,9 +432,14 @@ type respPayload struct {
 
 // Conn is the raw IPv6 connection.
 type Conn struct {
-	net   *Net
-	imp   *simnet.ImpairState // nil unless Params.Impair is enabled
-	inbox *simnet.Inbox[respPayload]
+	net *Net
+	// vantage selects the ingress path probes take into the topology
+	// (Topology.ResolveFrom); 0 is the classic vantage point. Replies
+	// route back by connection, and the source address stays the vantage
+	// point's for every value.
+	vantage int
+	imp     *simnet.ImpairState // nil unless Params.Impair is enabled
+	inbox   *simnet.Inbox[respPayload]
 
 	// Batch-path scratch, reused across calls so the steady state stays
 	// allocation-free. wrMu serializes WriteBatch callers (several sender
@@ -426,7 +452,13 @@ type Conn struct {
 
 // NewConn opens a connection from the vantage point.
 func (n *Net) NewConn() *Conn {
-	c := &Conn{net: n, inbox: simnet.NewInbox[respPayload](n.clock, n.epoch)}
+	return n.NewVantageConn(0)
+}
+
+// NewVantageConn opens a connection entering the topology at vantage v
+// (v == 0 is NewConn exactly; see the IPv4 simulator's NewVantageConn).
+func (n *Net) NewVantageConn(v int) *Conn {
+	c := &Conn{net: n, vantage: v, inbox: simnet.NewInbox[respPayload](n.clock, n.epoch)}
 	if n.topo.P.Impair.Enabled() {
 		c.imp = simnet.NewImpairState(n.topo.P.Seed)
 	}
@@ -514,7 +546,7 @@ func (c *Conn) write1(pkt []byte, now time.Duration, stage *[]simnet.Pending[res
 		}
 	}
 
-	hop := n.topo.Resolve(hdr.Dst, hdr.HopLimit)
+	hop := n.topo.ResolveFrom(c.vantage, hdr.Dst, hdr.HopLimit)
 	switch hop.Kind {
 	case HopNone:
 		n.Stats.NoRoute.Add(uint64(copies))

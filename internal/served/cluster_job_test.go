@@ -1,0 +1,93 @@
+package served
+
+import (
+	"testing"
+	"time"
+)
+
+// TestClusterJobRuns: a type:"cluster" job runs the multi-vantage
+// coordinator to completion and streams merged NDJSON results. The
+// byte-determinism check pins Workers:1, where the cluster path is
+// bit-identical to a plain scan; at K>1 the merged bytes depend on the
+// stop-set merge-log interleaving (DESIGN.md §13), so the K=2 job is
+// asserted to complete with discovery, not to reproduce bytes.
+func TestClusterJobRuns(t *testing.T) {
+	srv, ts := newTestServer(t, Config{GlobalPPS: 1_000_000})
+
+	one := JobSpec{
+		Type: "cluster", Workers: 1,
+		Blocks: 256, Seed: 11, Lockstep: true, PPS: 200_000,
+	}
+	var fps [2][]byte
+	for i := range fps {
+		id := submit(t, ts, one)
+		st := pollStatus(t, ts, id, 30*time.Second, terminal)
+		if st.State != StateDone {
+			t.Fatalf("cluster job %s ended %q (%s)", id, st.State, st.Error)
+		}
+		if st.Probes == 0 || st.Interfaces == 0 {
+			t.Fatalf("cluster job %s reports no discovery: %+v", id, st)
+		}
+		data, apiErr := srv.Results(id)
+		if apiErr != nil {
+			t.Fatal(apiErr)
+		}
+		if len(data) == 0 {
+			t.Fatalf("cluster job %s has empty results", id)
+		}
+		fps[i] = data
+	}
+	if string(fps[0]) != string(fps[1]) {
+		t.Fatal("identical one-worker cluster submissions produced different results")
+	}
+
+	// Multi-worker v4 job: completes and discovers.
+	id := submit(t, ts, JobSpec{
+		Type: "cluster", Workers: 2,
+		Blocks: 256, Seed: 11, Lockstep: true, PPS: 200_000,
+	})
+	st := pollStatus(t, ts, id, 30*time.Second, terminal)
+	if st.State != StateDone {
+		t.Fatalf("K=2 cluster job ended %q (%s)", st.State, st.Error)
+	}
+	if st.Probes == 0 || st.Interfaces == 0 {
+		t.Fatalf("K=2 cluster job reports no discovery: %+v", st)
+	}
+
+	// IPv6 cluster jobs run too.
+	id = submit(t, ts, JobSpec{
+		Type: "cluster", Workers: 2, Family: FamilyV6,
+		Prefixes: 64, TargetsPerPrefix: 4, Seed: 3, Lockstep: true,
+	})
+	st = pollStatus(t, ts, id, 30*time.Second, terminal)
+	if st.State != StateDone {
+		t.Fatalf("v6 cluster job ended %q (%s)", st.State, st.Error)
+	}
+}
+
+// TestClusterJobSpecValidation: the type/workers fields are validated as
+// structured errors.
+func TestClusterJobSpecValidation(t *testing.T) {
+	cases := []struct {
+		spec  JobSpec
+		field string
+	}{
+		{JobSpec{Type: "warp", Blocks: 16}, "type"},
+		{JobSpec{Type: "cluster", Workers: 65, Blocks: 16}, "workers"},
+		{JobSpec{Type: "cluster", Workers: -1, Blocks: 16}, "workers"},
+		{JobSpec{Workers: 2, Blocks: 16}, "workers"}, // workers without cluster
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil {
+			t.Fatalf("spec %+v accepted, want bad_spec on %s", c.spec, c.field)
+		}
+		if err.Field != c.field {
+			t.Fatalf("spec %+v rejected on field %q, want %q", c.spec, err.Field, c.field)
+		}
+	}
+	ok := JobSpec{Type: "cluster", Workers: 4, Blocks: 16}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid cluster spec rejected: %v", err)
+	}
+}

@@ -1,0 +1,58 @@
+package served
+
+import (
+	"testing"
+	"time"
+)
+
+// TestListOrderDeterministic pins GET /v1/jobs ordering: jobs come back
+// in creation-time order with ID as the tie-break, across a daemon
+// restart. The record IDs below are chosen so lexicographic ID order
+// disagrees with submission order ("job-1000000" sorts before
+// "job-999999" once the sequential counter outgrows its zero padding) —
+// the old ID-sorted reload got this wrong.
+func TestListOrderDeterministic(t *testing.T) {
+	state := t.TempDir()
+	st, err := OpenStore(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	recs := []*JobRecord{
+		{ID: "job-999999", Submitted: t0, State: StateDone},
+		{ID: "job-1000000", Submitted: t0.Add(time.Minute), State: StateDone},
+		{ID: "job-1000001", Submitted: t0.Add(time.Minute), State: StateDone}, // tie: ID breaks it
+	}
+	// Write in scrambled order; on-disk order must not matter.
+	for _, i := range []int{1, 2, 0} {
+		if err := st.PutRecord(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	now := t0.Add(time.Hour)
+	srv, err := New(Config{StateDir: state, Now: func() time.Time { return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	// A freshly submitted job sorts after everything reloaded.
+	id, apiErr := srv.Submit(JobSpec{Blocks: 16, Seed: 1, PPS: 100_000})
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+
+	want := []string{"job-999999", "job-1000000", "job-1000001", id}
+	for try := 0; try < 2; try++ {
+		list := srv.List()
+		if len(list) != len(want) {
+			t.Fatalf("List returned %d jobs, want %d", len(list), len(want))
+		}
+		for i, js := range list {
+			if js.ID != want[i] {
+				t.Fatalf("List[%d] = %s, want %s (try %d)", i, js.ID, want[i], try)
+			}
+		}
+	}
+}

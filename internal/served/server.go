@@ -5,6 +5,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -153,9 +156,13 @@ func New(cfg Config) (*Server, error) {
 			interfaces: rec.Interfaces,
 			done:       make(chan struct{}),
 		}
-		var n int
-		if _, err := fmt.Sscanf(rec.ID, "job-%06d", &n); err == nil && n >= s.nextID {
-			s.nextID = n + 1
+		// Parse the full numeric suffix: a width-limited Sscanf of
+		// "job-%06d" silently truncates seven-digit IDs, letting the
+		// counter collide with (and overwrite) a reloaded job.
+		if rest, ok := strings.CutPrefix(rec.ID, "job-"); ok {
+			if n, err := strconv.Atoi(rest); err == nil && n >= s.nextID {
+				s.nextID = n + 1
+			}
 		}
 		s.jobs[j.ID] = j
 		s.order = append(s.order, j.ID)
@@ -280,7 +287,9 @@ func (s *Server) runJob(j *Job) {
 	}
 	sink := func(snapshot []byte) error { return s.store.PutCheckpoint(j.ID, snapshot) }
 
-	if j.Spec.Family == FamilyV6 {
+	if j.Spec.Type == "cluster" {
+		s.runCluster(ctx, j, rate)
+	} else if j.Spec.Family == FamilyV6 {
 		s.runV6(ctx, j, rate, every, sink)
 	} else {
 		s.runV4(ctx, j, rate, every, sink)
@@ -386,6 +395,94 @@ func (s *Server) runV6(ctx context.Context, j *Job, rate, every int, sink func([
 	default:
 		final(StateDone)
 	}
+}
+
+// runCluster runs a "cluster" job: the multi-vantage coordinator of
+// DESIGN.md §13, with the spec's Workers loops sharing one global stop
+// set. Cluster jobs write no mid-scan checkpoints — shard handoff inside
+// the coordinator covers worker loss, and a daemon restart simply
+// re-runs the job from scratch. At one worker the re-run is
+// bit-identical; at K>1 the merged output is deterministic given the
+// stop-set merge log, whose interleaving varies run to run (DESIGN.md
+// §13), so a re-run regenerates equivalent coverage, not equal bytes.
+func (s *Server) runCluster(ctx context.Context, j *Job, rate int) {
+	opt := flashroute.ClusterOptions{Workers: j.Spec.Workers}
+	if opt.Workers == 0 {
+		opt.Workers = 2
+	}
+	var h liveScan
+	var wait func() (interrupted bool, probes uint64, interfaces int, jsonl func(*bytes.Buffer) error, err error)
+	if j.Spec.Family == FamilyV6 {
+		sim := flashroute.NewSimulation6(j.Spec.Sim6Config())
+		cfg := j.Spec.Scan6Config()
+		cfg.PPS = rate
+		ch, err := sim.StartClusterScan(ctx, cfg, opt)
+		if err != nil {
+			s.finishJob(j, StateFailed, err.Error(), nil)
+			return
+		}
+		h = ch
+		wait = func() (bool, uint64, int, func(*bytes.Buffer) error, error) {
+			res, err := ch.Wait()
+			if err != nil {
+				return false, 0, 0, nil, err
+			}
+			return res.Interrupted(), res.Probes(), res.InterfaceCount(),
+				func(buf *bytes.Buffer) error { return res.WriteJSONL(buf) }, nil
+		}
+	} else {
+		sim, err := flashroute.NewSimulationCIDRs(j.Spec.SimConfig())
+		if err != nil {
+			s.finishJob(j, StateFailed, err.Error(), nil)
+			return
+		}
+		ch, err := sim.StartClusterScan(ctx, j.clusterConfigV4(rate), opt)
+		if err != nil {
+			s.finishJob(j, StateFailed, err.Error(), nil)
+			return
+		}
+		h = ch
+		wait = func() (bool, uint64, int, func(*bytes.Buffer) error, error) {
+			res, err := ch.Wait()
+			if err != nil {
+				return false, 0, 0, nil, err
+			}
+			return res.Interrupted(), res.Probes(), res.InterfaceCount(),
+				func(buf *bytes.Buffer) error { return res.WriteJSONL(buf) }, nil
+		}
+	}
+	j.handle.Store(h)
+	h.SetRate(int(j.rate.Load()))
+	interrupted, probes, interfaces, jsonl, err := wait()
+	if err != nil {
+		s.finishJob(j, StateFailed, err.Error(), nil)
+		return
+	}
+	final := func(state string) {
+		var buf bytes.Buffer
+		if err := jsonl(&buf); err != nil {
+			s.finishJob(j, StateFailed, err.Error(), nil)
+			return
+		}
+		s.finishJob(j, state, "", &scanSummary{
+			probes: probes, interfaces: interfaces, ndjson: buf.Bytes(),
+		})
+	}
+	switch {
+	case interrupted && j.userCanceled.Load():
+		final(StateCanceled)
+	case interrupted:
+		s.releaseInterrupted(j) // restart re-runs the job from scratch
+	default:
+		final(StateDone)
+	}
+}
+
+// clusterConfigV4 is the v4 scan config of a cluster job.
+func (j *Job) clusterConfigV4(rate int) flashroute.Config {
+	cfg := j.Spec.ScanConfig()
+	cfg.PPS = rate
+	return cfg
 }
 
 type scanSummary struct {
@@ -514,7 +611,11 @@ func (s *Server) statusLocked(j *Job) *JobStatus {
 	return st
 }
 
-// List returns every known job in submission order.
+// List returns every known job in deterministic submission order:
+// creation time first, ID as the tie-break. The in-memory order slice is
+// already chronological for jobs submitted to this process, but jobs
+// reloaded after a restart carry older timestamps, so the sort is what
+// makes GET /v1/jobs stable across daemon generations.
 func (s *Server) List() []*JobStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -522,6 +623,12 @@ func (s *Server) List() []*JobStatus {
 	for _, id := range s.order {
 		out = append(out, s.statusLocked(s.jobs[id]))
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Submitted.Equal(out[j].Submitted) {
+			return out[i].Submitted.Before(out[j].Submitted)
+		}
+		return out[i].ID < out[j].ID
+	})
 	return out
 }
 

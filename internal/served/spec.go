@@ -27,6 +27,13 @@ type JobSpec struct {
 	Tenant string `json:"tenant,omitempty"`
 	// Family is "ipv4" (default) or "ipv6".
 	Family string `json:"family,omitempty"`
+	// Type is the job kind: "scan" (default) runs one engine instance;
+	// "cluster" runs the distributed coordinator of DESIGN.md §13 —
+	// Workers worker loops over distinct vantage ingresses sharing one
+	// global stop set, results merged conflict-aware.
+	Type string `json:"type,omitempty"`
+	// Workers is the cluster job's worker-loop count (default 2, max 64).
+	Workers int `json:"workers,omitempty"`
 
 	// CIDRs or Blocks define the IPv4 universe (exactly one of them).
 	CIDRs  []string `json:"cidrs,omitempty"`
@@ -123,6 +130,18 @@ func (s *JobSpec) Validate() *APIError {
 		}
 	default:
 		return badSpec("family", "unknown family %q (want %q or %q)", s.Family, FamilyV4, FamilyV6)
+	}
+	switch s.Type {
+	case "", "scan":
+		if s.Workers != 0 {
+			return badSpec("workers", "workers is a cluster-job field")
+		}
+	case "cluster":
+		if s.Workers < 0 || s.Workers > 64 {
+			return badSpec("workers", "workers must be in 0..64 (0 means the default)")
+		}
+	default:
+		return badSpec("type", "unknown type %q (want %q or %q)", s.Type, "scan", "cluster")
 	}
 	switch s.Protocol {
 	case "", "udp":

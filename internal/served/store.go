@@ -110,8 +110,10 @@ func (st *Store) ReadResults(id string) ([]byte, error) {
 	return os.ReadFile(st.ResultsPath(id))
 }
 
-// LoadAll reads every persisted job record, ordered by ID — the job
-// table a restarting daemon resumes from.
+// LoadAll reads every persisted job record, ordered by submission time
+// (ties broken by ID) — the job table a restarting daemon resumes from.
+// Lexicographic ID order is NOT creation order once the sequential
+// counter outgrows its zero padding, so the timestamp is authoritative.
 func (st *Store) LoadAll() ([]*JobRecord, error) {
 	entries, err := os.ReadDir(filepath.Join(st.dir, "jobs"))
 	if err != nil {
@@ -133,6 +135,11 @@ func (st *Store) LoadAll() ([]*JobRecord, error) {
 		}
 		out = append(out, &r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Submitted.Equal(out[j].Submitted) {
+			return out[i].Submitted.Before(out[j].Submitted)
+		}
+		return out[i].ID < out[j].ID
+	})
 	return out, nil
 }

@@ -257,6 +257,18 @@ func (r *Result6) WriteJSONL(w interface{ Write([]byte) (int, error) }) error {
 // universe-dependent fields when unset and wiring the per-worker read
 // handles of the conn it returns.
 func (s *Simulation6) toCore6(cfg Config6) (core6.Config, PacketConn) {
+	ic := s.toConfig6(cfg)
+	conn := s.net.NewConn()
+	if cfg.Receivers > 1 {
+		ic.NewReader = func() core6.PacketReader { return conn.NewReader() }
+	}
+	return ic, conn
+}
+
+// toConfig6 is the transport-independent half of toCore6: the pure
+// config translation, reused by the cluster path where every worker
+// opens its own vantage connection.
+func (s *Simulation6) toConfig6(cfg Config6) core6.Config {
 	ic := core6.DefaultConfig()
 	ic.Targets = cfg.Targets
 	if ic.Targets == nil {
@@ -302,11 +314,7 @@ func (s *Simulation6) toCore6(cfg Config6) (core6.Config, PacketConn) {
 	}
 	ic.SendRetries = cfg.SendRetries
 	ic.CancelGrace = cfg.CancelGrace
-	conn := s.net.NewConn()
-	if cfg.Receivers > 1 {
-		ic.NewReader = func() core6.PacketReader { return conn.NewReader() }
-	}
-	return ic, conn
+	return ic
 }
 
 // Scan runs a FlashRoute6 scan against this simulation, filling in
