@@ -14,12 +14,14 @@ package flashroute
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"github.com/flashroute/flashroute/internal/cluster"
 	"github.com/flashroute/flashroute/internal/core"
 	"github.com/flashroute/flashroute/internal/experiments"
 	"github.com/flashroute/flashroute/internal/netsim"
 	"github.com/flashroute/flashroute/internal/probe"
+	"github.com/flashroute/flashroute/internal/trace"
 )
 
 // benchBlocks is the universe size for benchmark runs: large enough for
@@ -438,6 +440,51 @@ func BenchmarkClusterStopSet(b *testing.B) {
 			pub.Add(uint32(i))
 			if i&63 == 0 {
 				sub.Has(uint32(i)) // forces a merge-log drain
+			}
+		}
+	})
+}
+
+// BenchmarkTraceStore measures the slab-backed result store on the
+// engine-facing write path (block-slot addressed, zero-alloc within
+// reserved capacity) and over a full fill-and-emit cycle, reporting
+// bytes/route — the memory half of the result-store tentpole, recorded
+// in BENCH_<date>.json alongside the rate benchmarks.
+func BenchmarkTraceStore(b *testing.B) {
+	const slots = 4096
+	const hopsPerRoute = 16
+	format := probe.FormatAddr
+	less := func(a, b uint32) bool { return a < b }
+	hash := core.IPv4Family().HashAddr
+	b.Run("AddHopAt", func(b *testing.B) {
+		st := trace.NewSlotStoreOf[uint32](true, format, less, hash, slots, slots/2)
+		st.Reserve(slots, b.N+slots, b.N+slots)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			slot := i % slots
+			st.AddHopAt(slot, uint32(slot)+1, uint8(i%hopsPerRoute)+1,
+				uint32(0x0a000000+i), time.Microsecond)
+		}
+	})
+	b.Run("FillAndEmit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st := trace.NewSlotStoreOf[uint32](true, format, less, hash, slots, slots/2)
+			st.Reserve(slots, slots*hopsPerRoute, slots*hopsPerRoute)
+			for s := 0; s < slots; s++ {
+				dst := uint32(s)*256 + 1
+				for ttl := uint8(1); ttl <= hopsPerRoute; ttl++ {
+					st.AddHopAt(s, dst, ttl, uint32(s*64+int(ttl)), time.Microsecond)
+				}
+			}
+			routes := 0
+			st.ForEachRouteSorted(func(*trace.RouteOf[uint32]) { routes++ })
+			if routes != slots {
+				b.Fatalf("routes=%d", routes)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(st.MemoryBytes())/float64(slots), "bytes/route")
 			}
 		}
 	})

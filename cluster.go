@@ -66,9 +66,7 @@ func (r *ClusterResult) HasInterface(addr uint32) bool {
 
 // ForEachInterface visits every discovered interface address.
 func (r *ClusterResult) ForEachInterface(fn func(addr uint32)) {
-	for a := range r.inner.Store.Interfaces() {
-		fn(a)
-	}
+	r.inner.Store.Interfaces().ForEach(fn)
 }
 
 // Route returns the merged route to dst (nil if nothing was observed).

@@ -80,8 +80,26 @@ func main() {
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the scan to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile after the scan to this file")
+
+		footprintMode = flag.Bool("footprint", false, "print the estimated memory footprint of the configured universe (§3.4/§5.4 control state plus the result store) and exit without scanning")
 	)
 	flag.Parse()
+
+	if *footprintMode {
+		if *ipv6 {
+			fatal(errors.New("-footprint is IPv4-only (the estimate models the /24-block DCB layout)"))
+		}
+		b := *blocks
+		if *cidrs != "" {
+			var err error
+			b, err = flashroute.CountBlocks(strings.Split(*cidrs, ","))
+			if err != nil {
+				fatal(err)
+			}
+		}
+		printFootprint(b)
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -568,6 +586,32 @@ func writeMemProfile(path string) {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
+}
+
+// printFootprint is the -footprint planning mode: the §3.4/§5.4 memory
+// math for the configured universe, priced before committing to a scan.
+func printFootprint(blocks int) {
+	fp := flashroute.EstimateFootprint(blocks)
+	fmt.Printf("universe:          %d /24 blocks\n", fp.Blocks)
+	fmt.Printf("control state:\n")
+	fmt.Printf("  DCB array:       %s\n", fmtBytes(fp.DCBBytes))
+	fmt.Printf("  per-DCB locks:   %s\n", fmtBytes(fp.LockBytes))
+	fmt.Printf("  side arrays:     %s\n", fmtBytes(fp.SideBytes))
+	fmt.Printf("result store:      %s  (routes collected; every block responding)\n",
+		fmtBytes(fp.ResultBytes))
+	fmt.Printf("total:             %s\n", fmtBytes(fp.Total()))
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
 }
 
 func fatal(err error) {

@@ -27,9 +27,10 @@ import (
 )
 
 // perfSuite is the default benchmark set: the paper-scale rate table,
-// the sender/receiver scaling curves, and the batched data-path pair
-// introduced with the wire-speed transport work.
-const perfSuite = "^(BenchmarkTable5MaxRate|BenchmarkSenderScaling|BenchmarkReceiverScaling|BenchmarkBatchWrite|BenchmarkBatchSizeSweep|BenchmarkClusterStopSet)$"
+// the sender/receiver scaling curves, the batched data-path pair
+// introduced with the wire-speed transport work, and the slab result
+// store's write/emit path with its bytes/route memory metric.
+const perfSuite = "^(BenchmarkTable5MaxRate|BenchmarkSenderScaling|BenchmarkReceiverScaling|BenchmarkBatchWrite|BenchmarkBatchSizeSweep|BenchmarkClusterStopSet|BenchmarkTraceStore)$"
 
 // Result is one parsed benchmark line.
 type Result struct {

@@ -316,9 +316,7 @@ func (r *Result) HasInterface(addr uint32) bool { return r.inner.Store.Interface
 
 // ForEachInterface visits every discovered interface address.
 func (r *Result) ForEachInterface(fn func(addr uint32)) {
-	for a := range r.inner.Store.Interfaces() {
-		fn(a)
-	}
+	r.inner.Store.Interfaces().ForEach(fn)
 }
 
 // Route returns the discovered route to dst (nil if nothing about dst was
@@ -516,3 +514,27 @@ func FormatAddr(addr uint32) string { return probe.FormatAddr(addr) }
 
 // ParseAddr parses a dotted-quad address.
 func ParseAddr(s string) (uint32, error) { return probe.ParseAddr(s) }
+
+// Footprint is the memory accounting of an IPv4 scan configuration: the
+// paper's §3.4/§5.4 control-state math (DCB array, per-DCB locks,
+// side arrays) extended with the slab-backed result store.
+type Footprint = core.Footprint
+
+// EstimateFootprint prices a scan over the given number of /24 blocks
+// without allocating anything — the planning mode behind the CLI's
+// -footprint flag. Routes are assumed collected; the ResultBytes field
+// models every block responding with hops out to the mean route length.
+func EstimateFootprint(blocks int) Footprint {
+	return core.EstimateFootprint(blocks, core.LockMutex)
+}
+
+// CountBlocks returns the number of /24 blocks the given CIDRs cover —
+// the sizing input to EstimateFootprint when the universe is defined by
+// address ranges rather than a block count.
+func CountBlocks(cidrs []string) (int, error) {
+	u, err := netsim.ParseUniverse(cidrs)
+	if err != nil {
+		return 0, err
+	}
+	return u.NumBlocks(), nil
+}

@@ -1,0 +1,152 @@
+package flashroute
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// TestResultOutputGolden pins the exact JSONL and CSV bytes the result
+// store emits across the scan grid — seeds {1,7,21} × Senders {1,4} ×
+// Receivers {1,4} × both families, all in the lockstep environment where
+// discovery (and every RTT) is a pure function of the probe set. The
+// hashes live in testdata/result_goldens.json; they were captured from
+// the map-of-pointers store and must survive any store reimplementation
+// byte for byte.
+//
+// Regenerate with FR_UPDATE_GOLDENS=1 go test -run TestResultOutputGolden .
+// — regeneration runs every cell twice and fails if the bytes are not
+// reproducible, so an accidentally nondeterministic cell cannot be pinned.
+func TestResultOutputGolden(t *testing.T) {
+	const goldenPath = "testdata/result_goldens.json"
+	update := os.Getenv("FR_UPDATE_GOLDENS") != ""
+
+	type cell struct {
+		JSONL string `json:"jsonl_sha256"`
+		CSV   string `json:"csv_sha256"`
+	}
+	got := map[string]cell{}
+
+	hash := func(b []byte) string {
+		h := sha256.Sum256(b)
+		return hex.EncodeToString(h[:])
+	}
+
+	runV4 := func(seed int64, senders, receivers int) cell {
+		sim := NewSimulation(SimConfig{Blocks: 512, Seed: seed, Lockstep: true})
+		res, err := sim.Scan(Config{
+			Senders: senders, Receivers: receivers,
+			CollectRoutes: true, Seed: seed,
+			// The stop set couples destinations through probe order, which
+			// varies with sender interleaving — disable it so multi-sender
+			// cells are byte-deterministic (see newLockstepEnv in core).
+			NoRedundancyElimination: true,
+		})
+		if err != nil {
+			t.Fatalf("v4 seed=%d S=%d R=%d: %v", seed, senders, receivers, err)
+		}
+		var j, c bytes.Buffer
+		if err := res.WriteJSONL(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		return cell{JSONL: hash(j.Bytes()), CSV: hash(c.Bytes())}
+	}
+	runV6 := func(seed int64, senders, receivers int) cell {
+		sim := NewSimulation6(Sim6Config{Prefixes: 96, TargetsPerPrefix: 4, Seed: seed, Lockstep: true})
+		res, err := sim.Scan(Config6{
+			Senders: senders, Receivers: receivers,
+			CollectRoutes: true, Seed: seed,
+			NoRedundancyElimination: true,
+		})
+		if err != nil {
+			t.Fatalf("v6 seed=%d S=%d R=%d: %v", seed, senders, receivers, err)
+		}
+		var j, c bytes.Buffer
+		if err := res.WriteJSONL(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		return cell{JSONL: hash(j.Bytes()), CSV: hash(c.Bytes())}
+	}
+
+	for _, seed := range []int64{1, 7, 21} {
+		for _, senders := range []int{1, 4} {
+			for _, receivers := range []int{1, 4} {
+				key4 := fmt.Sprintf("v4/seed%d/S%d/R%d", seed, senders, receivers)
+				key6 := fmt.Sprintf("v6/seed%d/S%d/R%d", seed, senders, receivers)
+				got[key4] = runV4(seed, senders, receivers)
+				got[key6] = runV6(seed, senders, receivers)
+				if update {
+					// Reproducibility gate: a cell whose bytes vary run to
+					// run must never be pinned as a golden.
+					if again := runV4(seed, senders, receivers); again != got[key4] {
+						t.Fatalf("%s: output not reproducible, refusing to pin", key4)
+					}
+					if again := runV6(seed, senders, receivers); again != got[key6] {
+						t.Fatalf("%s: output not reproducible, refusing to pin", key6)
+					}
+				}
+			}
+		}
+	}
+
+	if update {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ordered := make(map[string]cell, len(got))
+		for _, k := range keys {
+			ordered[k] = got[k]
+		}
+		data, err := json.MarshalIndent(ordered, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden cells to %s", len(got), goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading goldens (regenerate with FR_UPDATE_GOLDENS=1): %v", err)
+	}
+	var want map[string]cell
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d cells, grid produced %d", len(want), len(got))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Errorf("%s: missing from grid", k)
+			continue
+		}
+		if g.JSONL != w.JSONL {
+			t.Errorf("%s: JSONL bytes diverged from golden", k)
+		}
+		if g.CSV != w.CSV {
+			t.Errorf("%s: CSV bytes diverged from golden", k)
+		}
+	}
+}

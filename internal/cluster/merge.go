@@ -32,6 +32,12 @@ type MultiPath[A comparable] struct {
 //   - iteration is position-independent: destinations and hops are
 //     sorted with the family's address order, so the merged store is
 //     deterministic regardless of worker completion order.
+//
+// The merge streams: trace.UnionOf's k-way merge surfaces each
+// destination's routes adjacently (earlier workers first on ties), so
+// only one destination's working set is live at a time — no map of
+// every route across every store is built, and the output lands
+// directly in a slab-backed store.
 func mergeStores[A comparable](fam core.Family[A], collectRoutes bool,
 	stores []*trace.StoreOf[A]) (*trace.StoreOf[A], []MultiPath[A]) {
 
@@ -39,75 +45,80 @@ func mergeStores[A comparable](fam core.Family[A], collectRoutes bool,
 		ttl  uint8
 		addr A
 	}
-	routes := make(map[A][]*trace.RouteOf[A])
-	var dsts []A
-	totalIfaces := 0
+	totalRoutes, totalIfaces := 0, 0
 	for _, st := range stores {
-		st.ForEachRoute(func(r *trace.RouteOf[A]) {
-			if len(routes[r.Dst]) == 0 {
-				dsts = append(dsts, r.Dst)
-			}
-			routes[r.Dst] = append(routes[r.Dst], r)
-		})
+		totalRoutes += st.NumRoutes()
 		totalIfaces += st.Interfaces().Len()
 	}
-	sort.Slice(dsts, func(i, j int) bool { return fam.AddrLess(dsts[i], dsts[j]) })
-
 	merged := trace.NewStoreOfSized[A](collectRoutes, fam.FormatAddr, fam.AddrLess,
-		len(dsts), totalIfaces)
+		totalRoutes, totalIfaces)
 	for _, st := range stores {
-		for a := range st.Interfaces() {
+		for a := range st.Interfaces().All() {
 			merged.AddInterface(a)
 		}
 	}
 
 	var conflicts []MultiPath[A]
-	for _, dst := range dsts {
-		parts := routes[dst]
-		out := &trace.RouteOf[A]{Dst: dst}
-		seen := make(map[hopKey]struct{})
-		byTTL := make(map[uint8][]A)
-		for _, r := range parts {
-			if r.Reached {
-				out.Reached = true
-				if r.Length > 0 && (out.Length == 0 || r.Length < out.Length) {
-					// Reached lengths should agree; a migrated shard's
-					// halves can differ when only one saw the
-					// unreachable — keep the measured (smallest) one.
-					out.Length = r.Length
-				}
-			}
-			for _, h := range r.Hops {
-				k := hopKey{ttl: h.TTL, addr: h.Addr}
-				if _, dup := seen[k]; dup {
-					continue
-				}
-				seen[k] = struct{}{}
-				out.Hops = append(out.Hops, h)
-				byTTL[h.TTL] = append(byTTL[h.TTL], h.Addr)
-			}
+	var cur *trace.RouteOf[A]
+	var maxLen uint8 // max Length across this destination's parts
+	seen := make(map[hopKey]struct{})
+	byTTL := make(map[uint8][]A)
+
+	flush := func() {
+		if cur == nil {
+			return
 		}
-		if !out.Reached {
-			for _, r := range parts {
-				if r.Length > out.Length {
-					out.Length = r.Length
-				}
-			}
+		if !cur.Reached {
+			cur.Length = maxLen
 		}
-		sort.SliceStable(out.Hops, func(i, j int) bool {
-			if out.Hops[i].TTL != out.Hops[j].TTL {
-				return out.Hops[i].TTL < out.Hops[j].TTL
+		sort.SliceStable(cur.Hops, func(i, j int) bool {
+			if cur.Hops[i].TTL != cur.Hops[j].TTL {
+				return cur.Hops[i].TTL < cur.Hops[j].TTL
 			}
-			return fam.AddrLess(out.Hops[i].Addr, out.Hops[j].Addr)
+			return fam.AddrLess(cur.Hops[i].Addr, cur.Hops[j].Addr)
 		})
 		for ttl, addrs := range byTTL {
 			if len(addrs) > 1 {
 				sort.Slice(addrs, func(i, j int) bool { return fam.AddrLess(addrs[i], addrs[j]) })
-				conflicts = append(conflicts, MultiPath[A]{Dst: dst, TTL: ttl, Addrs: addrs})
+				conflicts = append(conflicts, MultiPath[A]{Dst: cur.Dst, TTL: ttl, Addrs: addrs})
 			}
 		}
-		merged.RestoreRoute(out)
+		merged.RestoreRoute(cur)
+		cur = nil
 	}
+
+	trace.UnionOf(stores).ForEachRouteSorted(func(r *trace.RouteOf[A]) {
+		if cur == nil || r.Dst != cur.Dst {
+			flush()
+			cur = &trace.RouteOf[A]{Dst: r.Dst}
+			maxLen = 0
+			clear(seen)
+			clear(byTTL)
+		}
+		if r.Reached {
+			cur.Reached = true
+			if r.Length > 0 && (cur.Length == 0 || r.Length < cur.Length) {
+				// Reached lengths should agree; a migrated shard's
+				// halves can differ when only one saw the
+				// unreachable — keep the measured (smallest) one.
+				cur.Length = r.Length
+			}
+		}
+		if r.Length > maxLen {
+			maxLen = r.Length
+		}
+		for _, h := range r.Hops {
+			k := hopKey{ttl: h.TTL, addr: h.Addr}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			cur.Hops = append(cur.Hops, h)
+			byTTL[h.TTL] = append(byTTL[h.TTL], h.Addr)
+		}
+	})
+	flush()
+
 	sort.Slice(conflicts, func(i, j int) bool {
 		if conflicts[i].Dst != conflicts[j].Dst {
 			return fam.AddrLess(conflicts[i].Dst, conflicts[j].Dst)

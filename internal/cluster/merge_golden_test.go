@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/core"
+	"github.com/flashroute/flashroute/internal/trace"
+)
+
+// buildSyntheticStores constructs K worker stores with deterministic,
+// overlapping content: shared destinations observed from several workers
+// (hop dedup), disagreeing TTL views (multi-path conflicts), reached and
+// unreached destinations, and per-worker-only destinations. Everything is
+// a pure function of (k, seed) so the merged output can be pinned.
+func buildSyntheticStores(k int, seed uint64) []*trace.StoreOf[uint32] {
+	rng := seed
+	next := func() uint64 {
+		// splitmix64 — deterministic across runs and architectures.
+		rng += 0x9e3779b97f4a7c15
+		z := rng
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4b9fd
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+
+	stores := make([]*trace.StoreOf[uint32], k)
+	for i := range stores {
+		stores[i] = newStore()
+	}
+	const dsts = 40
+	for d := 0; d < dsts; d++ {
+		dst := uint32(0x0A000000) + uint32(d)*7
+		length := 3 + int(next()%6)
+		reachedBy := -1
+		if next()%3 != 0 {
+			reachedBy = int(next()) % k
+			if reachedBy < 0 {
+				reachedBy = -reachedBy
+			}
+		}
+		for ttl := 1; ttl <= length; ttl++ {
+			hop := uint32(0xC0000000) + uint32(d)*37 + uint32(ttl)
+			rtt := time.Duration(1000+int(next()%9000)) * time.Microsecond
+			// Each hop lands in one or two workers; every third TTL the
+			// second worker sees a DIFFERENT interface (multi-path).
+			w1 := int(next() % uint64(k))
+			stores[w1].AddHop(dst, uint8(ttl), hop, rtt)
+			if k > 1 && next()%2 == 0 {
+				w2 := (w1 + 1) % k
+				if ttl%3 == 0 {
+					stores[w2].AddHop(dst, uint8(ttl), hop^0x00010000, rtt+5*time.Microsecond)
+				} else {
+					stores[w2].AddHop(dst, uint8(ttl), hop, rtt+11*time.Microsecond)
+				}
+			}
+		}
+		if reachedBy >= 0 {
+			stores[reachedBy].SetReached(dst, uint8(length), dst, time.Duration(500+int(next()%500))*time.Microsecond)
+		}
+	}
+	return stores
+}
+
+// TestMergeStoresGolden pins the merged JSONL/CSV bytes (and the conflict
+// list) produced by mergeStores over deterministic synthetic worker stores
+// at K ∈ {1,2,4}. Captured from the pre-slab store; any store or merge
+// reimplementation must reproduce these bytes exactly. Regenerate with
+// FR_UPDATE_GOLDENS=1.
+func TestMergeStoresGolden(t *testing.T) {
+	const goldenPath = "testdata/merge_goldens.json"
+	update := os.Getenv("FR_UPDATE_GOLDENS") != ""
+	fam := core.IPv4Family()
+
+	type cell struct {
+		JSONL     string `json:"jsonl_sha256"`
+		CSV       string `json:"csv_sha256"`
+		Conflicts string `json:"conflicts_sha256"`
+	}
+	hash := func(b []byte) string {
+		h := sha256.Sum256(b)
+		return hex.EncodeToString(h[:])
+	}
+
+	got := map[string]cell{}
+	for _, k := range []int{1, 2, 4} {
+		stores := buildSyntheticStores(k, 0xF1A54)
+		merged, conflicts := mergeStores(fam, true, stores)
+		var j, c, cf bytes.Buffer
+		if err := merged.WriteJSONL(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		for _, mp := range conflicts {
+			fmt.Fprintf(&cf, "%08x %d %v\n", mp.Dst, mp.TTL, mp.Addrs)
+		}
+		got[fmt.Sprintf("K%d", k)] = cell{
+			JSONL: hash(j.Bytes()), CSV: hash(c.Bytes()), Conflicts: hash(cf.Bytes()),
+		}
+	}
+
+	if update {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d merge golden cells", len(keys))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading goldens (regenerate with FR_UPDATE_GOLDENS=1): %v", err)
+	}
+	var want map[string]cell
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("%s: merged output diverged from golden (got %+v want %+v)", k, got[k], w)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("cell count %d, golden has %d", len(got), len(want))
+	}
+}

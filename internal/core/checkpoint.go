@@ -38,8 +38,11 @@ import (
 //     unreachable reply, which the restored store also records.
 
 // checkpointVersion is the snapshot format version this build reads and
-// writes.
-const checkpointVersion = 1
+// writes. Version 2 accompanies the slab-backed result store: the route
+// section is produced by the store's sorted streaming iterator (hops
+// arrive TTL-sorted, no in-memory collection of the whole topology), and
+// a resumed scan restores routes into block slots rather than a map.
+const checkpointVersion = 2
 
 // ErrCheckpointComplete is returned by Resume for the final snapshot of a
 // scan that ran to completion: there is nothing left to resume.
@@ -210,39 +213,45 @@ func (s *ScannerOf[A]) encodeCheckpoint(final, complete bool, merged *trace.Stor
 	}
 
 	// Result store: routes (destination-sorted, hops TTL-sorted) and the
-	// interface set.
-	var routes []*trace.RouteOf[A]
-	ifaces := make(map[A]struct{})
-	collect := func(st *trace.StoreOf[A]) {
-		st.ForEachRoute(func(r *trace.RouteOf[A]) { routes = append(routes, r) })
-		for a := range st.Interfaces() {
-			ifaces[a] = struct{}{}
-		}
-	}
+	// interface set, streamed from the slab via the sorted iterators — no
+	// in-memory collection of the whole topology. The worker stripes are
+	// destination-disjoint, so streaming them through a union view yields
+	// the same global sort order the old collect-and-sort produced.
+	var stores []*trace.StoreOf[A]
 	switch {
 	case merged != nil:
-		collect(merged)
+		stores = []*trace.StoreOf[A]{merged}
 	case s.striped != nil:
 		for _, rw := range s.recvWorkers {
-			collect(rw.store)
+			stores = append(stores, rw.store)
 		}
 	default:
-		collect(s.store)
+		stores = []*trace.StoreOf[A]{s.store}
 	}
-	sort.Slice(routes, func(i, j int) bool { return s.fam.AddrLess(routes[i].Dst, routes[j].Dst) })
-	w.U32(uint32(len(routes)))
-	for _, r := range routes {
+	nRoutes := 0
+	for _, st := range stores {
+		nRoutes += st.NumRoutes()
+	}
+	w.U32(uint32(nRoutes))
+	emit := func(r *trace.RouteOf[A]) {
 		putAddr(w, r.Dst)
 		w.Bool(r.Reached)
 		w.U8(r.Length)
-		hops := append([]trace.HopOf[A](nil), r.Hops...)
-		sort.Slice(hops, func(i, j int) bool { return hops[i].TTL < hops[j].TTL })
-		w.U16(uint16(len(hops)))
-		for _, h := range hops {
+		w.U16(uint16(len(r.Hops)))
+		for _, h := range r.Hops {
 			w.U8(h.TTL)
 			putAddr(w, h.Addr)
 			w.I64(int64(h.RTT))
 		}
+	}
+	if len(stores) == 1 {
+		stores[0].ForEachRouteSorted(emit)
+	} else {
+		trace.UnionOf(stores).ForEachRouteSorted(emit)
+	}
+	ifaces := make(map[A]struct{})
+	for _, st := range stores {
+		st.Interfaces().ForEach(func(a A) { ifaces[a] = struct{}{} })
 	}
 	ifs := make([]A, 0, len(ifaces))
 	for a := range ifaces {
@@ -434,20 +443,32 @@ func (s *ScannerOf[A]) restore(data []byte) error {
 	for _, a := range stops {
 		s.stopSet.Add(a)
 	}
-	restoreTo := func(dst A) *trace.StoreOf[A] {
-		if s.striped == nil {
-			return s.store
-		}
+	restore := func(rt *trace.RouteOf[A]) {
 		// Block-affinity dispatch owns each destination's route on the
-		// worker (and stripe) block % R; restoring elsewhere would leave
-		// two stores claiming the same destination at Merge.
-		if b, ok := s.cfg.BlockOf(dst); ok {
-			return s.recvWorkers[b%len(s.recvWorkers)].store
+		// worker (and stripe) block % R, at stripe slot block / R;
+		// restoring elsewhere would leave two stores claiming the same
+		// destination in the Union view.
+		b, ok := s.cfg.BlockOf(rt.Dst)
+		if !ok {
+			// No block for the destination (cannot happen for routes the
+			// scan itself recorded): fall back to the dst-keyed overflow
+			// index of worker 0's stripe.
+			if s.striped != nil {
+				s.recvWorkers[0].store.RestoreRoute(rt)
+			} else {
+				s.store.RestoreRoute(rt)
+			}
+			return
 		}
-		return s.recvWorkers[0].store
+		if s.striped != nil {
+			r := len(s.recvWorkers)
+			s.recvWorkers[b%r].store.RestoreRouteAt(b/r, rt)
+		} else {
+			s.store.RestoreRouteAt(b, rt)
+		}
 	}
 	for _, rt := range routes {
-		restoreTo(rt.Dst).RestoreRoute(rt)
+		restore(rt)
 	}
 	ifaceStore := s.store
 	if s.striped != nil {

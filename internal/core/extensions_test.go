@@ -57,8 +57,9 @@ func TestFootprintAccounting(t *testing.T) {
 	}
 
 	full24 := EstimateFootprint(1<<24, LockMutex)
-	if full24.Total() < 300<<20 || full24.Total() > 1<<30 {
-		t.Fatalf("full /24 footprint %d bytes outside [300MB, 1GB]", full24.Total())
+	control := full24.Total() - full24.ResultBytes
+	if control < 300<<20 || control > 1<<30 {
+		t.Fatalf("full /24 control state %d bytes outside [300MB, 1GB]", control)
 	}
 	spin24 := EstimateFootprint(1<<24, LockSpin)
 	if spin24.Total() >= full24.Total() {
@@ -68,22 +69,46 @@ func TestFootprintAccounting(t *testing.T) {
 		t.Fatalf("lock accounting wrong: %d / %d", full24.LockBytes, spin24.LockBytes)
 	}
 
+	// The result-store estimate — the side the paper leaves implicit —
+	// must be priced too: collected routes for the full /24 universe cost
+	// a few GB of slab, far more than the control state, and the whole
+	// estimate stays in single-digit GB.
+	if full24.ResultBytes < control {
+		t.Fatalf("result estimate %d below control state %d — hop slab unpriced?",
+			full24.ResultBytes, control)
+	}
+	if full24.Total() > 10<<30 {
+		t.Fatalf("full /24 total %d exceeds 10 GB — estimate model inflated", full24.Total())
+	}
+
 	full28 := EstimateFootprint(1<<28, LockMutex)
-	if full28.Total() > 15<<30 {
-		t.Fatalf("/28 footprint %d bytes exceeds the paper's ~15 GB bound", full28.Total())
+	if c28 := full28.Total() - full28.ResultBytes; c28 > 15<<30 {
+		t.Fatalf("/28 control state %d bytes exceeds the paper's ~15 GB bound", c28)
 	}
 }
 
 // TestScannerFootprintMatchesEstimate: the scanner reports its own
-// configured footprint.
+// configured footprint. Control-state fields match the estimate exactly;
+// ResultBytes is the store's live allocation — nonzero from construction
+// (record capacity, slot array, interface table) and below the estimate's
+// every-block-responds ceiling until the scan fills the slab.
 func TestScannerFootprintMatchesEstimate(t *testing.T) {
 	e := newEnv(t, 4096, 1)
 	sc, err := NewScanner(e.cfg, e.net.NewConn(), e.clock)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, want := sc.Footprint(), EstimateFootprint(4096, LockMutex); got != want {
-		t.Fatalf("footprint %+v want %+v", got, want)
+	got, want := sc.Footprint(), EstimateFootprint(4096, LockMutex)
+	if got.Blocks != want.Blocks || got.DCBBytes != want.DCBBytes ||
+		got.LockBytes != want.LockBytes || got.SideBytes != want.SideBytes {
+		t.Fatalf("control footprint %+v want %+v", got, want)
+	}
+	if got.ResultBytes == 0 {
+		t.Fatal("live ResultBytes is zero — store allocation unaccounted")
+	}
+	if got.ResultBytes > want.ResultBytes {
+		t.Fatalf("pre-scan ResultBytes %d exceeds full-response estimate %d",
+			got.ResultBytes, want.ResultBytes)
 	}
 }
 

@@ -14,7 +14,7 @@ import (
 // timing do not enter the fingerprint, only what was discovered.
 func fpOf(res *Result) uint64 {
 	ifaces := make([]uint32, 0, res.Store.Interfaces().Len())
-	for a := range res.Store.Interfaces() {
+	for a := range res.Store.Interfaces().All() {
 		ifaces = append(ifaces, a)
 	}
 	sort.Slice(ifaces, func(i, j int) bool { return ifaces[i] < ifaces[j] })
@@ -172,7 +172,7 @@ func TestImpairmentLossMonotonicity(t *testing.T) {
 	if il.Len() > ic.Len() {
 		t.Errorf("20%% loss discovered MORE interfaces: %d > %d", il.Len(), ic.Len())
 	}
-	for a := range il {
+	for a := range il.All() {
 		if !ic.Has(a) {
 			t.Errorf("interface %#x discovered only under loss", a)
 		}

@@ -110,6 +110,11 @@ type ScannerOf[A comparable] struct {
 
 	store *trace.StoreOf[A]
 
+	// slotDiv maps a reply's block to its store slot: block / slotDiv,
+	// where slotDiv is the receiver count (worker i owns blocks ≡ i mod R,
+	// so block/R is unique within a stripe; 1 in single-receiver mode).
+	slotDiv int
+
 	// sharded receive pipeline (Config.Receivers > 1): the workers, their
 	// EOF join counter, and the striped store merged into the result when
 	// the scan ends. All nil/zero in the classic single-receiver mode.
@@ -274,10 +279,10 @@ func NewScannerOf[A comparable](fam Family[A], cfg ConfigOf[A], conn PacketConn,
 	if cfg.Receivers > 1 && cfg.NewReader == nil {
 		return nil, errors.New("core: Receivers > 1 requires Config.NewReader")
 	}
-	// Map capacity hints (the pre-sizing below): a scan discovers at most
-	// one route per block and, empirically, around one interface per two
-	// blocks; the stop set additionally holds reached destinations.
-	routeHint, ifaceHint := cfg.Blocks, cfg.Blocks/2
+	// Store pre-sizing: one route record slot per block and, empirically,
+	// around one interface per two blocks for the open-addressed set; the
+	// stop set additionally holds reached destinations.
+	ifaceHint := cfg.Blocks / 2
 	stopSet := cfg.StopSet
 	if stopSet == nil {
 		stopSet = newStopSet(fam, cfg.Receivers, cfg.Blocks)
@@ -308,10 +313,13 @@ func NewScannerOf[A comparable](fam Family[A], cfg ConfigOf[A], conn PacketConn,
 		return nil, fmt.Errorf("core: unknown LockMode %d", cfg.LockMode)
 	}
 	if r := cfg.Receivers; r == 1 {
-		s.store = trace.NewStoreOfSized[A](cfg.CollectRoutes, fam.FormatAddr, fam.AddrLess, routeHint, ifaceHint)
+		s.slotDiv = 1
+		s.store = trace.NewSlotStoreOf[A](cfg.CollectRoutes, fam.FormatAddr,
+			fam.AddrLess, fam.HashAddr, cfg.Blocks, ifaceHint)
 	} else {
+		s.slotDiv = r
 		s.striped = trace.NewStripedStoreOf[A](r, cfg.CollectRoutes,
-			fam.FormatAddr, fam.AddrLess, routeHint, ifaceHint)
+			fam.FormatAddr, fam.AddrLess, fam.HashAddr, cfg.Blocks, ifaceHint)
 		s.recvWorkers = make([]*recvWorkerOf[A], r)
 		for i := range s.recvWorkers {
 			w := &recvWorkerOf[A]{
@@ -667,7 +675,10 @@ func (s *ScannerOf[A]) RunContext(ctx context.Context) (*ResultOf[A], error) {
 	s.clock.DoneActor()
 	<-recvDone
 	if s.striped != nil {
-		res.Store = s.striped.Merge()
+		// Union is a read view over the stripes: routes stay in place and
+		// emit k-way merges them, so result construction no longer builds
+		// a second copy of the topology.
+		res.Store = s.striped.Union()
 	}
 
 	res.ProbesSent = s.base.probes + s.probesSentTotal()
@@ -1156,7 +1167,7 @@ func (s *ScannerOf[A]) processReply(store *trace.StoreOf[A], block int, r *Reply
 			}
 		}
 		s.locks.unlock(uint32(block))
-		store.AddHop(r.Dst, r.InitTTL, r.Hop, r.RTT)
+		store.AddHopAt(block/s.slotDiv, r.Dst, r.InitTTL, r.Hop, r.RTT)
 		s.stopSet.Add(r.Hop)
 		if sink := s.cfg.TraceSink; sink != nil {
 			sink.HopDiscovered(r.Dst, r.InitTTL, r.Hop)
@@ -1169,7 +1180,7 @@ func (s *ScannerOf[A]) processReply(store *trace.StoreOf[A], block int, r *Reply
 		// enter the interface set, and no backward/horizon strategy runs.
 		// Probes past the destination legitimately elicit one unreachable
 		// each, so repeats are not necessarily network duplicates.
-		store.SetReached(r.Dst, r.Dist, r.Hop, r.RTT)
+		store.SetReachedAt(block/s.slotDiv, r.Dst, r.Dist, r.Hop, r.RTT)
 		s.stopSet.Add(r.Hop)
 		if sink := s.cfg.TraceSink; sink != nil {
 			sink.DestReached(r.Dst, r.Dist)
@@ -1190,7 +1201,7 @@ func (s *ScannerOf[A]) processReply(store *trace.StoreOf[A], block int, r *Reply
 // discovered topology (§3.3.5).
 func (s *ScannerOf[A]) handlePreprobeResponse(store *trace.StoreOf[A], block int, r *Reply[A]) {
 	if r.Kind == ReplyUnreachable {
-		store.SetReached(r.Dst, r.Dist, r.Hop, r.RTT)
+		store.SetReachedAt(block/s.slotDiv, r.Dst, r.Dist, r.Hop, r.RTT)
 		s.stopSet.Add(r.Hop)
 		if sink := s.cfg.TraceSink; sink != nil {
 			sink.DestReached(r.Dst, r.Dist)
@@ -1217,7 +1228,7 @@ func (s *ScannerOf[A]) handlePreprobeResponse(store *trace.StoreOf[A], block int
 			s.dupResponses.Add(1)
 			return
 		}
-		store.AddHop(r.Dst, r.InitTTL, r.Hop, r.RTT)
+		store.AddHopAt(block/s.slotDiv, r.Dst, r.InitTTL, r.Hop, r.RTT)
 		s.stopSet.Add(r.Hop)
 		if sink := s.cfg.TraceSink; sink != nil {
 			sink.HopDiscovered(r.Dst, r.InitTTL, r.Hop)

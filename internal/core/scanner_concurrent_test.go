@@ -76,7 +76,7 @@ func TestMultiSenderTopologyInvariant(t *testing.T) {
 		t.Errorf("interfaces: 1 sender found %d, 4 senders found %d", i1.Len(), i4.Len())
 	}
 	missing := 0
-	for a := range i1 {
+	for a := range i1.All() {
 		if !i4.Has(a) {
 			missing++
 		}

@@ -209,7 +209,7 @@ func (r *Result) HasInterface(a probe6.Addr) bool { return r.store.Interfaces().
 func (r *Result) Interfaces() []probe6.Addr {
 	set := r.store.Interfaces()
 	out := make([]probe6.Addr, 0, set.Len())
-	for a := range set {
+	for a := range set.All() {
 		out = append(out, a)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -248,6 +248,10 @@ func (r *Result) ForEachRoute(fn func(*Route)) {
 // WriteJSONL writes the stored routes as one JSON object per line, in
 // ascending destination order (hop lists require Config.CollectRoutes).
 func (r *Result) WriteJSONL(w io.Writer) error { return r.store.WriteJSONL(w) }
+
+// WriteCSV writes the stored routes as CSV rows in ascending destination
+// order (destination,ttl,hop,rtt_us,reached).
+func (r *Result) WriteCSV(w io.Writer) error { return r.store.WriteCSV(w) }
 
 // ReachedCount returns how many targets answered.
 func (r *Result) ReachedCount() int {

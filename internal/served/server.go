@@ -1,10 +1,10 @@
 package served
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
@@ -331,13 +331,9 @@ func (s *Server) runV4(ctx context.Context, j *Job, rate, every int, sink func([
 		return
 	}
 	final := func(state string) {
-		var buf bytes.Buffer
-		if err := res.WriteJSONL(&buf); err != nil {
-			s.finishJob(j, StateFailed, err.Error(), nil)
-			return
-		}
 		s.finishJob(j, state, "", &scanSummary{
-			probes: res.Probes(), interfaces: res.InterfaceCount(), ndjson: buf.Bytes(),
+			probes: res.Probes(), interfaces: res.InterfaceCount(),
+			writeNDJSON: func(w io.Writer) error { return res.WriteJSONL(w) },
 		})
 	}
 	switch {
@@ -378,13 +374,9 @@ func (s *Server) runV6(ctx context.Context, j *Job, rate, every int, sink func([
 		return
 	}
 	final := func(state string) {
-		var buf bytes.Buffer
-		if err := res.WriteJSONL(&buf); err != nil {
-			s.finishJob(j, StateFailed, err.Error(), nil)
-			return
-		}
 		s.finishJob(j, state, "", &scanSummary{
-			probes: res.Probes(), interfaces: res.InterfaceCount(), ndjson: buf.Bytes(),
+			probes: res.Probes(), interfaces: res.InterfaceCount(),
+			writeNDJSON: func(w io.Writer) error { return res.WriteJSONL(w) },
 		})
 	}
 	switch {
@@ -411,7 +403,7 @@ func (s *Server) runCluster(ctx context.Context, j *Job, rate int) {
 		opt.Workers = 2
 	}
 	var h liveScan
-	var wait func() (interrupted bool, probes uint64, interfaces int, jsonl func(*bytes.Buffer) error, err error)
+	var wait func() (interrupted bool, probes uint64, interfaces int, jsonl func(io.Writer) error, err error)
 	if j.Spec.Family == FamilyV6 {
 		sim := flashroute.NewSimulation6(j.Spec.Sim6Config())
 		cfg := j.Spec.Scan6Config()
@@ -422,13 +414,13 @@ func (s *Server) runCluster(ctx context.Context, j *Job, rate int) {
 			return
 		}
 		h = ch
-		wait = func() (bool, uint64, int, func(*bytes.Buffer) error, error) {
+		wait = func() (bool, uint64, int, func(io.Writer) error, error) {
 			res, err := ch.Wait()
 			if err != nil {
 				return false, 0, 0, nil, err
 			}
 			return res.Interrupted(), res.Probes(), res.InterfaceCount(),
-				func(buf *bytes.Buffer) error { return res.WriteJSONL(buf) }, nil
+				func(w io.Writer) error { return res.WriteJSONL(w) }, nil
 		}
 	} else {
 		sim, err := flashroute.NewSimulationCIDRs(j.Spec.SimConfig())
@@ -442,13 +434,13 @@ func (s *Server) runCluster(ctx context.Context, j *Job, rate int) {
 			return
 		}
 		h = ch
-		wait = func() (bool, uint64, int, func(*bytes.Buffer) error, error) {
+		wait = func() (bool, uint64, int, func(io.Writer) error, error) {
 			res, err := ch.Wait()
 			if err != nil {
 				return false, 0, 0, nil, err
 			}
 			return res.Interrupted(), res.Probes(), res.InterfaceCount(),
-				func(buf *bytes.Buffer) error { return res.WriteJSONL(buf) }, nil
+				func(w io.Writer) error { return res.WriteJSONL(w) }, nil
 		}
 	}
 	j.handle.Store(h)
@@ -459,13 +451,8 @@ func (s *Server) runCluster(ctx context.Context, j *Job, rate int) {
 		return
 	}
 	final := func(state string) {
-		var buf bytes.Buffer
-		if err := jsonl(&buf); err != nil {
-			s.finishJob(j, StateFailed, err.Error(), nil)
-			return
-		}
 		s.finishJob(j, state, "", &scanSummary{
-			probes: probes, interfaces: interfaces, ndjson: buf.Bytes(),
+			probes: probes, interfaces: interfaces, writeNDJSON: jsonl,
 		})
 	}
 	switch {
@@ -488,14 +475,17 @@ func (j *Job) clusterConfigV4(rate int) flashroute.Config {
 type scanSummary struct {
 	probes     uint64
 	interfaces int
-	ndjson     []byte
+	// writeNDJSON streams the job's NDJSON results — the store's sorted
+	// emit path — so finishing a job never holds the full output in
+	// memory alongside the result store.
+	writeNDJSON func(io.Writer) error
 }
 
 // finishJob moves a job to a terminal state, persists its record (and
 // results, when it produced any) and frees its scheduler slot.
 func (s *Server) finishJob(j *Job, state, errMsg string, sum *scanSummary) {
 	if sum != nil {
-		if err := s.store.PutResults(j.ID, sum.ndjson); err != nil && state != StateFailed {
+		if err := s.store.PutResultsStream(j.ID, sum.writeNDJSON); err != nil && state != StateFailed {
 			state, errMsg = StateFailed, err.Error()
 		}
 	}

@@ -1,8 +1,10 @@
 package served
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -103,6 +105,33 @@ func (st *Store) Checkpoint(id string) (snapshot []byte, ok bool, err error) {
 // PutResults persists a job's NDJSON results atomically.
 func (st *Store) PutResults(id string, ndjson []byte) error {
 	return atomicWrite(st.ResultsPath(id), ndjson)
+}
+
+// PutResultsStream persists a job's NDJSON results atomically without
+// buffering them in memory: write streams into a buffered temp file
+// that is renamed over the results path on success and removed on any
+// failure — the emit path's k-way merge over store stripes flows
+// straight to disk.
+func (st *Store) PutResultsStream(id string, write func(io.Writer) error) error {
+	path := st.ResultsPath(id)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	err = write(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // ReadResults loads a finished job's NDJSON results.

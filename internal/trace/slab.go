@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"time"
+	"unsafe"
+)
+
+// The hop slab is the store's only per-hop storage: a chunked
+// structure-of-arrays pool that every route's hops append into, linked
+// by index. Compared to a []HopOf per route this removes the slice
+// header and the repeated grow-and-copy of per-route appends (a route's
+// hops arrive one at a time over the whole scan), and it makes the
+// append path allocation-free except for one chunk allocation per 4096
+// hops — amortized to zero on the receive hot path.
+const (
+	hopChunkShift = 12
+	hopChunkSize  = 1 << hopChunkShift
+	hopChunkMask  = hopChunkSize - 1
+)
+
+// hopChunk holds hopChunkSize hops as parallel arrays. Splitting the
+// fields keeps the uint8 TTLs from padding every entry to the widest
+// alignment: a v4 hop costs 17 bytes here vs 24 in a []HopOf.
+type hopChunk[A comparable] struct {
+	addr [hopChunkSize]A
+	rtt  [hopChunkSize]int64 // time.Duration ticks
+	next [hopChunkSize]int32 // intra-route chain link; -1 ends the chain
+	ttl  [hopChunkSize]uint8
+}
+
+type hopSlab[A comparable] struct {
+	chunks []*hopChunk[A]
+	n      int
+}
+
+// append stores one hop and returns its slab index.
+func (s *hopSlab[A]) append(ttl uint8, addr A, rtt time.Duration) int32 {
+	i := s.n
+	if i>>hopChunkShift == len(s.chunks) {
+		s.chunks = append(s.chunks, new(hopChunk[A]))
+	}
+	c := s.chunks[i>>hopChunkShift]
+	j := i & hopChunkMask
+	c.addr[j] = addr
+	c.rtt[j] = int64(rtt)
+	c.next[j] = -1
+	c.ttl[j] = ttl
+	s.n++
+	return int32(i)
+}
+
+func (s *hopSlab[A]) setNext(i, next int32) {
+	s.chunks[i>>hopChunkShift].next[i&hopChunkMask] = next
+}
+
+func (s *hopSlab[A]) at(i int32) (ttl uint8, addr A, rtt time.Duration, next int32) {
+	c := s.chunks[i>>hopChunkShift]
+	j := i & hopChunkMask
+	return c.ttl[j], c.addr[j], time.Duration(c.rtt[j]), c.next[j]
+}
+
+// reserve pre-allocates chunks for n total hops.
+func (s *hopSlab[A]) reserve(n int) {
+	for len(s.chunks)<<hopChunkShift < n {
+		s.chunks = append(s.chunks, new(hopChunk[A]))
+	}
+}
+
+func (s *hopSlab[A]) memoryBytes() uint64 {
+	var c hopChunk[A]
+	return uint64(len(s.chunks)) * uint64(unsafe.Sizeof(c))
+}

@@ -253,6 +253,13 @@ func (r *Result6) WriteJSONL(w interface{ Write([]byte) (int, error) }) error {
 	return r.inner.WriteJSONL(w)
 }
 
+// WriteCSV writes collected routes as CSV rows
+// (destination,ttl,hop,rtt_us,reached — the same deterministic format as
+// Result.WriteCSV).
+func (r *Result6) WriteCSV(w interface{ Write([]byte) (int, error) }) error {
+	return r.inner.WriteCSV(w)
+}
+
 // toCore6 translates the public IPv6 config to the engine's, filling in
 // universe-dependent fields when unset and wiring the per-worker read
 // handles of the conn it returns.
