@@ -25,7 +25,84 @@ type ClusterOptions struct {
 	// the probe-savings experiment (frexperiments -exp C2) compares
 	// against.
 	Independent bool
+
+	// WatchdogTimeout arms the coordinator's per-worker progress
+	// watchdog (DESIGN.md §15): a worker whose probe counter AND reply
+	// stream both stall for this long is declared failed and its shard
+	// is migrated from its final checkpoint. Zero disables the watchdog
+	// entirely (the default — with it disabled and no faults injected,
+	// every self-healing path is inert and results are bit-identical to
+	// a supervisor-free scan). When armed, the reported ScanTime may
+	// include up to one trailing watchdog tick on the virtual clock.
+	WatchdogTimeout time.Duration
+
+	// MaxMigrations bounds how many times any one shard may be handed
+	// off to a surviving peer before the coordinator abandons it
+	// (recorded in ClusterResult.Abandoned; the merge stays a valid
+	// partial result). 0 means the default budget (3); negative
+	// disables migration, so a failed shard is abandoned immediately.
+	MaxMigrations int
+
+	// AbortOnSendErrors makes each worker's engine abort (with a final
+	// checkpoint, so the shard can migrate) once this many probe writes
+	// have failed in its current run. 0 picks a small default when
+	// WatchdogTimeout is set and leaves the engine's prior
+	// keep-scanning behavior otherwise; negative disables the abort.
+	AbortOnSendErrors int
+
+	// CheckpointSink, when set, receives every worker's periodic
+	// engine checkpoint keyed by shard (taken every CheckpointEvery
+	// probes). This is how frserved persists per-shard progress so a
+	// daemon restart can resume a cluster job via ResumeSnapshots. The
+	// sink is called from worker goroutines; it must be safe for
+	// concurrent use.
+	CheckpointSink func(shard int, snapshot []byte) error
+	// CheckpointEvery is the per-worker probe interval between
+	// CheckpointSink calls (only meaningful with a sink; <= 0 leaves
+	// the engine default).
+	CheckpointEvery int
+	// ResumeSnapshots maps shard index -> engine checkpoint to resume
+	// from (as previously delivered to CheckpointSink). Listed shards
+	// restart from their snapshot; absent shards start fresh.
+	ResumeSnapshots map[int][]byte
+
+	// HubFaultHook injects publish/drain failures into the shared
+	// stop-set hub (ops "publish" and "drain", per worker) to exercise
+	// degraded local-only Doubletree mode. Test injection only.
+	HubFaultHook func(op string, worker int) error
 }
+
+// clusterOpts lowers the public options onto the coordinator's.
+func (opt ClusterOptions) lower() cluster.Options {
+	return cluster.Options{
+		Workers:           opt.Workers,
+		Independent:       opt.Independent,
+		WatchdogTimeout:   opt.WatchdogTimeout,
+		MaxMigrations:     opt.MaxMigrations,
+		AbortOnSendErrors: opt.AbortOnSendErrors,
+		CheckpointSink:    opt.CheckpointSink,
+		CheckpointEvery:   opt.CheckpointEvery,
+		ResumeSnapshots:   opt.ResumeSnapshots,
+		HubFaultHook:      opt.HubFaultHook,
+	}
+}
+
+// ClusterWorkerFailure records one worker-loop failure the coordinator
+// detected and handled (see ClusterResult.Failures).
+type ClusterWorkerFailure = cluster.WorkerFailure
+
+// ClusterFailureCause classifies a worker failure: "kill" (explicit
+// KillWorker), "stall" (watchdog), "transport" (engine aborted on send
+// errors), "launch" (a migration attempt itself failed to start).
+type ClusterFailureCause = cluster.FailureCause
+
+// Failure causes, re-exported for switch statements.
+const (
+	ClusterCauseKill      = cluster.CauseKill
+	ClusterCauseStall     = cluster.CauseStall
+	ClusterCauseTransport = cluster.CauseTransport
+	ClusterCauseLaunch    = cluster.CauseLaunch
+)
 
 // ClusterWorkerStats describes one worker loop of a finished cluster
 // scan.
@@ -108,6 +185,20 @@ func (r *ClusterResult) Workers() []ClusterWorkerStats { return r.inner.Workers 
 // Migrations returns how many shard handoffs happened mid-scan.
 func (r *ClusterResult) Migrations() int { return r.inner.Migrations }
 
+// Failures lists every worker failure the coordinator detected,
+// in detection order (empty on an undisturbed scan).
+func (r *ClusterResult) Failures() []ClusterWorkerFailure { return r.inner.Failures }
+
+// Abandoned lists shards (sorted) whose migration budget ran out; their
+// remaining destinations went unprobed and the merge is a valid partial
+// result.
+func (r *ClusterResult) Abandoned() []int { return r.inner.Abandoned }
+
+// StopSetDegraded counts degradation episodes: how many times a worker
+// lost the shared stop-set hub and fell back to local-only Doubletree
+// mode (zero on an undisturbed scan).
+func (r *ClusterResult) StopSetDegraded() uint64 { return r.inner.StopSetDegraded }
+
 // StopPublished and StopReceived report the global stop-set exchange:
 // entries published to the merge log, and remote entries adopted by
 // workers (both zero when ClusterOptions.Independent).
@@ -149,6 +240,13 @@ func (h *ClusterHandle) Cancel() { h.run.Cancel() }
 // Reports whether a live loop was killed.
 func (h *ClusterHandle) KillWorker(shard int) bool { return h.run.KillWorker(shard) }
 
+// Migrations returns the live count of completed shard handoffs.
+func (h *ClusterHandle) Migrations() int { return h.run.Migrations() }
+
+// StopSetDegraded returns the live count of stop-set degradation
+// episodes across workers.
+func (h *ClusterHandle) StopSetDegraded() uint64 { return h.run.StopSetDegraded() }
+
 // Wait blocks until the cluster scan completes.
 func (h *ClusterHandle) Wait() (*ClusterResult, error) {
 	res, err := h.run.Wait()
@@ -180,10 +278,7 @@ func (s *Simulation) StartClusterScan(ctx context.Context, cfg Config, opt Clust
 			return c, nr, nil
 		},
 	}
-	run, err := cluster.Start(ctx, env, cluster.Options{
-		Workers:     opt.Workers,
-		Independent: opt.Independent,
-	})
+	run, err := cluster.Start(ctx, env, opt.lower())
 	if err != nil {
 		return nil, err
 	}
@@ -265,6 +360,15 @@ func (r *ClusterResult6) Workers() []ClusterWorkerStats { return r.inner.Workers
 // Migrations returns how many shard handoffs happened mid-scan.
 func (r *ClusterResult6) Migrations() int { return r.inner.Migrations }
 
+// Failures lists every worker failure the coordinator detected.
+func (r *ClusterResult6) Failures() []ClusterWorkerFailure { return r.inner.Failures }
+
+// Abandoned lists shards (sorted) whose migration budget ran out.
+func (r *ClusterResult6) Abandoned() []int { return r.inner.Abandoned }
+
+// StopSetDegraded counts stop-set degradation episodes across workers.
+func (r *ClusterResult6) StopSetDegraded() uint64 { return r.inner.StopSetDegraded }
+
 // StopPublished and StopReceived report the global stop-set exchange.
 func (r *ClusterResult6) StopPublished() uint64 { return r.inner.StopPublished }
 func (r *ClusterResult6) StopReceived() uint64  { return r.inner.StopReceived }
@@ -294,6 +398,13 @@ func (h *ClusterHandle6) Cancel() { h.run.Cancel() }
 // KillWorker cancels the loop probing the given shard and migrates its
 // remaining work to a peer vantage. Reports whether a loop was killed.
 func (h *ClusterHandle6) KillWorker(shard int) bool { return h.run.KillWorker(shard) }
+
+// Migrations returns the live count of completed shard handoffs.
+func (h *ClusterHandle6) Migrations() int { return h.run.Migrations() }
+
+// StopSetDegraded returns the live count of stop-set degradation
+// episodes across workers.
+func (h *ClusterHandle6) StopSetDegraded() uint64 { return h.run.StopSetDegraded() }
 
 // Wait blocks until the cluster scan completes.
 func (h *ClusterHandle6) Wait() (*ClusterResult6, error) {
@@ -325,10 +436,7 @@ func (s *Simulation6) StartClusterScan(ctx context.Context, cfg Config6, opt Clu
 			return c, nr, nil
 		},
 	}
-	run, err := cluster.Start(ctx, env, cluster.Options{
-		Workers:     opt.Workers,
-		Independent: opt.Independent,
-	})
+	run, err := cluster.Start(ctx, env, opt.lower())
 	if err != nil {
 		return nil, err
 	}

@@ -44,6 +44,8 @@ func main() {
 		senders    = flag.Int("senders", 1, "number of sending goroutines (1 = deterministic paper-faithful mode)")
 		receivers  = flag.Int("receivers", 1, "number of reply-processing workers (1 = paper-faithful inline receiver)")
 		workers    = flag.Int("workers", 1, "distributed scanning: run K worker loops over distinct vantage ingresses sharing one stop set (sim transport, IPv4 only)")
+		wdTimeout  = flag.Duration("watchdog-timeout", 0, "with -workers: per-worker progress watchdog; a stalled worker's shard migrates to a peer vantage (0 disables self-healing)")
+		maxMigrate = flag.Int("max-migrations", 0, "with -workers: per-shard migration budget before the coordinator abandons a failed shard (0 = default of 3, negative disables)")
 		batch      = flag.Int("batch", 0, "packets per transport call on the send and receive paths (sendmmsg/recvmmsg-style batching; 0 or 1 = classic one-packet-per-call)")
 		transport  = flag.String("transport", "sim", "transport backend: sim (bundled Internet simulation) or raw (Linux raw sockets; needs CAP_NET_RAW, -source and -cidrs)")
 		source     = flag.String("source", "", "with -transport raw: the vantage point's source IPv4 address")
@@ -308,7 +310,11 @@ func main() {
 		if *binOutput != "" {
 			fatal(errors.New("-binary-output is not supported with -workers (use -output)"))
 		}
-		scanCluster(ctx, sim, cfg, *workers, *output)
+		scanCluster(ctx, sim, cfg, flashroute.ClusterOptions{
+			Workers:         *workers,
+			WatchdogTimeout: *wdTimeout,
+			MaxMigrations:   *maxMigrate,
+		}, *output)
 		return
 	}
 
@@ -393,9 +399,9 @@ func main() {
 // scanCluster runs the distributed coordinator: K in-process worker
 // loops over distinct vantage ingresses, one shared stop set, merged
 // conflict-aware results (DESIGN.md §13).
-func scanCluster(ctx context.Context, sim *flashroute.Simulation, cfg flashroute.Config, workers int, output string) {
+func scanCluster(ctx context.Context, sim *flashroute.Simulation, cfg flashroute.Config, opt flashroute.ClusterOptions, output string) {
 	cfg.CollectRoutes = cfg.CollectRoutes || output != ""
-	res, err := sim.ScanClusterContext(ctx, cfg, flashroute.ClusterOptions{Workers: workers})
+	res, err := sim.ScanClusterContext(ctx, cfg, opt)
 	if err != nil {
 		fatal(err)
 	}
@@ -406,6 +412,15 @@ func scanCluster(ctx context.Context, sim *flashroute.Simulation, cfg flashroute
 	fmt.Printf("probes sent:          %d (preprobing: %d)\n", res.Probes(), res.PreprobeProbes())
 	fmt.Printf("interfaces found:     %d\n", res.InterfaceCount())
 	fmt.Printf("worker loops:         %d (migrations: %d)\n", len(res.Workers()), res.Migrations())
+	for _, f := range res.Failures() {
+		fmt.Printf("  worker failure: shard %d @ vantage %d (%s)\n", f.Shard, f.Vantage, f.Cause)
+	}
+	if ab := res.Abandoned(); len(ab) > 0 {
+		fmt.Printf("  abandoned shards: %v (migration budget exhausted; partial merge)\n", ab)
+	}
+	if n := res.StopSetDegraded(); n > 0 {
+		fmt.Printf("  stop-set degradation episodes: %d (local-only Doubletree fallback)\n", n)
+	}
 	fmt.Printf("stop-set exchange:    %d published, %d adopted\n", res.StopPublished(), res.StopReceived())
 	fmt.Printf("multi-path conflicts: %d (kept as multi-path observations)\n", len(res.MultiPaths()))
 	for _, w := range res.Workers() {

@@ -136,6 +136,13 @@ var all = []struct {
 		}
 		return r.WriteText(w)
 	}},
+	{"F1", "Failure recovery: vantage dies at 25/50/75%, shard auto-migrates", func(s *experiments.Scenario, w io.Writer) error {
+		r, err := experiments.FailureRecovery(s, nil)
+		if err != nil {
+			return err
+		}
+		return r.WriteText(w)
+	}},
 	{"B1", "Batch sweep: scan rate vs packets per transport call", func(s *experiments.Scenario, w io.Writer) error {
 		r, err := experiments.BatchSweep(s, nil)
 		if err != nil {
@@ -163,7 +170,7 @@ var all = []struct {
 
 func main() {
 	var (
-		expList = flag.String("exp", "all", "comma-separated experiment ids (F3,F4,T1,F6,T2,T3,F7,T4,T5,F8,D2,D3,S1,L1,C1,C2,B1,X1) or 'all'; D1 is part of F8")
+		expList = flag.String("exp", "all", "comma-separated experiment ids (F3,F4,T1,F6,T2,T3,F7,T4,T5,F8,D2,D3,S1,L1,C1,C2,F1,B1,X1) or 'all'; D1 is part of F8")
 		blocks  = flag.Int("blocks", 262144, "universe size in /24 blocks")
 		seed    = flag.Int64("seed", 42, "simulation seed")
 		out     = flag.String("out", "", "output file (default stdout)")

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,18 +25,22 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/flashroute/flashroute/internal/served"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
-		state     = flag.String("state", "frserved-state", "state directory (job table, checkpoints, results)")
-		globalPPS = flag.Int("global-pps", 100_000, "global probing-rate ceiling divided across running jobs")
-		maxActive = flag.Int("max-active", 4, "maximum concurrently running jobs")
-		maxQueued = flag.Int("max-queued", 64, "maximum queued jobs before submissions get 429")
-		ckptEvery = flag.Int("checkpoint-every", 10_000, "default per-job checkpoint cadence in probes")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		state      = flag.String("state", "frserved-state", "state directory (job table, checkpoints, results)")
+		globalPPS  = flag.Int("global-pps", 100_000, "global probing-rate ceiling divided across running jobs")
+		maxActive  = flag.Int("max-active", 4, "maximum concurrently running jobs")
+		maxQueued  = flag.Int("max-queued", 64, "maximum queued jobs before submissions get 429")
+		ckptEvery  = flag.Int("checkpoint-every", 10_000, "default per-job checkpoint cadence in probes")
+		wdTimeout  = flag.Duration("watchdog-timeout", 0, "cluster jobs: per-worker progress watchdog (0 disables self-healing)")
+		maxMigrate = flag.Int("max-migrations", 0, "cluster jobs: per-shard migration budget (0 = default, negative disables)")
+		drainGrace = flag.Duration("shutdown-grace", 10*time.Second, "bound on draining in-flight HTTP requests at shutdown")
 	)
 	flag.Parse()
 
@@ -45,6 +50,8 @@ func main() {
 		MaxActive:       *maxActive,
 		MaxQueued:       *maxQueued,
 		CheckpointEvery: *ckptEvery,
+		WatchdogTimeout: *wdTimeout,
+		MaxMigrations:   *maxMigrate,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "frserved:", err)
@@ -56,14 +63,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "frserved:", err)
 		os.Exit(1)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	// Header/read/idle timeouts bound how long a slow or stuck client can
+	// pin a connection (and its goroutine); results streaming can be
+	// large, so writes stay unbounded.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
 		fmt.Fprintln(os.Stderr, "frserved: shutting down (jobs stay resumable)")
-		ln.Close()
+		// Drain in-flight requests, but never past the grace bound — a
+		// stuck client must not hold up the job-checkpointing stop below.
+		ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			hs.Close()
+		}
 	}()
 
 	fmt.Fprintf(os.Stderr, "frserved: listening on %s, state in %s\n", ln.Addr(), *state)

@@ -2,19 +2,22 @@ package flashroute
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 )
 
 // ParseFaultSpec parses a comma-separated transport-fault schedule of the
-// form "kind:start+duration", e.g.
+// form "kind[@vantage]:start+duration", e.g.
 //
-//	write:2s+500ms,stall:3s+1s,flap:4s+200ms
+//	write:2s+500ms,stall:3s+1s,flap:4s+200ms,flap@1:5s+2s
 //
 // Kinds: "write" (transient WritePacket errors), "stall" (deliveries
 // delayed to the window's end), "flap" (writes fail and deliveries drop).
-// Start is relative to the simulation epoch. Used by the CLIs' -faults
-// flag; the result goes into Impairments.Faults.
+// Start is relative to the simulation epoch. "kind@N" scopes the window
+// to connections at vantage N (a single cluster worker's link); without
+// "@N" the window hits every connection. Used by the CLIs' -faults flag;
+// the result goes into Impairments.Faults.
 func ParseFaultSpec(spec string) ([]FaultWindow, error) {
 	var out []FaultWindow
 	for _, part := range strings.Split(spec, ",") {
@@ -24,7 +27,16 @@ func ParseFaultSpec(spec string) ([]FaultWindow, error) {
 		}
 		kindStr, rest, ok := strings.Cut(part, ":")
 		if !ok {
-			return nil, fmt.Errorf("flashroute: fault %q: want kind:start+duration", part)
+			return nil, fmt.Errorf("flashroute: fault %q: want kind[@vantage]:start+duration", part)
+		}
+		var scoped bool
+		var vantage int
+		if ks, vs, hasV := strings.Cut(kindStr, "@"); hasV {
+			v, err := strconv.Atoi(vs)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("flashroute: fault %q: bad vantage %q", part, vs)
+			}
+			kindStr, scoped, vantage = ks, true, v
 		}
 		var kind FaultKind
 		switch kindStr {
@@ -39,7 +51,7 @@ func ParseFaultSpec(spec string) ([]FaultWindow, error) {
 		}
 		startStr, durStr, ok := strings.Cut(rest, "+")
 		if !ok {
-			return nil, fmt.Errorf("flashroute: fault %q: want kind:start+duration", part)
+			return nil, fmt.Errorf("flashroute: fault %q: want kind[@vantage]:start+duration", part)
 		}
 		start, err := time.ParseDuration(startStr)
 		if err != nil {
@@ -52,7 +64,8 @@ func ParseFaultSpec(spec string) ([]FaultWindow, error) {
 		if start < 0 || dur <= 0 {
 			return nil, fmt.Errorf("flashroute: fault %q: start must be >= 0 and duration > 0", part)
 		}
-		out = append(out, FaultWindow{Start: start, Duration: dur, Kind: kind})
+		out = append(out, FaultWindow{Start: start, Duration: dur, Kind: kind,
+			Scoped: scoped, Vantage: vantage})
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("flashroute: empty fault spec %q", spec)

@@ -45,6 +45,14 @@ type Hub[A comparable] struct {
 	mu  sync.Mutex
 	log []hubEntry[A]
 
+	// faultHook, when set, is consulted before every publish and drain
+	// (ops "publish" and "drain") on behalf of the calling worker; a
+	// non-nil error makes the operation fail, degrading that worker to
+	// local-only Doubletree mode (see WorkerSet). Test injection only —
+	// an in-process hub has no real failure mode, but a networked one
+	// would, and the degradation machinery must be exercised.
+	faultHook func(op string, worker int) error
+
 	// gen is the published log length, advanced after the entries are
 	// visible under mu. Subscribers read it lock-free in Has: equal to
 	// their drain cursor means nothing new, so the common no-news path
@@ -55,18 +63,35 @@ type Hub[A comparable] struct {
 // NewHub creates an empty exchange.
 func NewHub[A comparable]() *Hub[A] { return &Hub[A]{} }
 
-// publish appends addrs to the merge log on behalf of worker w.
-func (h *Hub[A]) publish(w int, addrs []A) {
+// SetFaultHook installs the publish/drain fault injector. Call before
+// the scan starts (it is read under the hub mutex thereafter).
+func (h *Hub[A]) SetFaultHook(fn func(op string, worker int) error) {
+	h.mu.Lock()
+	h.faultHook = fn
+	h.mu.Unlock()
+}
+
+// publish appends addrs to the merge log on behalf of worker w. An
+// injected fault (SetFaultHook) fails the whole batch: nothing is
+// appended and the caller keeps its entries for re-publication.
+func (h *Hub[A]) publish(w int, addrs []A) error {
 	if len(addrs) == 0 {
-		return
+		return nil
 	}
 	h.mu.Lock()
+	if h.faultHook != nil {
+		if err := h.faultHook("publish", w); err != nil {
+			h.mu.Unlock()
+			return err
+		}
+	}
 	for _, a := range addrs {
 		h.log = append(h.log, hubEntry[A]{worker: w, addr: a})
 	}
 	n := uint64(len(h.log))
 	h.mu.Unlock()
 	h.gen.Store(n)
+	return nil
 }
 
 // Published reports the total number of log entries (post-scan stats).
@@ -98,6 +123,20 @@ type WorkerSet[A comparable] struct {
 	cursor   int
 	drained  atomic.Uint64
 	received uint64 // remote entries adopted (stats, under remMu)
+
+	// Degraded operation (local-only Doubletree mode): when a publish or
+	// drain fails, the worker freezes its remote tier at the log prefix
+	// it has already observed and stops consulting the hub — safe by
+	// construction, because remote entries only ever SUPPRESS probing,
+	// so the worker merely re-probes what peers would have saved it, and
+	// its decisions stay a deterministic function of its local replies
+	// plus the observed prefix. Pending publications are retained;
+	// recovery is attempted at each publish point (a full batch or a
+	// Flush), and success re-publishes the backlog and catches up on the
+	// whole missed log suffix in one drain. episodes counts degradation
+	// entries (stats).
+	degraded atomic.Bool
+	episodes atomic.Uint64
 }
 
 // NewWorkerSet builds worker w's view over the hub. local becomes the
@@ -120,7 +159,10 @@ func NewWorkerSet[A comparable](hub *Hub[A], w int, local core.StopSet[A], batch
 
 // Has reports membership: local tier first (the zero-allocation hot
 // path), then — only on a miss — the remote tier, after draining any
-// merge-log suffix published since the last drain.
+// merge-log suffix published since the last drain. In degraded mode the
+// drain is skipped entirely: the remote tier is frozen at the observed
+// log prefix, so membership answers stay deterministic while the hub is
+// unreachable.
 func (w *WorkerSet[A]) Has(a A) bool {
 	if w.local.Has(a) {
 		return true
@@ -128,8 +170,10 @@ func (w *WorkerSet[A]) Has(a A) bool {
 	if w.hub == nil {
 		return false
 	}
-	if w.hub.gen.Load() != w.drained.Load() {
-		w.drain()
+	if !w.degraded.Load() && w.hub.gen.Load() != w.drained.Load() {
+		if err := w.drain(); err != nil {
+			w.enterDegraded()
+		}
 	}
 	w.remMu.RLock()
 	_, ok := w.remote[a]
@@ -137,12 +181,28 @@ func (w *WorkerSet[A]) Has(a A) bool {
 	return ok
 }
 
+// enterDegraded flips the worker into local-only Doubletree mode (once
+// per episode).
+func (w *WorkerSet[A]) enterDegraded() {
+	if w.degraded.CompareAndSwap(false, true) {
+		w.episodes.Add(1)
+	}
+}
+
 // drain adopts the unread merge-log suffix into the remote tier,
-// skipping this worker's own entries (they are already local).
-func (w *WorkerSet[A]) drain() {
+// skipping this worker's own entries (they are already local). A fault
+// injected by the hub hook fails the drain with nothing adopted.
+func (w *WorkerSet[A]) drain() error {
 	w.remMu.Lock()
 	h := w.hub
 	h.mu.Lock()
+	if h.faultHook != nil {
+		if err := h.faultHook("drain", w.worker); err != nil {
+			h.mu.Unlock()
+			w.remMu.Unlock()
+			return err
+		}
+	}
 	tail := h.log[w.cursor:]
 	w.cursor = len(h.log)
 	gen := uint64(len(h.log))
@@ -155,6 +215,7 @@ func (w *WorkerSet[A]) drain() {
 	h.mu.Unlock()
 	w.drained.Store(gen)
 	w.remMu.Unlock()
+	return nil
 }
 
 // Add inserts a discovered interface locally and queues it for
@@ -177,21 +238,40 @@ func (w *WorkerSet[A]) Add(a A) {
 	w.pubMu.Lock()
 	w.pending = append(w.pending, a)
 	if len(w.pending) >= w.batch {
-		w.hub.publish(w.worker, w.pending)
-		w.pending = w.pending[:0]
+		w.publishPending()
 	}
 	w.pubMu.Unlock()
 }
 
-// Flush publishes any partial batch (phase ends and scan exit).
+// publishPending pushes the publication backlog to the hub (caller holds
+// pubMu). A failed publish keeps the backlog and degrades the worker; a
+// successful one while degraded is the recovery signal — the worker
+// catches up on the entire missed log suffix in one drain and resumes
+// normal two-tier operation.
+func (w *WorkerSet[A]) publishPending() {
+	if err := w.hub.publish(w.worker, w.pending); err != nil {
+		w.enterDegraded()
+		return
+	}
+	w.pending = w.pending[:0]
+	if w.degraded.Load() {
+		if err := w.drain(); err != nil {
+			return // hub flapped again mid-recovery; stay degraded
+		}
+		w.degraded.Store(false)
+	}
+}
+
+// Flush publishes any partial batch (phase ends and scan exit). While
+// degraded it doubles as a recovery probe: an empty backlog still
+// attempts the catch-up drain.
 func (w *WorkerSet[A]) Flush() {
 	if w.hub == nil {
 		return
 	}
 	w.pubMu.Lock()
-	if len(w.pending) > 0 {
-		w.hub.publish(w.worker, w.pending)
-		w.pending = w.pending[:0]
+	if len(w.pending) > 0 || w.degraded.Load() {
+		w.publishPending()
 	}
 	w.pubMu.Unlock()
 }
@@ -229,3 +309,11 @@ func (w *WorkerSet[A]) Received() uint64 {
 	defer w.remMu.RUnlock()
 	return w.received
 }
+
+// Degraded reports whether the worker is currently in local-only
+// Doubletree mode.
+func (w *WorkerSet[A]) Degraded() bool { return w.degraded.Load() }
+
+// DegradedEpisodes reports how many times this worker entered degraded
+// mode.
+func (w *WorkerSet[A]) DegradedEpisodes() uint64 { return w.episodes.Load() }

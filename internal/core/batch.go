@@ -101,7 +101,7 @@ func (sh *senderShardOf[A]) flush() {
 		if i >= sh.nbuf {
 			// Connection-level failure after every packet was consumed
 			// (e.g. the transport closed while committing).
-			s.sendErrors.Add(1)
+			s.noteSendError(err)
 			break
 		}
 		// err refers to pkts[i]: retry that one probe, then resume the
@@ -118,6 +118,9 @@ func (sh *senderShardOf[A]) flush() {
 	}
 	sh.nbuf = 0
 	sh.probesSent += sent
+	if sent > 0 {
+		s.liveProbes.Add(sent)
+	}
 	if s.ckpt != nil && sent > 0 {
 		s.maybeCheckpoint(sent)
 	}
@@ -140,7 +143,7 @@ func (sh *senderShardOf[A]) retrySlot(i int, err error) bool {
 			return true
 		}
 	}
-	s.sendErrors.Add(1)
+	s.noteSendError(err)
 	return false
 }
 

@@ -430,6 +430,7 @@ func (s *ScannerOf[A]) restore(data []byte) error {
 	s.dupResponses.Store(dups)
 	s.readErrors.Store(readErrors)
 	s.sendErrors.Store(sendErrors)
+	s.sendErrBase = sendErrors // AbortOnSendErrors counts this run only
 	s.sendRetries.Store(sendRetries)
 	if s.ckpt != nil {
 		s.ckpt.probes.Store(probes)

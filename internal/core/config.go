@@ -323,6 +323,16 @@ type ConfigOf[A comparable] struct {
 	// senders stop, so in-flight replies still land in the partial
 	// result. Default DrainWait.
 	CancelGrace time.Duration
+
+	// AbortOnSendErrors aborts the scan once this many probes have been
+	// dropped for failed writes in the current run (SendRetries
+	// exhausted or a permanent error each time). A dead transport then
+	// surfaces as ErrTransportDead from RunContext — with the partial
+	// result and a final checkpoint, so a supervisor can migrate the
+	// work — instead of the scan "completing" with nothing but send
+	// errors. 0 (the default) disables the abort: dropped probes stay
+	// individual lost datapoints, exactly the prior behavior.
+	AbortOnSendErrors int
 }
 
 // Config is the IPv4 scan configuration.

@@ -129,6 +129,22 @@ type ScannerOf[A comparable] struct {
 	sendErrors   atomic.Uint64
 	sendRetries  atomic.Uint64
 
+	// Live progress counters for external watchdogs (LiveCounters):
+	// liveProbes advances on every successfully written probe,
+	// liveReplies on every processed reply. A supervisor that samples
+	// both and sees neither move across a deadline has a stalled worker.
+	liveProbes  atomic.Uint64
+	liveReplies atomic.Uint64
+
+	// Transport-death latch (Config.AbortOnSendErrors): sendErrBase is
+	// the restored error count a resumed run starts from (the threshold
+	// counts only this run's failures), transportDead flips once the
+	// threshold is reached, tdErr keeps the first fatal write error.
+	sendErrBase   uint64
+	transportDead atomic.Bool
+	tdMu          sync.Mutex
+	tdErr         error
+
 	// Graceful shutdown: ctx is non-nil only for cancellable contexts
 	// (so the paper-faithful Run path costs one atomic load per check);
 	// cancelled latches the first observation of ctx.Err() — polled, not
@@ -702,6 +718,16 @@ func (s *ScannerOf[A]) RunContext(ctx context.Context) (*ResultOf[A], error) {
 		s.writeCheckpoint(true, !res.Interrupted, res.Store)
 		res.CheckpointErrors = s.ckpt.errs.Load()
 	}
+	if s.transportDead.Load() {
+		// The abort threshold tripped: the partial result (and final
+		// checkpoint) above are valid, but the caller must know the scan
+		// did not merely get cancelled — its transport is dead.
+		s.tdMu.Lock()
+		last := s.tdErr
+		s.tdMu.Unlock()
+		return res, fmt.Errorf("%w: %d probes dropped (last write error: %v)",
+			ErrTransportDead, res.SendErrors, last)
+	}
 	return res, nil
 }
 
@@ -998,6 +1024,40 @@ func isTemporary(err error) bool {
 	return errors.As(err, &t) && t.Temporary()
 }
 
+// ErrTransportDead is wrapped by the error RunContext returns when
+// Config.AbortOnSendErrors probes were dropped: the transport is
+// considered dead and the (partial, checkpointed) scan aborted.
+var ErrTransportDead = errors.New("core: transport dead")
+
+// noteSendError accounts one permanently dropped probe and, when
+// Config.AbortOnSendErrors is armed, aborts the scan through the
+// graceful-cancel path once the threshold of this run's failures is
+// reached — the senders stop at their next probing step, the receivers
+// drain, the final checkpoint is written, and RunContext surfaces
+// ErrTransportDead.
+func (s *ScannerOf[A]) noteSendError(err error) {
+	n := s.sendErrors.Add(1)
+	t := s.cfg.AbortOnSendErrors
+	if t <= 0 || n-s.sendErrBase < uint64(t) {
+		return
+	}
+	s.tdMu.Lock()
+	if s.tdErr == nil {
+		s.tdErr = err
+	}
+	s.tdMu.Unlock()
+	s.transportDead.Store(true)
+	s.cancelled.Store(true)
+}
+
+// LiveCounters reports the scan's monotonic progress counters: probes
+// successfully written and replies processed so far. Safe to call from
+// any goroutine at any time; an external watchdog that samples both and
+// sees neither advance across its deadline has found a stalled worker.
+func (s *ScannerOf[A]) LiveCounters() (probes, replies uint64) {
+	return s.liveProbes.Load(), s.liveReplies.Load()
+}
+
 // sendProbe builds, stamps, paces and writes one probe. Transient write
 // errors are retried with capped exponential backoff (Config.SendRetries);
 // a probe that still cannot be written is dropped and counted — one lost
@@ -1030,9 +1090,10 @@ func (sh *senderShardOf[A]) sendProbe(dst A, ttl uint8, preprobe bool, srcPortOf
 		err = s.conn.WritePacket(sh.pktBuf[:n])
 	}
 	if err != nil {
-		s.sendErrors.Add(1)
+		s.noteSendError(err)
 	} else {
 		sh.probesSent++
+		s.liveProbes.Add(1)
 		if s.ckpt != nil {
 			s.maybeCheckpoint(1)
 		}
@@ -1111,6 +1172,7 @@ func (s *ScannerOf[A]) parseResponse(pkt []byte) (int, Reply[A], bool) {
 // only store in single-receiver mode, the owning worker's stripe in
 // sharded mode). All replies of a block go through exactly one goroutine.
 func (s *ScannerOf[A]) processReply(store *trace.StoreOf[A], block int, r *Reply[A]) {
+	s.liveReplies.Add(1)
 	if ck := s.ckpt; ck != nil {
 		// Checkpoint write barrier: the encoder takes the write side, so a
 		// snapshot never observes a half-applied reply. Disarmed scans

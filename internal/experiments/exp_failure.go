@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/flashroute/flashroute/internal/cluster"
+	"github.com/flashroute/flashroute/internal/core"
+	"github.com/flashroute/flashroute/internal/netsim"
+	"github.com/flashroute/flashroute/internal/simclock"
+)
+
+// FailureRow is one fault-placement measurement: a vantage link flaps
+// permanently at FailFrac of the healthy scan's span, the supervisor
+// migrates the orphaned shard, and the healed run is compared to the
+// undisturbed one.
+type FailureRow struct {
+	FailFrac     float64 // fraction of the healthy scan at which the link dies
+	Migrations   int     // shard handoffs the supervisor performed
+	Failures     int     // worker failures declared (≥ Migrations)
+	HealedProbes uint64  // total probes of the self-healed run
+	ExtraPct     float64 // healed/undisturbed - 1
+	Interfaces   int     // merged interface count (healed run)
+	Reached      int     // merged reached count (healed run)
+	Match        bool    // healed discovery == undisturbed single-worker discovery
+}
+
+// FailureTable reports what self-healing costs (experiment F1, the
+// cluster mirror of C1's crash/resume table): when one of K vantages
+// dies mid-scan, the coordinator detects the dead transport, migrates
+// the shard to a surviving vantage from its last checkpoint, and the
+// merged discovery must equal an undisturbed run — the only price is
+// the rewound probes between the last checkpoint and the failure.
+type FailureTable struct {
+	Workers        int
+	BaseProbes     uint64 // undisturbed K-worker run
+	BaseInterfaces int
+	BaseReached    int
+	Rows           []FailureRow
+}
+
+// WriteText renders the table for EXPERIMENTS.md.
+func (t *FailureTable) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Failure recovery: one of %d vantages dies mid-scan, shard auto-migrates (undisturbed baseline: %d probes, %d interfaces, %d reached)\n",
+		t.Workers, t.BaseProbes, t.BaseInterfaces, t.BaseReached); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%8s %11s %9s %12s %7s %10s %8s %6s\n",
+		"fail-at", "migrations", "failures", "probes", "extra", "interfaces", "reached", "match"); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintf(w, "%7.0f%% %11d %9d %12d %+6.2f%% %10d %8d %6v\n",
+			100*r.FailFrac, r.Migrations, r.Failures, r.HealedProbes,
+			100*r.ExtraPct, r.Interfaces, r.Reached, r.Match); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// newFaultTreeScenario is newTreeScenario plus a deterministic transport
+// fault schedule. The windows draw nothing from the impairment RNG, so
+// probing outside them is identical to the fault-free tree.
+func newFaultTreeScenario(blocks int, seed int64, faults []netsim.FaultWindow) *Scenario {
+	s := newTreeScenario(blocks, seed)
+	p := s.Topo.P
+	p.Impair.Faults = faults
+	s.Topo = netsim.NewTopology(netsim.NewSyntheticUniverse(blocks), p)
+	return s
+}
+
+// runClusterHealing runs one supervised scan over a fresh network of the
+// scenario's topology with the send-error abort armed: the first failed
+// write surfaces the dead transport and the supervisor migrates the
+// shard, with no watchdog involved (the fault is permanent, so detection
+// is deterministic).
+func runClusterHealing(s *Scenario, workers int) (*cluster.Result[uint32], error) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	net := netsim.New(s.Topo, clock)
+	base := core.DefaultConfig()
+	base.Blocks = s.Blocks
+	base.Seed = s.Seed
+	base.Source = s.Topo.Vantage()
+	base.Targets = s.RandomTargets()
+	base.BlockOf = s.BlockOf()
+	base.PPS = s.ScaledPPS(PaperPPS)
+	base.Preprobe = core.PreprobeOff
+	base.CollectRoutes = true
+	env := cluster.Env[uint32]{
+		Fam:   core.IPv4Family(),
+		Base:  base,
+		Clock: clock,
+		NewConn: func(vantage int) (core.PacketConn, func() core.PacketReader, error) {
+			return net.NewVantageConn(vantage), nil, nil
+		},
+	}
+	return cluster.Scan(context.Background(), env, cluster.Options{
+		Workers:           workers,
+		AbortOnSendErrors: 1,
+	})
+}
+
+// FailureRecovery measures self-healing cost (experiment F1). It runs an
+// undisturbed K=3 scan to calibrate the healthy span, then for each
+// fraction flaps vantage 1's link permanently at that point and lets the
+// supervisor heal the scan. On the strict tree topology the healed
+// merged discovery must equal the undisturbed single-worker run exactly,
+// so Match is an invariant; the extra-probe column is the rewind cost of
+// resuming the shard from its last checkpoint on a surviving vantage.
+// fracs nil means 25/50/75%.
+func FailureRecovery(s *Scenario, fracs []float64) (*FailureTable, error) {
+	if len(fracs) == 0 {
+		fracs = []float64{0.25, 0.5, 0.75}
+	}
+	const workers = 3
+	tree := newTreeScenario(s.Blocks, s.Seed)
+
+	// Single-worker run: the discovery-equality reference (the tree
+	// invariant newTreeScenario documents).
+	oneRes, err := runCluster(tree, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	oneIfaces, oneReached := clusterSets(oneRes.Store)
+
+	// Undisturbed K-worker run: the probe-cost baseline and the span the
+	// fault placements are fractions of.
+	baseRes, err := runCluster(tree, workers, false)
+	if err != nil {
+		return nil, err
+	}
+	t := &FailureTable{
+		Workers:        workers,
+		BaseProbes:     baseRes.ProbesSent,
+		BaseInterfaces: len(oneIfaces),
+		BaseReached:    oneReached,
+	}
+	span := baseRes.ScanTime
+
+	for _, frac := range fracs {
+		faulted := newFaultTreeScenario(s.Blocks, s.Seed, []netsim.FaultWindow{{
+			Kind:     netsim.FaultFlap,
+			Start:    time.Duration(float64(span) * frac),
+			Duration: 1000 * time.Hour, // permanent: the vantage never comes back
+			Scoped:   true,
+			Vantage:  1,
+		}})
+		res, err := runClusterHealing(faulted, workers)
+		if err != nil {
+			return nil, err
+		}
+		ifaces, reached := clusterSets(res.Store)
+		match := !res.Interrupted && reached == oneReached && len(ifaces) == len(oneIfaces)
+		for a := range ifaces {
+			if !oneIfaces[a] {
+				match = false
+				break
+			}
+		}
+		t.Rows = append(t.Rows, FailureRow{
+			FailFrac:     frac,
+			Migrations:   res.Migrations,
+			Failures:     len(res.Failures),
+			HealedProbes: res.ProbesSent,
+			ExtraPct:     float64(res.ProbesSent)/float64(baseRes.ProbesSent) - 1,
+			Interfaces:   len(ifaces),
+			Reached:      reached,
+			Match:        match,
+		})
+	}
+	return t, nil
+}

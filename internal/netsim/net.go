@@ -211,7 +211,7 @@ func (c *Conn) write1(pkt []byte, now time.Duration, stage *[]simnet.Pending[res
 	// Transport-fault windows: a faulted write fails before the probe
 	// enters the network at all — not counted as sent, no impairment
 	// draws consumed, so zero-fault runs are bit-identical.
-	if im := &n.topo.P.Impair; im.HasFaults() && im.WriteFault(now) {
+	if im := &n.topo.P.Impair; im.HasFaults() && im.WriteFault(now, c.vantage) {
 		n.Stats.WriteFaults.Add(1)
 		return &simnet.TransientError{Op: "write"}
 	}
@@ -343,7 +343,7 @@ func (c *Conn) write1(pkt []byte, now time.Duration, stage *[]simnet.Pending[res
 // commit deferred to the caller's ScheduleAllResponses.
 func (c *Conn) deliver(resp respPayload, at time.Duration, stage *[]simnet.Pending[respPayload]) error {
 	if im := &c.net.topo.P.Impair; im.HasFaults() {
-		adj, dropped := im.DeliveryFault(at)
+		adj, dropped := im.DeliveryFault(at, c.vantage)
 		if dropped {
 			c.net.Stats.FaultDropped.Add(1)
 			return nil

@@ -74,6 +74,24 @@ func (b *Budget) Rate(id string) int {
 	return 0
 }
 
+// Headroom reports the unallocated slice of the global ceiling: the
+// ceiling minus the sum of currently granted rates, floored at zero
+// (per-job minimum grants can nominally oversubscribe a tiny ceiling).
+// Readiness reporting uses it to show how much probing rate a new job
+// could claim.
+func (b *Budget) Headroom() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	used := 0
+	for _, g := range b.jobs {
+		used += g.rate
+	}
+	if used >= b.global {
+		return 0
+	}
+	return b.global - used
+}
+
 // recompute re-derives every grant. Caller holds b.mu.
 func (b *Budget) recompute() {
 	perTenant := make(map[string]int)

@@ -1,0 +1,153 @@
+package served
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+	"time"
+
+	flashroute "github.com/flashroute/flashroute"
+)
+
+// goldenCluster computes a cluster spec's uninterrupted discovery
+// fingerprint with a direct virtual-clock library run, mirroring
+// golden() for the coordinator path.
+func goldenCluster(t *testing.T, spec JobSpec) uint64 {
+	t.Helper()
+	spec.RealTime = false
+	sim, err := flashroute.NewSimulationCIDRs(spec.SimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.ScanCluster(spec.ScanConfig(), flashroute.ClusterOptions{Workers: spec.Workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return discoveryFP(buf.Bytes())
+}
+
+// TestClusterJobRestartResume pins the per-shard persistence path: a
+// cluster job interrupted by a daemon stop leaves one checkpoint per
+// shard behind, and a fresh daemon over the same state dir resumes
+// every shard from its snapshot instead of re-running the job from
+// scratch. The one-worker job must land on the uninterrupted golden
+// fingerprint; the two-worker job must resume both shards and finish
+// with discovery.
+func TestClusterJobRestartResume(t *testing.T) {
+	state := t.TempDir()
+	// NoRedundancyElimination, as in TestDaemonRestartResume: a resumed
+	// run's rewind re-probes with a fuller stop set than the golden run
+	// had at the same point, so Doubletree suppression makes resumed
+	// routes legitimately sparser; without it, discovery is
+	// checkpoint-exact.
+	fast := JobSpec{
+		Type: "cluster", RealTime: true, Lockstep: true, NoRedundancyElimination: true,
+		PPS: 3_000, MinRoundTimeMS: 1, DrainWaitMS: 25, CheckpointEvery: 500,
+	}
+	k1 := fast
+	k1.Tenant, k1.Workers, k1.Blocks, k1.Seed = "alice", 1, 512, 11
+	k2 := fast
+	k2.Tenant, k2.Workers, k2.Blocks, k2.Seed = "bob", 2, 512, 7
+
+	// Phase 1: get both jobs probing past their first per-shard
+	// checkpoints, then stop the daemon mid-scan.
+	srv1, err := New(Config{StateDir: state, GlobalPPS: 100_000, MaxActive: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := newHTTP(t, srv1)
+	ids := map[string]JobSpec{}
+	workersOf := map[string]int{}
+	for _, spec := range []JobSpec{k1, k2} {
+		id := submit(t, ts1, spec)
+		ids[id] = spec
+		workersOf[id] = spec.Workers
+	}
+	goldenK1 := goldenCluster(t, k1)
+	for id, spec := range ids {
+		want := spec.Workers
+		pollStatus(t, ts1, id, 30*time.Second, func(st *JobStatus) bool {
+			if terminal(st) {
+				t.Fatalf("job %s finished before the daemon stop (state %s)", id, st.State)
+			}
+			if st.State != StateRunning || st.Probes < 1_000 {
+				return false
+			}
+			snaps, err := srv1.store.ShardCheckpoints(id)
+			return err == nil && len(snaps) == want
+		})
+	}
+	ts1.Close()
+	srv1.Stop()
+
+	// Every shard left a checkpoint behind (the engines write a final one
+	// on the way out) and the job table still says running — the restart
+	// cue.
+	for id, spec := range ids {
+		snaps, err := srv1.store.ShardCheckpoints(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snaps) != spec.Workers {
+			t.Fatalf("job %s: %d shard checkpoints persisted, want %d", id, len(snaps), spec.Workers)
+		}
+		for shard, snap := range snaps {
+			if len(snap) == 0 {
+				t.Fatalf("job %s shard %d: empty checkpoint", id, shard)
+			}
+		}
+	}
+
+	// Phase 2: a fresh daemon must mark both jobs for per-shard resume
+	// and finish them.
+	srv2, err := New(Config{StateDir: state, GlobalPPS: 100_000, MaxActive: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := newHTTP(t, srv2)
+	defer func() { ts2.Close(); srv2.Stop() }()
+	for id, spec := range ids {
+		j := srv2.JobForTest(id)
+		if j == nil {
+			t.Fatalf("restarted daemon lost job %s", id)
+		}
+		if !j.resume {
+			t.Fatalf("job %s was not marked for resume", id)
+		}
+		if len(j.shardSnaps) != spec.Workers {
+			t.Fatalf("job %s: %d shard snapshots loaded, want %d", id, len(j.shardSnaps), spec.Workers)
+		}
+	}
+	for id, spec := range ids {
+		st := pollStatus(t, ts2, id, 120*time.Second, terminal)
+		if st.State != StateDone {
+			t.Fatalf("resumed cluster job %s ended %s (%s)", id, st.State, st.Error)
+		}
+		if st.Probes == 0 || st.Interfaces == 0 {
+			t.Fatalf("resumed cluster job %s reports no discovery: %+v", id, st)
+		}
+		resp, got := get(t, ts2.URL+"/v1/jobs/"+id+"/results")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("results %s: %d %s", id, resp.StatusCode, got)
+		}
+		if spec.Workers == 1 {
+			// One worker is the deterministic case: the resumed run must be
+			// discovery-identical to an uninterrupted virtual-clock run.
+			if fp := discoveryFP(got); fp != goldenK1 {
+				t.Errorf("K=1 cluster job %s: resumed fingerprint %#x, golden %#x", id, fp, goldenK1)
+			}
+		}
+		// Terminal jobs keep no shard snapshots around.
+		snaps, err := srv2.store.ShardCheckpoints(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snaps) != 0 {
+			t.Errorf("finished job %s still has %d shard checkpoints", id, len(snaps))
+		}
+	}
+}

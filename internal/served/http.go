@@ -14,6 +14,13 @@ import (
 //	GET    /v1/jobs/{id}/results  finished job's NDJSON    → 200 stream
 //	DELETE /v1/jobs/{id}       cancel (graceful)           → 202
 //	GET    /healthz            liveness                    → 200 "ok"
+//	GET    /readyz             admission readiness         → 200/503 Readiness
+//
+// /healthz answers "is the process up"; /readyz answers "would a
+// submission be accepted" — 503 while shutting down or with a full
+// queue, with the queue depth, active-job count and probing-rate
+// headroom in the body either way (load balancers route on the status,
+// operators read the body).
 //
 // Every error response carries {"error": {"code","message","field"}}.
 func (s *Server) Handler() http.Handler {
@@ -21,6 +28,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		rd := s.Readiness()
+		status := http.StatusOK
+		if !rd.Ready {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, rd)
 	})
 	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {

@@ -1,0 +1,48 @@
+package served
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestReadyz pins the readiness probe: 200 with capacity numbers while
+// the daemon can accept work, 503 once it is shutting down — distinct
+// from /healthz, which only says the process is up.
+func TestReadyz(t *testing.T) {
+	srv, ts := newTestServer(t, Config{GlobalPPS: 50_000, MaxActive: 2, MaxQueued: 8})
+
+	resp, body := get(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d %s, want 200", resp.StatusCode, body)
+	}
+	var rd Readiness
+	if err := json.Unmarshal(body, &rd); err != nil {
+		t.Fatalf("bad /readyz body %s: %v", body, err)
+	}
+	if !rd.Ready {
+		t.Errorf("idle daemon not ready: %+v", rd)
+	}
+	if rd.QueueCapacity != 8 || rd.MaxActive != 2 {
+		t.Errorf("capacity numbers %+v, want queue 8, active 2", rd)
+	}
+	if rd.QueueDepth != 0 || rd.ActiveJobs != 0 {
+		t.Errorf("idle daemon reports work: %+v", rd)
+	}
+	if rd.BudgetHeadroom != 50_000 {
+		t.Errorf("idle headroom %d, want the full ceiling", rd.BudgetHeadroom)
+	}
+
+	// /healthz stays a bare liveness probe.
+	resp, body = get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+
+	// A shutting-down daemon reports itself not ready.
+	srv.Stop()
+	rd = srv.Readiness()
+	if rd.Ready {
+		t.Errorf("stopped daemon still ready: %+v", rd)
+	}
+}

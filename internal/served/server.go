@@ -30,6 +30,13 @@ type Config struct {
 	// CheckpointEvery is the default per-job snapshot cadence in probes
 	// (default 10,000); a job spec may override it.
 	CheckpointEvery int
+	// WatchdogTimeout arms the cluster coordinator's per-worker progress
+	// watchdog for cluster jobs (see ClusterOptions.WatchdogTimeout).
+	// Zero (the default) leaves it disabled.
+	WatchdogTimeout time.Duration
+	// MaxMigrations bounds per-shard handoffs for cluster jobs (0 =
+	// coordinator default; negative disables migration).
+	MaxMigrations int
 	// Now supplies record timestamps (default time.Now); tests pin it.
 	Now func() time.Time
 }
@@ -55,8 +62,12 @@ type Job struct {
 	probes     uint64 // final count once terminal
 	interfaces int    // final count once terminal
 
-	resume       bool   // restart path: continue from snapshot
-	snapshot     []byte // loaded checkpoint (nil: start fresh)
+	resume     bool           // restart path: continue from snapshot
+	snapshot   []byte         // loaded checkpoint (nil: start fresh)
+	shardSnaps map[int][]byte // cluster restart path: per-shard checkpoints
+
+	migrations   int    // final shard-handoff count once terminal
+	degraded     uint64 // final stop-set degradation episodes once terminal
 	userCanceled atomic.Bool
 	cancel       context.CancelFunc
 	rate         atomic.Int64
@@ -154,6 +165,8 @@ func New(cfg Config) (*Server, error) {
 			errMsg:     rec.Error,
 			probes:     rec.Probes,
 			interfaces: rec.Interfaces,
+			migrations: rec.Migrations,
+			degraded:   rec.StopSetDegraded,
 			done:       make(chan struct{}),
 		}
 		// Parse the full numeric suffix: a width-limited Sscanf of
@@ -173,13 +186,27 @@ func New(cfg Config) (*Server, error) {
 			// In flight when the previous daemon stopped: resume from the
 			// latest snapshot (none yet means the scan barely started —
 			// re-run it fresh, which in sim mode is the same scan).
-			snap, ok, err := store.Checkpoint(j.ID)
-			if err != nil {
-				stop()
-				return nil, err
+			// Cluster jobs checkpoint per shard; every shard with a
+			// persisted snapshot resumes where it left off.
+			if rec.Spec.Type == "cluster" {
+				snaps, err := store.ShardCheckpoints(j.ID)
+				if err != nil {
+					stop()
+					return nil, err
+				}
+				if len(snaps) > 0 {
+					j.resume = true
+					j.shardSnaps = snaps
+				}
+			} else {
+				snap, ok, err := store.Checkpoint(j.ID)
+				if err != nil {
+					stop()
+					return nil, err
+				}
+				j.resume = ok
+				j.snapshot = snap
 			}
-			j.resume = ok
-			j.snapshot = snap
 			j.state = StateQueued
 			s.queue = append(s.queue, j)
 		default:
@@ -237,6 +264,9 @@ func (s *Server) recordLocked(j *Job) *JobRecord {
 		Error:      j.errMsg,
 		Probes:     j.probes,
 		Interfaces: j.interfaces,
+
+		Migrations:      j.migrations,
+		StopSetDegraded: j.degraded,
 	}
 }
 
@@ -288,7 +318,7 @@ func (s *Server) runJob(j *Job) {
 	sink := func(snapshot []byte) error { return s.store.PutCheckpoint(j.ID, snapshot) }
 
 	if j.Spec.Type == "cluster" {
-		s.runCluster(ctx, j, rate)
+		s.runCluster(ctx, j, rate, every)
 	} else if j.Spec.Family == FamilyV6 {
 		s.runV6(ctx, j, rate, every, sink)
 	} else {
@@ -389,21 +419,43 @@ func (s *Server) runV6(ctx context.Context, j *Job, rate, every int, sink func([
 	}
 }
 
+// clusterOutcome is the family-independent view of a finished cluster
+// scan that runCluster needs to terminate a job.
+type clusterOutcome struct {
+	interrupted bool
+	probes      uint64
+	interfaces  int
+	migrations  int
+	degraded    uint64
+	jsonl       func(io.Writer) error
+}
+
 // runCluster runs a "cluster" job: the multi-vantage coordinator of
 // DESIGN.md §13, with the spec's Workers loops sharing one global stop
-// set. Cluster jobs write no mid-scan checkpoints — shard handoff inside
-// the coordinator covers worker loss, and a daemon restart simply
-// re-runs the job from scratch. At one worker the re-run is
-// bit-identical; at K>1 the merged output is deterministic given the
-// stop-set merge log, whose interleaving varies run to run (DESIGN.md
-// §13), so a re-run regenerates equivalent coverage, not equal bytes.
-func (s *Server) runCluster(ctx context.Context, j *Job, rate int) {
-	opt := flashroute.ClusterOptions{Workers: j.Spec.Workers}
+// set and the self-healing supervisor of §15 on top (armed only when
+// the daemon configures WatchdogTimeout). Every worker persists a
+// per-shard checkpoint each `every` probes, so a daemon restart resumes
+// every shard from its snapshot; shard handoff inside the coordinator
+// covers worker loss while the daemon is up. At one worker with no
+// faults the resumed/re-run output is bit-identical; at K>1 the merged
+// output is deterministic given the stop-set merge log, whose
+// interleaving varies run to run (DESIGN.md §13).
+func (s *Server) runCluster(ctx context.Context, j *Job, rate, every int) {
+	opt := flashroute.ClusterOptions{
+		Workers:         j.Spec.Workers,
+		WatchdogTimeout: s.cfg.WatchdogTimeout,
+		MaxMigrations:   s.cfg.MaxMigrations,
+		CheckpointEvery: every,
+		CheckpointSink: func(shard int, snapshot []byte) error {
+			return s.store.PutShardCheckpoint(j.ID, shard, snapshot)
+		},
+		ResumeSnapshots: j.shardSnaps,
+	}
 	if opt.Workers == 0 {
 		opt.Workers = 2
 	}
 	var h liveScan
-	var wait func() (interrupted bool, probes uint64, interfaces int, jsonl func(io.Writer) error, err error)
+	var wait func() (*clusterOutcome, error)
 	if j.Spec.Family == FamilyV6 {
 		sim := flashroute.NewSimulation6(j.Spec.Sim6Config())
 		cfg := j.Spec.Scan6Config()
@@ -414,13 +466,19 @@ func (s *Server) runCluster(ctx context.Context, j *Job, rate int) {
 			return
 		}
 		h = ch
-		wait = func() (bool, uint64, int, func(io.Writer) error, error) {
+		wait = func() (*clusterOutcome, error) {
 			res, err := ch.Wait()
 			if err != nil {
-				return false, 0, 0, nil, err
+				return nil, err
 			}
-			return res.Interrupted(), res.Probes(), res.InterfaceCount(),
-				func(w io.Writer) error { return res.WriteJSONL(w) }, nil
+			return &clusterOutcome{
+				interrupted: res.Interrupted(),
+				probes:      res.Probes(),
+				interfaces:  res.InterfaceCount(),
+				migrations:  res.Migrations(),
+				degraded:    res.StopSetDegraded(),
+				jsonl:       func(w io.Writer) error { return res.WriteJSONL(w) },
+			}, nil
 		}
 	} else {
 		sim, err := flashroute.NewSimulationCIDRs(j.Spec.SimConfig())
@@ -434,32 +492,42 @@ func (s *Server) runCluster(ctx context.Context, j *Job, rate int) {
 			return
 		}
 		h = ch
-		wait = func() (bool, uint64, int, func(io.Writer) error, error) {
+		wait = func() (*clusterOutcome, error) {
 			res, err := ch.Wait()
 			if err != nil {
-				return false, 0, 0, nil, err
+				return nil, err
 			}
-			return res.Interrupted(), res.Probes(), res.InterfaceCount(),
-				func(w io.Writer) error { return res.WriteJSONL(w) }, nil
+			return &clusterOutcome{
+				interrupted: res.Interrupted(),
+				probes:      res.Probes(),
+				interfaces:  res.InterfaceCount(),
+				migrations:  res.Migrations(),
+				degraded:    res.StopSetDegraded(),
+				jsonl:       func(w io.Writer) error { return res.WriteJSONL(w) },
+			}, nil
 		}
 	}
 	j.handle.Store(h)
 	h.SetRate(int(j.rate.Load()))
-	interrupted, probes, interfaces, jsonl, err := wait()
+	out, err := wait()
 	if err != nil {
 		s.finishJob(j, StateFailed, err.Error(), nil)
 		return
 	}
 	final := func(state string) {
+		// The shard snapshots only matter while the job can still resume.
+		_ = s.store.RemoveShardCheckpoints(j.ID)
 		s.finishJob(j, state, "", &scanSummary{
-			probes: probes, interfaces: interfaces, writeNDJSON: jsonl,
+			probes: out.probes, interfaces: out.interfaces,
+			migrations: out.migrations, degraded: out.degraded,
+			writeNDJSON: out.jsonl,
 		})
 	}
 	switch {
-	case interrupted && j.userCanceled.Load():
+	case out.interrupted && j.userCanceled.Load():
 		final(StateCanceled)
-	case interrupted:
-		s.releaseInterrupted(j) // restart re-runs the job from scratch
+	case out.interrupted:
+		s.releaseInterrupted(j) // restart resumes every shard from its checkpoint
 	default:
 		final(StateDone)
 	}
@@ -475,6 +543,8 @@ func (j *Job) clusterConfigV4(rate int) flashroute.Config {
 type scanSummary struct {
 	probes     uint64
 	interfaces int
+	migrations int    // cluster jobs: shard handoffs
+	degraded   uint64 // cluster jobs: stop-set degradation episodes
 	// writeNDJSON streams the job's NDJSON results — the store's sorted
 	// emit path — so finishing a job never holds the full output in
 	// memory alongside the result store.
@@ -495,6 +565,8 @@ func (s *Server) finishJob(j *Job, state, errMsg string, sum *scanSummary) {
 	if sum != nil {
 		j.probes = sum.probes
 		j.interfaces = sum.interfaces
+		j.migrations = sum.migrations
+		j.degraded = sum.degraded
 	}
 	rec := s.recordLocked(j)
 	s.active--
@@ -566,6 +638,19 @@ type JobStatus struct {
 	Interfaces int       `json:"interfaces,omitempty"`
 	Submitted  time.Time `json:"submitted"`
 	Error      string    `json:"error,omitempty"`
+
+	// Migrations and StopSetDegraded surface the self-healing
+	// supervisor's counters for cluster jobs: live while the job runs,
+	// final once terminal.
+	Migrations      int    `json:"migrations,omitempty"`
+	StopSetDegraded uint64 `json:"stopset_degraded,omitempty"`
+}
+
+// clusterLive is the extra face a running cluster handle exposes; both
+// flashroute.ClusterHandle and ClusterHandle6 satisfy it.
+type clusterLive interface {
+	Migrations() int
+	StopSetDegraded() uint64
 }
 
 // Status reports a job's live state; running jobs expose their monotone
@@ -592,9 +677,15 @@ func (s *Server) statusLocked(j *Job) *JobStatus {
 		Submitted:  j.Submitted,
 		Error:      j.errMsg,
 	}
+	st.Migrations = j.migrations
+	st.StopSetDegraded = j.degraded
 	if j.state == StateRunning {
 		if h := j.liveHandle(); h != nil {
 			st.Probes = h.Probes()
+			if cl, ok := h.(clusterLive); ok {
+				st.Migrations = cl.Migrations()
+				st.StopSetDegraded = cl.StopSetDegraded()
+			}
 		}
 		st.RatePPS = int(j.rate.Load())
 	}
@@ -646,6 +737,35 @@ func (s *Server) Results(id string) ([]byte, *APIError) {
 	default:
 		return nil, &APIError{Code: "not_finished", Message: "job is " + state}
 	}
+}
+
+// Readiness is the /readyz payload: whether the daemon can usefully
+// accept a new submission, plus the scheduler depth and rate headroom
+// behind that verdict.
+type Readiness struct {
+	Ready          bool `json:"ready"`
+	QueueDepth     int  `json:"queue_depth"`
+	QueueCapacity  int  `json:"queue_capacity"`
+	ActiveJobs     int  `json:"active_jobs"`
+	MaxActive      int  `json:"max_active"`
+	BudgetHeadroom int  `json:"budget_headroom_pps"`
+}
+
+// Readiness reports admission capacity: not ready while shutting down
+// or with a full queue (a submission would get 429 anyway).
+func (s *Server) Readiness() Readiness {
+	s.mu.Lock()
+	r := Readiness{
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.MaxQueued,
+		ActiveJobs:    s.active,
+		MaxActive:     s.cfg.MaxActive,
+	}
+	stopped := s.stopped
+	s.mu.Unlock()
+	r.BudgetHeadroom = s.budget.Headroom()
+	r.Ready = !stopped && r.QueueDepth < r.QueueCapacity
+	return r
 }
 
 // Stop shuts the server down gracefully: no new submissions, every

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -35,6 +36,11 @@ type JobRecord struct {
 	Probes uint64 `json:"probes,omitempty"`
 	// Interfaces is the discovered interface count of a finished job.
 	Interfaces int `json:"interfaces,omitempty"`
+	// Migrations is the shard-handoff count of a finished cluster job.
+	Migrations int `json:"migrations,omitempty"`
+	// StopSetDegraded is the stop-set degradation episode count of a
+	// finished cluster job.
+	StopSetDegraded uint64 `json:"stopset_degraded,omitempty"`
 }
 
 // Store is the daemon's state directory: one JSON record, one checkpoint
@@ -88,6 +94,67 @@ func (st *Store) PutRecord(r *JobRecord) error {
 // PutCheckpoint persists a job's latest snapshot atomically.
 func (st *Store) PutCheckpoint(id string, snapshot []byte) error {
 	return atomicWrite(st.CheckpointPath(id), snapshot)
+}
+
+// ShardCheckpointPath is where one shard's snapshot of a cluster job
+// lives. Cluster jobs persist one checkpoint per shard (each worker
+// loop has its own engine state), so a daemon restart can resume every
+// shard rather than re-running the whole job.
+func (st *Store) ShardCheckpointPath(id string, shard int) string {
+	return filepath.Join(st.dir, "jobs", fmt.Sprintf("%s.shard-%d.ckpt", id, shard))
+}
+
+// PutShardCheckpoint persists one shard's latest snapshot atomically.
+func (st *Store) PutShardCheckpoint(id string, shard int, snapshot []byte) error {
+	return atomicWrite(st.ShardCheckpointPath(id, shard), snapshot)
+}
+
+// ShardCheckpoints loads every persisted shard snapshot of a cluster
+// job, keyed by shard index. An empty map means the job has no shard
+// checkpoints (it barely started — re-run it fresh).
+func (st *Store) ShardCheckpoints(id string) (map[int][]byte, error) {
+	entries, err := os.ReadDir(filepath.Join(st.dir, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	prefix := id + ".shard-"
+	out := make(map[int][]byte)
+	for _, e := range entries {
+		name := e.Name()
+		rest, ok := strings.CutPrefix(name, prefix)
+		if !ok {
+			continue
+		}
+		numStr, ok := strings.CutSuffix(rest, ".ckpt")
+		if !ok {
+			continue
+		}
+		shard, err := strconv.Atoi(numStr)
+		if err != nil || shard < 0 {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(st.dir, "jobs", name))
+		if err != nil {
+			return nil, err
+		}
+		out[shard] = data
+	}
+	return out, nil
+}
+
+// RemoveShardCheckpoints deletes a finished cluster job's shard
+// snapshots (they are only meaningful while the job can still resume).
+func (st *Store) RemoveShardCheckpoints(id string) error {
+	snaps, err := st.ShardCheckpoints(id)
+	if err != nil {
+		return err
+	}
+	for shard := range snaps {
+		if err := os.Remove(st.ShardCheckpointPath(id, shard)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
 }
 
 // Checkpoint loads a job's snapshot; ok is false when none was written.

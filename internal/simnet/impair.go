@@ -89,11 +89,18 @@ const (
 	FaultFlap
 )
 
-// FaultWindow is one fault interval, relative to the network epoch.
+// FaultWindow is one fault interval, relative to the network epoch. A
+// window applies to every connection by default; setting Scoped restricts
+// it to connections entering the topology at exactly Vantage — the
+// deterministic "this worker's link died" primitive cluster chaos tests
+// are built on. (Scoped is a separate flag because vantage 0 is a real
+// vantage: the zero value must keep meaning "unscoped".)
 type FaultWindow struct {
 	Start    time.Duration
 	Duration time.Duration
 	Kind     FaultKind
+	Scoped   bool
+	Vantage  int
 }
 
 // contains reports whether t falls inside the window.
@@ -101,17 +108,24 @@ func (f *FaultWindow) contains(t time.Duration) bool {
 	return t >= f.Start && t < f.Start+f.Duration
 }
 
+// applies reports whether the window concerns a connection at vantage v.
+func (f *FaultWindow) applies(v int) bool {
+	return !f.Scoped || f.Vantage == v
+}
+
 // HasFaults reports whether any fault windows are configured. Kept
 // separate from Enabled so that fault-only configurations do not create
 // an ImpairState (whose draws would change probabilistic behavior).
 func (im *Impairments) HasFaults() bool { return len(im.Faults) > 0 }
 
-// WriteFault reports whether a write at network time now fails
-// transiently (write-error and flap windows).
-func (im *Impairments) WriteFault(now time.Duration) bool {
+// WriteFault reports whether a write at network time now, from a
+// connection at the given vantage, fails transiently (write-error and
+// flap windows; unscoped windows hit every vantage).
+func (im *Impairments) WriteFault(now time.Duration, vantage int) bool {
 	for i := range im.Faults {
 		f := &im.Faults[i]
-		if (f.Kind == FaultWriteError || f.Kind == FaultFlap) && f.contains(now) {
+		if (f.Kind == FaultWriteError || f.Kind == FaultFlap) &&
+			f.applies(vantage) && f.contains(now) {
 			return true
 		}
 	}
@@ -119,13 +133,13 @@ func (im *Impairments) WriteFault(now time.Duration) bool {
 }
 
 // DeliveryFault adjusts a response's delivery time at for the fault
-// windows: a read stall pushes delivery to the end of its window, a flap
-// drops the response. Windows are checked in order; the first that
-// applies wins.
-func (im *Impairments) DeliveryFault(at time.Duration) (adjusted time.Duration, dropped bool) {
+// windows applying to the given vantage: a read stall pushes delivery to
+// the end of its window, a flap drops the response. Windows are checked
+// in order; the first that applies wins.
+func (im *Impairments) DeliveryFault(at time.Duration, vantage int) (adjusted time.Duration, dropped bool) {
 	for i := range im.Faults {
 		f := &im.Faults[i]
-		if !f.contains(at) {
+		if !f.applies(vantage) || !f.contains(at) {
 			continue
 		}
 		switch f.Kind {

@@ -105,6 +105,12 @@ type FaultWindow struct {
 	Duration time.Duration
 	// Kind selects the failure mode.
 	Kind FaultKind
+	// Scoped restricts the window to connections entering the topology at
+	// exactly Vantage (cluster worker Vantage's private link). Unscoped
+	// windows — the zero value — hit every connection; Scoped is a
+	// separate flag because vantage 0 is itself a real vantage.
+	Scoped  bool
+	Vantage int
 }
 
 func (im Impairments) toNetsim() netsim.Impairments {
@@ -121,6 +127,7 @@ func (im Impairments) toNetsim() netsim.Impairments {
 	for _, f := range im.Faults {
 		out.Faults = append(out.Faults, netsim.FaultWindow{
 			Start: f.Start, Duration: f.Duration, Kind: f.Kind,
+			Scoped: f.Scoped, Vantage: f.Vantage,
 		})
 	}
 	return out
